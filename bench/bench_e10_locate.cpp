@@ -1,0 +1,148 @@
+// E10: LOCATE and the port cache (§2.2).
+//
+// "The associative addressing can be simulated in software ... by having
+// each [kernel] maintain a cache of (port, machine-number) pairs.  If a
+// port is not in the cache, it can be found by broadcasting a LOCATE
+// message."
+//
+// Measured: transaction latency with a cold cache (LOCATE broadcast on
+// the critical path), a warm cache, and immediately after the service
+// migrates to another machine (stale entry -> rejected transmit ->
+// invalidate -> re-LOCATE).  Also: raw LOCATE cost as the machine count
+// grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/block_server.hpp"
+#include "amoeba/servers/common.hpp"
+
+namespace {
+
+using namespace amoeba;
+
+struct Rig {
+  Rig()
+      : a(net.add_machine("host-a")),
+        b(net.add_machine("host-b")),
+        client_machine(net.add_machine("client")),
+        rng(1) {
+    servers::BlockServer::Geometry geometry;
+    geometry.block_count = 16;
+    geometry.block_size = 64;
+    service = std::make_unique<servers::BlockServer>(
+        a, Port(0x6E7), core::make_scheme(core::SchemeKind::simple, rng), 1,
+        geometry);
+    service->start();
+  }
+
+  net::Network net;
+  net::Machine& a;
+  net::Machine& b;
+  net::Machine& client_machine;
+  Rng rng;
+  std::unique_ptr<servers::BlockServer> service;
+};
+
+void BM_TransColdCache(benchmark::State& state) {
+  Rig rig;
+  rpc::Transport transport(rig.client_machine, 2);
+  servers::BlockClient client(transport, rig.service->put_port());
+  const auto cap = client.allocate().value();
+  for (auto _ : state) {
+    state.PauseTiming();
+    transport.flush_cache();  // force the LOCATE onto the critical path
+    state.ResumeTiming();
+    auto data = client.read(cap);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetLabel("LOCATE broadcast per call");
+}
+BENCHMARK(BM_TransColdCache)->Unit(benchmark::kMicrosecond);
+
+void BM_TransWarmCache(benchmark::State& state) {
+  Rig rig;
+  rpc::Transport transport(rig.client_machine, 2);
+  servers::BlockClient client(transport, rig.service->put_port());
+  const auto cap = client.allocate().value();
+  (void)client.read(cap);  // warm
+  for (auto _ : state) {
+    auto data = client.read(cap);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetLabel("cached (port, machine)");
+}
+BENCHMARK(BM_TransWarmCache)->Unit(benchmark::kMicrosecond);
+
+void BM_TransAfterMigration(benchmark::State& state) {
+  // Every iteration: service hops to the other machine; the client's
+  // cached entry is stale and must be invalidated and re-located.
+  Rig rig;
+  rpc::Transport transport(rig.client_machine, 2);
+  servers::BlockClient client(transport, rig.service->put_port());
+  const auto cap = client.allocate().value();
+  (void)client.read(cap);
+  bool on_a = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rig.service->stop();
+    rig.service->rebind(on_a ? rig.b : rig.a);
+    rig.service->start();
+    on_a = !on_a;
+    state.ResumeTiming();
+    auto data = client.read(cap);  // stale cache -> invalidate -> locate
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetLabel("stale entry + re-LOCATE per call");
+}
+BENCHMARK(BM_TransAfterMigration)->Unit(benchmark::kMicrosecond);
+
+void BM_RawLocate(benchmark::State& state) {
+  // LOCATE latency as the network grows (the responder scan).
+  const int extra_machines = static_cast<int>(state.range(0));
+  Rig rig;
+  for (int i = 0; i < extra_machines; ++i) {
+    rig.net.add_machine("bystander-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto found = rig.client_machine.locate(rig.service->put_port());
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetLabel(std::to_string(3 + extra_machines) + " machines");
+}
+BENCHMARK(BM_RawLocate)->Arg(0)->Arg(13)->Arg(61)->Arg(253);
+
+void cache_report() {
+  Rig rig;
+  rpc::Transport transport(rig.client_machine, 2);
+  servers::BlockClient client(transport, rig.service->put_port());
+  const auto cap = client.allocate().value();
+  for (int i = 0; i < 99; ++i) {
+    (void)client.read(cap);
+  }
+  const auto stats = transport.stats();
+  std::printf("---- port cache effectiveness (100 transactions) ----\n");
+  std::printf("  LOCATE broadcasts: %llu   cache hits: %llu (%.0f%%)\n",
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_hits),
+              100.0 * static_cast<double>(stats.cache_hits) /
+                  static_cast<double>(stats.cache_hits + stats.cache_misses));
+  std::printf("------------------------------------------------------\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E10: location transparency -- LOCATE broadcast on miss, "
+              "cached (port, machine) pairs otherwise, recovery after "
+              "migration.\n");
+  cache_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

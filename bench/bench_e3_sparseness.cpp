@@ -1,0 +1,122 @@
+// E3: sparseness -- the title's security argument, quantified.
+//
+// A capability is protected by nothing but the sparseness of the check
+// space: a forger must guess a 48-bit value.  This bench (a) measures the
+// intruder's guess throughput against an in-memory validator (his best
+// case: no network), (b) Monte-Carlo-verifies that forgery probability
+// tracks 2^-b by shrinking the check width to 8..28 bits where successes
+// are observable, and (c) extrapolates the expected time to forge one
+// 48-bit capability at the measured guess rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <chrono>
+#include <cmath>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/core/schemes.hpp"
+
+namespace {
+
+using namespace amoeba;
+
+void BM_GuessThroughput(benchmark::State& state) {
+  const auto kind = static_cast<core::SchemeKind>(state.range(0));
+  Rng rng(1);
+  const auto scheme = core::make_scheme(kind, rng);
+  const std::uint64_t secret = scheme->new_secret(rng);
+  core::Capability probe =
+      scheme->mint(Port(0xAB), ObjectNumber(1), secret, Rights::all());
+  Rng guesses(2);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    probe.check = CheckField(guesses.bits(48));
+    hits += scheme->validate(probe, secret).ok();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(core::scheme_name(kind));
+}
+BENCHMARK(BM_GuessThroughput)->DenseRange(0, 3);
+
+void sparseness_report() {
+  std::printf("---- Monte-Carlo forgery probability vs check width ----\n");
+  std::printf("%8s %14s %14s %14s\n", "bits", "expected", "measured",
+              "trials");
+  Rng rng(3);
+  // Reduced-width analogue of scheme 0: secret in [0, 2^bits), forgery
+  // succeeds when a random guess matches.  This isolates exactly the
+  // sparseness argument; the schemes only add rights protection on top.
+  for (const int bits : {8, 12, 16, 20, 24, 28}) {
+    const std::uint64_t trials = 1ULL << 24;  // 16M guesses
+    const std::uint64_t secret = rng.bits(bits);
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      hits += rng.bits(bits) == secret;
+    }
+    const double expected = std::ldexp(1.0, -bits);
+    const double measured = static_cast<double>(hits) / trials;
+    std::printf("%8d %14.3e %14.3e %14llu\n", bits, expected, measured,
+                static_cast<unsigned long long>(trials));
+  }
+  std::printf(
+      "At 48 bits the success probability per guess is 2^-48 = 3.6e-15;\n"
+      "the time-to-forge extrapolation after the throughput benchmarks\n"
+      "below quantifies the paper's claim that guessing 'is not\n"
+      "feasible'.\n");
+  std::printf("--------------------------------------------------------\n");
+}
+
+void extrapolation_report() {
+  // Measure raw guess rate for the cheapest scheme (intruder's best case)
+  // and extrapolate.
+  Rng rng(4);
+  const auto scheme = core::make_scheme(core::SchemeKind::simple, rng);
+  const std::uint64_t secret = scheme->new_secret(rng);
+  core::Capability probe =
+      scheme->mint(Port(0xAB), ObjectNumber(1), secret, Rights::all());
+  Rng guesses(5);
+  const std::uint64_t samples = 4'000'000;
+  const auto begin = std::chrono::steady_clock::now();
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    probe.check = CheckField(guesses.bits(48));
+    hits += scheme->validate(probe, secret).ok();
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+  const double rate = samples / elapsed;
+  // Mean guesses for one forgery: 2^47.  Two attacker models:
+  //   * hypothetical local oracle at the server's own validation speed
+  //     (an intruder never has this -- the secret lives in the server);
+  //   * the real attack: one RPC per guess (~tens of microseconds in this
+  //     simulator; ~milliseconds on the paper's 1986 LAN).
+  const double mean_guesses = std::ldexp(1.0, 47);
+  const double local_days = mean_guesses / rate / 86400.0;
+  const double rpc_rate = 20'000.0;  // measured order of magnitude, E6
+  const double rpc_years = mean_guesses / rpc_rate / (365.25 * 86400.0);
+  std::printf(
+      "---- time-to-forge extrapolation ----\n"
+      "in-memory validation rate (server's own): %.2e/s (hits: %llu)\n"
+      "mean guesses for one 48-bit forgery: 2^47 = 1.4e14\n"
+      "  hypothetical local oracle : %.0f days of continuous guessing\n"
+      "  over RPC at ~2e4 calls/s  : %.0f years\n"
+      "The intruder only has the RPC path; the paper's 'not feasible'\n"
+      "claim holds, and each guess is also visible to the server.\n"
+      "-------------------------------------\n",
+      rate, static_cast<unsigned long long>(hits), local_days, rpc_years);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E3: sparse capabilities -- forgery resistance comes from the "
+              "48-bit check space alone.\n");
+  sparseness_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  extrapolation_report();
+  return 0;
+}

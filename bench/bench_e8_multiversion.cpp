@@ -1,0 +1,173 @@
+// E8: copy-on-write versions and atomic commit (§3.5).
+//
+// Measured: (a) the cost of writing one page into a draft as the file
+// grows -- copy-on-write must stay O(tree depth), not O(file size);
+// (b) fork (NEW VERSION) cost vs file size -- O(1), "pages are only
+// copied when they are changed"; (c) commit/abort cost; (d) the conflict
+// rate under concurrent committers (optimistic concurrency).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/multiversion_server.hpp"
+#include "amoeba/servers/page_tree.hpp"
+
+namespace {
+
+using namespace amoeba;
+
+struct Rig {
+  Rig()
+      : host(net.add_machine("archive")),
+        client_machine(net.add_machine("client")),
+        rng(1) {
+    server = std::make_unique<servers::MultiVersionServer>(
+        host, Port(0x3171),
+        core::make_scheme(core::SchemeKind::one_way_xor, rng), 1,
+        /*page_size=*/1024);
+    server->start();
+    transport = std::make_unique<rpc::Transport>(client_machine, 2);
+  }
+
+  net::Network net;
+  net::Machine& host;
+  net::Machine& client_machine;
+  Rng rng;
+  std::unique_ptr<servers::MultiVersionServer> server;
+  std::unique_ptr<rpc::Transport> transport;
+};
+
+/// Commits an initial version holding `pages` pages.
+core::Capability make_file(servers::MultiVersionClient& client,
+                           std::uint32_t pages) {
+  const auto file = client.create_file().value();
+  const auto draft = client.new_version(file).value();
+  const Buffer payload(64, 'x');
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    (void)client.write_page(draft, p, payload);
+  }
+  (void)client.commit(draft);
+  return file;
+}
+
+void BM_DraftPageWrite(benchmark::State& state) {
+  // COW write into a draft of an N-page file: flat in N.
+  Rig rig;
+  servers::MultiVersionClient client(*rig.transport, rig.server->put_port());
+  const auto pages = static_cast<std::uint32_t>(state.range(0));
+  const auto file = make_file(client, pages);
+  const auto draft = client.new_version(file).value();
+  const Buffer payload(64, 'y');
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    auto result = client.write_page(draft, i++ % pages, payload);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(pages) + "-page file");
+}
+BENCHMARK(BM_DraftPageWrite)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ForkVersion(benchmark::State& state) {
+  // NEW VERSION must not copy pages: O(1) in file size.
+  Rig rig;
+  servers::MultiVersionClient client(*rig.transport, rig.server->put_port());
+  const auto pages = static_cast<std::uint32_t>(state.range(0));
+  const auto file = make_file(client, pages);
+  for (auto _ : state) {
+    const auto draft = client.new_version(file).value();
+    state.PauseTiming();
+    (void)client.abort(draft);
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(pages) + "-page file");
+}
+BENCHMARK(BM_ForkVersion)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CommitOnePageChange(benchmark::State& state) {
+  Rig rig;
+  servers::MultiVersionClient client(*rig.transport, rig.server->put_port());
+  const auto file = make_file(client, 256);
+  const Buffer payload(64, 'z');
+  for (auto _ : state) {
+    const auto draft = client.new_version(file).value();
+    (void)client.write_page(draft, 0, payload);
+    auto version = client.commit(draft);
+    benchmark::DoNotOptimize(version);
+  }
+  state.SetLabel("fork + 1 write + commit, 256-page file");
+}
+BENCHMARK(BM_CommitOnePageChange)->Unit(benchmark::kMicrosecond);
+
+void conflict_report() {
+  // Optimistic concurrency: N drafts fork the same base and all commit;
+  // exactly one wins per round.
+  std::printf("---- optimistic-concurrency conflict rates ----\n");
+  std::printf("%12s %10s %10s\n", "committers", "wins", "conflicts");
+  for (const int committers : {2, 4, 8}) {
+    Rig rig;
+    servers::MultiVersionClient client(*rig.transport,
+                                       rig.server->put_port());
+    const auto file = make_file(client, 4);
+    int wins = 0;
+    int conflicts = 0;
+    constexpr int kRounds = 50;
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<core::Capability> drafts;
+      for (int c = 0; c < committers; ++c) {
+        drafts.push_back(client.new_version(file).value());
+      }
+      for (const auto& draft : drafts) {
+        (void)client.write_page(draft, 0, Buffer{1});
+        const auto result = client.commit(draft);
+        if (result.ok()) {
+          ++wins;
+        } else {
+          ++conflicts;
+          (void)client.abort(draft);
+        }
+      }
+    }
+    std::printf("%12d %10d %10d   (expected wins: %d)\n", committers, wins,
+                conflicts, kRounds);
+  }
+  std::printf("-----------------------------------------------\n");
+}
+
+void BM_PageStoreDirectWrite(benchmark::State& state) {
+  // The substrate alone, no RPC: a COW write is kDepth node copies.
+  servers::PageStore store(1024);
+  std::uint32_t root = servers::PageStore::kEmptyRoot;
+  const auto pages = static_cast<std::uint32_t>(state.range(0));
+  const Buffer payload(64, 'p');
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const auto next = store.write(root, p, payload);
+    store.release(root);
+    root = next.value();
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const auto next = store.write(root, i++ % pages, payload);
+    store.release(root);
+    root = next.value();
+  }
+  state.SetLabel(std::to_string(pages) + " pages, no RPC");
+}
+BENCHMARK(BM_PageStoreDirectWrite)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E8: multiversion file server -- COW cost must track tree "
+              "depth, not file size; commits are atomic and optimistic.\n");
+  conflict_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

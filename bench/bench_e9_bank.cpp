@@ -1,0 +1,171 @@
+// E9: the bank server as the accounting substrate (§3.6).
+//
+// Measured: transfer and balance throughput, conversion cost, and the
+// overhead pricing adds to the file-creation path (charged vs free file
+// server) -- the cost of "charging x dollars per kiloblock", plus the
+// pre-payment pattern that amortizes it.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/servers/bank_server.hpp"
+#include "amoeba/servers/block_server.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/flat_file_server.hpp"
+
+namespace {
+
+using namespace amoeba;
+using servers::currency::kDollar;
+using servers::currency::kYen;
+
+struct Rig {
+  explicit Rig(bool priced)
+      : host(net.add_machine("host")),
+        client_machine(net.add_machine("client")),
+        rng(1),
+        scheme(core::make_scheme(core::SchemeKind::one_way_xor, rng)) {
+    bank = std::make_unique<servers::BankServer>(host, Port(0xBA7C), scheme,
+                                                 1);
+    bank->set_conversion_rate(kDollar, kYen, 150, 1);
+    bank->start();
+    servers::BlockServer::Geometry geometry;
+    geometry.block_count = 4096;
+    geometry.block_size = 1024;
+    blocks = std::make_unique<servers::BlockServer>(host, Port(0xB10C),
+                                                    scheme, 2, geometry);
+    blocks->start();
+
+    server_transport = std::make_unique<rpc::Transport>(host, 3);
+    servers::BankClient server_bank(*server_transport, bank->put_port());
+    fs_account = server_bank.create_account().value();
+
+    files = std::make_unique<servers::FlatFileServer>(host, Port(0xF17E),
+                                                      scheme, 4,
+                                                      blocks->put_port());
+    if (priced) {
+      servers::FlatFileServer::Pricing pricing;
+      pricing.bank_port = bank->put_port();
+      pricing.server_account = fs_account;
+      pricing.currency = kDollar;
+      pricing.price_per_block = 1;
+      files->set_pricing(pricing);
+    }
+    files->start();
+    transport = std::make_unique<rpc::Transport>(client_machine, 5);
+  }
+
+  net::Network net;
+  net::Machine& host;
+  net::Machine& client_machine;
+  Rng rng;
+  std::shared_ptr<const core::ProtectionScheme> scheme;
+  std::unique_ptr<servers::BankServer> bank;
+  std::unique_ptr<servers::BlockServer> blocks;
+  std::unique_ptr<rpc::Transport> server_transport;
+  std::unique_ptr<servers::FlatFileServer> files;
+  std::unique_ptr<rpc::Transport> transport;
+  core::Capability fs_account;
+};
+
+void BM_Transfer(benchmark::State& state) {
+  Rig rig(false);
+  servers::BankClient bank(*rig.transport, rig.bank->put_port());
+  const auto a = bank.create_account().value();
+  const auto b = bank.create_account().value();
+  (void)bank.mint(rig.bank->master_capability(), a, kDollar, 1'000'000'000);
+  for (auto _ : state) {
+    auto result = bank.transfer(a, b, kDollar, 1);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Transfer)->Unit(benchmark::kMicrosecond);
+
+void BM_Balance(benchmark::State& state) {
+  Rig rig(false);
+  servers::BankClient bank(*rig.transport, rig.bank->put_port());
+  const auto a = bank.create_account().value();
+  for (auto _ : state) {
+    auto balance = bank.balance(a, kDollar);
+    benchmark::DoNotOptimize(balance);
+  }
+}
+BENCHMARK(BM_Balance)->Unit(benchmark::kMicrosecond);
+
+void BM_Convert(benchmark::State& state) {
+  Rig rig(false);
+  servers::BankClient bank(*rig.transport, rig.bank->put_port());
+  const auto a = bank.create_account().value();
+  (void)bank.mint(rig.bank->master_capability(), a, kDollar, 1'000'000'000);
+  for (auto _ : state) {
+    auto result = bank.convert(a, kDollar, kYen, 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Convert)->Unit(benchmark::kMicrosecond);
+
+void BM_ChargedVsFreeWrite(benchmark::State& state) {
+  // One-kiloblock file growth: priced mode adds one bank transfer (file
+  // server -> bank RPC) to the write path.
+  const bool priced = state.range(0) != 0;
+  Rig rig(priced);
+  servers::BankClient bank(*rig.transport, rig.bank->put_port());
+  servers::FlatFileClient files(*rig.transport, rig.files->put_port());
+  const auto wallet = bank.create_account().value();
+  (void)bank.mint(rig.bank->master_capability(), wallet, kDollar,
+                  1'000'000'000);
+  const Buffer kiloblock(1024, 'q');
+  for (auto _ : state) {
+    // Fresh file each iteration so every write allocates (and is charged).
+    const auto file =
+        priced ? files.create(&wallet).value() : files.create().value();
+    auto result = files.write(file, 0, kiloblock);
+    benchmark::DoNotOptimize(result);
+    state.PauseTiming();
+    (void)files.destroy(file);
+    state.ResumeTiming();
+  }
+  state.SetLabel(priced ? "priced (charge per block)" : "free");
+}
+BENCHMARK(BM_ChargedVsFreeWrite)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void prepay_report() {
+  // "The client can pre-pay for a substantial amount of work, in order to
+  // eliminate the overhead of going back to the bank on each request":
+  // compare bank RPCs for per-block charging vs one up-front transfer.
+  std::printf("---- pre-payment amortization ----\n");
+  Rig rig(true);
+  servers::BankClient bank(*rig.transport, rig.bank->put_port());
+  servers::FlatFileClient files(*rig.transport, rig.files->put_port());
+  const auto wallet = bank.create_account().value();
+  (void)bank.mint(rig.bank->master_capability(), wallet, kDollar, 10'000);
+
+  const auto before = rig.bank->requests_served();
+  const auto file = files.create(&wallet).value();
+  for (int i = 0; i < 32; ++i) {
+    (void)files.write(file, static_cast<std::uint64_t>(i) * 1024,
+                      Buffer(1024, 'p'));
+  }
+  const auto per_op_rpcs = rig.bank->requests_served() - before;
+  std::printf("  32 x 1-KiB growth, per-block charging: %llu bank RPCs\n",
+              static_cast<unsigned long long>(per_op_rpcs));
+  std::printf("  same work, pre-paid once             : 1 bank RPC\n");
+  std::printf("----------------------------------\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E9: bank server -- transfers, conversion, and what charging "
+              "per kiloblock costs the file path.\n");
+  prepay_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Accounting and quotas via the bank server (§3.6).
+//
+// "By having the file server charge x dollars per kiloblock of disk
+// space, quotas can be implemented by limiting how many dollars each
+// client has.  CPU time could be charged in francs, phototypesetter pages
+// in yen, and so on."
+//
+// Two users with different budgets share a priced file server; one runs
+// out of disk money, converts yen to dollars at the bank, and continues.
+#include <cstdio>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/bank_server.hpp"
+#include "amoeba/servers/block_server.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/flat_file_server.hpp"
+
+using namespace amoeba;
+using servers::currency::kDollar;
+using servers::currency::kYen;
+
+int main() {
+  std::printf("== Bank server: accounting, currencies, quotas ==\n\n");
+
+  net::Network net;
+  net::Machine& host = net.add_machine("server-host");
+  net::Machine& alice_ws = net.add_machine("alice");
+  net::Machine& bob_ws = net.add_machine("bob");
+
+  Rng rng(7);
+  const auto scheme = core::make_scheme(core::SchemeKind::encrypted, rng);
+
+  servers::BankServer bank(host, Port(0xBA7C), scheme, 1);
+  bank.set_conversion_rate(kYen, kDollar, 1, 150);  // 150 yen = 1 dollar
+  bank.start();
+
+  servers::BlockServer::Geometry geometry;
+  geometry.block_count = 256;
+  geometry.block_size = 1024;
+  servers::BlockServer blocks(host, Port(0xB10C), scheme, 2, geometry);
+  blocks.start();
+
+  // The file server charges 1 dollar per kiloblock.
+  rpc::Transport fs_transport(host, 3);
+  servers::BankClient fs_bank(fs_transport, bank.put_port());
+  const auto fs_account = fs_bank.create_account().value();
+  servers::FlatFileServer files(host, Port(0xF17E), scheme, 4,
+                                blocks.put_port());
+  servers::FlatFileServer::Pricing pricing;
+  pricing.bank_port = bank.put_port();
+  pricing.server_account = fs_account;
+  pricing.currency = kDollar;
+  pricing.price_per_block = 1;
+  files.set_pricing(pricing);
+  files.start();
+
+  // Alice: 10 dollars.  Bob: 2 dollars and 1200 yen.
+  rpc::Transport alice(alice_ws, 5);
+  rpc::Transport bob(bob_ws, 6);
+  servers::BankClient alice_bank(alice, bank.put_port());
+  servers::BankClient bob_bank(bob, bank.put_port());
+  const auto alice_acct = alice_bank.create_account().value();
+  const auto bob_acct = bob_bank.create_account().value();
+  (void)alice_bank.mint(bank.master_capability(), alice_acct, kDollar, 10);
+  (void)bob_bank.mint(bank.master_capability(), bob_acct, kDollar, 2);
+  (void)bob_bank.mint(bank.master_capability(), bob_acct, kYen, 1200);
+
+  auto show = [&](const char* who, servers::BankClient& bc,
+                  const core::Capability& acct) {
+    std::printf("  %-6s $%-4lld  ¥%-6lld\n", who,
+                static_cast<long long>(bc.balance(acct, kDollar).value()),
+                static_cast<long long>(bc.balance(acct, kYen).value()));
+  };
+  std::printf("initial balances:\n");
+  show("alice", alice_bank, alice_acct);
+  show("bob", bob_bank, bob_acct);
+
+  // Alice buys 8 blocks of file; Bob tries 4 and hits his quota at 2.
+  servers::FlatFileClient alice_files(alice, files.put_port());
+  servers::FlatFileClient bob_files(bob, files.put_port());
+
+  const auto alice_file = alice_files.create(&alice_acct).value();
+  const auto a = alice_files.write(alice_file, 0, Buffer(8 * 1024, 'a'));
+  std::printf("\nalice writes 8 KiB: %s\n", error_name(a.error()));
+
+  const auto bob_file = bob_files.create(&bob_acct).value();
+  auto b = bob_files.write(bob_file, 0, Buffer(2 * 1024, 'b'));
+  std::printf("bob   writes 2 KiB: %s\n", error_name(b.error()));
+  b = bob_files.write(bob_file, 2 * 1024, Buffer(2 * 1024, 'b'));
+  std::printf("bob   writes 2 more KiB: %s  <- quota exhausted\n",
+              error_name(b.error()));
+
+  // Bob converts yen to dollars (1200 yen -> 8 dollars) and retries.
+  const auto converted = bob_bank.convert(bob_acct, kYen, kDollar, 1200);
+  std::printf("bob converts ¥1200 -> $%lld\n",
+              static_cast<long long>(converted.value()));
+  b = bob_files.write(bob_file, 2 * 1024, Buffer(2 * 1024, 'b'));
+  std::printf("bob   retries 2 KiB: %s\n\n", error_name(b.error()));
+
+  std::printf("final balances:\n");
+  show("alice", alice_bank, alice_acct);
+  show("bob", bob_bank, bob_acct);
+  std::printf("  fs    $%lld (earned from storage)\n",
+              static_cast<long long>(
+                  fs_bank.balance(fs_account, kDollar).value()));
+
+  // Destroying a file refunds the blocks.
+  (void)alice_files.destroy(alice_file);
+  std::printf("\nalice destroys her file -> refund: $%lld\n",
+              static_cast<long long>(
+                  alice_bank.balance(alice_acct, kDollar).value()));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Eden/ACCENT-style kernel-mediated capability baseline (§4).
+//
+// "In Eden, users may manage capabilities directly, but the kernel
+// maintains copies, to be able to verify each one before it is used."
+//
+// Model: a trusted CapabilityManager service holds the authoritative copy
+// of every issued capability.  Before a server acts on a request, it (or
+// the client's kernel) must ask the manager to verify the handle -- an
+// extra RPC on EVERY object operation, plus centralized registration on
+// every mint and explicit deregistration on every revoke.  This is the
+// comparison point for E6 (user-space sparse validation vs. kernel
+// mediation) and E2 (revocation cost: the manager must find and invalidate
+// every copy, O(outstanding handles), vs. Amoeba's O(1) secret rotation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "amoeba/core/capability.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::baseline {
+
+namespace capmgr_op {
+inline constexpr std::uint16_t kRegister = 0x0701;  // data: cap -> params[0]=handle
+inline constexpr std::uint16_t kVerify = 0x0702;    // params[0]=handle -> cap
+inline constexpr std::uint16_t kRevokeObject = 0x0703;  // params: server port+object
+}  // namespace capmgr_op
+
+/// The centralized kernel capability manager.
+class CapabilityManager final : public rpc::Service {
+ public:
+  CapabilityManager(net::Machine& machine, Port get_port);
+
+  [[nodiscard]] std::size_t registered_count() const;
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, core::Capability> table_;
+  std::uint64_t next_handle_ = 1;
+};
+
+/// Client-side view: every use of an object goes through verify() first,
+/// modeling the per-use kernel check Eden performs.
+class KernelMediatedClient {
+ public:
+  KernelMediatedClient(rpc::Transport& transport, Port manager_port)
+      : transport_(&transport), manager_port_(manager_port) {}
+
+  /// Registers a capability with the kernel; returns the opaque handle the
+  /// application stores instead of the raw bits.
+  [[nodiscard]] Result<std::uint64_t> register_capability(
+      const core::Capability& cap);
+
+  /// Verifies a handle and returns the authoritative capability copy.
+  [[nodiscard]] Result<core::Capability> verify(std::uint64_t handle);
+
+  /// Revokes every registered copy for (server, object): the manager scans
+  /// its table -- inherently O(outstanding copies).
+  [[nodiscard]] Result<std::uint64_t> revoke_object(Port server_port,
+                                                    ObjectNumber object);
+
+ private:
+  rpc::Transport* transport_;
+  Port manager_port_;
+};
+
+}  // namespace amoeba::baseline

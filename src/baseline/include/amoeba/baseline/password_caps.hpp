@@ -1,0 +1,56 @@
+// Donnelley/LLL-style password capability baseline (§4).
+//
+// "Two schemes are described, one using a password in each capability ...
+// Although these schemes are similar to ours in some ways, they do not
+// provide a way to protect individual rights bits to allow one capability
+// to read an object and another to write it."
+//
+// Model: each object has a single password; presenting the password grants
+// every operation.  Delegating read-only access is impossible without the
+// server creating a *separate* object/password pair -- which is exactly
+// the limitation E6 demonstrates against the four Amoeba schemes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/rng.hpp"
+
+namespace amoeba::baseline {
+
+class PasswordCapabilityTable {
+ public:
+  explicit PasswordCapabilityTable(std::uint64_t seed) : rng_(seed) {}
+
+  struct PasswordCap {
+    std::uint32_t object = 0;
+    std::uint64_t password = 0;
+  };
+
+  /// Creates an object guarded by a fresh password.
+  [[nodiscard]] PasswordCap create(std::string value);
+
+  /// All-or-nothing: the password either opens everything or nothing.
+  [[nodiscard]] Result<std::string*> open(const PasswordCap& cap);
+
+  /// The only way to "delegate read-only": clone the data into a second
+  /// object with its own password.  The clone is a snapshot -- it does not
+  /// track the original, which is the semantic gap vs. rights restriction.
+  [[nodiscard]] Result<PasswordCap> clone_for_sharing(const PasswordCap& cap);
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t password;
+    std::string value;
+  };
+
+  Rng rng_;
+  std::unordered_map<std::uint32_t, Entry> objects_;
+  std::uint32_t next_object_ = 1;
+};
+
+}  // namespace amoeba::baseline

@@ -1,0 +1,92 @@
+#include "amoeba/baseline/kernel_caps.hpp"
+
+namespace amoeba::baseline {
+
+using servers::error_reply;
+using servers::header_capability;
+using servers::set_header_capability;
+
+CapabilityManager::CapabilityManager(net::Machine& machine, Port get_port)
+    : rpc::Service(machine, get_port, "capmgr") {}
+
+std::size_t CapabilityManager::registered_count() const {
+  const std::lock_guard lock(mutex_);
+  return table_.size();
+}
+
+net::Message CapabilityManager::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  switch (request.message.header.opcode) {
+    case capmgr_op::kRegister: {
+      const core::Capability cap = header_capability(request.message);
+      const std::uint64_t handle = next_handle_++;
+      table_.emplace(handle, cap);
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = handle;
+      return reply;
+    }
+    case capmgr_op::kVerify: {
+      const std::uint64_t handle = request.message.header.params[0];
+      auto it = table_.find(handle);
+      if (it == table_.end()) {
+        return error_reply(request, ErrorCode::bad_capability);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, it->second);
+      return reply;
+    }
+    case capmgr_op::kRevokeObject: {
+      const Port server_port(request.message.header.params[0]);
+      const ObjectNumber object(
+          static_cast<std::uint32_t>(request.message.header.params[1]));
+      // The centralized design's cost: scan every registered copy.
+      std::uint64_t removed = 0;
+      for (auto it = table_.begin(); it != table_.end();) {
+        if (it->second.server_port == server_port &&
+            it->second.object == object) {
+          it = table_.erase(it);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = removed;
+      return reply;
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+Result<std::uint64_t> KernelMediatedClient::register_capability(
+    const core::Capability& cap) {
+  auto reply =
+      servers::call(*transport_, manager_port_, capmgr_op::kRegister, &cap);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+Result<core::Capability> KernelMediatedClient::verify(std::uint64_t handle) {
+  auto reply = servers::call(*transport_, manager_port_, capmgr_op::kVerify,
+                             nullptr, {}, {handle, 0, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<std::uint64_t> KernelMediatedClient::revoke_object(
+    Port server_port, ObjectNumber object) {
+  auto reply = servers::call(*transport_, manager_port_,
+                             capmgr_op::kRevokeObject, nullptr, {},
+                             {server_port.value(), object.value(), 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+}  // namespace amoeba::baseline

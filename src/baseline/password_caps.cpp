@@ -1,0 +1,33 @@
+#include "amoeba/baseline/password_caps.hpp"
+
+namespace amoeba::baseline {
+
+PasswordCapabilityTable::PasswordCap PasswordCapabilityTable::create(
+    std::string value) {
+  const std::uint32_t object = next_object_++;
+  const std::uint64_t password = rng_.next();
+  objects_.emplace(object, Entry{password, std::move(value)});
+  return PasswordCap{object, password};
+}
+
+Result<std::string*> PasswordCapabilityTable::open(const PasswordCap& cap) {
+  auto it = objects_.find(cap.object);
+  if (it == objects_.end()) {
+    return ErrorCode::no_such_object;
+  }
+  if (it->second.password != cap.password) {
+    return ErrorCode::bad_capability;
+  }
+  return &it->second.value;
+}
+
+Result<PasswordCapabilityTable::PasswordCap>
+PasswordCapabilityTable::clone_for_sharing(const PasswordCap& cap) {
+  auto opened = open(cap);
+  if (!opened.ok()) {
+    return opened.error();
+  }
+  return create(*opened.value());
+}
+
+}  // namespace amoeba::baseline

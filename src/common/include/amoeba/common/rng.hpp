@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generator used throughout the simulation.
+//
+// Servers draw their secret check numbers and get-ports from an Rng.  The
+// implementation is xoshiro256** seeded through splitmix64 -- statistically
+// strong and fully deterministic under a fixed seed, which the test suite
+// and benchmarks depend on.  It is simulation-grade, not a CSPRNG; the
+// paper's security argument only needs the drawn numbers to be sparse and
+// unguessable by the simulated intruder, who has no side channel into the
+// server's generator state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace amoeba {
+
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound).  Precondition: bound > 0 (throws
+  /// UsageError otherwise).  Uses rejection sampling, so it is unbiased.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value with exactly `bits` low bits populated (1..64).
+  std::uint64_t bits(int bits);
+
+  /// Fills the span with uniform bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace amoeba

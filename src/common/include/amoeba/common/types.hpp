@@ -1,0 +1,159 @@
+// Fundamental value types shared across the Amoeba reproduction.
+//
+// The paper (Fig. 2) fixes the wire widths: a server put-port is 48 bits,
+// an object number 24 bits, a rights field 8 bits, and the check field
+// 48 bits.  We model each as a strong type wrapping the smallest natural
+// integer so that ports cannot silently be confused with check fields and
+// the width invariants hold by construction.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace amoeba {
+
+/// A 48-bit port number (either a put-port or a get-port; which one it is
+/// depends on context, see amoeba/crypto/one_way.hpp for the F mapping).
+class Port {
+ public:
+  static constexpr int kBits = 48;
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << kBits) - 1;
+
+  constexpr Port() = default;
+  /// Truncates the argument to 48 bits; callers producing ports from wider
+  /// arithmetic (one-way functions) rely on this.
+  constexpr explicit Port(std::uint64_t v) : value_(v & kMask) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_null() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(Port, Port) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A 24-bit object number, meaningful only to the server managing the
+/// object (for a UNIX-like file server this would be the i-number).
+class ObjectNumber {
+ public:
+  static constexpr int kBits = 24;
+  static constexpr std::uint32_t kMask = (std::uint32_t{1} << kBits) - 1;
+
+  constexpr ObjectNumber() = default;
+  constexpr explicit ObjectNumber(std::uint32_t v) : value_(v & kMask) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(ObjectNumber, ObjectNumber) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An 8-bit rights mask: one bit per permitted operation.  The meaning of
+/// each bit is defined by the server that manages the object; common
+/// assignments live in amoeba/core/rights.hpp.
+class Rights {
+ public:
+  static constexpr int kBits = 8;
+  static constexpr std::uint8_t kAll = 0xFF;
+
+  constexpr Rights() = default;
+  constexpr explicit Rights(std::uint8_t bits) : bits_(bits) {}
+
+  static constexpr Rights all() { return Rights(kAll); }
+  static constexpr Rights none() { return Rights(0); }
+
+  [[nodiscard]] constexpr std::uint8_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool has(int bit) const {
+    return (bits_ >> bit) & 1u;
+  }
+  [[nodiscard]] constexpr bool has_all(Rights needed) const {
+    return (bits_ & needed.bits_) == needed.bits_;
+  }
+  /// True if this mask grants no more than `other` (subset relation).
+  [[nodiscard]] constexpr bool subset_of(Rights other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  [[nodiscard]] constexpr Rights with(int bit) const {
+    return Rights(static_cast<std::uint8_t>(bits_ | (1u << bit)));
+  }
+  [[nodiscard]] constexpr Rights without(int bit) const {
+    return Rights(static_cast<std::uint8_t>(bits_ & ~(1u << bit)));
+  }
+  [[nodiscard]] constexpr Rights intersect(Rights other) const {
+    return Rights(static_cast<std::uint8_t>(bits_ & other.bits_));
+  }
+
+  friend constexpr auto operator<=>(Rights, Rights) = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// The 48-bit check field: the sparse secret that makes a capability hard
+/// to forge.  Its interpretation depends on the protection scheme in use.
+class CheckField {
+ public:
+  static constexpr int kBits = 48;
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << kBits) - 1;
+
+  constexpr CheckField() = default;
+  constexpr explicit CheckField(std::uint64_t v) : value_(v & kMask) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(CheckField, CheckField) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Unforgeable machine address.  The simulated network stamps the source
+/// machine id on every frame (the paper's §2.4 assumption: "an intruder can
+/// forge nearly all parts of a message ... except the source address").
+class MachineId {
+ public:
+  constexpr MachineId() = default;
+  constexpr explicit MachineId(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_null() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(MachineId, MachineId) = default;
+
+ private:
+  std::uint32_t value_ = 0;  // 0 is reserved for "no machine"
+};
+
+[[nodiscard]] std::string to_string(Port p);
+[[nodiscard]] std::string to_string(ObjectNumber o);
+[[nodiscard]] std::string to_string(Rights r);
+[[nodiscard]] std::string to_string(CheckField c);
+[[nodiscard]] std::string to_string(MachineId m);
+
+}  // namespace amoeba
+
+template <>
+struct std::hash<amoeba::Port> {
+  std::size_t operator()(amoeba::Port p) const noexcept {
+    return std::hash<std::uint64_t>{}(p.value());
+  }
+};
+
+template <>
+struct std::hash<amoeba::ObjectNumber> {
+  std::size_t operator()(amoeba::ObjectNumber o) const noexcept {
+    return std::hash<std::uint32_t>{}(o.value());
+  }
+};
+
+template <>
+struct std::hash<amoeba::MachineId> {
+  std::size_t operator()(amoeba::MachineId m) const noexcept {
+    return std::hash<std::uint32_t>{}(m.value());
+  }
+};

@@ -1,0 +1,83 @@
+#include "amoeba/common/rng.hpp"
+
+#include <bit>
+
+#include "amoeba/common/error.hpp"
+
+namespace amoeba {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+  // xoshiro must not start from the all-zero state; splitmix64 of any seed
+  // makes that astronomically unlikely, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw UsageError("Rng::below requires bound > 0");
+  }
+  // Rejection sampling: reject values in the final partial bucket.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) {
+    v = next();
+  }
+  return v % bound;
+}
+
+std::uint64_t Rng::bits(int bits) {
+  if (bits < 1 || bits > 64) {
+    throw UsageError("Rng::bits requires 1..64");
+  }
+  if (bits == 64) {
+    return next();
+  }
+  return next() & ((std::uint64_t{1} << bits) - 1);
+}
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+double Rng::uniform01() {
+  // 53 uniform mantissa bits, the standard construction.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace amoeba

@@ -1,0 +1,54 @@
+#include "amoeba/core/capability.hpp"
+
+#include <cstdio>
+
+namespace amoeba::core {
+
+CapabilityBytes pack(const Capability& cap) {
+  CapabilityBytes out{};
+  const std::uint64_t port = cap.server_port.value();
+  for (int i = 0; i < 6; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(port >> (8 * i));
+  }
+  const std::uint32_t obj = cap.object.value();
+  for (int i = 0; i < 3; ++i) {
+    out[static_cast<std::size_t>(6 + i)] =
+        static_cast<std::uint8_t>(obj >> (8 * i));
+  }
+  out[9] = cap.rights.bits();
+  const std::uint64_t check = cap.check.value();
+  for (int i = 0; i < 6; ++i) {
+    out[static_cast<std::size_t>(10 + i)] =
+        static_cast<std::uint8_t>(check >> (8 * i));
+  }
+  return out;
+}
+
+Capability unpack(const CapabilityBytes& bytes) {
+  std::uint64_t port = 0;
+  for (int i = 5; i >= 0; --i) {
+    port = (port << 8) | bytes[static_cast<std::size_t>(i)];
+  }
+  std::uint32_t obj = 0;
+  for (int i = 2; i >= 0; --i) {
+    obj = (obj << 8) | bytes[static_cast<std::size_t>(6 + i)];
+  }
+  std::uint64_t check = 0;
+  for (int i = 5; i >= 0; --i) {
+    check = (check << 8) | bytes[static_cast<std::size_t>(10 + i)];
+  }
+  return Capability{Port(port), ObjectNumber(obj), Rights(bytes[9]),
+                    CheckField(check)};
+}
+
+std::string to_string(const Capability& cap) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%012llx/%06x r=%02x c=%012llx]",
+                static_cast<unsigned long long>(cap.server_port.value()),
+                cap.object.value(), cap.rights.bits(),
+                static_cast<unsigned long long>(cap.check.value()));
+  return buf;
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,65 @@
+// The sparse capability (Fig. 2).
+//
+//    Server Port | Object | Rights | Check Field
+//        48      |   24   |   8    |     48       bits
+//
+// A capability names an object, addresses the server managing it, and
+// certifies the holder's rights -- all in 16 bytes that live in ordinary
+// user memory and travel in ordinary messages.  Nothing about it is
+// kernel-mediated; its integrity rests entirely on the cryptographic
+// schemes in amoeba/core/schemes.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "amoeba/common/types.hpp"
+
+namespace amoeba::core {
+
+/// Wire image: exactly 16 bytes, little-endian fields in Fig. 2 order.
+using CapabilityBytes = std::array<std::uint8_t, 16>;
+
+struct Capability {
+  Port server_port;     // put-port of the managing server
+  ObjectNumber object;  // index meaningful only to that server
+  Rights rights;        // one bit per permitted operation
+  CheckField check;     // the sparse protection field
+
+  friend constexpr auto operator<=>(const Capability&,
+                                    const Capability&) = default;
+
+  [[nodiscard]] bool is_null() const {
+    return server_port.is_null() && object.value() == 0 &&
+           rights.bits() == 0 && check.value() == 0;
+  }
+};
+
+/// Serializes in Fig. 2 field order.
+[[nodiscard]] CapabilityBytes pack(const Capability& cap);
+
+/// Inverse of pack.  Total: every 16-byte string parses (validation is the
+/// protection scheme's job, not the parser's -- sparseness, not format,
+/// protects capabilities).
+[[nodiscard]] Capability unpack(const CapabilityBytes& bytes);
+
+[[nodiscard]] std::string to_string(const Capability& cap);
+
+/// Generic rights bits shared by the Amoeba servers.  Bits 4..7 are free
+/// for server-specific operations.
+namespace rights {
+inline constexpr int kReadBit = 0;
+inline constexpr int kWriteBit = 1;
+inline constexpr int kDestroyBit = 2;
+/// Guards owner operations: revoking all capabilities, fabricating
+/// sub-capabilities server-side, changing object metadata.
+inline constexpr int kAdminBit = 3;
+
+inline constexpr Rights kRead{1u << kReadBit};
+inline constexpr Rights kWrite{1u << kWriteBit};
+inline constexpr Rights kDestroy{1u << kDestroyBit};
+inline constexpr Rights kAdmin{1u << kAdminBit};
+}  // namespace rights
+
+}  // namespace amoeba::core

@@ -1,0 +1,158 @@
+// The four rights-protection algorithms of §2.3, behind one interface.
+//
+//   Scheme 0 "simple":      CHECK = per-object random number; rights are
+//                           all-or-nothing ("does not distinguish between
+//                           READ, WRITE, DELETE...").
+//   Scheme 1 "encrypted":   RIGHTS‖CHECK (56 bits) encrypted under the
+//                           per-object key; decrypting to the known
+//                           constant in the CHECK position validates.
+//   Scheme 2 "one-way XOR": CHECK = F(random XOR rights); plaintext
+//                           rights; tampering detected by recomputation.
+//   Scheme 3 "commutative": CHECK = random with the functions F_k applied
+//                           for every deleted right; ANY holder can delete
+//                           right k locally, no server round-trip.
+//
+// A scheme object holds only public parameters (the one-way function, the
+// commutative family's modulus/exponents); the per-object secret lives in
+// the server's object table and is passed into mint/validate.  This split
+// mirrors the paper: servers keep random numbers in their tables, the
+// algorithms themselves are public.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/capability.hpp"
+#include "amoeba/crypto/commutative.hpp"
+#include "amoeba/crypto/one_way.hpp"
+
+namespace amoeba::core {
+
+enum class SchemeKind : std::uint8_t {
+  simple = 0,
+  encrypted = 1,
+  one_way_xor = 2,
+  commutative = 3,
+};
+
+[[nodiscard]] const char* scheme_name(SchemeKind kind);
+
+class ProtectionScheme {
+ public:
+  virtual ~ProtectionScheme() = default;
+
+  [[nodiscard]] virtual SchemeKind kind() const = 0;
+
+  /// Draws a fresh per-object secret (the "random number chosen and stored
+  /// in the file table").  Re-drawing it is revocation.
+  [[nodiscard]] virtual std::uint64_t new_secret(Rng& rng) const = 0;
+
+  /// Fabricates a capability for `object` granting `rights`, protected by
+  /// `secret`.  Server-side: requires the secret.
+  [[nodiscard]] virtual Capability mint(Port server_port, ObjectNumber object,
+                                        std::uint64_t secret,
+                                        Rights rights) const = 0;
+
+  /// Checks an incoming capability against the stored secret; returns the
+  /// rights it genuinely grants, or bad_capability.
+  [[nodiscard]] virtual Result<Rights> validate(const Capability& cap,
+                                                std::uint64_t secret) const = 0;
+
+  /// True for Scheme 3: holders can delete rights without the server.
+  [[nodiscard]] virtual bool supports_local_restrict() const { return false; }
+
+  /// Client-side deletion of right `bit` (Scheme 3 only; others return
+  /// no_such_operation).  Requires no secret -- only public parameters.
+  [[nodiscard]] virtual Result<Capability> restrict_local(
+      const Capability& cap, int bit) const;
+};
+
+/// Scheme 0.  Minted capabilities carry Rights::all(); validation grants
+/// all rights on a check match.
+class SimpleScheme final : public ProtectionScheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::simple; }
+  [[nodiscard]] std::uint64_t new_secret(Rng& rng) const override;
+  [[nodiscard]] Capability mint(Port server_port, ObjectNumber object,
+                                std::uint64_t secret,
+                                Rights rights) const override;
+  [[nodiscard]] Result<Rights> validate(const Capability& cap,
+                                        std::uint64_t secret) const override;
+};
+
+/// Scheme 1.  The secret is a 64-bit cipher key for the 56-bit-block
+/// Feistel cipher; the known constant is zero, as in the paper.
+class EncryptedScheme final : public ProtectionScheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::encrypted;
+  }
+  [[nodiscard]] std::uint64_t new_secret(Rng& rng) const override;
+  [[nodiscard]] Capability mint(Port server_port, ObjectNumber object,
+                                std::uint64_t secret,
+                                Rights rights) const override;
+  [[nodiscard]] Result<Rights> validate(const Capability& cap,
+                                        std::uint64_t secret) const override;
+};
+
+/// Scheme 2.  CHECK = F(secret XOR rights); F is the shared one-way
+/// function (publicly known, like the F-box's).
+class OneWayXorScheme final : public ProtectionScheme {
+ public:
+  explicit OneWayXorScheme(std::shared_ptr<const crypto::OneWayFn> f =
+                               crypto::default_one_way());
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::one_way_xor;
+  }
+  [[nodiscard]] std::uint64_t new_secret(Rng& rng) const override;
+  [[nodiscard]] Capability mint(Port server_port, ObjectNumber object,
+                                std::uint64_t secret,
+                                Rights rights) const override;
+  [[nodiscard]] Result<Rights> validate(const Capability& cap,
+                                        std::uint64_t secret) const override;
+
+ private:
+  std::shared_ptr<const crypto::OneWayFn> f_;
+};
+
+/// Scheme 3.  Carries the commutative family's public parameters, so the
+/// same object can be shared by servers (who mint/validate with secrets)
+/// and clients (who only restrict locally).
+class CommutativeScheme final : public ProtectionScheme {
+ public:
+  /// Generates a fresh public family (modulus) for this server.
+  explicit CommutativeScheme(Rng& rng) : family_(rng) {}
+  /// Client-side construction from published parameters.
+  explicit CommutativeScheme(crypto::CommutativeFamily family)
+      : family_(std::move(family)) {}
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::commutative;
+  }
+  [[nodiscard]] std::uint64_t new_secret(Rng& rng) const override;
+  [[nodiscard]] Capability mint(Port server_port, ObjectNumber object,
+                                std::uint64_t secret,
+                                Rights rights) const override;
+  [[nodiscard]] Result<Rights> validate(const Capability& cap,
+                                        std::uint64_t secret) const override;
+  [[nodiscard]] bool supports_local_restrict() const override { return true; }
+  [[nodiscard]] Result<Capability> restrict_local(const Capability& cap,
+                                                  int bit) const override;
+
+  [[nodiscard]] const crypto::CommutativeFamily& family() const {
+    return family_;
+  }
+
+ private:
+  crypto::CommutativeFamily family_;
+};
+
+/// Factory over the enum; `rng` seeds scheme-level parameters (only the
+/// commutative scheme has any).
+[[nodiscard]] std::shared_ptr<const ProtectionScheme> make_scheme(
+    SchemeKind kind, Rng& rng);
+
+}  // namespace amoeba::core

@@ -1,0 +1,173 @@
+#include "amoeba/core/schemes.hpp"
+
+#include "amoeba/crypto/feistel.hpp"
+
+namespace amoeba::core {
+namespace {
+
+constexpr std::uint64_t kMask48 = CheckField::kMask;
+// The paper's "known constant, say, 0" in the RANDOM position of Scheme 1.
+constexpr std::uint64_t kKnownConstant = 0;
+
+}  // namespace
+
+const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::simple: return "simple";
+    case SchemeKind::encrypted: return "encrypted";
+    case SchemeKind::one_way_xor: return "one_way_xor";
+    case SchemeKind::commutative: return "commutative";
+  }
+  return "unknown";
+}
+
+Result<Capability> ProtectionScheme::restrict_local(const Capability&,
+                                                    int) const {
+  // Schemes 0-2: "it requires going back to the server every time a
+  // sub-capability with fewer rights is needed."
+  return ErrorCode::no_such_operation;
+}
+
+// ------------------------------------------------------------ SimpleScheme
+
+std::uint64_t SimpleScheme::new_secret(Rng& rng) const {
+  return rng.bits(CheckField::kBits);
+}
+
+Capability SimpleScheme::mint(Port server_port, ObjectNumber object,
+                              std::uint64_t secret, Rights /*rights*/) const {
+  // All operations are allowed to anyone holding the capability; the
+  // rights field is decorative, so mint the honest value.
+  return Capability{server_port, object, Rights::all(), CheckField(secret)};
+}
+
+Result<Rights> SimpleScheme::validate(const Capability& cap,
+                                      std::uint64_t secret) const {
+  if (cap.check.value() != (secret & kMask48)) {
+    return ErrorCode::bad_capability;
+  }
+  return Rights::all();
+}
+
+// --------------------------------------------------------- EncryptedScheme
+
+std::uint64_t EncryptedScheme::new_secret(Rng& rng) const {
+  return rng.next();  // full 64-bit cipher key
+}
+
+Capability EncryptedScheme::mint(Port server_port, ObjectNumber object,
+                                 std::uint64_t secret, Rights rights) const {
+  const crypto::Feistel cipher(secret, 56);
+  const std::uint64_t plaintext =
+      (static_cast<std::uint64_t>(rights.bits()) << 48) | kKnownConstant;
+  const std::uint64_t ciphertext = cipher.encrypt(plaintext);
+  // The combined RIGHTS-RANDOM field holds the ciphertext: high 8 bits in
+  // the rights slot, low 48 in the check slot.
+  return Capability{server_port, object,
+                    Rights(static_cast<std::uint8_t>(ciphertext >> 48)),
+                    CheckField(ciphertext & kMask48)};
+}
+
+Result<Rights> EncryptedScheme::validate(const Capability& cap,
+                                         std::uint64_t secret) const {
+  const crypto::Feistel cipher(secret, 56);
+  const std::uint64_t ciphertext =
+      (static_cast<std::uint64_t>(cap.rights.bits()) << 48) |
+      cap.check.value();
+  const std::uint64_t plaintext = cipher.decrypt(ciphertext);
+  if ((plaintext & kMask48) != kKnownConstant) {
+    return ErrorCode::bad_capability;
+  }
+  return Rights(static_cast<std::uint8_t>(plaintext >> 48));
+}
+
+// -------------------------------------------------------- OneWayXorScheme
+
+OneWayXorScheme::OneWayXorScheme(std::shared_ptr<const crypto::OneWayFn> f)
+    : f_(std::move(f)) {
+  if (f_ == nullptr) {
+    throw UsageError("OneWayXorScheme requires a one-way function");
+  }
+}
+
+std::uint64_t OneWayXorScheme::new_secret(Rng& rng) const {
+  return rng.bits(CheckField::kBits);
+}
+
+Capability OneWayXorScheme::mint(Port server_port, ObjectNumber object,
+                                 std::uint64_t secret, Rights rights) const {
+  // "The RIGHTS field is then EXCLUSIVE-ORed with the random number and
+  // then used as the argument of the one-way function."
+  const std::uint64_t check =
+      f_->apply_raw((secret ^ rights.bits()) & kMask48);
+  return Capability{server_port, object, rights, CheckField(check)};
+}
+
+Result<Rights> OneWayXorScheme::validate(const Capability& cap,
+                                         std::uint64_t secret) const {
+  const std::uint64_t expected =
+      f_->apply_raw((secret ^ cap.rights.bits()) & kMask48);
+  if (expected != cap.check.value()) {
+    return ErrorCode::bad_capability;
+  }
+  return cap.rights;
+}
+
+// ------------------------------------------------------- CommutativeScheme
+
+std::uint64_t CommutativeScheme::new_secret(Rng& rng) const {
+  return family_.random_element(rng);
+}
+
+Capability CommutativeScheme::mint(Port server_port, ObjectNumber object,
+                                   std::uint64_t secret, Rights rights) const {
+  // Start from the stored random number (which stands for all rights) and
+  // delete every right the new capability must lack.
+  const std::uint64_t check = family_.apply_for_cleared(rights, secret);
+  return Capability{server_port, object, rights, CheckField(check)};
+}
+
+Result<Rights> CommutativeScheme::validate(const Capability& cap,
+                                           std::uint64_t secret) const {
+  // "The server fetches the original random number from its table, looks
+  // at the RIGHTS field and applies the functions corresponding to the
+  // deleted rights to it."
+  const std::uint64_t expected = family_.apply_for_cleared(cap.rights, secret);
+  if (expected != cap.check.value()) {
+    return ErrorCode::bad_capability;
+  }
+  return cap.rights;
+}
+
+Result<Capability> CommutativeScheme::restrict_local(const Capability& cap,
+                                                     int bit) const {
+  if (bit < 0 || bit >= Rights::kBits) {
+    return ErrorCode::invalid_argument;
+  }
+  if (!cap.rights.has(bit)) {
+    return ErrorCode::permission_denied;  // right already absent
+  }
+  Capability restricted = cap;
+  restricted.rights = cap.rights.without(bit);
+  restricted.check = CheckField(family_.apply(bit, cap.check.value()));
+  return restricted;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::shared_ptr<const ProtectionScheme> make_scheme(SchemeKind kind,
+                                                    Rng& rng) {
+  switch (kind) {
+    case SchemeKind::simple:
+      return std::make_shared<const SimpleScheme>();
+    case SchemeKind::encrypted:
+      return std::make_shared<const EncryptedScheme>();
+    case SchemeKind::one_way_xor:
+      return std::make_shared<const OneWayXorScheme>();
+    case SchemeKind::commutative:
+      return std::make_shared<const CommutativeScheme>(rng);
+  }
+  throw UsageError("make_scheme: unknown scheme kind");
+}
+
+}  // namespace amoeba::core

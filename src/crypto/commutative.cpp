@@ -1,0 +1,72 @@
+#include "amoeba/crypto/commutative.hpp"
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/crypto/modmath.hpp"
+
+namespace amoeba::crypto {
+namespace {
+
+/// Draws a random prime in [2^(bits-1), 2^bits).
+std::uint64_t gen_prime(Rng& rng, int bits) {
+  for (;;) {
+    std::uint64_t candidate = rng.bits(bits) | (1ULL << (bits - 1)) | 1ULL;
+    if (is_prime(candidate)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace
+
+CommutativeFamily::CommutativeFamily(Rng& rng) {
+  // n = p * q in (2^47, 2^48): p gets 24 bits, q gets 24 bits, both with
+  // the top bit set, so n has exactly 47 or 48 bits.
+  const std::uint64_t p = gen_prime(rng, 24);
+  std::uint64_t q = gen_prime(rng, 24);
+  while (q == p) {
+    q = gen_prime(rng, 24);
+  }
+  modulus_ = p * q;
+  // Distinct small odd prime exponents; commutativity needs nothing more,
+  // and distinctness makes F_j != F_k so deleting different rights yields
+  // different check values.
+  constexpr std::array<std::uint64_t, kFunctions> kExponents = {
+      3, 5, 7, 11, 13, 17, 19, 23};
+  exponents_ = kExponents;
+}
+
+CommutativeFamily::CommutativeFamily(
+    std::uint64_t modulus,
+    const std::array<std::uint64_t, kFunctions>& exponents)
+    : modulus_(modulus), exponents_(exponents) {
+  if (modulus_ < 4 || (modulus_ >> 48) != 0) {
+    throw UsageError("CommutativeFamily: modulus must fit 48 bits");
+  }
+}
+
+std::uint64_t CommutativeFamily::apply(int k, std::uint64_t x) const {
+  if (k < 0 || k >= kFunctions) {
+    throw UsageError("CommutativeFamily::apply: bad function index");
+  }
+  return powmod(x % modulus_, exponents_[static_cast<std::size_t>(k)],
+                modulus_);
+}
+
+std::uint64_t CommutativeFamily::apply_for_cleared(Rights remaining,
+                                                   std::uint64_t x) const {
+  std::uint64_t acc = x % modulus_;
+  for (int k = 0; k < kFunctions; ++k) {
+    if (!remaining.has(k)) {
+      acc = powmod(acc, exponents_[static_cast<std::size_t>(k)], modulus_);
+    }
+  }
+  return acc;
+}
+
+std::uint64_t CommutativeFamily::random_element(Rng& rng) const {
+  // Skip 0 and 1: both are fixed points of every power map, which would
+  // make deleting rights a no-op and all restricted capabilities equal.
+  return 2 + rng.below(modulus_ - 2);
+}
+
+}  // namespace amoeba::crypto

@@ -1,0 +1,65 @@
+// The commutative one-way function family for Scheme 3 (§2.3).
+//
+// The paper requires N commutative one-way functions F_0..F_{N-1}, one per
+// rights bit, such that any capability holder can delete right k locally
+// by replacing the check field R with F_k(R) -- in any order -- while the
+// server, knowing the original random number, can recompute the expected
+// value by applying the functions for all cleared bits.
+//
+// Realization: power maps over an RSA-style modulus n = p*q,
+//     F_k(x) = x^{e_k} mod n,
+// which commute exactly ((x^{e_j})^{e_k} = (x^{e_k})^{e_j} = x^{e_j e_k})
+// and are one-way for parties who do not know the factorization (taking
+// e-th roots mod n is the RSA problem).  n is chosen in (2^47, 2^48) so
+// every value fits the 48-bit check field.  The factorization is generated
+// and immediately discarded -- not even the server needs it, because
+// validation only ever applies the functions forward.  Key sizes are
+// simulation-grade; see DESIGN.md substitution table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/common/types.hpp"
+
+namespace amoeba::crypto {
+
+class CommutativeFamily {
+ public:
+  static constexpr int kFunctions = Rights::kBits;  // one per rights bit
+
+  /// Generates the public modulus from the rng (factors are discarded).
+  explicit CommutativeFamily(Rng& rng);
+
+  /// Reconstructs a family from its public parameters (modulus and
+  /// exponents), e.g. on the client side of a published family.
+  CommutativeFamily(std::uint64_t modulus,
+                    const std::array<std::uint64_t, kFunctions>& exponents);
+
+  /// F_k(x) = x^{e_k} mod n.  Precondition: k in [0, kFunctions).
+  [[nodiscard]] std::uint64_t apply(int k, std::uint64_t x) const;
+
+  /// Applies F_k for every rights bit k that is CLEAR in `remaining` --
+  /// i.e. for every deleted right.  This is the server's validation step:
+  /// fold the deleted-right functions over the stored original number and
+  /// compare with the presented check field.
+  [[nodiscard]] std::uint64_t apply_for_cleared(Rights remaining,
+                                                std::uint64_t x) const;
+
+  /// A uniform value in [0, modulus), suitable as an object's original
+  /// random number (guarantees all derived values stay in-domain).
+  [[nodiscard]] std::uint64_t random_element(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t modulus() const { return modulus_; }
+  [[nodiscard]] const std::array<std::uint64_t, kFunctions>& exponents()
+      const {
+    return exponents_;
+  }
+
+ private:
+  std::uint64_t modulus_;
+  std::array<std::uint64_t, kFunctions> exponents_;
+};
+
+}  // namespace amoeba::crypto

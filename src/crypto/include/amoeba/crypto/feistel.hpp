@@ -1,0 +1,49 @@
+// A balanced Feistel cipher over configurable block widths.
+//
+// The paper's Scheme 1 encrypts the concatenated RIGHTS (8 bit) and CHECK
+// (48 bit) fields -- a 56-bit block -- and explicitly requires "an
+// encryption function that mixes the bits thoroughly ... EXCLUSIVE-OR'ing a
+// constant will not do."  DES is neither available offline nor essential;
+// what is essential is a keyed permutation with strong avalanche over odd
+// block sizes.  A balanced Feistel network delivers exactly that for any
+// even block width, so one implementation serves:
+//   * width 56 -- Scheme 1 capability sealing,
+//   * width 64 -- the software key-matrix scheme of §2.4 (DES stand-in),
+//   * width 48 -- the Davies-Meyer one-way function over ports.
+// The round function is an ARX-style mixer (add-rotate-xor with two
+// multiplications), giving measured avalanche ~0.5 at 16+ rounds (see
+// tests/crypto_test.cpp).  Simulation-grade by design; documented as such
+// in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+namespace amoeba::crypto {
+
+class Feistel {
+ public:
+  static constexpr int kRounds = 18;
+
+  /// Creates a cipher over `block_bits`-wide values (even, 16..64) keyed by
+  /// `key`.  Throws UsageError on an unsupported width.
+  Feistel(std::uint64_t key, int block_bits);
+
+  /// Encrypts a value; bits above block_bits must be zero (UsageError).
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t plaintext) const;
+
+  /// Inverse of encrypt.
+  [[nodiscard]] std::uint64_t decrypt(std::uint64_t ciphertext) const;
+
+  [[nodiscard]] int block_bits() const { return block_bits_; }
+
+ private:
+  [[nodiscard]] std::uint32_t round_fn(std::uint32_t half,
+                                       std::uint64_t round_key) const;
+
+  int block_bits_;
+  int half_bits_;
+  std::uint32_t half_mask_;
+  std::uint64_t round_keys_[kRounds];
+};
+
+}  // namespace amoeba::crypto

@@ -1,0 +1,28 @@
+// Modular arithmetic over 64-bit moduli (via 128-bit intermediates) plus
+// the number-theoretic utilities the crypto substrate needs: Miller-Rabin
+// primality (deterministic for 64-bit inputs), prime generation, gcd and
+// modular inverse.
+#pragma once
+
+#include <cstdint>
+
+namespace amoeba::crypto {
+
+/// (a * b) mod m without overflow.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t m);
+
+/// (base ^ exp) mod m.  powmod(x, e, 1) == 0 for all x, e.
+[[nodiscard]] std::uint64_t powmod(std::uint64_t base, std::uint64_t exp,
+                                   std::uint64_t m);
+
+/// Deterministic Miller-Rabin: exact for every 64-bit input.
+[[nodiscard]] bool is_prime(std::uint64_t n);
+
+/// Greatest common divisor.
+[[nodiscard]] std::uint64_t gcd(std::uint64_t a, std::uint64_t b);
+
+/// Multiplicative inverse of a mod m, or 0 when gcd(a, m) != 1.
+[[nodiscard]] std::uint64_t modinv(std::uint64_t a, std::uint64_t m);
+
+}  // namespace amoeba::crypto

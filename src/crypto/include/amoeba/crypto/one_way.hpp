@@ -1,0 +1,66 @@
+// One-way functions over the 48-bit port/check domain.
+//
+// The F-box applies a publicly known one-way function F to map a secret
+// get-port G to the public put-port P = F(G) (§2.2), and Scheme 2 uses the
+// same primitive over check fields:  CHECK = F(random XOR rights).
+//
+// Two interchangeable constructions are provided behind one interface:
+//   * PurdyOneWay -- a sparse high-degree polynomial modulo a large prime,
+//     the exact construction of Purdy (CACM 1974), which the paper cites.
+//   * DaviesMeyerOneWay -- E_x(C) XOR C over the 48-bit Feistel cipher,
+//     the classic way to build a one-way function from a block cipher.
+// Both are deterministic, publicly computable, and preimage-resistant
+// against the simulated intruder (who only mounts black-box guessing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "amoeba/common/types.hpp"
+
+namespace amoeba::crypto {
+
+class OneWayFn {
+ public:
+  virtual ~OneWayFn() = default;
+
+  /// Raw 48-bit domain map.  The input must fit in 48 bits (UsageError).
+  [[nodiscard]] virtual std::uint64_t apply_raw(std::uint64_t x) const = 0;
+
+  /// Port-typed convenience: P = F(G).
+  [[nodiscard]] Port apply(Port g) const { return Port(apply_raw(g.value())); }
+};
+
+/// Purdy-style polynomial over GF(p), p = 2^64 - 59 (the largest 64-bit
+/// prime):  f(x) = x^e + a4 x^4 + a3 x^3 + a2 x^2 + a1 x + a0  (mod p),
+/// truncated to 48 bits.  e = 2^24 + 17 keeps evaluation to ~25 modular
+/// squarings, matching Purdy's "sparse polynomial" design.
+class PurdyOneWay final : public OneWayFn {
+ public:
+  PurdyOneWay();
+  /// Domain-separated variant: different `tweak` values give independent
+  /// one-way functions (used for the signature experiments).
+  explicit PurdyOneWay(std::uint64_t tweak);
+
+  [[nodiscard]] std::uint64_t apply_raw(std::uint64_t x) const override;
+
+ private:
+  std::uint64_t coeff_[5];  // a0..a4
+};
+
+/// Davies-Meyer over the width-48 Feistel cipher: F(x) = E_x(C) XOR C.
+class DaviesMeyerOneWay final : public OneWayFn {
+ public:
+  explicit DaviesMeyerOneWay(std::uint64_t constant = 0x00C0FFEE48ULL);
+
+  [[nodiscard]] std::uint64_t apply_raw(std::uint64_t x) const override;
+
+ private:
+  std::uint64_t constant_;
+};
+
+/// The system-wide default F used by every F-box unless a test installs
+/// another.  Shared because F is, per the paper, "publicly-known".
+[[nodiscard]] std::shared_ptr<const OneWayFn> default_one_way();
+
+}  // namespace amoeba::crypto

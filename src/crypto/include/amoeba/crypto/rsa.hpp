@@ -1,0 +1,60 @@
+// Toy RSA for the F-box-less boot protocol (§2.4).
+//
+// The paper's software protection scheme bootstraps the conventional key
+// matrix with public-key cryptography: a server publishes its public key;
+// a client sends a fresh conventional key encrypted with it; the server
+// replies encrypted both with that key and "with the inverse of F's public
+// key" (an RSA private-key transform) to prove its identity.
+//
+// This implementation is textbook RSA over ~62-bit moduli -- large enough
+// that the simulated intruder cannot invert it by the black-box guessing
+// he is limited to, small enough to need no bignum library.  It is
+// explicitly simulation-grade (DESIGN.md substitution table); the protocol
+// structure, which is what the paper is about, is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/common/serial.hpp"
+
+namespace amoeba::crypto {
+
+struct RsaPublicKey {
+  std::uint64_t n = 0;
+  std::uint64_t e = 0;
+};
+
+struct RsaPrivateKey {
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates a fresh key pair: 31-bit primes, n in [2^60, 2^62), e = 65537.
+[[nodiscard]] RsaKeyPair rsa_generate(Rng& rng);
+
+/// Core transform on a single block m < n.
+[[nodiscard]] std::uint64_t rsa_apply_block(std::uint64_t n, std::uint64_t exp,
+                                            std::uint64_t m);
+
+/// Seals a byte string under (n, exp): a u32 length header followed by one
+/// u64 cipher block per 4-byte chunk.  Works for both "encrypt with public
+/// key" and "transform with private key" (same math, different exponent).
+[[nodiscard]] Buffer rsa_wrap(std::uint64_t n, std::uint64_t exp,
+                              std::span<const std::uint8_t> plain);
+
+/// Inverse of rsa_wrap under the matching exponent.  Returns nullopt when
+/// the buffer is malformed or any block decrypts outside the 32-bit chunk
+/// range -- which is what happens, with overwhelming probability, when the
+/// wrong key is used (this is the integrity check the replay experiment
+/// relies on).
+[[nodiscard]] std::optional<Buffer> rsa_unwrap(
+    std::uint64_t n, std::uint64_t exp, std::span<const std::uint8_t> sealed);
+
+}  // namespace amoeba::crypto

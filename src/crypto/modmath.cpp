@@ -1,0 +1,104 @@
+#include "amoeba/crypto/modmath.hpp"
+
+#include <array>
+
+namespace amoeba::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  if (m == 1) {
+    return 0;
+  }
+  std::uint64_t result = 1;
+  std::uint64_t acc = base % m;
+  while (exp != 0) {
+    if (exp & 1) {
+      result = mulmod(result, acc, m);
+    }
+    acc = mulmod(acc, acc, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                          int r) {
+  std::uint64_t x = powmod(a % n, d, n);
+  if (x == 1 || x == n - 1) {
+    return false;  // not a witness for compositeness
+  }
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) {
+      return false;
+    }
+  }
+  return true;  // witnesses that n is composite
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is a proven deterministic witness set for all n < 2^64
+  // (Sinclair, 2011).
+  for (std::uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL,
+                          9780504ULL, 1795265022ULL}) {
+    if (a % n == 0) continue;
+    if (miller_rabin_witness(n, a, d, r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t modinv(std::uint64_t a, std::uint64_t m) {
+  // Extended Euclid over signed 128-bit accumulators so intermediate
+  // Bezout coefficients may go negative.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    const __int128 q = r / new_r;
+    const __int128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const __int128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) {
+    return 0;  // not invertible
+  }
+  if (t < 0) {
+    t += m;
+  }
+  return static_cast<std::uint64_t>(t);
+}
+
+}  // namespace amoeba::crypto

@@ -1,0 +1,74 @@
+#include "amoeba/crypto/one_way.hpp"
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/crypto/feistel.hpp"
+#include "amoeba/crypto/modmath.hpp"
+
+namespace amoeba::crypto {
+namespace {
+
+constexpr std::uint64_t kPrime = 18446744073709551557ULL;  // 2^64 - 59
+constexpr std::uint64_t kExponent = (1ULL << 24) + 17;
+constexpr std::uint64_t kMask48 = (1ULL << 48) - 1;
+
+void require_48(std::uint64_t x, const char* who) {
+  if ((x >> 48) != 0) {
+    throw UsageError(std::string(who) + ": input exceeds 48 bits");
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+PurdyOneWay::PurdyOneWay() : PurdyOneWay(0) {}
+
+PurdyOneWay::PurdyOneWay(std::uint64_t tweak) {
+  // Publicly known coefficients; the security of the scheme rests on the
+  // difficulty of root-finding for sparse high-degree polynomials mod p,
+  // not on coefficient secrecy.
+  std::uint64_t s = 0x9275D71974C0FFEEULL ^ tweak;
+  for (auto& c : coeff_) {
+    c = splitmix64(s) % kPrime;
+  }
+}
+
+std::uint64_t PurdyOneWay::apply_raw(std::uint64_t x) const {
+  require_48(x, "PurdyOneWay");
+  // Offset the input so x = 0 is not a fixed point of the power term.
+  const std::uint64_t v = (x + 0x5EED5EED5EEDULL) % kPrime;
+  std::uint64_t acc = powmod(v, kExponent, kPrime);
+  // Horner evaluation of a4 v^4 + a3 v^3 + a2 v^2 + a1 v + a0.
+  std::uint64_t low = coeff_[4];
+  for (int i = 3; i >= 0; --i) {
+    low = mulmod(low, v, kPrime);
+    low = (low + coeff_[i]) % kPrime;
+  }
+  acc = (acc + low) % kPrime;
+  // Fold the high bits into the truncation so all 64 result bits matter.
+  return (acc ^ (acc >> 48) * 0x9E37ULL) & kMask48;
+}
+
+DaviesMeyerOneWay::DaviesMeyerOneWay(std::uint64_t constant)
+    : constant_(constant & kMask48) {}
+
+std::uint64_t DaviesMeyerOneWay::apply_raw(std::uint64_t x) const {
+  require_48(x, "DaviesMeyerOneWay");
+  // The input is the cipher *key*; recovering the key from a known
+  // plaintext/ciphertext pair is the block cipher's key-recovery problem.
+  const Feistel cipher(x, 48);
+  return cipher.encrypt(constant_) ^ constant_;
+}
+
+std::shared_ptr<const OneWayFn> default_one_way() {
+  static const auto instance = std::make_shared<const PurdyOneWay>();
+  return instance;
+}
+
+}  // namespace amoeba::crypto

@@ -1,0 +1,87 @@
+#include "amoeba/crypto/rsa.hpp"
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/crypto/modmath.hpp"
+
+namespace amoeba::crypto {
+namespace {
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+std::uint64_t gen_prime31(Rng& rng) {
+  for (;;) {
+    const std::uint64_t candidate = rng.bits(31) | (1ULL << 30) | 1ULL;
+    if (is_prime(candidate)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace
+
+RsaKeyPair rsa_generate(Rng& rng) {
+  for (;;) {
+    const std::uint64_t p = gen_prime31(rng);
+    const std::uint64_t q = gen_prime31(rng);
+    if (p == q) continue;
+    const std::uint64_t phi = (p - 1) * (q - 1);
+    if (gcd(kPublicExponent, phi) != 1) continue;
+    const std::uint64_t d = modinv(kPublicExponent, phi);
+    RsaKeyPair kp;
+    kp.pub = {p * q, kPublicExponent};
+    kp.priv = {p * q, d};
+    return kp;
+  }
+}
+
+std::uint64_t rsa_apply_block(std::uint64_t n, std::uint64_t exp,
+                              std::uint64_t m) {
+  if (m >= n) {
+    throw UsageError("rsa_apply_block: message block must be < modulus");
+  }
+  return powmod(m, exp, n);
+}
+
+Buffer rsa_wrap(std::uint64_t n, std::uint64_t exp,
+                std::span<const std::uint8_t> plain) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(plain.size()));
+  for (std::size_t i = 0; i < plain.size(); i += 4) {
+    std::uint32_t chunk = 0;
+    for (std::size_t b = 0; b < 4 && i + b < plain.size(); ++b) {
+      chunk |= static_cast<std::uint32_t>(plain[i + b]) << (8 * b);
+    }
+    w.u64(rsa_apply_block(n, exp, chunk));
+  }
+  return w.take();
+}
+
+std::optional<Buffer> rsa_unwrap(std::uint64_t n, std::uint64_t exp,
+                                 std::span<const std::uint8_t> sealed) {
+  Reader r(sealed);
+  const std::uint32_t length = r.u32();
+  const std::size_t blocks = (length + 3) / 4;
+  Buffer out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const std::uint64_t block = r.u64();
+    if (!r.ok() || block >= n) {
+      return std::nullopt;
+    }
+    const std::uint64_t chunk = powmod(block, exp, n);
+    if ((chunk >> 32) != 0) {
+      // A correctly keyed unwrap always yields a 32-bit chunk; anything
+      // else means the wrong key (or tampering).
+      return std::nullopt;
+    }
+    for (std::size_t b = 0; b < 4 && out.size() < length; ++b) {
+      out.push_back(static_cast<std::uint8_t>(chunk >> (8 * b)));
+    }
+  }
+  if (!r.exhausted() || out.size() != length) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace amoeba::crypto

@@ -1,0 +1,119 @@
+// The memory server (§3.1).
+//
+// "The memory server is a process that manages physical memory and
+// processes at the lowest level.  It is actually part of the kernel
+// present on each machine, but it communicates with other processes via
+// the normal message protocol so that its clients do not perceive it as
+// being special in any way."
+//
+// Segments are byte arrays created/loaded/read via capabilities; MAKE
+// PROCESS turns a list of segment capabilities (text, data, stack) into a
+// process object that can be started and stopped.  Because requests are
+// plain RPC, a parent can direct CREATE SEGMENT at a *remote* machine's
+// memory server and build the child there -- "providing a more convenient
+// and efficient interface than the traditional FORK + EXEC."  Process
+// execution itself is simulated (processes are resource objects with a
+// lifecycle); the capability interface is what the paper describes, and
+// what this reproduction exercises.  An "electronic disk" is nothing but a
+// segment read and written by local or remote processes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <variant>
+#include <vector>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::kernel {
+
+namespace mem_op {
+inline constexpr std::uint16_t kCreateSegment = 0x0601;  // params[0] = size
+inline constexpr std::uint16_t kReadSegment = 0x0602;    // params: offset, length
+inline constexpr std::uint16_t kWriteSegment = 0x0603;   // params[0] = offset
+inline constexpr std::uint16_t kSegmentInfo = 0x0604;    // -> params[0] = size
+inline constexpr std::uint16_t kDeleteSegment = 0x0605;
+inline constexpr std::uint16_t kMakeProcess = 0x0606;    // data: N segment caps
+inline constexpr std::uint16_t kStartProcess = 0x0607;
+inline constexpr std::uint16_t kStopProcess = 0x0608;
+inline constexpr std::uint16_t kProcessInfo = 0x0609;    // -> state, #segments
+inline constexpr std::uint16_t kDeleteProcess = 0x060A;
+}  // namespace mem_op
+
+enum class ProcessState : std::uint8_t {
+  constructed = 0,
+  running = 1,
+  stopped = 2,
+};
+
+class MemoryServer final : public rpc::Service {
+ public:
+  /// `memory_limit` bounds the summed segment sizes (no_space beyond it).
+  MemoryServer(net::Machine& machine, Port get_port,
+               std::shared_ptr<const core::ProtectionScheme> scheme,
+               std::uint64_t seed, std::uint64_t memory_limit = 64 << 20);
+
+  [[nodiscard]] std::uint64_t memory_in_use() const;
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  struct Segment {
+    Buffer bytes;
+  };
+  struct Process {
+    std::vector<core::Capability> segments;
+    ProcessState state = ProcessState::constructed;
+  };
+  using Payload = std::variant<Segment, Process>;
+
+  net::Message do_make_process(const net::Delivery& request);
+
+  mutable std::mutex mutex_;
+  core::ObjectStore<Payload> store_;
+  std::uint64_t memory_limit_;
+  std::uint64_t memory_in_use_ = 0;
+};
+
+/// Client stub for a (possibly remote) memory server.
+class MemoryClient {
+ public:
+  MemoryClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  [[nodiscard]] Result<core::Capability> create_segment(std::uint64_t size);
+  [[nodiscard]] Result<Buffer> read(const core::Capability& segment,
+                                    std::uint64_t offset,
+                                    std::uint64_t length);
+  [[nodiscard]] Result<void> write(const core::Capability& segment,
+                                   std::uint64_t offset,
+                                   std::span<const std::uint8_t> data);
+  [[nodiscard]] Result<std::uint64_t> segment_size(
+      const core::Capability& segment);
+  [[nodiscard]] Result<void> delete_segment(const core::Capability& segment);
+
+  /// MAKE PROCESS: segment capabilities (text, data, stack, ...) become a
+  /// process capability "with which the child can be started, stopped, and
+  /// generally manipulated."
+  [[nodiscard]] Result<core::Capability> make_process(
+      std::span<const core::Capability> segments);
+  [[nodiscard]] Result<void> start(const core::Capability& process);
+  [[nodiscard]] Result<void> stop(const core::Capability& process);
+  struct ProcessInfo {
+    ProcessState state;
+    std::uint64_t segment_count;
+  };
+  [[nodiscard]] Result<ProcessInfo> process_info(
+      const core::Capability& process);
+  [[nodiscard]] Result<void> delete_process(const core::Capability& process);
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+}  // namespace amoeba::kernel

@@ -1,0 +1,270 @@
+#include "amoeba/kernel/memory_server.hpp"
+
+#include <algorithm>
+
+namespace amoeba::kernel {
+
+using servers::error_reply;
+using servers::fail;
+using servers::handle_owner_ops;
+using servers::header_capability;
+using servers::set_header_capability;
+
+MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
+                           std::shared_ptr<const core::ProtectionScheme> scheme,
+                           std::uint64_t seed, std::uint64_t memory_limit)
+    : rpc::Service(machine, get_port, "memory"),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
+      memory_limit_(memory_limit) {}
+
+std::uint64_t MemoryServer::memory_in_use() const {
+  const std::lock_guard lock(mutex_);
+  return memory_in_use_;
+}
+
+net::Message MemoryServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case mem_op::kCreateSegment: {
+      const std::uint64_t size = request.message.header.params[0];
+      if (memory_in_use_ + size > memory_limit_) {
+        return error_reply(request, ErrorCode::no_space);
+      }
+      memory_in_use_ += size;
+      Segment segment;
+      segment.bytes.resize(size, 0);
+      const core::Capability fresh =
+          store_.create(Payload{std::move(segment)});
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh);
+      return reply;
+    }
+    case mem_op::kReadSegment: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const auto* segment = std::get_if<Segment>(opened.value().value);
+      if (segment == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      const std::uint64_t offset = request.message.header.params[0];
+      const std::uint64_t length = request.message.header.params[1];
+      if (offset > segment->bytes.size()) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      const std::uint64_t take =
+          std::min(length, segment->bytes.size() - offset);
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.data.assign(
+          segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
+      return reply;
+    }
+    case mem_op::kWriteSegment: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* segment = std::get_if<Segment>(opened.value().value);
+      if (segment == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      const std::uint64_t offset = request.message.header.params[0];
+      const auto& data = request.message.data;
+      if (offset + data.size() > segment->bytes.size()) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      std::copy(data.begin(), data.end(),
+                segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+      return error_reply(request, ErrorCode::ok);
+    }
+    case mem_op::kSegmentInfo: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const auto* segment = std::get_if<Segment>(opened.value().value);
+      if (segment == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = segment->bytes.size();
+      return reply;
+    }
+    case mem_op::kDeleteSegment: {
+      auto opened = store_.open(cap, core::rights::kDestroy);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const auto* segment = std::get_if<Segment>(opened.value().value);
+      if (segment == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      memory_in_use_ -= segment->bytes.size();
+      return error_reply(request, store_.destroy(cap).error());
+    }
+    case mem_op::kMakeProcess:
+      return do_make_process(request);
+    case mem_op::kStartProcess:
+    case mem_op::kStopProcess: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* process = std::get_if<Process>(opened.value().value);
+      if (process == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      process->state = request.message.header.opcode == mem_op::kStartProcess
+                           ? ProcessState::running
+                           : ProcessState::stopped;
+      return error_reply(request, ErrorCode::ok);
+    }
+    case mem_op::kProcessInfo: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const auto* process = std::get_if<Process>(opened.value().value);
+      if (process == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = static_cast<std::uint64_t>(process->state);
+      reply.header.params[1] = process->segments.size();
+      return reply;
+    }
+    case mem_op::kDeleteProcess: {
+      auto opened = store_.open(cap, core::rights::kDestroy);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      if (std::get_if<Process>(opened.value().value) == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      return error_reply(request, store_.destroy(cap).error());
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+net::Message MemoryServer::do_make_process(const net::Delivery& request) {
+  Reader r(request.message.data);
+  const std::uint32_t count = r.u32();
+  Process process;
+  process.segments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const core::Capability segment_cap = servers::read_capability(r);
+    // Each segment capability must be valid for THIS memory server and
+    // grant at least read (the child's image is loaded from it).
+    auto segment = store_.open(segment_cap, core::rights::kRead);
+    if (!segment.ok()) {
+      return fail(request, segment);
+    }
+    if (std::get_if<Segment>(segment.value().value) == nullptr) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    process.segments.push_back(segment_cap);
+  }
+  if (!r.exhausted()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const core::Capability fresh = store_.create(Payload{std::move(process)});
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  set_header_capability(reply, fresh);
+  return reply;
+}
+
+// ------------------------------------------------------------ MemoryClient
+
+Result<core::Capability> MemoryClient::create_segment(std::uint64_t size) {
+  auto reply = servers::call(*transport_, server_port_, mem_op::kCreateSegment,
+                             nullptr, {}, {size, 0, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<Buffer> MemoryClient::read(const core::Capability& segment,
+                                  std::uint64_t offset, std::uint64_t length) {
+  auto reply = servers::call(*transport_, server_port_, mem_op::kReadSegment,
+                             &segment, {}, {offset, length, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return std::move(reply.value().data);
+}
+
+Result<void> MemoryClient::write(const core::Capability& segment,
+                                 std::uint64_t offset,
+                                 std::span<const std::uint8_t> data) {
+  return servers::as_void(servers::call(
+      *transport_, server_port_, mem_op::kWriteSegment, &segment,
+      Buffer(data.begin(), data.end()), {offset, 0, 0, 0}));
+}
+
+Result<std::uint64_t> MemoryClient::segment_size(
+    const core::Capability& segment) {
+  auto reply = servers::call(*transport_, server_port_, mem_op::kSegmentInfo,
+                             &segment);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+Result<void> MemoryClient::delete_segment(const core::Capability& segment) {
+  return servers::as_void(servers::call(*transport_, server_port_,
+                                        mem_op::kDeleteSegment, &segment));
+}
+
+Result<core::Capability> MemoryClient::make_process(
+    std::span<const core::Capability> segments) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const auto& cap : segments) {
+    servers::write_capability(w, cap);
+  }
+  auto reply = servers::call(*transport_, server_port_, mem_op::kMakeProcess,
+                             nullptr, w.take());
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<void> MemoryClient::start(const core::Capability& process) {
+  return servers::as_void(servers::call(*transport_, server_port_,
+                                        mem_op::kStartProcess, &process));
+}
+
+Result<void> MemoryClient::stop(const core::Capability& process) {
+  return servers::as_void(servers::call(*transport_, server_port_,
+                                        mem_op::kStopProcess, &process));
+}
+
+Result<MemoryClient::ProcessInfo> MemoryClient::process_info(
+    const core::Capability& process) {
+  auto reply = servers::call(*transport_, server_port_, mem_op::kProcessInfo,
+                             &process);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return ProcessInfo{
+      static_cast<ProcessState>(reply.value().header.params[0]),
+      reply.value().header.params[1]};
+}
+
+Result<void> MemoryClient::delete_process(const core::Capability& process) {
+  return servers::as_void(servers::call(*transport_, server_port_,
+                                        mem_op::kDeleteProcess, &process));
+}
+
+}  // namespace amoeba::kernel

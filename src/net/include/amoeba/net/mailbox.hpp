@@ -1,0 +1,44 @@
+// A thread-safe message queue: the rendezvous between frame delivery (the
+// sender's thread) and a process blocked in GET (the receiver's thread).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+
+#include "amoeba/net/message.hpp"
+
+namespace amoeba::net {
+
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes one waiter.  Never blocks.
+  void push(Delivery delivery);
+
+  /// Blocks until a message arrives, the mailbox closes, the stop token is
+  /// triggered, or the (optional) timeout elapses.  Returns nullopt in the
+  /// latter three cases.
+  [[nodiscard]] std::optional<Delivery> pop(
+      std::stop_token stop,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Non-blocking variant.
+  [[nodiscard]] std::optional<Delivery> try_pop();
+
+  /// Closes the mailbox: pending and future pops return nullopt.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<Delivery> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace amoeba::net

@@ -1,0 +1,62 @@
+// The standard Amoeba message format (§2.1-2.2).
+//
+// "The standard message format provides a place for one capability in the
+// header, typically for the object being operated on ... The header also
+// contains room for the operation code and some parameters."  Three port
+// fields drive the F-box protocol: destination (a put-port, passed through
+// on the wire), reply (submitted as a secret get-port, transformed to its
+// put-port by the sender's F-box), and signature (submitted secret,
+// transformed likewise -- receivers compare against the published F(S)).
+//
+// The capability travels as 16 raw bytes at this layer; amoeba/core gives
+// it structure.  Layering note: net must not depend on core, which is why
+// the header holds bytes, not a core::Capability.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/serial.hpp"
+#include "amoeba/common/types.hpp"
+
+namespace amoeba::net {
+
+/// Wire image of one capability (Fig. 2: 48 + 24 + 8 + 48 bits = 16 bytes).
+using CapabilityBytes = std::array<std::uint8_t, 16>;
+
+struct Header {
+  Port dest;        // put-port of the addressed service
+  Port reply;       // get-port when submitted; put-port once on the wire
+  Port signature;   // optional sender signature; 0 = unsigned
+  std::uint16_t opcode = 0;     // request: operation; reply: echo of it
+  ErrorCode status = ErrorCode::ok;  // meaningful in replies
+  CapabilityBytes capability{};      // object being operated on (may be 0)
+  std::array<std::uint64_t, 4> params{};  // small scalar parameters
+};
+
+struct Message {
+  Header header;
+  Buffer data;  // bulk payload; may carry further capabilities, names, ...
+};
+
+/// What the receiving NIC hands the process: the frame plus its stamped
+/// (unforgeable) source machine.  Servers reply to `src`; the software
+/// protection layer selects its matrix key by it.
+struct Delivery {
+  MachineId src;
+  Message message;
+};
+
+/// Builds a reply message addressed to the request's (already transformed)
+/// reply port, echoing the opcode.
+[[nodiscard]] inline Message make_reply(const Message& request,
+                                        ErrorCode status) {
+  Message reply;
+  reply.header.dest = request.header.reply;
+  reply.header.opcode = request.header.opcode;
+  reply.header.status = status;
+  return reply;
+}
+
+}  // namespace amoeba::net

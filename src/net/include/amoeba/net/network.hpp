@@ -1,0 +1,264 @@
+// The simulated LAN plus the F-box protection layer (§2.2, Fig. 1).
+//
+// Model, matching the paper's assumptions exactly:
+//   * Every machine attaches through an F-box; there is no way to put a
+//     frame on the wire except Machine::transmit/broadcast, which apply the
+//     F-box transformation (in F-box mode) to the reply and signature
+//     header fields.  "We assume that somehow or other all messages
+//     entering and leaving every processor undergo a simple transformation
+//     that users cannot bypass."
+//   * The network stamps the true source machine id on every frame;
+//     senders cannot forge it (§2.4's key assumption for the software
+//     scheme).
+//   * A GET(G) registers interest in put-port P = F(G); the receiving
+//     F-box admits only frames whose destination port has a matching GET.
+//     In software-protection mode (fbox disabled) ports are plain values:
+//     GET(G) listens on G itself and no transformation happens -- the
+//     §2.4 machinery in amoeba/softprot must then provide protection.
+//   * Passive wiretaps observe every frame in wire form -- this is the
+//     intruder's eavesdropping power.
+//   * Frames can be dropped or duplicated under fault injection.
+//
+// LOCATE (§2.2: broadcasting a LOCATE message to find which machine serves
+// a port) is provided as a kernel-level primitive: Machine::locate scans
+// listeners, emitting tap records for the request and reply so intruders
+// observe location traffic like any other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/common/types.hpp"
+#include "amoeba/crypto/one_way.hpp"
+#include "amoeba/net/mailbox.hpp"
+#include "amoeba/net/message.hpp"
+
+namespace amoeba::net {
+
+class Network;
+class Machine;
+
+enum class FrameKind { data, locate_request, locate_reply };
+
+/// What a wiretap sees: the frame in wire form (ports already transformed).
+struct TapRecord {
+  FrameKind kind = FrameKind::data;
+  MachineId src;
+  MachineId dst;  // null for broadcast
+  Message message;           // valid for data frames
+  Port locate_port;          // valid for locate frames
+};
+
+using TapFn = std::function<void(const TapRecord&)>;
+
+/// RAII wiretap attachment.
+class TapHandle {
+ public:
+  TapHandle() = default;
+  TapHandle(Network* net, std::uint64_t id) : net_(net), id_(id) {}
+  TapHandle(TapHandle&& other) noexcept { *this = std::move(other); }
+  TapHandle& operator=(TapHandle&& other) noexcept;
+  TapHandle(const TapHandle&) = delete;
+  TapHandle& operator=(const TapHandle&) = delete;
+  ~TapHandle();
+
+ private:
+  Network* net_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// RAII GET registration: while alive, frames addressed to put_port() are
+/// delivered to the owned mailbox.  Destroying it is the moment the F-box
+/// stops admitting frames for that port (used to model server shutdown and
+/// migration).
+class Receiver {
+ public:
+  Receiver() = default;
+  Receiver(Receiver&& other) noexcept { *this = std::move(other); }
+  Receiver& operator=(Receiver&& other) noexcept;
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+  ~Receiver();
+
+  /// The public put-port this registration listens on (F(G) in F-box mode,
+  /// G itself otherwise).
+  [[nodiscard]] Port put_port() const { return put_port_; }
+
+  /// Blocking receive; see Mailbox::pop.
+  [[nodiscard]] std::optional<Delivery> receive(
+      std::stop_token stop,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt) {
+    return mailbox_ ? mailbox_->pop(stop, timeout) : std::nullopt;
+  }
+
+  [[nodiscard]] bool valid() const { return mailbox_ != nullptr; }
+
+ private:
+  friend class Machine;
+  friend class Network;
+  Receiver(Network* net, Port put_port, std::uint64_t id,
+           std::shared_ptr<Mailbox> mailbox)
+      : net_(net), put_port_(put_port), id_(id), mailbox_(std::move(mailbox)) {}
+
+  void release();
+
+  Network* net_ = nullptr;
+  Port put_port_;
+  std::uint64_t id_ = 0;
+  std::shared_ptr<Mailbox> mailbox_;
+};
+
+/// The F-box: the per-machine transformation unit.  Exposed as its own
+/// class so the Fig. 1 ablation ("what if the transformation were absent")
+/// is a one-flag change at Network construction.
+class FBox {
+ public:
+  FBox(std::shared_ptr<const crypto::OneWayFn> f, bool enabled)
+      : f_(std::move(f)), enabled_(enabled) {}
+
+  /// Maps a get-port to the put-port the box will admit frames for.
+  [[nodiscard]] Port listen_port(Port get_port) const {
+    return enabled_ ? f_->apply(get_port) : get_port;
+  }
+
+  /// Outbound transformation: applies F to the reply and signature fields
+  /// (never the destination).  Identity when disabled.
+  void transform_outgoing(Header& header) const {
+    if (!enabled_) return;
+    if (!header.reply.is_null()) header.reply = f_->apply(header.reply);
+    if (!header.signature.is_null())
+      header.signature = f_->apply(header.signature);
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const crypto::OneWayFn& f() const { return *f_; }
+
+ private:
+  std::shared_ptr<const crypto::OneWayFn> f_;
+  bool enabled_;
+};
+
+/// A processor module attached to the network through its F-box.
+class Machine {
+ public:
+  [[nodiscard]] MachineId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const FBox& fbox() const { return fbox_; }
+
+  /// GET(G): registers a listener; the returned Receiver collects frames
+  /// sent to put_port().  Multiple receivers may listen on one port (a
+  /// multi-threaded service); frames are delivered round-robin.
+  [[nodiscard]] Receiver listen(Port get_port);
+
+  /// PUT to a specific machine.  Returns true if the destination F-box
+  /// admitted the frame (a GET was outstanding) -- the link-level signal
+  /// kernels use to invalidate stale location cache entries.  Under fault
+  /// injection a dropped frame still reports true.
+  bool transmit(Message msg, MachineId dst);
+
+  /// PUT broadcast: delivered to every matching GET on the network.
+  void broadcast(Message msg);
+
+  /// Kernel LOCATE: finds a machine with a GET outstanding for `put_port`.
+  [[nodiscard]] std::optional<MachineId> locate(Port put_port);
+
+ private:
+  friend class Network;
+  Machine(Network* net, MachineId id, std::string name,
+          std::shared_ptr<const crypto::OneWayFn> f, bool fbox_enabled)
+      : net_(net), id_(id), name_(std::move(name)),
+        fbox_(std::move(f), fbox_enabled) {}
+
+  Network* net_;
+  MachineId id_;
+  std::string name_;
+  FBox fbox_;
+};
+
+class Network {
+ public:
+  struct Config {
+    bool fbox_enabled = true;
+    std::uint64_t seed = 1;
+    double drop_probability = 0.0;       // applied per delivery attempt
+    double duplicate_probability = 0.0;  // applied per delivered frame
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> unicasts{0};
+    std::atomic<std::uint64_t> broadcasts{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> rejected{0};   // no matching GET
+    std::atomic<std::uint64_t> dropped{0};    // fault injection
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> locates{0};
+  };
+
+  /// Default-configured network (F-boxes on, no faults).
+  Network();
+  explicit Network(Config config,
+                   std::shared_ptr<const crypto::OneWayFn> f =
+                       crypto::default_one_way());
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a machine; the reference stays valid for the network's lifetime.
+  Machine& add_machine(std::string name);
+
+  /// Attaches a passive wiretap seeing every frame in wire form.
+  [[nodiscard]] TapHandle attach_tap(TapFn fn);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool fbox_enabled() const { return config_.fbox_enabled; }
+
+  /// Adjusts fault injection at runtime (tests and benches).
+  void set_fault_injection(double drop_probability,
+                           double duplicate_probability);
+
+ private:
+  friend class Machine;
+  friend class Receiver;
+  friend class TapHandle;
+
+  struct Registration {
+    std::uint64_t id;
+    MachineId machine;
+    std::shared_ptr<Mailbox> mailbox;
+  };
+
+  // All return without holding the mutex while invoking taps/mailboxes.
+  bool transmit_from(Machine& src, Message msg, MachineId dst);
+  void broadcast_from(Machine& src, Message msg);
+  std::optional<MachineId> locate_from(Machine& src, Port put_port);
+  Receiver register_listener(Machine& m, Port get_port);
+  void unregister(std::uint64_t id, Port put_port);
+  void detach_tap(std::uint64_t id);
+  void emit(const TapRecord& record);
+  /// Rolls fault dice; returns number of delivery attempts (0 = dropped).
+  int fault_copies();
+
+  Config config_;
+  std::shared_ptr<const crypto::OneWayFn> f_;
+  Stats stats_;
+
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<Machine>> machines_;  // stable addresses
+  std::unordered_map<Port, std::vector<Registration>> listeners_;
+  std::unordered_map<Port, std::size_t> round_robin_;
+  std::vector<std::pair<std::uint64_t, TapFn>> taps_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace amoeba::net

@@ -1,0 +1,262 @@
+#include "amoeba/net/network.hpp"
+
+#include <algorithm>
+
+#include "amoeba/common/error.hpp"
+
+namespace amoeba::net {
+
+// ---------------------------------------------------------------- TapHandle
+
+TapHandle& TapHandle::operator=(TapHandle&& other) noexcept {
+  if (this != &other) {
+    if (net_ != nullptr) {
+      net_->detach_tap(id_);
+    }
+    net_ = other.net_;
+    id_ = other.id_;
+    other.net_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+TapHandle::~TapHandle() {
+  if (net_ != nullptr) {
+    net_->detach_tap(id_);
+  }
+}
+
+// ----------------------------------------------------------------- Receiver
+
+Receiver& Receiver::operator=(Receiver&& other) noexcept {
+  if (this != &other) {
+    release();
+    net_ = other.net_;
+    put_port_ = other.put_port_;
+    id_ = other.id_;
+    mailbox_ = std::move(other.mailbox_);
+    other.net_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Receiver::~Receiver() { release(); }
+
+void Receiver::release() {
+  if (net_ != nullptr && mailbox_ != nullptr) {
+    mailbox_->close();
+    net_->unregister(id_, put_port_);
+  }
+  net_ = nullptr;
+  mailbox_.reset();
+}
+
+// ------------------------------------------------------------------ Machine
+
+Receiver Machine::listen(Port get_port) {
+  return net_->register_listener(*this, get_port);
+}
+
+bool Machine::transmit(Message msg, MachineId dst) {
+  return net_->transmit_from(*this, std::move(msg), dst);
+}
+
+void Machine::broadcast(Message msg) {
+  net_->broadcast_from(*this, std::move(msg));
+}
+
+std::optional<MachineId> Machine::locate(Port put_port) {
+  return net_->locate_from(*this, put_port);
+}
+
+// ------------------------------------------------------------------ Network
+
+Network::Network() : Network(Config()) {}
+
+Network::Network(Config config, std::shared_ptr<const crypto::OneWayFn> f)
+    : config_(config), f_(std::move(f)), rng_(config.seed) {
+  if (f_ == nullptr) {
+    throw UsageError("Network requires a one-way function");
+  }
+}
+
+Network::~Network() = default;
+
+Machine& Network::add_machine(std::string name) {
+  const std::lock_guard lock(mutex_);
+  const MachineId id(static_cast<std::uint32_t>(machines_.size() + 1));
+  machines_.push_back(std::unique_ptr<Machine>(
+      new Machine(this, id, std::move(name), f_, config_.fbox_enabled)));
+  return *machines_.back();
+}
+
+TapHandle Network::attach_tap(TapFn fn) {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  taps_.emplace_back(id, std::move(fn));
+  return TapHandle(this, id);
+}
+
+void Network::detach_tap(std::uint64_t id) {
+  const std::lock_guard lock(mutex_);
+  std::erase_if(taps_, [id](const auto& t) { return t.first == id; });
+}
+
+void Network::set_fault_injection(double drop_probability,
+                                  double duplicate_probability) {
+  const std::lock_guard lock(mutex_);
+  config_.drop_probability = drop_probability;
+  config_.duplicate_probability = duplicate_probability;
+}
+
+void Network::emit(const TapRecord& record) {
+  // Copy the tap list under the lock; invoke outside it (CP.22: never call
+  // unknown code while holding a lock).
+  std::vector<TapFn> fns;
+  {
+    const std::lock_guard lock(mutex_);
+    fns.reserve(taps_.size());
+    for (const auto& [id, fn] : taps_) {
+      fns.push_back(fn);
+    }
+  }
+  for (const auto& fn : fns) {
+    fn(record);
+  }
+}
+
+int Network::fault_copies() {
+  const std::lock_guard lock(mutex_);
+  if (config_.drop_probability > 0.0 &&
+      rng_.uniform01() < config_.drop_probability) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.uniform01() < config_.duplicate_probability) {
+    stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    return 2;
+  }
+  return 1;
+}
+
+Receiver Network::register_listener(Machine& m, Port get_port) {
+  const Port put_port = m.fbox().listen_port(get_port);
+  auto mailbox = std::make_shared<Mailbox>();
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  listeners_[put_port].push_back(Registration{id, m.id(), mailbox});
+  return Receiver(this, put_port, id, std::move(mailbox));
+}
+
+void Network::unregister(std::uint64_t id, Port put_port) {
+  const std::lock_guard lock(mutex_);
+  auto it = listeners_.find(put_port);
+  if (it == listeners_.end()) {
+    return;
+  }
+  std::erase_if(it->second,
+                [id](const Registration& r) { return r.id == id; });
+  if (it->second.empty()) {
+    listeners_.erase(it);
+    round_robin_.erase(put_port);
+  }
+}
+
+bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
+  stats_.unicasts.fetch_add(1, std::memory_order_relaxed);
+  // The F-box transformation happens on the way out; after this point the
+  // message is in wire form and the secret get-port/signature values are
+  // gone.
+  src.fbox().transform_outgoing(msg.header);
+
+  emit(TapRecord{FrameKind::data, src.id(), dst, msg, Port()});
+
+  const int copies = fault_copies();
+  // Pick the destination mailbox: a registration on `dst` whose port
+  // matches the frame's destination field.
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = listeners_.find(msg.header.dest);
+    if (it != listeners_.end()) {
+      // Round-robin across this port's registrations on that machine.
+      std::vector<const Registration*> eligible;
+      for (const auto& reg : it->second) {
+        if (reg.machine == dst) {
+          eligible.push_back(&reg);
+        }
+      }
+      if (!eligible.empty()) {
+        const std::size_t idx = round_robin_[msg.header.dest]++ %
+                                eligible.size();
+        mailbox = eligible[idx]->mailbox;
+      }
+    }
+  }
+  if (mailbox == nullptr) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;  // receiving F-box had no GET outstanding
+  }
+  for (int i = 0; i < copies; ++i) {
+    stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+    mailbox->push(Delivery{src.id(), msg});
+  }
+  return true;
+}
+
+void Network::broadcast_from(Machine& src, Message msg) {
+  stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
+  src.fbox().transform_outgoing(msg.header);
+
+  emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
+
+  const int copies = fault_copies();
+  if (copies == 0) {
+    return;
+  }
+  std::vector<std::shared_ptr<Mailbox>> targets;
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = listeners_.find(msg.header.dest);
+    if (it != listeners_.end()) {
+      targets.reserve(it->second.size());
+      for (const auto& reg : it->second) {
+        targets.push_back(reg.mailbox);
+      }
+    }
+  }
+  if (targets.empty()) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (const auto& mailbox : targets) {
+    for (int i = 0; i < copies; ++i) {
+      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+      mailbox->push(Delivery{src.id(), msg});
+    }
+  }
+}
+
+std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
+  stats_.locates.fetch_add(1, std::memory_order_relaxed);
+  emit(TapRecord{FrameKind::locate_request, src.id(), MachineId(), Message{},
+                 put_port});
+  std::optional<MachineId> found;
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = listeners_.find(put_port);
+    if (it != listeners_.end() && !it->second.empty()) {
+      found = it->second.front().machine;
+    }
+  }
+  if (found.has_value()) {
+    emit(TapRecord{FrameKind::locate_reply, *found, src.id(), Message{},
+                   put_port});
+  }
+  return found;
+}
+
+}  // namespace amoeba::net

@@ -1,0 +1,31 @@
+// Message filter seam: a hook applied to messages as they leave and enter
+// the RPC layer, parameterized by the peer machine id.
+//
+// This is where the §2.4 software protection plugs in: without F-boxes,
+// the capability fields of every message are encrypted with a key selected
+// by the (source, destination) machine pair.  The filter abstraction keeps
+// rpc ignorant of cryptography while giving softprot exactly the two
+// facts it needs: the message and the (unforgeable) peer machine.
+#pragma once
+
+#include "amoeba/common/types.hpp"
+#include "amoeba/net/message.hpp"
+
+namespace amoeba::rpc {
+
+class MessageFilter {
+ public:
+  virtual ~MessageFilter() = default;
+
+  /// Transforms an outbound message destined for machine `dst` (e.g. seal
+  /// the capability with M[me][dst]).  Called after the destination is
+  /// resolved, before transmission.
+  virtual void outgoing(net::Message& msg, MachineId dst) = 0;
+
+  /// Transforms an inbound message from machine `src`.  Returning false
+  /// marks the message undecipherable (no key for src); the caller treats
+  /// it as unsealing_failed.
+  [[nodiscard]] virtual bool incoming(net::Message& msg, MachineId src) = 0;
+};
+
+}  // namespace amoeba::rpc

@@ -1,0 +1,86 @@
+// Server-side service loop.
+//
+// A service chooses a secret get-port G, does GET(G), and serves requests
+// arriving on P = F(G) (§2.2).  Concrete servers (file, directory, bank,
+// ...) subclass Service and implement handle(); the loop takes care of
+// receiving, replying to the frame's stamped source, and clean shutdown.
+// Multiple worker threads may GET on the same port; the network delivers
+// round-robin, exactly like multiple server processes comprising one
+// service in Amoeba.
+#pragma once
+
+#include <atomic>
+#include <latch>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/filter.hpp"
+
+namespace amoeba::rpc {
+
+class Service {
+ public:
+  /// Binds the service to a machine and its secret get-port.  The service
+  /// does not listen until start() is called.
+  Service(net::Machine& machine, Port get_port, std::string name);
+  virtual ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Spawns `workers` listener threads.  Idempotent start/stop pairs.
+  void start(int workers = 1);
+
+  /// Stops all workers and waits for them to exit (jthread join).
+  void stop();
+
+  /// Moves a stopped service to another machine (process migration for the
+  /// locate experiments).  Throws UsageError if the service is running.
+  void rebind(net::Machine& machine);
+
+  /// The public put-port clients use: P = F(G) under F-boxes, G otherwise.
+  [[nodiscard]] Port put_port() const;
+
+  /// Installs a message filter (capability sealing in F-box-less mode);
+  /// applied to requests on arrival and replies on departure.
+  void set_filter(std::shared_ptr<MessageFilter> filter);
+
+  /// Restricts the service to signed requests (§2.2 digital signatures):
+  /// "each client chooses a random signature, S, and publishes F(S)".
+  /// The service accepts a request only when its (F-box transformed)
+  /// signature field matches one of the published values; everything else
+  /// is refused with permission_denied.  An empty set (the default)
+  /// disables the check.  Only meaningful under F-boxes -- without them a
+  /// signature is replayable and §2.4's source addresses take over.
+  void set_allowed_signatures(std::vector<Port> published_signatures);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] net::Machine& machine() { return *machine_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Processes one request and produces the reply message (status +
+  /// payload; the loop fills in the destination from the request's reply
+  /// port).  Runs on a worker thread; implementations guard their state.
+  [[nodiscard]] virtual net::Message handle(const net::Delivery& request) = 0;
+
+ private:
+  void run(std::stop_token stop, std::latch& ready);
+
+  net::Machine* machine_;
+  Port get_port_;
+  std::string name_;
+  std::vector<std::jthread> workers_;
+  std::atomic<std::uint64_t> requests_served_{0};
+  mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
+  std::shared_ptr<MessageFilter> filter_;
+  std::vector<Port> allowed_signatures_;
+};
+
+}  // namespace amoeba::rpc

@@ -1,0 +1,89 @@
+// Client-side blocking RPC (§2.1): "After making a request, a client
+// blocks until the reply comes in, so the approach can be regarded as a
+// simple remote procedure call mechanism.  The system does not use
+// connections or virtual circuits or any other long-lived communication
+// structures."
+//
+// Each transaction picks a fresh one-shot reply get-port G'; the F-box
+// puts P' = F(G') on the wire and only this client can receive the reply.
+// The transport also implements the kernel's (port -> machine) cache with
+// LOCATE broadcast on miss and invalidation when a cached machine's F-box
+// rejects the frame (server migrated or died).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <unordered_map>
+
+#include <memory>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/rng.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/filter.hpp"
+
+namespace amoeba::rpc {
+
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_invalidations = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t timeouts = 0;
+  };
+
+  Transport(net::Machine& machine, std::uint64_t seed);
+
+  /// Performs one blocking transaction.  `request.header.dest` must hold
+  /// the service's put-port; the reply field is overwritten with a fresh
+  /// one-shot port.  Returns the reply message together with the stamped
+  /// source machine of the replying server.  Thread-safe: any number of
+  /// threads may call trans concurrently on one transport.
+  [[nodiscard]] Result<net::Delivery> trans(net::Message request,
+                                            std::chrono::milliseconds timeout,
+                                            std::stop_token stop = {});
+
+  /// As above with the transport's default timeout (2 s unless changed).
+  [[nodiscard]] Result<net::Delivery> trans(net::Message request) {
+    return trans(std::move(request), default_timeout_);
+  }
+
+  /// Changes the timeout used by the single-argument trans overload
+  /// (lossy-network tests and benches want fast failure).
+  void set_default_timeout(std::chrono::milliseconds timeout) {
+    default_timeout_ = timeout;
+  }
+
+  /// Optional signature get-port applied to outgoing requests (the F-box
+  /// publishes F(S); receivers authenticate the sender against it).
+  void set_signature(Port signature_get_port);
+
+  /// Installs a message filter (capability sealing in F-box-less mode).
+  void set_filter(std::shared_ptr<MessageFilter> filter);
+
+  [[nodiscard]] net::Machine& machine() { return machine_; }
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every cached (port -> machine) entry.
+  void flush_cache();
+
+ private:
+  std::optional<MachineId> resolve(Port put_port);
+  void invalidate(Port put_port);
+
+  net::Machine& machine_;
+  std::chrono::milliseconds default_timeout_{2000};
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::unordered_map<Port, MachineId> cache_;
+  Port signature_;
+  std::shared_ptr<MessageFilter> filter_;
+  Stats stats_;
+};
+
+}  // namespace amoeba::rpc

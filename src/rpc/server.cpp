@@ -1,0 +1,108 @@
+#include "amoeba/rpc/server.hpp"
+
+#include <algorithm>
+
+#include "amoeba/common/error.hpp"
+
+namespace amoeba::rpc {
+
+Service::Service(net::Machine& machine, Port get_port, std::string name)
+    : machine_(&machine), get_port_(get_port), name_(std::move(name)) {}
+
+Service::~Service() { stop(); }
+
+void Service::start(int workers) {
+  if (!workers_.empty()) {
+    throw UsageError("Service::start: already running");
+  }
+  if (workers < 1) {
+    throw UsageError("Service::start: need at least one worker");
+  }
+  // Block until every worker has its GET registered, so a trans() issued
+  // right after start() cannot race the registrations.
+  std::latch ready(workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(
+        [this, &ready](std::stop_token st) { run(st, ready); });
+  }
+  ready.wait();
+}
+
+void Service::stop() {
+  for (auto& w : workers_) {
+    w.request_stop();
+  }
+  workers_.clear();  // jthread destructor joins
+}
+
+void Service::rebind(net::Machine& machine) {
+  if (!workers_.empty()) {
+    throw UsageError("Service::rebind: stop the service first");
+  }
+  machine_ = &machine;
+}
+
+Port Service::put_port() const {
+  return machine_->fbox().listen_port(get_port_);
+}
+
+void Service::set_filter(std::shared_ptr<MessageFilter> filter) {
+  const std::lock_guard lock(filter_mutex_);
+  filter_ = std::move(filter);
+}
+
+void Service::set_allowed_signatures(std::vector<Port> published_signatures) {
+  const std::lock_guard lock(filter_mutex_);
+  allowed_signatures_ = std::move(published_signatures);
+}
+
+void Service::run(std::stop_token stop, std::latch& ready) {
+  // GET(G): the registration lives on this worker's stack, so a stopping
+  // worker withdraws its F-box registration on exit.
+  net::Receiver receiver = machine_->listen(get_port_);
+  ready.count_down();
+  while (!stop.stop_requested()) {
+    auto delivery = receiver.receive(stop);
+    if (!delivery.has_value()) {
+      break;  // stop requested or mailbox closed
+    }
+    std::shared_ptr<MessageFilter> filter;
+    std::vector<Port> allowed_signatures;
+    {
+      const std::lock_guard lock(filter_mutex_);
+      filter = filter_;
+      allowed_signatures = allowed_signatures_;
+    }
+    net::Message reply;
+    if (!allowed_signatures.empty() &&
+        std::find(allowed_signatures.begin(), allowed_signatures.end(),
+                  delivery->message.header.signature) ==
+            allowed_signatures.end()) {
+      // Sender authentication (§2.2): only the true owner of S can make
+      // the published F(S) appear here -- his F-box computes it from the
+      // secret; an intruder submitting the observed F(S) ends up with
+      // F(F(S)) on the wire.
+      reply = net::make_reply(delivery->message, ErrorCode::permission_denied);
+    } else if (filter != nullptr &&
+               !filter->incoming(delivery->message, delivery->src)) {
+      reply = net::make_reply(delivery->message, ErrorCode::unsealing_failed);
+    } else {
+      reply = handle(*delivery);
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    const Port reply_port = delivery->message.header.reply;
+    if (reply_port.is_null()) {
+      continue;  // one-way request
+    }
+    reply.header.dest = reply_port;
+    reply.header.opcode = delivery->message.header.opcode;
+    if (filter != nullptr) {
+      filter->outgoing(reply, delivery->src);
+    }
+    // Reply straight to the stamped source machine; no locate needed.
+    machine_->transmit(std::move(reply), delivery->src);
+  }
+}
+
+}  // namespace amoeba::rpc

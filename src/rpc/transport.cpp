@@ -1,0 +1,109 @@
+#include "amoeba/rpc/transport.hpp"
+
+namespace amoeba::rpc {
+
+Transport::Transport(net::Machine& machine, std::uint64_t seed)
+    : machine_(machine), rng_(seed ^ machine.id().value()) {}
+
+void Transport::set_signature(Port signature_get_port) {
+  const std::lock_guard lock(mutex_);
+  signature_ = signature_get_port;
+}
+
+void Transport::set_filter(std::shared_ptr<MessageFilter> filter) {
+  const std::lock_guard lock(mutex_);
+  filter_ = std::move(filter);
+}
+
+Transport::Stats Transport::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void Transport::flush_cache() {
+  const std::lock_guard lock(mutex_);
+  cache_.clear();
+}
+
+std::optional<MachineId> Transport::resolve(Port put_port) {
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = cache_.find(put_port);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    ++stats_.cache_misses;
+  }
+  const auto located = machine_.locate(put_port);
+  if (located.has_value()) {
+    const std::lock_guard lock(mutex_);
+    cache_[put_port] = *located;
+  }
+  return located;
+}
+
+void Transport::invalidate(Port put_port) {
+  const std::lock_guard lock(mutex_);
+  cache_.erase(put_port);
+  ++stats_.cache_invalidations;
+}
+
+Result<net::Delivery> Transport::trans(net::Message request,
+                                       std::chrono::milliseconds timeout,
+                                       std::stop_token stop) {
+  Port reply_get_port;
+  {
+    const std::lock_guard lock(mutex_);
+    ++stats_.transactions;
+    reply_get_port = Port(rng_.bits(Port::kBits));
+    request.header.signature = signature_;
+  }
+  // One-shot reply registration; destroyed (and the port forgotten) when
+  // this call returns.
+  net::Receiver reply_receiver = machine_.listen(reply_get_port);
+  request.header.reply = reply_get_port;
+
+  std::shared_ptr<MessageFilter> filter;
+  {
+    const std::lock_guard lock(mutex_);
+    filter = filter_;
+  }
+
+  // Two attempts: a stale cache entry (server migrated/died) costs one
+  // rejected transmit, an invalidation, and a fresh LOCATE.
+  bool sent = false;
+  for (int attempt = 0; attempt < 2 && !sent; ++attempt) {
+    const auto dst = resolve(request.header.dest);
+    if (!dst.has_value()) {
+      return ErrorCode::no_such_port;
+    }
+    // Seal a copy: a retry to a different machine must re-seal the
+    // original, not the already-sealed bytes.
+    net::Message wire = request;
+    if (filter != nullptr) {
+      filter->outgoing(wire, *dst);
+    }
+    sent = machine_.transmit(std::move(wire), *dst);
+    if (!sent) {
+      invalidate(request.header.dest);
+    }
+  }
+  if (!sent) {
+    return ErrorCode::no_such_port;
+  }
+
+  auto delivery = reply_receiver.receive(stop, timeout);
+  if (!delivery.has_value()) {
+    const std::lock_guard lock(mutex_);
+    ++stats_.timeouts;
+    return ErrorCode::timeout;
+  }
+  if (filter != nullptr &&
+      !filter->incoming(delivery->message, delivery->src)) {
+    return ErrorCode::unsealing_failed;
+  }
+  return std::move(*delivery);
+}
+
+}  // namespace amoeba::rpc

@@ -1,0 +1,241 @@
+#include "amoeba/servers/bank_server.hpp"
+
+#include <limits>
+
+namespace amoeba::servers {
+namespace {
+
+/// Addition with overflow rejection (balances are client-controlled).
+[[nodiscard]] bool add_checked(std::int64_t a, std::int64_t b,
+                               std::int64_t& out) {
+  return !__builtin_add_overflow(a, b, &out);
+}
+
+}  // namespace
+
+BankServer::BankServer(net::Machine& machine, Port get_port,
+                       std::shared_ptr<const core::ProtectionScheme> scheme,
+                       std::uint64_t seed)
+    : rpc::Service(machine, get_port, "bank"),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {
+  Account master;
+  master.is_master = true;
+  master_ = store_.create(std::move(master));
+}
+
+void BankServer::set_conversion_rate(std::uint32_t from, std::uint32_t to,
+                                     std::int64_t num, std::int64_t den) {
+  if (num <= 0 || den <= 0) {
+    throw UsageError("conversion rate must be positive");
+  }
+  const std::lock_guard lock(mutex_);
+  rates_[{from, to}] = {num, den};
+}
+
+net::Message BankServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case bank_op::kCreateAccount: {
+      const core::Capability fresh = store_.create(Account{});
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh);
+      return reply;
+    }
+    case bank_op::kBalance: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const std::uint32_t cur =
+          static_cast<std::uint32_t>(request.message.header.params[0]);
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      const auto& balances = opened.value().value->balances;
+      auto it = balances.find(cur);
+      reply.header.params[0] =
+          static_cast<std::uint64_t>(it == balances.end() ? 0 : it->second);
+      return reply;
+    }
+    case bank_op::kTransfer:
+      return do_transfer(request, cap);
+    case bank_op::kConvert:
+      return do_convert(request, cap);
+    case bank_op::kMint:
+      return do_mint(request, cap);
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+net::Message BankServer::do_transfer(const net::Delivery& request,
+                                     const core::Capability& from_cap) {
+  auto from = store_.open(from_cap, bank_rights::kWithdraw);
+  if (!from.ok()) {
+    return fail(request, from);
+  }
+  Reader r(request.message.data);
+  const core::Capability to_cap = read_capability(r);
+  if (!r.exhausted()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  auto to = store_.open(to_cap, bank_rights::kDeposit);
+  if (!to.ok()) {
+    return fail(request, to);
+  }
+  const std::uint32_t cur =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  const std::int64_t amount =
+      static_cast<std::int64_t>(request.message.header.params[1]);
+  if (amount <= 0) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  std::int64_t& from_balance = from.value().value->balances[cur];
+  if (from_balance < amount) {
+    return error_reply(request, ErrorCode::insufficient_funds);
+  }
+  if (from.value().object == to.value().object) {
+    return error_reply(request, ErrorCode::ok);  // self-transfer: no-op
+  }
+  // Distinct accounts: the maps are distinct, so taking the second
+  // reference cannot invalidate the first.
+  std::int64_t& to_balance = to.value().value->balances[cur];
+  std::int64_t new_to = 0;
+  if (!add_checked(to_balance, amount, new_to)) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  from_balance -= amount;
+  to_balance = new_to;
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message BankServer::do_convert(const net::Delivery& request,
+                                    const core::Capability& cap) {
+  // Converting rearranges the holder's own money: needs both directions.
+  auto opened = store_.open(
+      cap, bank_rights::kWithdraw.with(bank_rights::kDepositBit));
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const std::uint32_t from_cur =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  const std::uint32_t to_cur =
+      static_cast<std::uint32_t>(request.message.header.params[1]);
+  const std::int64_t amount =
+      static_cast<std::int64_t>(request.message.header.params[2]);
+  if (amount <= 0) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  auto rate = rates_.find({from_cur, to_cur});
+  if (rate == rates_.end()) {
+    return error_reply(request, ErrorCode::bad_currency);  // inconvertible
+  }
+  auto& balances = opened.value().value->balances;
+  if (balances[from_cur] < amount) {
+    return error_reply(request, ErrorCode::insufficient_funds);
+  }
+  const auto [num, den] = rate->second;
+  const std::int64_t converted = amount * num / den;
+  std::int64_t new_balance = 0;
+  if (!add_checked(balances[to_cur], converted, new_balance)) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  balances[from_cur] -= amount;
+  balances[to_cur] = new_balance;
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = static_cast<std::uint64_t>(converted);
+  return reply;
+}
+
+net::Message BankServer::do_mint(const net::Delivery& request,
+                                 const core::Capability& master_cap) {
+  auto master = store_.open(master_cap, bank_rights::kMint);
+  if (!master.ok()) {
+    return fail(request, master);
+  }
+  if (!master.value().value->is_master) {
+    // A forged kMint bit on an ordinary account must not create money.
+    return error_reply(request, ErrorCode::permission_denied);
+  }
+  Reader r(request.message.data);
+  const core::Capability to_cap = read_capability(r);
+  if (!r.exhausted()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  auto to = store_.open(to_cap, bank_rights::kDeposit);
+  if (!to.ok()) {
+    return fail(request, to);
+  }
+  const std::uint32_t cur =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  const std::int64_t amount =
+      static_cast<std::int64_t>(request.message.header.params[1]);
+  if (amount <= 0) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  std::int64_t new_balance = 0;
+  if (!add_checked(to.value().value->balances[cur], amount, new_balance)) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  to.value().value->balances[cur] = new_balance;
+  return error_reply(request, ErrorCode::ok);
+}
+
+// -------------------------------------------------------------- BankClient
+
+Result<core::Capability> BankClient::create_account() {
+  auto reply = call(*transport_, server_port_, bank_op::kCreateAccount);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<std::int64_t> BankClient::balance(const core::Capability& account,
+                                         std::uint32_t currency) {
+  auto reply = call(*transport_, server_port_, bank_op::kBalance, &account,
+                    {}, {currency, 0, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return static_cast<std::int64_t>(reply.value().header.params[0]);
+}
+
+Result<void> BankClient::transfer(const core::Capability& from,
+                                  const core::Capability& to,
+                                  std::uint32_t currency,
+                                  std::int64_t amount) {
+  Writer w;
+  write_capability(w, to);
+  return as_void(call(*transport_, server_port_, bank_op::kTransfer, &from,
+                      w.take(),
+                      {currency, static_cast<std::uint64_t>(amount), 0, 0}));
+}
+
+Result<std::int64_t> BankClient::convert(const core::Capability& account,
+                                         std::uint32_t from_currency,
+                                         std::uint32_t to_currency,
+                                         std::int64_t amount) {
+  auto reply = call(*transport_, server_port_, bank_op::kConvert, &account,
+                    {},
+                    {from_currency, to_currency,
+                     static_cast<std::uint64_t>(amount), 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return static_cast<std::int64_t>(reply.value().header.params[0]);
+}
+
+Result<void> BankClient::mint(const core::Capability& master,
+                              const core::Capability& to,
+                              std::uint32_t currency, std::int64_t amount) {
+  Writer w;
+  write_capability(w, to);
+  return as_void(call(*transport_, server_port_, bank_op::kMint, &master,
+                      w.take(),
+                      {currency, static_cast<std::uint64_t>(amount), 0, 0}));
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,124 @@
+#include "amoeba/servers/block_server.hpp"
+
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::servers {
+
+BlockServer::BlockServer(net::Machine& machine, Port get_port,
+                         std::shared_ptr<const core::ProtectionScheme> scheme,
+                         std::uint64_t seed, Geometry geometry)
+    : rpc::Service(machine, get_port, "block"),
+      geometry_(geometry),
+      disk_(geometry.block_count, geometry.block_size, geometry.write_once),
+      store_(std::move(scheme),
+             machine.fbox().listen_port(get_port), seed) {}
+
+SimDisk::Stats BlockServer::disk_stats() const {
+  const std::lock_guard lock(mutex_);
+  return disk_.stats();
+}
+
+net::Message BlockServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case block_op::kAllocate: {
+      const auto block = disk_.allocate();
+      if (!block.ok()) {
+        return error_reply(request, block.error());
+      }
+      const core::Capability fresh = store_.create(block.value());
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh);
+      return reply;
+    }
+    case block_op::kRead: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto data = disk_.read(*opened.value().value);
+      if (!data.ok()) {
+        return error_reply(request, data.error());
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.data = std::move(data.value());
+      return reply;
+    }
+    case block_op::kWrite: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const auto written =
+          disk_.write(*opened.value().value, request.message.data);
+      return error_reply(request, written.ok() ? ErrorCode::ok
+                                               : written.error());
+    }
+    case block_op::kFree: {
+      auto opened = store_.open(cap, core::rights::kDestroy);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      const std::uint32_t block = *opened.value().value;
+      const auto destroyed = store_.destroy(cap);
+      if (!destroyed.ok()) {
+        return error_reply(request, destroyed.error());
+      }
+      return error_reply(request, disk_.free_block(block).error());
+    }
+    case block_op::kInfo: {
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = disk_.block_count();
+      reply.header.params[1] = disk_.block_size();
+      reply.header.params[2] = disk_.free_count();
+      return reply;
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+// ------------------------------------------------------------- BlockClient
+
+Result<core::Capability> BlockClient::allocate() {
+  auto reply = call(*transport_, server_port_, block_op::kAllocate);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<Buffer> BlockClient::read(const core::Capability& block) {
+  auto reply = call(*transport_, server_port_, block_op::kRead, &block);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return std::move(reply.value().data);
+}
+
+Result<void> BlockClient::write(const core::Capability& block,
+                                std::span<const std::uint8_t> data) {
+  return as_void(call(*transport_, server_port_, block_op::kWrite, &block,
+                      Buffer(data.begin(), data.end())));
+}
+
+Result<void> BlockClient::free_block(const core::Capability& block) {
+  return as_void(call(*transport_, server_port_, block_op::kFree, &block));
+}
+
+Result<BlockClient::Info> BlockClient::info() {
+  auto reply = call(*transport_, server_port_, block_op::kInfo);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  const auto& params = reply.value().header.params;
+  return Info{static_cast<std::uint32_t>(params[0]),
+              static_cast<std::uint32_t>(params[1]),
+              static_cast<std::uint32_t>(params[2])};
+}
+
+}  // namespace amoeba::servers

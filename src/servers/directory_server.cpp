@@ -1,0 +1,213 @@
+#include "amoeba/servers/directory_server.hpp"
+
+namespace amoeba::servers {
+
+DirectoryServer::DirectoryServer(
+    net::Machine& machine, Port get_port,
+    std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed)
+    : rpc::Service(machine, get_port, "directory"),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {}
+
+net::Message DirectoryServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case dir_op::kCreateDir: {
+      const core::Capability fresh = store_.create(Directory{});
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh);
+      return reply;
+    }
+    case dir_op::kLookup: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      Reader r(request.message.data);
+      const std::string name = r.str();
+      if (!r.exhausted()) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      const Directory& dir = *opened.value().value;
+      auto it = dir.find(name);
+      if (it == dir.end()) {
+        return error_reply(request, ErrorCode::not_found);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.capability = it->second;
+      return reply;
+    }
+    case dir_op::kEnter: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      Reader r(request.message.data);
+      const std::string name = r.str();
+      const core::Capability target = read_capability(r);
+      if (!r.exhausted() || name.empty()) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      Directory& dir = *opened.value().value;
+      if (dir.contains(name)) {
+        return error_reply(request, ErrorCode::exists);
+      }
+      dir.emplace(name, core::pack(target));
+      return error_reply(request, ErrorCode::ok);
+    }
+    case dir_op::kRemove: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      Reader r(request.message.data);
+      const std::string name = r.str();
+      if (!r.exhausted()) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      return error_reply(request, opened.value().value->erase(name) > 0
+                                      ? ErrorCode::ok
+                                      : ErrorCode::not_found);
+    }
+    case dir_op::kList: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      Writer w;
+      const Directory& dir = *opened.value().value;
+      w.u32(static_cast<std::uint32_t>(dir.size()));
+      for (const auto& [name, capability] : dir) {
+        w.str(name);
+        write_capability(w, core::unpack(capability));
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.data = w.take();
+      return reply;
+    }
+    case dir_op::kDeleteDir: {
+      auto opened = store_.open(cap, core::rights::kDestroy);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      if (!opened.value().value->empty()) {
+        return error_reply(request, ErrorCode::not_empty);
+      }
+      return error_reply(request, store_.destroy(cap).error());
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+// --------------------------------------------------------- DirectoryClient
+
+Result<core::Capability> DirectoryClient::create_dir() {
+  auto reply = call(*transport_, server_port_, dir_op::kCreateDir);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<core::Capability> DirectoryClient::lookup(const core::Capability& dir,
+                                                 const std::string& name) {
+  Writer w;
+  w.str(name);
+  auto reply =
+      call(*transport_, server_port_, dir_op::kLookup, &dir, w.take());
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<void> DirectoryClient::enter(const core::Capability& dir,
+                                    const std::string& name,
+                                    const core::Capability& target) {
+  Writer w;
+  w.str(name);
+  write_capability(w, target);
+  return as_void(
+      call(*transport_, server_port_, dir_op::kEnter, &dir, w.take()));
+}
+
+Result<void> DirectoryClient::remove(const core::Capability& dir,
+                                     const std::string& name) {
+  Writer w;
+  w.str(name);
+  return as_void(
+      call(*transport_, server_port_, dir_op::kRemove, &dir, w.take()));
+}
+
+Result<std::vector<DirEntry>> DirectoryClient::list(
+    const core::Capability& dir) {
+  auto reply = call(*transport_, server_port_, dir_op::kList, &dir);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value().data);
+  const std::uint32_t count = r.u32();
+  std::vector<DirEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DirEntry entry;
+    entry.name = r.str();
+    entry.capability = read_capability(r);
+    entries.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) {
+    return ErrorCode::internal;
+  }
+  return entries;
+}
+
+Result<void> DirectoryClient::delete_dir(const core::Capability& dir) {
+  return as_void(call(*transport_, server_port_, dir_op::kDeleteDir, &dir));
+}
+
+Result<core::Capability> resolve_path(rpc::Transport& transport,
+                                      const core::Capability& root,
+                                      std::string_view path) {
+  // Validate syntax up front: no leading/trailing/doubled separators.
+  if (!path.empty() &&
+      (path.front() == '/' || path.back() == '/' ||
+       path.find("//") != std::string_view::npos)) {
+    return ErrorCode::invalid_argument;
+  }
+  core::Capability current = root;
+  std::size_t begin = 0;
+  while (begin < path.size()) {
+    const std::size_t slash = path.find('/', begin);
+    const std::string_view component =
+        path.substr(begin, slash == std::string_view::npos ? path.size() - begin
+                                                           : slash - begin);
+    if (component.empty()) {
+      return ErrorCode::invalid_argument;
+    }
+    // Address the lookup to whatever server manages the current node --
+    // this is what makes cross-server traversal transparent.
+    DirectoryClient dir(transport, current.server_port);
+    auto next = dir.lookup(current, std::string(component));
+    if (!next.ok()) {
+      // A non-directory server answers a LOOKUP with no_such_operation
+      // (opcode spaces are disjoint per service class): the path used a
+      // file as a directory -- ENOTDIR in UNIX terms.
+      if (next.error() == ErrorCode::no_such_operation) {
+        return ErrorCode::invalid_argument;
+      }
+      return next.error();
+    }
+    current = next.value();
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    begin = slash + 1;
+  }
+  return current;
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,88 @@
+#include "amoeba/servers/disk.hpp"
+
+#include <algorithm>
+
+namespace amoeba::servers {
+
+SimDisk::SimDisk(std::uint32_t block_count, std::uint32_t block_size,
+                 bool write_once)
+    : block_count_(block_count),
+      block_size_(block_size),
+      write_once_(write_once),
+      storage_(static_cast<std::size_t>(block_count) * block_size, 0),
+      allocated_(block_count, false),
+      written_(block_count, false),
+      free_count_(block_count) {
+  if (block_count == 0 || block_size == 0) {
+    throw UsageError("SimDisk requires non-zero geometry");
+  }
+  free_list_.reserve(block_count);
+  // Populate so that allocation order starts at block 0.
+  for (std::uint32_t b = block_count; b-- > 0;) {
+    free_list_.push_back(b);
+  }
+}
+
+bool SimDisk::valid_and_allocated(std::uint32_t block) const {
+  return block < block_count_ && allocated_[block];
+}
+
+Result<std::uint32_t> SimDisk::allocate() {
+  if (free_list_.empty()) {
+    return ErrorCode::no_space;
+  }
+  const std::uint32_t block = free_list_.back();
+  free_list_.pop_back();
+  allocated_[block] = true;
+  written_[block] = false;
+  --free_count_;
+  ++stats_.allocations;
+  std::fill_n(storage_.begin() + static_cast<std::ptrdiff_t>(block) *
+                                     block_size_,
+              block_size_, 0);
+  return block;
+}
+
+Result<void> SimDisk::free_block(std::uint32_t block) {
+  if (!valid_and_allocated(block)) {
+    return ErrorCode::no_such_object;
+  }
+  allocated_[block] = false;
+  free_list_.push_back(block);
+  ++free_count_;
+  ++stats_.frees;
+  return {};
+}
+
+Result<Buffer> SimDisk::read(std::uint32_t block) const {
+  if (!valid_and_allocated(block)) {
+    return ErrorCode::no_such_object;
+  }
+  ++stats_.reads;
+  const auto begin = storage_.begin() +
+                     static_cast<std::ptrdiff_t>(block) * block_size_;
+  return Buffer(begin, begin + block_size_);
+}
+
+Result<void> SimDisk::write(std::uint32_t block,
+                            std::span<const std::uint8_t> data) {
+  if (!valid_and_allocated(block)) {
+    return ErrorCode::no_such_object;
+  }
+  if (data.size() > block_size_) {
+    return ErrorCode::invalid_argument;
+  }
+  if (write_once_ && written_[block]) {
+    return ErrorCode::immutable;
+  }
+  written_[block] = true;
+  ++stats_.writes;
+  const auto begin = storage_.begin() +
+                     static_cast<std::ptrdiff_t>(block) * block_size_;
+  std::copy(data.begin(), data.end(), begin);
+  std::fill(begin + static_cast<std::ptrdiff_t>(data.size()),
+            begin + block_size_, 0);
+  return {};
+}
+
+}  // namespace amoeba::servers

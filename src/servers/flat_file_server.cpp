@@ -1,0 +1,268 @@
+#include "amoeba/servers/flat_file_server.hpp"
+
+#include <algorithm>
+
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::servers {
+
+FlatFileServer::FlatFileServer(
+    net::Machine& machine, Port get_port,
+    std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed,
+    Port block_server_port)
+    : rpc::Service(machine, get_port, "flatfile"),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
+      transport_(machine, seed ^ 0xF17EULL),
+      blocks_(transport_, block_server_port) {}
+
+void FlatFileServer::set_pricing(Pricing pricing) {
+  const std::lock_guard lock(mutex_);
+  pricing_ = std::move(pricing);
+}
+
+Result<void> FlatFileServer::charge(Inode& inode, std::int64_t block_count) {
+  if (!pricing_.has_value() || !inode.paid || block_count == 0) {
+    return {};
+  }
+  BankClient bank(transport_, pricing_->bank_port);
+  if (block_count > 0) {
+    return bank.transfer(inode.payer, pricing_->server_account,
+                         pricing_->currency,
+                         block_count * pricing_->price_per_block);
+  }
+  // Negative: refund on destroy ("returning the resource might result in
+  // the client getting his money back").
+  return bank.transfer(pricing_->server_account, inode.payer,
+                       pricing_->currency,
+                       -block_count * pricing_->price_per_block);
+}
+
+net::Message FlatFileServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  // Lazily learn the block size from the block server (it may not have
+  // been started before us).
+  if (block_size_ == 0) {
+    auto info = blocks_.info();
+    if (!info.ok()) {
+      return error_reply(request, ErrorCode::internal);
+    }
+    block_size_ = info.value().block_size;
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case file_op::kCreate:
+      return do_create(request);
+    case file_op::kDestroy:
+      return do_destroy(request, cap);
+    case file_op::kRead:
+      return do_read(request, cap);
+    case file_op::kWrite:
+      return do_write(request, cap);
+    case file_op::kSize: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = opened.value().value->size;
+      return reply;
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+net::Message FlatFileServer::do_create(const net::Delivery& request) {
+  Inode inode;
+  if (pricing_.has_value()) {
+    // Payment account capability required in the data field.
+    Reader r(request.message.data);
+    inode.payer = read_capability(r);
+    if (!r.exhausted() || inode.payer.is_null()) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    inode.paid = true;
+  }
+  const core::Capability fresh = store_.create(std::move(inode));
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  set_header_capability(reply, fresh);
+  return reply;
+}
+
+net::Message FlatFileServer::do_destroy(const net::Delivery& request,
+                                        const core::Capability& cap) {
+  auto opened = store_.open(cap, core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  Inode inode = std::move(*opened.value().value);
+  const auto destroyed = store_.destroy(cap);
+  if (!destroyed.ok()) {
+    return error_reply(request, destroyed.error());
+  }
+  for (const auto& block_cap : inode.blocks) {
+    (void)blocks_.free_block(block_cap);  // best effort
+  }
+  (void)charge(inode, -static_cast<std::int64_t>(inode.blocks.size()));
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message FlatFileServer::do_read(const net::Delivery& request,
+                                     const core::Capability& cap) {
+  auto opened = store_.open(cap, core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const Inode& inode = *opened.value().value;
+  const std::uint64_t position = request.message.header.params[0];
+  std::uint64_t length = request.message.header.params[1];
+  if (position >= inode.size) {
+    return net::make_reply(request.message, ErrorCode::ok);  // empty read
+  }
+  length = std::min(length, inode.size - position);
+  Buffer out;
+  out.reserve(length);
+  std::uint64_t pos = position;
+  while (out.size() < length) {
+    const std::uint64_t block_index = pos / block_size_;
+    const std::uint64_t offset = pos % block_size_;
+    auto data = blocks_.read(inode.blocks[block_index]);
+    if (!data.ok()) {
+      return error_reply(request, ErrorCode::internal);
+    }
+    const std::uint64_t take =
+        std::min<std::uint64_t>(block_size_ - offset, length - out.size());
+    out.insert(out.end(),
+               data.value().begin() + static_cast<std::ptrdiff_t>(offset),
+               data.value().begin() + static_cast<std::ptrdiff_t>(offset + take));
+    pos += take;
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data = std::move(out);
+  return reply;
+}
+
+net::Message FlatFileServer::do_write(const net::Delivery& request,
+                                      const core::Capability& cap) {
+  auto opened = store_.open(cap, core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  Inode& inode = *opened.value().value;
+  const std::uint64_t position = request.message.header.params[0];
+  const auto& data = request.message.data;
+  if (data.empty()) {
+    return error_reply(request, ErrorCode::ok);
+  }
+  const std::uint64_t end = position + data.size();
+
+  // Grow: allocate (and charge for) the blocks the write needs.
+  const std::uint64_t needed_blocks = (end + block_size_ - 1) / block_size_;
+  if (needed_blocks > inode.blocks.size()) {
+    const std::int64_t growth =
+        static_cast<std::int64_t>(needed_blocks - inode.blocks.size());
+    if (const auto paid = charge(inode, growth); !paid.ok()) {
+      return error_reply(request, paid.error());
+    }
+    while (inode.blocks.size() < needed_blocks) {
+      auto block = blocks_.allocate();
+      if (!block.ok()) {
+        return error_reply(request, ErrorCode::no_space);
+      }
+      inode.blocks.push_back(block.value());
+    }
+  }
+
+  // Write block by block, read-modify-write at the ragged edges.
+  std::uint64_t pos = position;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t block_index = pos / block_size_;
+    const std::uint64_t offset = pos % block_size_;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        block_size_ - offset, data.size() - consumed);
+    Buffer content;
+    if (offset != 0 || take != block_size_) {
+      auto existing = blocks_.read(inode.blocks[block_index]);
+      if (!existing.ok()) {
+        return error_reply(request, ErrorCode::internal);
+      }
+      content = std::move(existing.value());
+    } else {
+      content.resize(block_size_, 0);
+    }
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(consumed), take,
+                content.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (const auto written = blocks_.write(inode.blocks[block_index], content);
+        !written.ok()) {
+      return error_reply(request, written.error());
+    }
+    pos += take;
+    consumed += take;
+  }
+  inode.size = std::max(inode.size, end);
+  return error_reply(request, ErrorCode::ok);
+}
+
+// ---------------------------------------------------------- FlatFileClient
+
+Result<core::Capability> FlatFileClient::create(
+    const core::Capability* payment) {
+  Buffer data;
+  if (payment != nullptr) {
+    Writer w;
+    write_capability(w, *payment);
+    data = w.take();
+  }
+  auto reply = call(*transport_, server_port_, file_op::kCreate, nullptr,
+                    std::move(data));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<void> FlatFileClient::destroy(const core::Capability& file) {
+  return as_void(call(*transport_, server_port_, file_op::kDestroy, &file));
+}
+
+Result<Buffer> FlatFileClient::read(const core::Capability& file,
+                                    std::uint64_t position,
+                                    std::uint64_t length) {
+  auto reply = call(*transport_, server_port_, file_op::kRead, &file, {},
+                    {position, length, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return std::move(reply.value().data);
+}
+
+Result<void> FlatFileClient::write(const core::Capability& file,
+                                   std::uint64_t position,
+                                   std::span<const std::uint8_t> data) {
+  return as_void(call(*transport_, server_port_, file_op::kWrite, &file,
+                      Buffer(data.begin(), data.end()),
+                      {position, 0, 0, 0}));
+}
+
+Result<std::uint64_t> FlatFileClient::size(const core::Capability& file) {
+  auto reply = call(*transport_, server_port_, file_op::kSize, &file);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+Result<core::Capability> FlatFileClient::restrict(const core::Capability& file,
+                                                  Rights mask) {
+  return restrict_capability(*transport_, file, mask);
+}
+
+Result<core::Capability> FlatFileClient::revoke(const core::Capability& file) {
+  return revoke_capability(*transport_, file);
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,124 @@
+// The bank server (§3.6).
+//
+// "The basis for the resource control and accounting is the bank server,
+// which manages 'bank account' objects.  The principal operation on bank
+// accounts is transferring virtual money from one account to another. ...
+// The bank server is prepared to maintain accounts in different, possibly
+// convertible, possibly inconvertible, currencies."
+//
+// Rights: kRead inspects balances, kWithdraw (bit 4) moves money out,
+// kDeposit (bit 5) lets money in.  New money enters the economy only
+// through the master capability minted at server construction -- the model
+// for "the bank" itself.  Currency conversion applies server-configured
+// rational rates; pairs without a rate are inconvertible (bad_currency).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::servers {
+
+namespace bank_rights {
+inline constexpr int kWithdrawBit = 4;
+inline constexpr int kDepositBit = 5;
+inline constexpr int kMintBit = 6;  // meaningful only on the master account
+inline constexpr Rights kWithdraw{1u << kWithdrawBit};
+inline constexpr Rights kDeposit{1u << kDepositBit};
+inline constexpr Rights kMint{1u << kMintBit};
+}  // namespace bank_rights
+
+namespace bank_op {
+inline constexpr std::uint16_t kCreateAccount = 0x0501;
+inline constexpr std::uint16_t kBalance = 0x0502;   // params[0]=currency
+inline constexpr std::uint16_t kTransfer = 0x0503;  // params: currency, amount; data: to-cap
+inline constexpr std::uint16_t kConvert = 0x0504;   // params: from_cur, to_cur, amount
+inline constexpr std::uint16_t kMint = 0x0505;      // params: currency, amount; data: to-cap
+}  // namespace bank_op
+
+/// Currencies are small integers; the examples use these.
+namespace currency {
+inline constexpr std::uint32_t kDollar = 0;  // disk space
+inline constexpr std::uint32_t kFranc = 1;   // CPU time
+inline constexpr std::uint32_t kYen = 2;     // phototypesetter pages
+}  // namespace currency
+
+class BankServer final : public rpc::Service {
+ public:
+  BankServer(net::Machine& machine, Port get_port,
+             std::shared_ptr<const core::ProtectionScheme> scheme,
+             std::uint64_t seed);
+
+  /// The bank's own capability: the only source of new money (kMint).
+  [[nodiscard]] core::Capability master_capability() const {
+    return master_;
+  }
+
+  /// Configures a conversion rate: amount_to = amount_from * num / den
+  /// (integer floor).  Unconfigured pairs are inconvertible.
+  void set_conversion_rate(std::uint32_t from, std::uint32_t to,
+                           std::int64_t num, std::int64_t den);
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  struct Account {
+    std::unordered_map<std::uint32_t, std::int64_t> balances;
+    bool is_master = false;
+  };
+
+  net::Message do_transfer(const net::Delivery& request,
+                           const core::Capability& from_cap);
+  net::Message do_convert(const net::Delivery& request,
+                          const core::Capability& cap);
+  net::Message do_mint(const net::Delivery& request,
+                       const core::Capability& master_cap);
+
+  mutable std::mutex mutex_;
+  core::ObjectStore<Account> store_;
+  core::Capability master_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::pair<std::int64_t, std::int64_t>>
+      rates_;
+};
+
+/// Client stub for the bank service.
+class BankClient {
+ public:
+  BankClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  [[nodiscard]] Result<core::Capability> create_account();
+  [[nodiscard]] Result<std::int64_t> balance(const core::Capability& account,
+                                             std::uint32_t currency);
+  /// Moves `amount` of `currency` from `from` (withdraw right) to `to`
+  /// (deposit right).  The target capability travels in the data field.
+  [[nodiscard]] Result<void> transfer(const core::Capability& from,
+                                      const core::Capability& to,
+                                      std::uint32_t currency,
+                                      std::int64_t amount);
+  /// Converts within one account at the configured rate.
+  [[nodiscard]] Result<std::int64_t> convert(const core::Capability& account,
+                                             std::uint32_t from_currency,
+                                             std::uint32_t to_currency,
+                                             std::int64_t amount);
+  /// Creates new money (master capability only).
+  [[nodiscard]] Result<void> mint(const core::Capability& master,
+                                  const core::Capability& to,
+                                  std::uint32_t currency, std::int64_t amount);
+
+  [[nodiscard]] Port server_port() const { return server_port_; }
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+}  // namespace amoeba::servers

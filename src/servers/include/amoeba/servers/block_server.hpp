@@ -1,0 +1,86 @@
+// The block server (§3.2).
+//
+// "The block server can be requested to allocate a disk block and return a
+// capability for it.  Using this capability, the block can be written,
+// read, or deallocated.  The block server has no concept of a file."
+//
+// Splitting block storage from file semantics is the modularity claim of
+// the paper's first file system: anyone holding block capabilities can
+// build their own special-purpose file system on top (the flat file server
+// in this repo is exactly such a client).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/disk.hpp"
+
+namespace amoeba::servers {
+
+namespace block_op {
+inline constexpr std::uint16_t kAllocate = 0x0101;
+inline constexpr std::uint16_t kRead = 0x0102;
+inline constexpr std::uint16_t kWrite = 0x0103;
+inline constexpr std::uint16_t kFree = 0x0104;
+inline constexpr std::uint16_t kInfo = 0x0105;  // geometry + free space
+}  // namespace block_op
+
+class BlockServer final : public rpc::Service {
+ public:
+  struct Geometry {
+    std::uint32_t block_count = 4096;
+    std::uint32_t block_size = 1024;
+    bool write_once = false;
+  };
+
+  BlockServer(net::Machine& machine, Port get_port,
+              std::shared_ptr<const core::ProtectionScheme> scheme,
+              std::uint64_t seed, Geometry geometry);
+
+  [[nodiscard]] std::uint32_t block_size() const {
+    return geometry_.block_size;
+  }
+
+  /// Disk statistics snapshot (for benches / tests).
+  [[nodiscard]] SimDisk::Stats disk_stats() const;
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  Geometry geometry_;
+  mutable std::mutex mutex_;  // guards disk_ and store_ together
+  SimDisk disk_;
+  core::ObjectStore<std::uint32_t> store_;  // payload: disk block index
+};
+
+/// Client stub for the block service.
+class BlockClient {
+ public:
+  BlockClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  [[nodiscard]] Result<core::Capability> allocate();
+  [[nodiscard]] Result<Buffer> read(const core::Capability& block);
+  [[nodiscard]] Result<void> write(const core::Capability& block,
+                                   std::span<const std::uint8_t> data);
+  [[nodiscard]] Result<void> free_block(const core::Capability& block);
+
+  struct Info {
+    std::uint32_t block_count;
+    std::uint32_t block_size;
+    std::uint32_t free_blocks;
+  };
+  [[nodiscard]] Result<Info> info();
+
+  [[nodiscard]] Port server_port() const { return server_port_; }
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+}  // namespace amoeba::servers

@@ -1,0 +1,158 @@
+// Conventions shared by every Amoeba service in this repository.
+//
+// Requests carry the object capability in the message header (the paper's
+// standard message format reserves that slot); additional capabilities --
+// a transfer target, a segment list, a payment account -- travel in the
+// data field, exactly as §2.1 describes ("users are free to put other
+// capabilities in the data field as required").
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "amoeba/common/serial.hpp"
+#include "amoeba/core/capability.hpp"
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/net/message.hpp"
+#include "amoeba/rpc/transport.hpp"
+
+namespace amoeba::servers {
+
+/// Places a capability into the header slot of a message.
+inline void set_header_capability(net::Message& msg,
+                                  const core::Capability& cap) {
+  msg.header.capability = core::pack(cap);
+}
+
+/// Reads the header capability.
+[[nodiscard]] inline core::Capability header_capability(
+    const net::Message& msg) {
+  return core::unpack(msg.header.capability);
+}
+
+/// Serializes a capability into a data stream (16 raw bytes).
+inline void write_capability(Writer& w, const core::Capability& cap) {
+  const auto bytes = core::pack(cap);
+  for (const auto b : bytes) {
+    w.u8(b);
+  }
+}
+
+/// Deserializes a capability from a data stream.
+[[nodiscard]] inline core::Capability read_capability(Reader& r) {
+  core::CapabilityBytes bytes{};
+  for (auto& b : bytes) {
+    b = r.u8();
+  }
+  return core::unpack(bytes);
+}
+
+/// Builds an error reply (no payload).
+[[nodiscard]] inline net::Message error_reply(const net::Delivery& request,
+                                              ErrorCode code) {
+  return net::make_reply(request.message, code);
+}
+
+/// Extracts a Result<T>'s error as a reply, for the common pattern
+///   auto opened = store_.open(...); if (!opened.ok()) return fail(...);
+template <typename T>
+[[nodiscard]] net::Message fail(const net::Delivery& request,
+                                const Result<T>& result) {
+  return net::make_reply(request.message, result.error());
+}
+
+/// One client-side RPC: build the request, run the transaction, surface
+/// transport errors and non-ok reply statuses as errors, hand back the
+/// reply message otherwise.  The vocabulary call every client stub uses.
+[[nodiscard]] inline Result<net::Message> call(
+    rpc::Transport& transport, Port dest, std::uint16_t opcode,
+    const core::Capability* cap = nullptr, Buffer data = {},
+    std::array<std::uint64_t, 4> params = {}) {
+  net::Message req;
+  req.header.dest = dest;
+  req.header.opcode = opcode;
+  req.header.params = params;
+  if (cap != nullptr) {
+    set_header_capability(req, *cap);
+  }
+  req.data = std::move(data);
+  auto reply = transport.trans(std::move(req));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  if (reply.value().message.header.status != ErrorCode::ok) {
+    return reply.value().message.header.status;
+  }
+  return std::move(reply.value().message);
+}
+
+/// Collapses a status-only reply into Result<void>.
+[[nodiscard]] inline Result<void> as_void(const Result<net::Message>& reply) {
+  return reply.ok() ? Result<void>{} : Result<void>{reply.error()};
+}
+
+// ------------------------------------------------------------------------
+// Owner operations every Amoeba server offers (§2.3): fabricating a
+// sub-capability with fewer rights, and revoking all outstanding
+// capabilities by rotating the object's random number.  Reserved opcodes,
+// identical wire format on every server, one shared implementation.
+
+inline constexpr std::uint16_t kOpRestrict = 0xF0;  // params[0] = mask
+inline constexpr std::uint16_t kOpRevoke = 0xF1;
+
+/// Server side: intercepts the shared owner opcodes against the given
+/// object store.  Returns nullopt if the opcode is not one of them.
+template <typename T>
+[[nodiscard]] std::optional<net::Message> handle_owner_ops(
+    core::ObjectStore<T>& store, const net::Delivery& request) {
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case kOpRestrict: {
+      const Rights mask(
+          static_cast<std::uint8_t>(request.message.header.params[0]));
+      auto restricted = store.restrict(cap, mask);
+      if (!restricted.ok()) {
+        return net::make_reply(request.message, restricted.error());
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, restricted.value());
+      return reply;
+    }
+    case kOpRevoke: {
+      auto fresh = store.revoke(cap);
+      if (!fresh.ok()) {
+        return net::make_reply(request.message, fresh.error());
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh.value());
+      return reply;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Client side: asks the managing server (addressed through the
+/// capability's own SERVER field) for a narrowed duplicate.
+[[nodiscard]] inline Result<core::Capability> restrict_capability(
+    rpc::Transport& transport, const core::Capability& cap, Rights mask) {
+  auto reply = call(transport, cap.server_port, kOpRestrict, &cap, {},
+                    {mask.bits(), 0, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+/// Client side: revokes every outstanding capability for the object and
+/// returns the fresh replacement (requires the admin right).
+[[nodiscard]] inline Result<core::Capability> revoke_capability(
+    rpc::Transport& transport, const core::Capability& cap) {
+  auto reply = call(transport, cap.server_port, kOpRevoke, &cap);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,93 @@
+// The directory server (§3.4).
+//
+// "The directory server manages directories, each of which is a set of
+// (ASCII name, capability) pairs. ... Note that the capabilities within a
+// directory need not all be file capabilities and certainly need not all
+// be located in the same place or managed by the same server."
+//
+// Directories map names to arbitrary 16-byte capabilities -- files on any
+// file server, other directories on *other directory servers*, bank
+// accounts, anything.  Path resolution (resolve_path) follows each
+// returned capability's SERVER field, so a walk hops between servers
+// without the client noticing: "the distribution is completely
+// transparent."
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/common.hpp"
+
+namespace amoeba::servers {
+
+namespace dir_op {
+inline constexpr std::uint16_t kCreateDir = 0x0301;
+inline constexpr std::uint16_t kLookup = 0x0302;   // data: name
+inline constexpr std::uint16_t kEnter = 0x0303;    // data: name + capability
+inline constexpr std::uint16_t kRemove = 0x0304;   // data: name
+inline constexpr std::uint16_t kList = 0x0305;     // reply data: entries
+inline constexpr std::uint16_t kDeleteDir = 0x0306;
+}  // namespace dir_op
+
+class DirectoryServer final : public rpc::Service {
+ public:
+  DirectoryServer(net::Machine& machine, Port get_port,
+                  std::shared_ptr<const core::ProtectionScheme> scheme,
+                  std::uint64_t seed);
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  using Directory = std::map<std::string, core::CapabilityBytes>;
+
+  mutable std::mutex mutex_;
+  core::ObjectStore<Directory> store_;
+};
+
+/// One directory entry as returned by list().
+struct DirEntry {
+  std::string name;
+  core::Capability capability;
+};
+
+/// Client stub for a directory service.
+class DirectoryClient {
+ public:
+  DirectoryClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  [[nodiscard]] Result<core::Capability> create_dir();
+  [[nodiscard]] Result<core::Capability> lookup(const core::Capability& dir,
+                                                const std::string& name);
+  [[nodiscard]] Result<void> enter(const core::Capability& dir,
+                                   const std::string& name,
+                                   const core::Capability& target);
+  [[nodiscard]] Result<void> remove(const core::Capability& dir,
+                                    const std::string& name);
+  [[nodiscard]] Result<std::vector<DirEntry>> list(
+      const core::Capability& dir);
+  /// Deletes an empty directory (not_empty otherwise).
+  [[nodiscard]] Result<void> delete_dir(const core::Capability& dir);
+
+  [[nodiscard]] Port server_port() const { return server_port_; }
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+/// Walks `path` ("a/b/c") component by component starting from `root`.
+/// Each step is addressed to the *current* capability's server port, so
+/// the walk transparently crosses directory servers.  Empty components are
+/// rejected; an empty path returns `root` itself.
+[[nodiscard]] Result<core::Capability> resolve_path(
+    rpc::Transport& transport, const core::Capability& root,
+    std::string_view path);
+
+}  // namespace amoeba::servers

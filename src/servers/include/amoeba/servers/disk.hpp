@@ -1,0 +1,63 @@
+// The simulated disk behind the block server.
+//
+// Fixed geometry (block count x block size), a free bitmap, operation
+// statistics, and an optional write-once mode that models the "video disks
+// and other write-once media" the multiversion file server was designed
+// for (§3.5): in write-once mode a block may be written exactly once
+// between allocation and free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/serial.hpp"
+
+namespace amoeba::servers {
+
+class SimDisk {
+ public:
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t frees = 0;
+  };
+
+  SimDisk(std::uint32_t block_count, std::uint32_t block_size,
+          bool write_once = false);
+
+  /// Allocates a zeroed block; no_space when full.
+  [[nodiscard]] Result<std::uint32_t> allocate();
+
+  /// Releases a block back to the free list.
+  [[nodiscard]] Result<void> free_block(std::uint32_t block);
+
+  /// Whole-block read.
+  [[nodiscard]] Result<Buffer> read(std::uint32_t block) const;
+
+  /// Writes up to block_size bytes at offset 0 (rest stays zero).  In
+  /// write-once mode a second write to the same allocation is `immutable`.
+  [[nodiscard]] Result<void> write(std::uint32_t block,
+                                   std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
+  [[nodiscard]] std::uint32_t block_count() const { return block_count_; }
+  [[nodiscard]] std::uint32_t free_count() const { return free_count_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool valid_and_allocated(std::uint32_t block) const;
+
+  std::uint32_t block_count_;
+  std::uint32_t block_size_;
+  bool write_once_;
+  std::vector<std::uint8_t> storage_;
+  std::vector<bool> allocated_;
+  std::vector<bool> written_;  // write-once tracking
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t free_count_;
+  mutable Stats stats_;
+};
+
+}  // namespace amoeba::servers

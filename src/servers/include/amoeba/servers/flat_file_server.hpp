@@ -1,0 +1,117 @@
+// The flat file server (§3.3).
+//
+// "The flat file server provides its clients with files consisting of a
+// linear sequence of bytes, numbered from 0 to the file size - 1. ...
+// The server does not have any concept of an 'open' file.  One can operate
+// on any file for which a valid capability can be presented."
+//
+// It stores no data itself: it is a *client of the block server*, holding
+// block capabilities in its per-file tables -- the paper's modular
+// file-system stack made concrete.  Optionally it charges for storage
+// through the bank server (§3.6): when pricing is configured, CREATE FILE
+// must carry a payment account capability in the data field, and block
+// allocations are paid for at the configured price per block.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/bank_server.hpp"
+#include "amoeba/servers/block_server.hpp"
+
+namespace amoeba::servers {
+
+namespace file_op {
+inline constexpr std::uint16_t kCreate = 0x0201;
+inline constexpr std::uint16_t kDestroy = 0x0202;
+inline constexpr std::uint16_t kRead = 0x0203;   // params[0]=position, [1]=length
+inline constexpr std::uint16_t kWrite = 0x0204;  // params[0]=position
+inline constexpr std::uint16_t kSize = 0x0205;
+// Restriction/revocation use the shared owner opcodes in common.hpp.
+}  // namespace file_op
+
+class FlatFileServer final : public rpc::Service {
+ public:
+  /// Quota-by-pricing (§3.6): x units per block of disk space.
+  struct Pricing {
+    Port bank_port;
+    core::Capability server_account;  // deposit right required
+    std::uint32_t currency = 0;
+    std::int64_t price_per_block = 1;
+  };
+
+  FlatFileServer(net::Machine& machine, Port get_port,
+                 std::shared_ptr<const core::ProtectionScheme> scheme,
+                 std::uint64_t seed, Port block_server_port);
+
+  /// Enables storage charging.  Must be called before start().
+  void set_pricing(Pricing pricing);
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  struct Inode {
+    std::uint64_t size = 0;
+    std::vector<core::Capability> blocks;  // block-server capabilities
+    core::Capability payer;                // account charged for growth
+    bool paid = false;                     // pricing active for this file
+  };
+
+  /// Charges `blocks` worth of space to the inode's payer; no-op when
+  /// pricing is off or the file was created before pricing.
+  [[nodiscard]] Result<void> charge(Inode& inode, std::int64_t blocks);
+
+  net::Message do_create(const net::Delivery& request);
+  net::Message do_destroy(const net::Delivery& request,
+                          const core::Capability& cap);
+  net::Message do_read(const net::Delivery& request,
+                       const core::Capability& cap);
+  net::Message do_write(const net::Delivery& request,
+                        const core::Capability& cap);
+
+  mutable std::mutex mutex_;
+  core::ObjectStore<Inode> store_;
+  rpc::Transport transport_;  // for talking to the block (and bank) server
+  BlockClient blocks_;
+  std::uint32_t block_size_ = 0;  // fetched lazily from the block server
+  std::optional<Pricing> pricing_;
+};
+
+/// Client stub for the flat file service.
+class FlatFileClient {
+ public:
+  FlatFileClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  /// Creates an empty file.  `payment`: account capability when the server
+  /// charges for storage.
+  [[nodiscard]] Result<core::Capability> create(
+      const core::Capability* payment = nullptr);
+  [[nodiscard]] Result<void> destroy(const core::Capability& file);
+  [[nodiscard]] Result<Buffer> read(const core::Capability& file,
+                                    std::uint64_t position,
+                                    std::uint64_t length);
+  [[nodiscard]] Result<void> write(const core::Capability& file,
+                                   std::uint64_t position,
+                                   std::span<const std::uint8_t> data);
+  [[nodiscard]] Result<std::uint64_t> size(const core::Capability& file);
+  /// Server-side sub-capability fabrication (schemes 0-2 path).
+  [[nodiscard]] Result<core::Capability> restrict(const core::Capability& file,
+                                                  Rights mask);
+  /// Rotates the object's random number: instant revocation.
+  [[nodiscard]] Result<core::Capability> revoke(const core::Capability& file);
+
+  [[nodiscard]] Port server_port() const { return server_port_; }
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+}  // namespace amoeba::servers

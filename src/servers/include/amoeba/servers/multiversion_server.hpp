@@ -1,0 +1,109 @@
+// The multiversion file server (§3.5).
+//
+// "An important property of this file system is its ability to provide
+// atomic updates on files.  In short, a user can ask to make a new version
+// of a file, which results in a capability for the new version.  The new
+// version acts like it is a page-by-page copy of the original ... The new
+// version can be modified at will, and then atomically 'committed', thus
+// becoming the new file.  A file is thus a sequence of versions.  Once a
+// version of a file has been committed, it cannot be modified."
+//
+// Commit uses optimistic concurrency control (the Mullender & Tanenbaum
+// 1982 design this section summarizes): a draft records which version it
+// was forked from; commit succeeds only if that version is still the head,
+// otherwise the competing committer won and the caller gets `conflict`.
+//
+// Two object kinds live in one capability space: files (the committed
+// version sequence) and drafts (uncommitted new versions).  Draft writes
+// are copy-on-write through the PageStore, so a draft of a gigabyte file
+// costs O(pages actually changed).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <variant>
+#include <vector>
+
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/page_tree.hpp"
+
+namespace amoeba::servers {
+
+namespace mv_op {
+inline constexpr std::uint16_t kCreateFile = 0x0401;
+inline constexpr std::uint16_t kNewVersion = 0x0402;  // file cap -> draft cap
+inline constexpr std::uint16_t kReadPage = 0x0403;    // params: page, version
+inline constexpr std::uint16_t kWritePage = 0x0404;   // draft cap; params[0]=page
+inline constexpr std::uint16_t kCommit = 0x0405;      // draft cap
+inline constexpr std::uint16_t kAbort = 0x0406;       // draft cap
+inline constexpr std::uint16_t kHistory = 0x0407;     // file cap -> version count
+inline constexpr std::uint16_t kDestroyFile = 0x0408;
+}  // namespace mv_op
+
+class MultiVersionServer final : public rpc::Service {
+ public:
+  MultiVersionServer(net::Machine& machine, Port get_port,
+                     std::shared_ptr<const core::ProtectionScheme> scheme,
+                     std::uint64_t seed, std::uint32_t page_size = 1024);
+
+  [[nodiscard]] std::uint32_t page_size() const { return pages_.page_size(); }
+  [[nodiscard]] PageStore::Stats page_stats() const;
+
+ protected:
+  net::Message handle(const net::Delivery& request) override;
+
+ private:
+  struct FileObj {
+    std::vector<std::uint32_t> version_roots;  // [0] = v0; back() = head
+  };
+  struct DraftObj {
+    ObjectNumber file;
+    std::size_t base_versions = 0;  // history length at fork time
+    std::uint32_t root = PageStore::kEmptyRoot;
+  };
+  using Payload = std::variant<FileObj, DraftObj>;
+
+  net::Message do_read_page(const net::Delivery& request,
+                            const core::Capability& cap);
+  net::Message do_commit(const net::Delivery& request,
+                         const core::Capability& cap);
+
+  mutable std::mutex mutex_;
+  core::ObjectStore<Payload> store_;
+  PageStore pages_;
+};
+
+/// Client stub for the multiversion file service.
+class MultiVersionClient {
+ public:
+  MultiVersionClient(rpc::Transport& transport, Port server_port)
+      : transport_(&transport), server_port_(server_port) {}
+
+  [[nodiscard]] Result<core::Capability> create_file();
+  /// Forks a draft ("make a new version") from the current head.
+  [[nodiscard]] Result<core::Capability> new_version(
+      const core::Capability& file);
+  /// Reads from a committed version (version_index; npos = head) of a file
+  /// capability, or from a draft capability's working tree.
+  static constexpr std::uint64_t kHead = ~std::uint64_t{0};
+  [[nodiscard]] Result<Buffer> read_page(const core::Capability& cap,
+                                         std::uint32_t page_no,
+                                         std::uint64_t version_index = kHead);
+  [[nodiscard]] Result<void> write_page(const core::Capability& draft,
+                                        std::uint32_t page_no,
+                                        std::span<const std::uint8_t> data);
+  /// Atomic commit; `conflict` if another draft committed first.
+  [[nodiscard]] Result<std::uint64_t> commit(const core::Capability& draft);
+  [[nodiscard]] Result<void> abort(const core::Capability& draft);
+  [[nodiscard]] Result<std::uint64_t> history(const core::Capability& file);
+  [[nodiscard]] Result<void> destroy(const core::Capability& file);
+
+ private:
+  rpc::Transport* transport_;
+  Port server_port_;
+};
+
+}  // namespace amoeba::servers

@@ -1,0 +1,96 @@
+// Persistent copy-on-write page trees: the storage substrate of the
+// multiversion file server (§3.5).
+//
+// "Each file consists of a tree of pages ... The new version acts like it
+// is a page-by-page copy of the original, although in fact, pages are only
+// copied when they are changed."
+//
+// A PageStore holds refcounted internal nodes (fixed fanout) and
+// refcounted data pages.  A *root id* denotes an immutable snapshot;
+// writing a page path-copies the O(depth) nodes from root to leaf and
+// returns a new root, sharing every untouched subtree with the old one.
+// Snapshots are retained/released explicitly; subtrees free themselves
+// when their last referencing snapshot disappears.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/serial.hpp"
+
+namespace amoeba::servers {
+
+class PageStore {
+ public:
+  static constexpr std::uint32_t kFanout = 16;
+  static constexpr int kDepth = 4;  // kFanout^kDepth = 65536 pages max
+  static constexpr std::uint32_t kMaxPages = 65536;
+  /// Root id of the canonical empty tree.
+  static constexpr std::uint32_t kEmptyRoot = 0;
+
+  struct Stats {
+    std::uint64_t nodes_copied = 0;
+    std::uint64_t pages_written = 0;
+    std::uint64_t live_nodes = 0;
+    std::uint64_t live_pages = 0;
+  };
+
+  explicit PageStore(std::uint32_t page_size);
+
+  [[nodiscard]] std::uint32_t page_size() const { return page_size_; }
+
+  /// Reads a page under `root`.  Unwritten pages read as all-zero (holes).
+  [[nodiscard]] Result<Buffer> read(std::uint32_t root,
+                                    std::uint32_t page_no) const;
+
+  /// Copy-on-write update: returns the root of a new snapshot in which
+  /// `page_no` holds `data` (zero-padded to page_size) and every other
+  /// page is shared with `root`.  The caller owns one reference to the new
+  /// root; `root`'s reference count is untouched.
+  [[nodiscard]] Result<std::uint32_t> write(std::uint32_t root,
+                                            std::uint32_t page_no,
+                                            std::span<const std::uint8_t> data);
+
+  /// Adds a reference to a snapshot (e.g. a draft starting from a
+  /// committed version's root).
+  void retain(std::uint32_t root);
+
+  /// Drops a reference; frees unshared subtrees when it was the last.
+  void release(std::uint32_t root);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::array<std::uint32_t, kFanout> children{};  // 0 = absent
+    std::uint32_t refcount = 0;
+  };
+  struct Page {
+    Buffer data;
+    std::uint32_t refcount = 0;
+  };
+
+  // Ids: 0 = null; odd ids are nodes, even ids are pages (id -> index via
+  // /2).  Keeps one 32-bit id space over both pools.
+  [[nodiscard]] static bool is_page_id(std::uint32_t id) {
+    return id != 0 && id % 2 == 0;
+  }
+  [[nodiscard]] std::uint32_t alloc_node(const Node& content);
+  [[nodiscard]] std::uint32_t alloc_page(std::span<const std::uint8_t> data);
+  void release_id(std::uint32_t id);
+
+  [[nodiscard]] std::uint32_t cow(std::uint32_t node_id, int level,
+                                  std::uint32_t page_no,
+                                  std::span<const std::uint8_t> data);
+
+  std::uint32_t page_size_;
+  std::vector<Node> nodes_;
+  std::vector<Page> pages_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::vector<std::uint32_t> free_pages_;
+  Stats stats_;
+};
+
+}  // namespace amoeba::servers

@@ -1,0 +1,105 @@
+// The capability-based UNIX file system (§3.5).
+//
+// "The third file system is a capability-based UNIX file system, to ease
+// the problem of moving existing applications from UNIX to Amoeba."
+//
+// Implemented the Amoeba way: not a new server, but a client-side
+// compatibility layer that maps the UNIX vocabulary -- paths, file
+// descriptors, open/read/write/lseek/close, mkdir/unlink/rename -- onto
+// directory-server entries and flat-file capabilities.  Every descriptor
+// is just a (capability, offset) pair in user memory; permissions are
+// whatever rights the underlying capability grants, so a descriptor
+// opened through a read-only capability behaves like an O_RDONLY fd
+// enforced by the *server*, not by local bookkeeping.
+//
+// Non-goals (documented, not hidden): no hard links (a directory entry IS
+// the capability; entering one capability twice aliases the file, which
+// is UNIX-link-like but without link counts), and rename is
+// lookup+enter+remove, not atomic across directories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amoeba/servers/directory_server.hpp"
+#include "amoeba/servers/flat_file_server.hpp"
+
+namespace amoeba::servers {
+
+class UnixFs {
+ public:
+  /// open() flags; combine with |.
+  static constexpr int kRead = 1;
+  static constexpr int kWrite = 2;
+  static constexpr int kCreate = 4;   // create if absent (needs kWrite)
+  static constexpr int kTrunc = 8;    // recreate as empty (needs kWrite)
+  static constexpr int kAppend = 16;  // every write goes to EOF
+
+  enum class Whence { kSet, kCur, kEnd };
+
+  struct Stat {
+    bool is_directory = false;
+    std::uint64_t size = 0;  // bytes for files, entries for directories
+    core::Capability capability;
+  };
+
+  /// Mounts an existing root directory capability.
+  UnixFs(rpc::Transport& transport, Port file_server_port,
+         core::Capability root);
+
+  /// Creates a fresh root directory ("mkfs").
+  [[nodiscard]] static Result<UnixFs> format(rpc::Transport& transport,
+                                             Port directory_server_port,
+                                             Port file_server_port);
+
+  [[nodiscard]] const core::Capability& root() const { return root_; }
+
+  // ---- file descriptor API -------------------------------------------
+  [[nodiscard]] Result<int> open(std::string_view path, int flags);
+  [[nodiscard]] Result<Buffer> read(int fd, std::uint64_t count);
+  [[nodiscard]] Result<std::uint64_t> write(int fd,
+                                            std::span<const std::uint8_t> data);
+  [[nodiscard]] Result<std::uint64_t> lseek(int fd, std::int64_t offset,
+                                            Whence whence);
+  [[nodiscard]] Result<void> close(int fd);
+
+  // ---- path API -------------------------------------------------------
+  [[nodiscard]] Result<void> mkdir(std::string_view path);
+  [[nodiscard]] Result<void> rmdir(std::string_view path);
+  /// Removes the name; the file object itself is destroyed too (no link
+  /// counts -- see header comment).
+  [[nodiscard]] Result<void> unlink(std::string_view path);
+  [[nodiscard]] Result<std::vector<DirEntry>> readdir(std::string_view path);
+  [[nodiscard]] Result<Stat> stat(std::string_view path);
+  /// lookup + enter + remove; not atomic.
+  [[nodiscard]] Result<void> rename(std::string_view from,
+                                    std::string_view to);
+
+ private:
+  struct OpenFile {
+    core::Capability capability;
+    std::uint64_t offset = 0;
+    int flags = 0;
+  };
+
+  struct Located {
+    core::Capability parent;  // directory holding the entry
+    std::string name;         // final component
+  };
+
+  /// Splits a path into (parent directory capability, final name),
+  /// resolving all intermediate components.
+  [[nodiscard]] Result<Located> locate_parent(std::string_view path);
+  [[nodiscard]] Result<OpenFile*> descriptor(int fd);
+  [[nodiscard]] bool is_directory_capability(const core::Capability& cap) const;
+
+  rpc::Transport* transport_;
+  Port file_server_port_;
+  core::Capability root_;
+  std::vector<std::optional<OpenFile>> fds_;
+};
+
+}  // namespace amoeba::servers

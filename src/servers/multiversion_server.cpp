@@ -1,0 +1,251 @@
+#include "amoeba/servers/multiversion_server.hpp"
+
+namespace amoeba::servers {
+
+MultiVersionServer::MultiVersionServer(
+    net::Machine& machine, Port get_port,
+    std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed,
+    std::uint32_t page_size)
+    : rpc::Service(machine, get_port, "multiversion"),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
+      pages_(page_size) {}
+
+PageStore::Stats MultiVersionServer::page_stats() const {
+  const std::lock_guard lock(mutex_);
+  return pages_.stats();
+}
+
+net::Message MultiVersionServer::handle(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
+    return std::move(*owner);
+  }
+  const core::Capability cap = header_capability(request.message);
+  switch (request.message.header.opcode) {
+    case mv_op::kCreateFile: {
+      FileObj file;
+      file.version_roots.push_back(PageStore::kEmptyRoot);  // empty v0
+      const core::Capability fresh = store_.create(Payload{std::move(file)});
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, fresh);
+      return reply;
+    }
+    case mv_op::kNewVersion: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* file = std::get_if<FileObj>(opened.value().value);
+      if (file == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      DraftObj draft;
+      draft.file = opened.value().object;
+      draft.base_versions = file->version_roots.size();
+      draft.root = file->version_roots.back();
+      pages_.retain(draft.root);  // the draft holds its own snapshot ref
+      const core::Capability draft_cap =
+          store_.create(Payload{std::move(draft)});
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      set_header_capability(reply, draft_cap);
+      return reply;
+    }
+    case mv_op::kReadPage:
+      return do_read_page(request, cap);
+    case mv_op::kWritePage: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* draft = std::get_if<DraftObj>(opened.value().value);
+      if (draft == nullptr) {
+        // Writing a file capability directly: committed versions are
+        // immutable; only drafts accept writes.
+        return error_reply(request, ErrorCode::immutable);
+      }
+      const std::uint32_t page_no =
+          static_cast<std::uint32_t>(request.message.header.params[0]);
+      auto new_root = pages_.write(draft->root, page_no,
+                                   request.message.data);
+      if (!new_root.ok()) {
+        return error_reply(request, new_root.error());
+      }
+      pages_.release(draft->root);
+      draft->root = new_root.value();
+      return error_reply(request, ErrorCode::ok);
+    }
+    case mv_op::kCommit:
+      return do_commit(request, cap);
+    case mv_op::kAbort: {
+      auto opened = store_.open(cap, core::rights::kWrite);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* draft = std::get_if<DraftObj>(opened.value().value);
+      if (draft == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      pages_.release(draft->root);
+      // Drafts are destroyed through their own object slot; the caller's
+      // capability must allow destruction, which a fresh draft cap does.
+      return error_reply(request, store_.destroy(cap).error());
+    }
+    case mv_op::kHistory: {
+      auto opened = store_.open(cap, core::rights::kRead);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* file = std::get_if<FileObj>(opened.value().value);
+      if (file == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+      reply.header.params[0] = file->version_roots.size();
+      return reply;
+    }
+    case mv_op::kDestroyFile: {
+      auto opened = store_.open(cap, core::rights::kDestroy);
+      if (!opened.ok()) {
+        return fail(request, opened);
+      }
+      auto* file = std::get_if<FileObj>(opened.value().value);
+      if (file == nullptr) {
+        return error_reply(request, ErrorCode::invalid_argument);
+      }
+      for (const std::uint32_t root : file->version_roots) {
+        pages_.release(root);
+      }
+      return error_reply(request, store_.destroy(cap).error());
+    }
+    default:
+      return error_reply(request, ErrorCode::no_such_operation);
+  }
+}
+
+net::Message MultiVersionServer::do_read_page(const net::Delivery& request,
+                                              const core::Capability& cap) {
+  auto opened = store_.open(cap, core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const std::uint32_t page_no =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  std::uint32_t root;
+  if (const auto* draft = std::get_if<DraftObj>(opened.value().value)) {
+    root = draft->root;
+  } else {
+    const auto& file = std::get<FileObj>(*opened.value().value);
+    const std::uint64_t version = request.message.header.params[1];
+    if (version == MultiVersionClient::kHead) {
+      root = file.version_roots.back();
+    } else if (version < file.version_roots.size()) {
+      root = file.version_roots[version];
+    } else {
+      return error_reply(request, ErrorCode::not_found);
+    }
+  }
+  auto data = pages_.read(root, page_no);
+  if (!data.ok()) {
+    return error_reply(request, data.error());
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data = std::move(data.value());
+  return reply;
+}
+
+net::Message MultiVersionServer::do_commit(const net::Delivery& request,
+                                           const core::Capability& cap) {
+  auto opened = store_.open(cap, core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* draft = std::get_if<DraftObj>(opened.value().value);
+  if (draft == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  auto* file_payload = store_.peek(draft->file);
+  auto* file =
+      file_payload == nullptr ? nullptr : std::get_if<FileObj>(file_payload);
+  if (file == nullptr) {
+    // File destroyed while the draft was open.
+    pages_.release(draft->root);
+    (void)store_.destroy(cap);
+    return error_reply(request, ErrorCode::no_such_object);
+  }
+  if (file->version_roots.size() != draft->base_versions) {
+    // Optimistic concurrency: someone committed since this draft forked.
+    return error_reply(request, ErrorCode::conflict);
+  }
+  // Atomic: the draft's snapshot reference transfers to the file history.
+  file->version_roots.push_back(draft->root);
+  const std::uint64_t new_index = file->version_roots.size() - 1;
+  (void)store_.destroy(cap);
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = new_index;
+  return reply;
+}
+
+// ------------------------------------------------------ MultiVersionClient
+
+Result<core::Capability> MultiVersionClient::create_file() {
+  auto reply = call(*transport_, server_port_, mv_op::kCreateFile);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<core::Capability> MultiVersionClient::new_version(
+    const core::Capability& file) {
+  auto reply = call(*transport_, server_port_, mv_op::kNewVersion, &file);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return header_capability(reply.value());
+}
+
+Result<Buffer> MultiVersionClient::read_page(const core::Capability& cap,
+                                             std::uint32_t page_no,
+                                             std::uint64_t version_index) {
+  auto reply = call(*transport_, server_port_, mv_op::kReadPage, &cap, {},
+                    {page_no, version_index, 0, 0});
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return std::move(reply.value().data);
+}
+
+Result<void> MultiVersionClient::write_page(
+    const core::Capability& draft, std::uint32_t page_no,
+    std::span<const std::uint8_t> data) {
+  return as_void(call(*transport_, server_port_, mv_op::kWritePage, &draft,
+                      Buffer(data.begin(), data.end()), {page_no, 0, 0, 0}));
+}
+
+Result<std::uint64_t> MultiVersionClient::commit(
+    const core::Capability& draft) {
+  auto reply = call(*transport_, server_port_, mv_op::kCommit, &draft);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+Result<void> MultiVersionClient::abort(const core::Capability& draft) {
+  return as_void(call(*transport_, server_port_, mv_op::kAbort, &draft));
+}
+
+Result<std::uint64_t> MultiVersionClient::history(
+    const core::Capability& file) {
+  auto reply = call(*transport_, server_port_, mv_op::kHistory, &file);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return reply.value().header.params[0];
+}
+
+Result<void> MultiVersionClient::destroy(const core::Capability& file) {
+  return as_void(call(*transport_, server_port_, mv_op::kDestroyFile, &file));
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,147 @@
+#include "amoeba/servers/page_tree.hpp"
+
+#include <algorithm>
+
+namespace amoeba::servers {
+namespace {
+
+/// Child slot of `page_no` at tree `level` (level 0 = root).
+std::uint32_t slot_at(std::uint32_t page_no, int level) {
+  const int shift = 4 * (PageStore::kDepth - 1 - level);
+  return (page_no >> shift) & (PageStore::kFanout - 1);
+}
+
+}  // namespace
+
+PageStore::PageStore(std::uint32_t page_size) : page_size_(page_size) {
+  if (page_size == 0) {
+    throw UsageError("PageStore requires non-zero page size");
+  }
+  nodes_.emplace_back();  // index 0 unused (id arithmetic)
+  pages_.emplace_back();
+}
+
+std::uint32_t PageStore::alloc_node(const Node& content) {
+  std::uint32_t index;
+  if (!free_nodes_.empty()) {
+    index = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[index] = content;
+  } else {
+    index = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(content);
+  }
+  nodes_[index].refcount = 1;
+  ++stats_.live_nodes;
+  ++stats_.nodes_copied;
+  return index * 2 + 1;  // odd id
+}
+
+std::uint32_t PageStore::alloc_page(std::span<const std::uint8_t> data) {
+  std::uint32_t index;
+  if (!free_pages_.empty()) {
+    index = free_pages_.back();
+    free_pages_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(pages_.size());
+    pages_.emplace_back();
+  }
+  Page& page = pages_[index];
+  page.data.assign(data.begin(), data.end());
+  page.data.resize(page_size_, 0);
+  page.refcount = 1;
+  ++stats_.live_pages;
+  ++stats_.pages_written;
+  return (index + 1) * 2;  // even id, never 0
+}
+
+void PageStore::release_id(std::uint32_t id) {
+  if (id == 0) {
+    return;
+  }
+  if (is_page_id(id)) {
+    Page& page = pages_[id / 2 - 1];
+    if (--page.refcount == 0) {
+      page.data.clear();
+      page.data.shrink_to_fit();
+      free_pages_.push_back(id / 2 - 1);
+      --stats_.live_pages;
+    }
+    return;
+  }
+  const std::uint32_t index = id / 2;
+  Node& node = nodes_[index];
+  if (--node.refcount == 0) {
+    for (const std::uint32_t child : node.children) {
+      release_id(child);
+    }
+    free_nodes_.push_back(index);
+    --stats_.live_nodes;
+  }
+}
+
+Result<Buffer> PageStore::read(std::uint32_t root,
+                               std::uint32_t page_no) const {
+  if (page_no >= kMaxPages) {
+    return ErrorCode::invalid_argument;
+  }
+  std::uint32_t id = root;
+  for (int level = 0; level < kDepth && id != 0; ++level) {
+    id = nodes_[id / 2].children[slot_at(page_no, level)];
+  }
+  if (id == 0) {
+    return Buffer(page_size_, 0);  // hole: reads as zeros
+  }
+  return pages_[id / 2 - 1].data;
+}
+
+std::uint32_t PageStore::cow(std::uint32_t node_id, int level,
+                             std::uint32_t page_no,
+                             std::span<const std::uint8_t> data) {
+  if (level == kDepth) {
+    return alloc_page(data);
+  }
+  Node copy;
+  if (node_id != 0) {
+    copy = nodes_[node_id / 2];
+  }
+  const std::uint32_t slot = slot_at(page_no, level);
+  const std::uint32_t old_child = copy.children[slot];
+  copy.children[slot] = cow(old_child, level + 1, page_no, data);
+  // The new node shares every untouched child with the old one: each
+  // gains a reference.  The replaced child does NOT (the new node points
+  // at its replacement).
+  for (std::uint32_t i = 0; i < kFanout; ++i) {
+    if (i != slot && copy.children[i] != 0) {
+      if (is_page_id(copy.children[i])) {
+        ++pages_[copy.children[i] / 2 - 1].refcount;
+      } else {
+        ++nodes_[copy.children[i] / 2].refcount;
+      }
+    }
+  }
+  return alloc_node(copy);
+}
+
+Result<std::uint32_t> PageStore::write(std::uint32_t root,
+                                       std::uint32_t page_no,
+                                       std::span<const std::uint8_t> data) {
+  if (page_no >= kMaxPages || data.size() > page_size_) {
+    return ErrorCode::invalid_argument;
+  }
+  return cow(root, 0, page_no, data);
+}
+
+void PageStore::retain(std::uint32_t root) {
+  if (root == 0) {
+    return;
+  }
+  if (is_page_id(root)) {
+    throw UsageError("PageStore::retain: root must be a node id");
+  }
+  ++nodes_[root / 2].refcount;
+}
+
+void PageStore::release(std::uint32_t root) { release_id(root); }
+
+}  // namespace amoeba::servers

@@ -1,0 +1,366 @@
+#include "amoeba/servers/unixfs.hpp"
+
+#include <algorithm>
+
+namespace amoeba::servers {
+
+UnixFs::UnixFs(rpc::Transport& transport, Port file_server_port,
+               core::Capability root)
+    : transport_(&transport),
+      file_server_port_(file_server_port),
+      root_(root) {}
+
+Result<UnixFs> UnixFs::format(rpc::Transport& transport,
+                              Port directory_server_port,
+                              Port file_server_port) {
+  DirectoryClient dirs(transport, directory_server_port);
+  auto root = dirs.create_dir();
+  if (!root.ok()) {
+    return root.error();
+  }
+  return UnixFs(transport, file_server_port, root.value());
+}
+
+bool UnixFs::is_directory_capability(const core::Capability& cap) const {
+  // Directories and files are told apart by their managing service: the
+  // SERVER field of the capability is the ground truth.
+  return cap.server_port != file_server_port_;
+}
+
+Result<UnixFs::Located> UnixFs::locate_parent(std::string_view path) {
+  // Strip leading '/'; treat the remainder as root-relative.
+  while (!path.empty() && path.front() == '/') {
+    path.remove_prefix(1);
+  }
+  if (path.empty()) {
+    return ErrorCode::invalid_argument;  // no final component
+  }
+  const std::size_t slash = path.rfind('/');
+  std::string_view dir_part =
+      slash == std::string_view::npos ? std::string_view{}
+                                      : path.substr(0, slash);
+  const std::string_view name =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  if (name.empty()) {
+    return ErrorCode::invalid_argument;
+  }
+  core::Capability parent = root_;
+  if (!dir_part.empty()) {
+    auto resolved = resolve_path(*transport_, root_, dir_part);
+    if (!resolved.ok()) {
+      return resolved.error();
+    }
+    parent = resolved.value();
+  }
+  if (!is_directory_capability(parent)) {
+    return ErrorCode::invalid_argument;  // a path component was a file
+  }
+  return Located{parent, std::string(name)};
+}
+
+Result<UnixFs::OpenFile*> UnixFs::descriptor(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
+      !fds_[static_cast<std::size_t>(fd)].has_value()) {
+    return ErrorCode::invalid_argument;  // EBADF
+  }
+  return &*fds_[static_cast<std::size_t>(fd)];
+}
+
+Result<int> UnixFs::open(std::string_view path, int flags) {
+  if ((flags & (kRead | kWrite)) == 0) {
+    return ErrorCode::invalid_argument;
+  }
+  if ((flags & (kCreate | kTrunc | kAppend)) != 0 && (flags & kWrite) == 0) {
+    return ErrorCode::invalid_argument;
+  }
+  auto located = locate_parent(path);
+  if (!located.ok()) {
+    return located.error();
+  }
+  DirectoryClient dirs(*transport_, located.value().parent.server_port);
+  FlatFileClient files(*transport_, file_server_port_);
+
+  auto existing = dirs.lookup(located.value().parent, located.value().name);
+  core::Capability cap;
+  if (existing.ok()) {
+    cap = existing.value();
+    if (is_directory_capability(cap)) {
+      return ErrorCode::invalid_argument;  // EISDIR
+    }
+    if ((flags & kTrunc) != 0) {
+      // Recreate empty under the same name (flat files have no truncate;
+      // O_TRUNC is destroy + create + re-enter).
+      auto fresh = files.create();
+      if (!fresh.ok()) {
+        return fresh.error();
+      }
+      if (auto removed = dirs.remove(located.value().parent,
+                                     located.value().name);
+          !removed.ok()) {
+        return removed.error();
+      }
+      if (auto entered = dirs.enter(located.value().parent,
+                                    located.value().name, fresh.value());
+          !entered.ok()) {
+        return entered.error();
+      }
+      (void)files.destroy(cap);
+      cap = fresh.value();
+    }
+  } else if (existing.error() == ErrorCode::not_found &&
+             (flags & kCreate) != 0) {
+    auto fresh = files.create();
+    if (!fresh.ok()) {
+      return fresh.error();
+    }
+    if (auto entered = dirs.enter(located.value().parent,
+                                  located.value().name, fresh.value());
+        !entered.ok()) {
+      return entered.error();
+    }
+    cap = fresh.value();
+  } else {
+    return existing.error();
+  }
+
+  OpenFile file;
+  file.capability = cap;
+  file.flags = flags;
+  if ((flags & kAppend) != 0) {
+    auto size = files.size(cap);
+    if (!size.ok()) {
+      return size.error();
+    }
+    file.offset = size.value();
+  }
+  // Lowest free descriptor, POSIX style.
+  for (std::size_t fd = 0; fd < fds_.size(); ++fd) {
+    if (!fds_[fd].has_value()) {
+      fds_[fd] = file;
+      return static_cast<int>(fd);
+    }
+  }
+  fds_.push_back(file);
+  return static_cast<int>(fds_.size() - 1);
+}
+
+Result<Buffer> UnixFs::read(int fd, std::uint64_t count) {
+  auto file = descriptor(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  if ((file.value()->flags & kRead) == 0) {
+    return ErrorCode::permission_denied;
+  }
+  FlatFileClient files(*transport_, file_server_port_);
+  auto data = files.read(file.value()->capability, file.value()->offset,
+                         count);
+  if (!data.ok()) {
+    return data.error();
+  }
+  file.value()->offset += data.value().size();
+  return data;
+}
+
+Result<std::uint64_t> UnixFs::write(int fd,
+                                    std::span<const std::uint8_t> data) {
+  auto file = descriptor(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  if ((file.value()->flags & kWrite) == 0) {
+    return ErrorCode::permission_denied;
+  }
+  FlatFileClient files(*transport_, file_server_port_);
+  if ((file.value()->flags & kAppend) != 0) {
+    auto size = files.size(file.value()->capability);
+    if (!size.ok()) {
+      return size.error();
+    }
+    file.value()->offset = size.value();
+  }
+  if (auto written = files.write(file.value()->capability,
+                                 file.value()->offset, data);
+      !written.ok()) {
+    return written.error();
+  }
+  file.value()->offset += data.size();
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Result<std::uint64_t> UnixFs::lseek(int fd, std::int64_t offset,
+                                    Whence whence) {
+  auto file = descriptor(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<std::int64_t>(file.value()->offset);
+      break;
+    case Whence::kEnd: {
+      FlatFileClient files(*transport_, file_server_port_);
+      auto size = files.size(file.value()->capability);
+      if (!size.ok()) {
+        return size.error();
+      }
+      base = static_cast<std::int64_t>(size.value());
+      break;
+    }
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) {
+    return ErrorCode::invalid_argument;
+  }
+  file.value()->offset = static_cast<std::uint64_t>(target);
+  return file.value()->offset;
+}
+
+Result<void> UnixFs::close(int fd) {
+  auto file = descriptor(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  fds_[static_cast<std::size_t>(fd)].reset();
+  return {};
+}
+
+Result<void> UnixFs::mkdir(std::string_view path) {
+  auto located = locate_parent(path);
+  if (!located.ok()) {
+    return located.error();
+  }
+  DirectoryClient dirs(*transport_, located.value().parent.server_port);
+  auto fresh = dirs.create_dir();
+  if (!fresh.ok()) {
+    return fresh.error();
+  }
+  return dirs.enter(located.value().parent, located.value().name,
+                    fresh.value());
+}
+
+Result<void> UnixFs::rmdir(std::string_view path) {
+  auto located = locate_parent(path);
+  if (!located.ok()) {
+    return located.error();
+  }
+  DirectoryClient dirs(*transport_, located.value().parent.server_port);
+  auto target = dirs.lookup(located.value().parent, located.value().name);
+  if (!target.ok()) {
+    return target.error();
+  }
+  if (!is_directory_capability(target.value())) {
+    return ErrorCode::invalid_argument;  // ENOTDIR
+  }
+  DirectoryClient target_dirs(*transport_, target.value().server_port);
+  if (auto deleted = target_dirs.delete_dir(target.value()); !deleted.ok()) {
+    return deleted.error();  // not_empty, permission, ...
+  }
+  return dirs.remove(located.value().parent, located.value().name);
+}
+
+Result<void> UnixFs::unlink(std::string_view path) {
+  auto located = locate_parent(path);
+  if (!located.ok()) {
+    return located.error();
+  }
+  DirectoryClient dirs(*transport_, located.value().parent.server_port);
+  auto target = dirs.lookup(located.value().parent, located.value().name);
+  if (!target.ok()) {
+    return target.error();
+  }
+  if (is_directory_capability(target.value())) {
+    return ErrorCode::invalid_argument;  // EISDIR: use rmdir
+  }
+  if (auto removed = dirs.remove(located.value().parent,
+                                 located.value().name);
+      !removed.ok()) {
+    return removed.error();
+  }
+  FlatFileClient files(*transport_, file_server_port_);
+  return files.destroy(target.value());
+}
+
+Result<std::vector<DirEntry>> UnixFs::readdir(std::string_view path) {
+  core::Capability dir = root_;
+  // Normalize: "" and "/" list the root.
+  std::string_view trimmed = path;
+  while (!trimmed.empty() && trimmed.front() == '/') {
+    trimmed.remove_prefix(1);
+  }
+  if (!trimmed.empty()) {
+    auto resolved = resolve_path(*transport_, root_, trimmed);
+    if (!resolved.ok()) {
+      return resolved.error();
+    }
+    dir = resolved.value();
+  }
+  if (!is_directory_capability(dir)) {
+    return ErrorCode::invalid_argument;
+  }
+  DirectoryClient dirs(*transport_, dir.server_port);
+  return dirs.list(dir);
+}
+
+Result<UnixFs::Stat> UnixFs::stat(std::string_view path) {
+  std::string_view trimmed = path;
+  while (!trimmed.empty() && trimmed.front() == '/') {
+    trimmed.remove_prefix(1);
+  }
+  core::Capability cap = root_;
+  if (!trimmed.empty()) {
+    auto resolved = resolve_path(*transport_, root_, trimmed);
+    if (!resolved.ok()) {
+      return resolved.error();
+    }
+    cap = resolved.value();
+  }
+  Stat st;
+  st.capability = cap;
+  if (is_directory_capability(cap)) {
+    st.is_directory = true;
+    DirectoryClient dirs(*transport_, cap.server_port);
+    auto entries = dirs.list(cap);
+    if (!entries.ok()) {
+      return entries.error();
+    }
+    st.size = entries.value().size();
+  } else {
+    FlatFileClient files(*transport_, file_server_port_);
+    auto size = files.size(cap);
+    if (!size.ok()) {
+      return size.error();
+    }
+    st.size = size.value();
+  }
+  return st;
+}
+
+Result<void> UnixFs::rename(std::string_view from, std::string_view to) {
+  auto src = locate_parent(from);
+  if (!src.ok()) {
+    return src.error();
+  }
+  auto dst = locate_parent(to);
+  if (!dst.ok()) {
+    return dst.error();
+  }
+  DirectoryClient src_dirs(*transport_, src.value().parent.server_port);
+  auto target = src_dirs.lookup(src.value().parent, src.value().name);
+  if (!target.ok()) {
+    return target.error();
+  }
+  DirectoryClient dst_dirs(*transport_, dst.value().parent.server_port);
+  if (auto entered = dst_dirs.enter(dst.value().parent, dst.value().name,
+                                    target.value());
+      !entered.ok()) {
+    return entered.error();  // e.g. `exists`
+  }
+  return src_dirs.remove(src.value().parent, src.value().name);
+}
+
+}  // namespace amoeba::servers

@@ -1,0 +1,131 @@
+#include "amoeba/softprot/filter.hpp"
+#include "amoeba/common/error.hpp"
+
+
+#include "amoeba/softprot/seal.hpp"
+
+namespace amoeba::softprot {
+namespace {
+
+/// Nonce for data encryption rides in the last header parameter slot.
+constexpr std::size_t kNonceParam = 3;
+
+bool is_all_zero(const net::CapabilityBytes& b) {
+  for (const auto byte : b) {
+    if (byte != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t SealingFilter::CacheKeyHash::operator()(const CacheKey& k) const {
+  // FNV-1a over the 16 capability bytes folded with the peer id.
+  std::size_t h = 14695981039346656037ULL;
+  for (const auto byte : k.capability) {
+    h = (h ^ byte) * 1099511628211ULL;
+  }
+  h ^= k.peer.value() + 0x9e3779b9;
+  h ^= k.key * 0x9E3779B97F4A7C15ULL;
+  return h;
+}
+
+SealingFilter::SealingFilter(std::shared_ptr<KeyStore> keys,
+                             std::uint64_t seed)
+    : SealingFilter(std::move(keys), seed, Options()) {}
+
+SealingFilter::SealingFilter(std::shared_ptr<KeyStore> keys,
+                             std::uint64_t seed, Options options)
+    : keys_(std::move(keys)), options_(options), rng_(seed) {
+  if (keys_ == nullptr) {
+    throw UsageError("SealingFilter requires a key store");
+  }
+}
+
+void SealingFilter::outgoing(net::Message& msg, MachineId dst) {
+  const auto key = keys_->tx(dst);
+  if (!key.has_value()) {
+    return;  // unkeyed peer: message goes out unsealed (and will not parse)
+  }
+  // Null capabilities (requests that operate on no object) stay null:
+  // sealing them would only re-key a public constant.
+  if (!is_all_zero(msg.header.capability)) {
+    const CacheKey probe{msg.header.capability, dst, *key};
+    bool sealed_from_cache = false;
+    if (options_.cache_enabled) {
+      const std::lock_guard lock(mutex_);
+      auto it = seal_cache_.find(probe);
+      if (it != seal_cache_.end()) {
+        ++stats_.seal_cache_hits;
+        msg.header.capability = it->second;
+        sealed_from_cache = true;
+      } else {
+        ++stats_.seal_cache_misses;
+      }
+    }
+    if (!sealed_from_cache) {
+      seal128(*key, msg.header.capability);
+      if (options_.cache_enabled) {
+        const std::lock_guard lock(mutex_);
+        if (seal_cache_.size() >= options_.cache_capacity) {
+          seal_cache_.clear();  // soft state: full flush is acceptable
+        }
+        seal_cache_.emplace(probe, msg.header.capability);
+      }
+    }
+  }
+  if (options_.encrypt_data && !msg.data.empty()) {
+    std::uint64_t nonce;
+    {
+      const std::lock_guard lock(mutex_);
+      nonce = rng_.next();
+    }
+    msg.header.params[kNonceParam] = nonce;
+    xcrypt_data(*key, nonce, msg.data);
+  }
+}
+
+bool SealingFilter::incoming(net::Message& msg, MachineId src) {
+  const auto key = keys_->rx(src);
+  if (!key.has_value()) {
+    const std::lock_guard lock(mutex_);
+    ++stats_.missing_key_failures;
+    return false;
+  }
+  if (!is_all_zero(msg.header.capability)) {
+    const CacheKey probe{msg.header.capability, src, *key};
+    bool unsealed_from_cache = false;
+    if (options_.cache_enabled) {
+      const std::lock_guard lock(mutex_);
+      auto it = unseal_cache_.find(probe);
+      if (it != unseal_cache_.end()) {
+        ++stats_.unseal_cache_hits;
+        msg.header.capability = it->second;
+        unsealed_from_cache = true;
+      } else {
+        ++stats_.unseal_cache_misses;
+      }
+    }
+    if (!unsealed_from_cache) {
+      unseal128(*key, msg.header.capability);
+      if (options_.cache_enabled) {
+        const std::lock_guard lock(mutex_);
+        if (unseal_cache_.size() >= options_.cache_capacity) {
+          unseal_cache_.clear();
+        }
+        unseal_cache_.emplace(probe, msg.header.capability);
+      }
+    }
+  }
+  if (options_.encrypt_data && !msg.data.empty()) {
+    xcrypt_data(*key, msg.header.params[kNonceParam], msg.data);
+  }
+  return true;
+}
+
+SealingFilter::Stats SealingFilter::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace amoeba::softprot

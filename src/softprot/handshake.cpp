@@ -1,0 +1,136 @@
+#include "amoeba/softprot/handshake.hpp"
+
+#include <algorithm>
+#include "amoeba/softprot/seal.hpp"
+
+namespace amoeba::softprot {
+
+Buffer encode_announcement(const Announcement& a) {
+  Writer w;
+  w.port(a.boot_put_port);
+  w.u64(a.public_key.n);
+  w.u64(a.public_key.e);
+  return w.take();
+}
+
+Result<Announcement> decode_announcement(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  Announcement a;
+  a.boot_put_port = r.port();
+  a.public_key.n = r.u64();
+  a.public_key.e = r.u64();
+  if (!r.exhausted()) {
+    return ErrorCode::invalid_argument;
+  }
+  return a;
+}
+
+BootService::BootService(net::Machine& machine, Port get_port,
+                         std::shared_ptr<KeyStore> keys, std::uint64_t seed)
+    : rpc::Service(machine, get_port, "boot"),
+      keys_(std::move(keys)),
+      rng_(seed) {
+  if (keys_ == nullptr) {
+    throw UsageError("BootService requires a key store");
+  }
+  keypair_ = crypto::rsa_generate(rng_);
+}
+
+void BootService::announce() {
+  net::Message msg;
+  msg.header.dest = machine().fbox().listen_port(kAnnounceGetPort);
+  msg.header.opcode = kOpAnnounce;
+  msg.data = encode_announcement(Announcement{put_port(), keypair_.pub});
+  machine().broadcast(std::move(msg));
+}
+
+void BootService::reboot() { keys_->clear(); }
+
+net::Message BootService::handle(const net::Delivery& request) {
+  if (request.message.header.opcode != kOpExchangeKey) {
+    return net::make_reply(request.message, ErrorCode::no_such_operation);
+  }
+  // Unwrap the client's proposed key K with our private key.
+  const auto plain = crypto::rsa_unwrap(keypair_.priv.n, keypair_.priv.d,
+                                        request.message.data);
+  if (!plain.has_value() || plain->size() != 8) {
+    return net::make_reply(request.message, ErrorCode::unsealing_failed);
+  }
+  Reader r(*plain);
+  const std::uint64_t client_key = r.u64();
+
+  std::uint64_t reverse_key;
+  {
+    const std::lock_guard lock(mutex_);
+    reverse_key = rng_.next();
+  }
+  // Install: client->us traffic decrypts with K, us->client encrypts with
+  // the fresh reverse key.
+  keys_->set_rx(request.src, client_key);
+  keys_->set_tx(request.src, reverse_key);
+
+  // Reply payload: (K, K') sealed with K itself, then transformed with our
+  // private key -- the double encryption of the paper.
+  net::CapabilityBytes both{};
+  for (int i = 0; i < 8; ++i) {
+    both[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(client_key >> (8 * i));
+    both[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(reverse_key >> (8 * i));
+  }
+  seal128(client_key, both);
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data = crypto::rsa_wrap(keypair_.priv.n, keypair_.priv.d,
+                                std::span(both.data(), both.size()));
+  return reply;
+}
+
+Result<void> establish_keys(net::Machine& machine, Port boot_put_port,
+                            const crypto::RsaPublicKey& server_pub,
+                            KeyStore& my_keys, Rng& rng) {
+  // Pick the fresh conventional key K for my->server traffic.
+  const std::uint64_t client_key = rng.next();
+  Writer w;
+  w.u64(client_key);
+
+  rpc::Transport transport(machine, rng.next());
+  net::Message req;
+  req.header.dest = boot_put_port;
+  req.header.opcode = kOpExchangeKey;
+  req.data = crypto::rsa_wrap(server_pub.n, server_pub.e, w.buffer());
+  auto reply = transport.trans(std::move(req));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  if (reply.value().message.header.status != ErrorCode::ok) {
+    return reply.value().message.header.status;
+  }
+
+  // Undo the private-key transform with the published public key, then
+  // decrypt with K; the reply must echo K, which proves the responder owns
+  // the private key (only it could produce a transform the public key
+  // inverts to something K-decryptable containing K).
+  const auto sealed = crypto::rsa_unwrap(server_pub.n, server_pub.e,
+                                         reply.value().message.data);
+  if (!sealed.has_value() || sealed->size() != 16) {
+    return ErrorCode::unsealing_failed;
+  }
+  net::CapabilityBytes both{};
+  std::copy(sealed->begin(), sealed->end(), both.begin());
+  unseal128(client_key, both);
+  std::uint64_t echoed = 0;
+  std::uint64_t reverse_key = 0;
+  for (int i = 7; i >= 0; --i) {
+    echoed = (echoed << 8) | both[static_cast<std::size_t>(i)];
+    reverse_key = (reverse_key << 8) | both[static_cast<std::size_t>(8 + i)];
+  }
+  if (echoed != client_key) {
+    return ErrorCode::unsealing_failed;  // impostor or corrupted exchange
+  }
+  const MachineId server_machine = reply.value().src;
+  my_keys.set_tx(server_machine, client_key);
+  my_keys.set_rx(server_machine, reverse_key);
+  return {};
+}
+
+}  // namespace amoeba::softprot

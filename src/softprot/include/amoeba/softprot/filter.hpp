@@ -1,0 +1,85 @@
+// The sealing message filter: §2.4's per-machine-pair capability
+// encryption with the hashed capability caches.
+//
+// "To avoid having to run the encryption/decryption algorithm frequently,
+// all machines can maintain a hashed cache of capabilities that they have
+// been using frequently.  Clients will hash their caches on the
+// unencrypted capabilities in the form of triples: (unencrypted
+// capability, destination, encrypted capability), whereas servers will
+// hash theirs in the form of triples: (encrypted capability, source,
+// unencrypted capability)."
+//
+// One filter instance serves both roles: outgoing() is the client-side
+// triple, incoming() the server-side one.  Cache capacity is bounded;
+// eviction clears the whole table (caches are soft state).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/rpc/filter.hpp"
+#include "amoeba/softprot/keystore.hpp"
+
+namespace amoeba::softprot {
+
+class SealingFilter final : public rpc::MessageFilter {
+ public:
+  struct Options {
+    bool encrypt_data = false;     // also encrypt the message body
+    bool cache_enabled = true;     // the §2.4 hashed caches
+    std::size_t cache_capacity = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t seal_cache_hits = 0;
+    std::uint64_t seal_cache_misses = 0;
+    std::uint64_t unseal_cache_hits = 0;
+    std::uint64_t unseal_cache_misses = 0;
+    std::uint64_t missing_key_failures = 0;
+  };
+
+  SealingFilter(std::shared_ptr<KeyStore> keys, std::uint64_t seed);
+  SealingFilter(std::shared_ptr<KeyStore> keys, std::uint64_t seed,
+                Options options);
+
+  /// Seals the header capability (and optionally the data) for `dst` with
+  /// M[me][dst].  A missing tx key leaves the message unsealed -- the
+  /// receiver will fail to make sense of it, which is the §2.4 failure
+  /// mode for unkeyed peers.
+  void outgoing(net::Message& msg, MachineId dst) override;
+
+  /// Unseals with M[src][me].  Returns false when no rx key exists.
+  [[nodiscard]] bool incoming(net::Message& msg, MachineId src) override;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  // The conventional key participates in the cache key: when a peer is
+  // re-keyed (reboot + fresh handshake), entries sealed under the old key
+  // become unreachable instead of serving stale ciphertext.
+  struct CacheKey {
+    net::CapabilityBytes capability;
+    MachineId peer;
+    std::uint64_t key;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  using Cache = std::unordered_map<CacheKey, net::CapabilityBytes,
+                                   CacheKeyHash>;
+
+  std::shared_ptr<KeyStore> keys_;
+  Options options_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  Cache seal_cache_;    // (plain cap, dst) -> sealed cap
+  Cache unseal_cache_;  // (sealed cap, src) -> plain cap
+  Stats stats_;
+};
+
+}  // namespace amoeba::softprot

@@ -1,0 +1,68 @@
+// The conventional-key matrix of §2.4.
+//
+// "Imagine a (possibly symmetric) conceptual matrix, M, of conventional
+// encryption keys, with the rows being labeled by source machine and the
+// columns by destination machine. ... Each machine is assumed to know the
+// contents of its row and column of the matrix, and nothing else."
+//
+// KeyStore is one machine's row-and-column knowledge: tx(dst) = M[me][dst]
+// (keys it encrypts with when sending to dst), rx(src) = M[src][me] (keys
+// it decrypts with for traffic from src).  KeyMatrix is the conceptual
+// whole matrix -- used by the trusted-provisioning path in tests and
+// benches; production-style setup goes through the §2.4 public-key
+// handshake (amoeba/softprot/handshake.hpp), which fills stores pairwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/common/types.hpp"
+
+namespace amoeba::softprot {
+
+class KeyStore {
+ public:
+  void set_tx(MachineId dst, std::uint64_t key);
+  void set_rx(MachineId src, std::uint64_t key);
+  [[nodiscard]] std::optional<std::uint64_t> tx(MachineId dst) const;
+  [[nodiscard]] std::optional<std::uint64_t> rx(MachineId src) const;
+
+  /// Forgets every key -- what a reboot does to a machine's key state.
+  /// Combined with fresh keys on re-handshake, this is why "the use of
+  /// different conventional keys after each reboot makes it impossible for
+  /// an intruder to fool anyone by playing back old messages."
+  void clear();
+
+  [[nodiscard]] std::size_t tx_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<MachineId, std::uint64_t> tx_keys_;
+  std::unordered_map<MachineId, std::uint64_t> rx_keys_;
+};
+
+/// Trusted provisioning: generates a full random matrix over a set of
+/// machines and installs each machine's row and column into its store.
+class KeyMatrix {
+ public:
+  explicit KeyMatrix(std::uint64_t seed) : rng_(seed) {}
+
+  struct Member {
+    MachineId id;
+    std::shared_ptr<KeyStore> store;
+  };
+
+  /// Draws M[i][j] for all pairs (including i == j, harmless) and fills
+  /// every member's row/column.
+  void provision(const std::vector<Member>& members);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace amoeba::softprot

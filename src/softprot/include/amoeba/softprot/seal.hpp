@@ -1,0 +1,34 @@
+// Sealing primitives for F-box-less protection (§2.4).
+//
+// Capabilities in transit are encrypted under the conventional key
+// selected by the (source, destination) machine pair.  A capability is 16
+// bytes = two 64-bit halves; seal128 runs a two-pass chained construction
+// over the width-64 Feistel cipher (forward CBC then a keyed backward
+// pass) so that every output bit depends on every input bit and on the
+// whole key -- a single-pass two-block CBC would leave the first block
+// independent of the second.
+//
+// Message data is optionally encrypted with a per-message keystream
+// ("the data need not be encrypted, although that is also possible").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "amoeba/net/message.hpp"
+
+namespace amoeba::softprot {
+
+/// Encrypts 16 bytes in place under `key`.
+void seal128(std::uint64_t key, net::CapabilityBytes& block);
+
+/// Inverse of seal128.
+void unseal128(std::uint64_t key, net::CapabilityBytes& block);
+
+/// XOR-keystream over `data` derived from (key, nonce); symmetric, so the
+/// same call decrypts.  The nonce must be fresh per message (the sealing
+/// filter draws it and carries it in a header parameter).
+void xcrypt_data(std::uint64_t key, std::uint64_t nonce,
+                 std::span<std::uint8_t> data);
+
+}  // namespace amoeba::softprot

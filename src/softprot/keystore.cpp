@@ -1,0 +1,48 @@
+#include "amoeba/softprot/keystore.hpp"
+
+namespace amoeba::softprot {
+
+void KeyStore::set_tx(MachineId dst, std::uint64_t key) {
+  const std::lock_guard lock(mutex_);
+  tx_keys_[dst] = key;
+}
+
+void KeyStore::set_rx(MachineId src, std::uint64_t key) {
+  const std::lock_guard lock(mutex_);
+  rx_keys_[src] = key;
+}
+
+std::optional<std::uint64_t> KeyStore::tx(MachineId dst) const {
+  const std::lock_guard lock(mutex_);
+  auto it = tx_keys_.find(dst);
+  return it == tx_keys_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::optional<std::uint64_t> KeyStore::rx(MachineId src) const {
+  const std::lock_guard lock(mutex_);
+  auto it = rx_keys_.find(src);
+  return it == rx_keys_.end() ? std::nullopt : std::optional(it->second);
+}
+
+void KeyStore::clear() {
+  const std::lock_guard lock(mutex_);
+  tx_keys_.clear();
+  rx_keys_.clear();
+}
+
+std::size_t KeyStore::tx_count() const {
+  const std::lock_guard lock(mutex_);
+  return tx_keys_.size();
+}
+
+void KeyMatrix::provision(const std::vector<Member>& members) {
+  for (const auto& row : members) {
+    for (const auto& col : members) {
+      const std::uint64_t key = rng_.next();  // M[row][col]
+      row.store->set_tx(col.id, key);
+      col.store->set_rx(row.id, key);
+    }
+  }
+}
+
+}  // namespace amoeba::softprot

@@ -1,0 +1,70 @@
+#include "amoeba/softprot/seal.hpp"
+
+#include "amoeba/crypto/feistel.hpp"
+
+namespace amoeba::softprot {
+namespace {
+
+std::uint64_t load64(const net::CapabilityBytes& b, int offset) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(offset + i)];
+  }
+  return v;
+}
+
+void store64(net::CapabilityBytes& b, int offset, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<std::size_t>(offset + i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// Domain-separated subkeys for the two passes.
+constexpr std::uint64_t kPass1 = 0x5EA1000000000001ULL;
+constexpr std::uint64_t kPass2 = 0x5EA1000000000002ULL;
+constexpr std::uint64_t kIv = 0xA0EBA1985C0FFEEULL;
+
+}  // namespace
+
+void seal128(std::uint64_t key, net::CapabilityBytes& block) {
+  const crypto::Feistel f1(key ^ kPass1, 64);
+  const crypto::Feistel f2(key ^ kPass2, 64);
+  std::uint64_t a = load64(block, 0);
+  std::uint64_t b = load64(block, 8);
+  // Pass 1, forward: a' = E1(a ^ IV); b' = E1(b ^ a').
+  a = f1.encrypt(a ^ kIv);
+  b = f1.encrypt(b ^ a);
+  // Pass 2, backward: b'' = E2(b'); a'' = E2(a' ^ b'').
+  b = f2.encrypt(b);
+  a = f2.encrypt(a ^ b);
+  store64(block, 0, a);
+  store64(block, 8, b);
+}
+
+void unseal128(std::uint64_t key, net::CapabilityBytes& block) {
+  const crypto::Feistel f1(key ^ kPass1, 64);
+  const crypto::Feistel f2(key ^ kPass2, 64);
+  std::uint64_t a = load64(block, 0);
+  std::uint64_t b = load64(block, 8);
+  a = f2.decrypt(a) ^ b;
+  b = f2.decrypt(b);
+  b = f1.decrypt(b) ^ a;
+  a = f1.decrypt(a) ^ kIv;
+  store64(block, 0, a);
+  store64(block, 8, b);
+}
+
+void xcrypt_data(std::uint64_t key, std::uint64_t nonce,
+                 std::span<std::uint8_t> data) {
+  const crypto::Feistel cipher(key ^ 0xDA7A5EA100000000ULL, 64);
+  std::uint64_t keystream = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) {
+      keystream = cipher.encrypt(nonce + i / 8);
+    }
+    data[i] ^= static_cast<std::uint8_t>(keystream >> (8 * (i % 8)));
+  }
+}
+
+}  // namespace amoeba::softprot

@@ -1,0 +1,470 @@
+// Tests for the capability engine: Fig. 2 layout, the four protection
+// schemes (mint/validate, tamper resistance, restriction, revocation), and
+// the ObjectStore used by every server.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/capability.hpp"
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/core/schemes.hpp"
+
+namespace amoeba::core {
+namespace {
+
+constexpr Port kServerPort{0xABCDEF123456ULL};
+
+// ------------------------------------------------------------- capability
+
+TEST(CapabilityLayout, PackUnpackRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Capability cap{Port(rng.bits(48)), ObjectNumber(static_cast<std::uint32_t>(rng.bits(24))),
+                         Rights(static_cast<std::uint8_t>(rng.bits(8))),
+                         CheckField(rng.bits(48))};
+    EXPECT_EQ(unpack(pack(cap)), cap);
+  }
+}
+
+TEST(CapabilityLayout, FieldsOccupyDocumentedBytes) {
+  const Capability cap{Port(0x665544332211ULL), ObjectNumber(0xCCBBAA),
+                       Rights(0xEE), CheckField(0x0F0E0D0C0B0AULL)};
+  const CapabilityBytes b = pack(cap);
+  // Port: bytes 0..5 little-endian.
+  EXPECT_EQ(b[0], 0x11);
+  EXPECT_EQ(b[5], 0x66);
+  // Object: bytes 6..8.
+  EXPECT_EQ(b[6], 0xAA);
+  EXPECT_EQ(b[8], 0xCC);
+  // Rights: byte 9.
+  EXPECT_EQ(b[9], 0xEE);
+  // Check: bytes 10..15.
+  EXPECT_EQ(b[10], 0x0A);
+  EXPECT_EQ(b[15], 0x0F);
+}
+
+TEST(CapabilityLayout, SixteenBytesTotal) {
+  EXPECT_EQ(sizeof(CapabilityBytes), 16u);
+  EXPECT_EQ(Port::kBits + ObjectNumber::kBits + Rights::kBits +
+                CheckField::kBits,
+            128);
+}
+
+TEST(CapabilityLayout, NullDetection) {
+  EXPECT_TRUE(Capability{}.is_null());
+  Capability cap{};
+  cap.rights = Rights(1);
+  EXPECT_FALSE(cap.is_null());
+}
+
+TEST(CapabilityLayout, EveryByteStringParses) {
+  // Sparseness, not format, protects capabilities: parsing is total.
+  CapabilityBytes garbage;
+  Rng rng(2);
+  rng.fill(garbage);
+  const Capability cap = unpack(garbage);
+  EXPECT_EQ(pack(cap), garbage);
+}
+
+// ----------------------------------------------------- scheme properties
+
+class SchemeSuite : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  SchemeSuite() : rng_(static_cast<std::uint64_t>(GetParam()) + 100) {
+    scheme_ = make_scheme(GetParam(), rng_);
+  }
+
+  Rng rng_;
+  std::shared_ptr<const ProtectionScheme> scheme_;
+};
+
+TEST_P(SchemeSuite, MintThenValidateGrantsMintedRights) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t secret = scheme_->new_secret(rng_);
+    const Rights rights(static_cast<std::uint8_t>(rng_.bits(8)));
+    const Capability cap =
+        scheme_->mint(kServerPort, ObjectNumber(7), secret, rights);
+    const auto granted = scheme_->validate(cap, secret);
+    ASSERT_TRUE(granted.ok()) << scheme_name(GetParam());
+    if (GetParam() == SchemeKind::simple) {
+      EXPECT_EQ(granted.value(), Rights::all());
+    } else {
+      EXPECT_EQ(granted.value(), rights);
+    }
+  }
+}
+
+TEST_P(SchemeSuite, WrongSecretFailsValidation) {
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(1), secret, Rights::all());
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t other = scheme_->new_secret(rng_);
+    if (other == secret) continue;
+    EXPECT_FALSE(scheme_->validate(cap, other).ok());
+  }
+}
+
+TEST_P(SchemeSuite, CheckFieldTamperAnyBitFails) {
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Rights minted(0x2D);
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(3), secret, minted);
+  for (int bit = 0; bit < CheckField::kBits; ++bit) {
+    Capability tampered = cap;
+    tampered.check = CheckField(cap.check.value() ^ (1ULL << bit));
+    EXPECT_FALSE(scheme_->validate(tampered, secret).ok())
+        << scheme_name(GetParam()) << " check bit " << bit;
+  }
+}
+
+TEST_P(SchemeSuite, RightsTamperNeverGainsRights) {
+  // The universal security property: no bit-flip in the RIGHTS field may
+  // yield a capability the server accepts with MORE rights than minted.
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Rights minted(0x0F);  // low four rights
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(5), secret, minted);
+  const auto base = scheme_->validate(cap, secret);
+  ASSERT_TRUE(base.ok());
+  for (int bit = 0; bit < Rights::kBits; ++bit) {
+    Capability tampered = cap;
+    tampered.rights = Rights(static_cast<std::uint8_t>(
+        cap.rights.bits() ^ (1u << bit)));
+    const auto granted = scheme_->validate(tampered, secret);
+    if (granted.ok()) {
+      EXPECT_TRUE(granted.value().subset_of(base.value()))
+          << scheme_name(GetParam()) << " rights bit " << bit
+          << " tampering gained rights";
+    }
+  }
+}
+
+TEST_P(SchemeSuite, RightsTamperDetectedByRightsProtectingSchemes) {
+  // Schemes 1-3 exist precisely to protect the rights field; any flip must
+  // be rejected outright, not merely downgraded.
+  if (GetParam() == SchemeKind::simple) {
+    GTEST_SKIP() << "scheme 0 does not protect rights (by design)";
+  }
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(5), secret, Rights(0x55));
+  for (int bit = 0; bit < Rights::kBits; ++bit) {
+    Capability tampered = cap;
+    tampered.rights = Rights(static_cast<std::uint8_t>(
+        cap.rights.bits() ^ (1u << bit)));
+    EXPECT_FALSE(scheme_->validate(tampered, secret).ok())
+        << scheme_name(GetParam()) << " rights bit " << bit;
+  }
+}
+
+TEST_P(SchemeSuite, ForgedCheckFieldGuessingFails) {
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(9), secret, Rights::all());
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Capability forged = cap;
+    forged.check = CheckField(rng_.bits(48));
+    if (forged.check == cap.check) continue;
+    hits += scheme_->validate(forged, secret).ok();
+  }
+  EXPECT_EQ(hits, 0) << scheme_name(GetParam());
+}
+
+TEST_P(SchemeSuite, LocalRestrictOnlyOnCommutative) {
+  const std::uint64_t secret = scheme_->new_secret(rng_);
+  const Capability cap =
+      scheme_->mint(kServerPort, ObjectNumber(2), secret, Rights::all());
+  const auto restricted = scheme_->restrict_local(cap, rights::kWriteBit);
+  if (GetParam() == SchemeKind::commutative) {
+    EXPECT_TRUE(scheme_->supports_local_restrict());
+    ASSERT_TRUE(restricted.ok());
+    const auto granted = scheme_->validate(restricted.value(), secret);
+    ASSERT_TRUE(granted.ok());
+    EXPECT_FALSE(granted.value().has(rights::kWriteBit));
+    EXPECT_TRUE(granted.value().has(rights::kReadBit));
+  } else {
+    EXPECT_FALSE(scheme_->supports_local_restrict());
+    EXPECT_EQ(restricted.error(), ErrorCode::no_such_operation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSuite,
+                         ::testing::Values(SchemeKind::simple,
+                                           SchemeKind::encrypted,
+                                           SchemeKind::one_way_xor,
+                                           SchemeKind::commutative),
+                         [](const auto& info) {
+                           return scheme_name(info.param);
+                         });
+
+// -------------------------------------------- commutative scheme details
+
+class CommutativeDetails : public ::testing::Test {
+ protected:
+  CommutativeDetails() : rng_(77), scheme_(rng_) {}
+  Rng rng_;
+  CommutativeScheme scheme_;
+};
+
+TEST_F(CommutativeDetails, RestrictionOrderIsIrrelevant) {
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  const Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(1), secret, Rights::all());
+  // Delete rights 0, 2, 5 in two different orders.
+  Capability a = cap;
+  for (int bit : {0, 2, 5}) {
+    a = scheme_.restrict_local(a, bit).value();
+  }
+  Capability b = cap;
+  for (int bit : {5, 0, 2}) {
+    b = scheme_.restrict_local(b, bit).value();
+  }
+  EXPECT_EQ(a, b);
+  const auto granted = scheme_.validate(a, secret);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(granted.value().bits(), Rights::all().without(0).without(2)
+                                        .without(5).bits());
+}
+
+TEST_F(CommutativeDetails, RestrictingAbsentRightRejected) {
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(1), secret, Rights::all());
+  cap = scheme_.restrict_local(cap, 3).value();
+  EXPECT_EQ(scheme_.restrict_local(cap, 3).error(),
+            ErrorCode::permission_denied);
+}
+
+TEST_F(CommutativeDetails, ReAddingARightByBitFlipFails) {
+  // A holder who deleted a right cannot get it back by flipping the
+  // plaintext bit: the check field has been pushed through F_k, which is
+  // one-way.
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(1), secret, Rights::all());
+  cap = scheme_.restrict_local(cap, rights::kWriteBit).value();
+  Capability forged = cap;
+  forged.rights = forged.rights.with(rights::kWriteBit);
+  EXPECT_FALSE(scheme_.validate(forged, secret).ok());
+}
+
+TEST_F(CommutativeDetails, RightsFieldIsAdvisoryOnly) {
+  // "In theory at least, the RIGHTS field is not even needed, since the
+  // server could try all 2^N combinations" -- equivalently: the check
+  // field alone determines validity for a claimed rights value.
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  const Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(1), secret, Rights(0x7F));
+  // Claiming the true rights with the true check succeeds; any other
+  // claimed rights value with that same check fails.
+  for (int claimed = 0; claimed < 256; ++claimed) {
+    Capability probe = cap;
+    probe.rights = Rights(static_cast<std::uint8_t>(claimed));
+    const bool valid = scheme_.validate(probe, secret).ok();
+    EXPECT_EQ(valid, claimed == 0x7F);
+  }
+}
+
+TEST_F(CommutativeDetails, RightsFieldRecoverableByExhaustiveSearch) {
+  // "In theory at least, the RIGHTS field is not even needed, since the
+  // server could try all 2^N combinations of the functions to see if any
+  // worked.  Its presence merely speeds up the checking."
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  const Rights true_rights(0x5A);
+  const Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(1), secret, true_rights);
+  // The server receives only the check field and tries every subset.
+  int matches = 0;
+  Rights recovered;
+  for (int candidate = 0; candidate < 256; ++candidate) {
+    Capability probe = cap;
+    probe.rights = Rights(static_cast<std::uint8_t>(candidate));
+    if (scheme_.validate(probe, secret).ok()) {
+      ++matches;
+      recovered = probe.rights;
+    }
+  }
+  EXPECT_EQ(matches, 1);
+  EXPECT_EQ(recovered, true_rights);
+}
+
+TEST_F(CommutativeDetails, RestrictAfterServerMintWithPartialRights) {
+  // Server mints read+write; holder deletes write locally; server accepts
+  // the result as read-only.
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  const Capability rw = scheme_.mint(kServerPort, ObjectNumber(4), secret,
+                                     rights::kRead.with(rights::kWriteBit));
+  const auto ro = scheme_.restrict_local(rw, rights::kWriteBit);
+  ASSERT_TRUE(ro.ok());
+  const auto granted = scheme_.validate(ro.value(), secret);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(granted.value(), rights::kRead);
+}
+
+TEST_F(CommutativeDetails, ClientReconstructedSchemeRestrictsCompatibly) {
+  // A client holding only the published family parameters produces the
+  // same restricted capability the server-side object would.
+  const std::uint64_t secret = scheme_.new_secret(rng_);
+  const Capability cap =
+      scheme_.mint(kServerPort, ObjectNumber(6), secret, Rights::all());
+  const CommutativeScheme client_side(crypto::CommutativeFamily(
+      scheme_.family().modulus(), scheme_.family().exponents()));
+  const auto restricted = client_side.restrict_local(cap, 1);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_TRUE(scheme_.validate(restricted.value(), secret).ok());
+}
+
+// ------------------------------------------------------------ ObjectStore
+
+class ObjectStoreSuite : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  ObjectStoreSuite()
+      : rng_(static_cast<std::uint64_t>(GetParam()) + 500),
+        store_(make_scheme(GetParam(), rng_), kServerPort, 42) {}
+
+  Rng rng_;
+  ObjectStore<std::string> store_;
+};
+
+TEST_P(ObjectStoreSuite, CreateOpenRoundTrip) {
+  const Capability cap = store_.create("hello");
+  EXPECT_EQ(cap.server_port, kServerPort);
+  auto opened = store_.open(cap, rights::kRead);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened.value().value, "hello");
+  EXPECT_EQ(store_.live_count(), 1u);
+}
+
+TEST_P(ObjectStoreSuite, OpenUnknownObjectFails) {
+  Capability cap = store_.create("x");
+  cap.object = ObjectNumber(999);
+  EXPECT_EQ(store_.open(cap, Rights::none()).error(),
+            ErrorCode::no_such_object);
+}
+
+TEST_P(ObjectStoreSuite, ForgedCheckRejected) {
+  Capability cap = store_.create("x");
+  cap.check = CheckField(cap.check.value() ^ 1);
+  EXPECT_EQ(store_.open(cap, Rights::none()).error(),
+            ErrorCode::bad_capability);
+}
+
+TEST_P(ObjectStoreSuite, MissingRightDenied) {
+  if (GetParam() == SchemeKind::simple) {
+    GTEST_SKIP() << "scheme 0 cannot narrow rights";
+  }
+  const Capability cap = store_.create("x", rights::kRead);
+  EXPECT_TRUE(store_.open(cap, rights::kRead).ok());
+  EXPECT_EQ(store_.open(cap, rights::kWrite).error(),
+            ErrorCode::permission_denied);
+}
+
+TEST_P(ObjectStoreSuite, ServerSideRestrictNarrows) {
+  if (GetParam() == SchemeKind::simple) {
+    GTEST_SKIP() << "scheme 0 cannot narrow rights";
+  }
+  const Capability cap = store_.create("x");
+  const auto ro = store_.restrict(cap, rights::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_TRUE(store_.open(ro.value(), rights::kRead).ok());
+  EXPECT_EQ(store_.open(ro.value(), rights::kWrite).error(),
+            ErrorCode::permission_denied);
+  // Restriction of the restricted capability cannot widen again.
+  const auto widened = store_.restrict(ro.value(), Rights::all());
+  ASSERT_TRUE(widened.ok());
+  EXPECT_EQ(store_.open(widened.value(), rights::kWrite).error(),
+            ErrorCode::permission_denied);
+}
+
+TEST_P(ObjectStoreSuite, RevocationKillsAllOutstandingCapabilities) {
+  const Capability owner = store_.create("doc");
+  const auto reader = store_.restrict(owner, rights::kRead);
+  ASSERT_TRUE(reader.ok());
+  const auto fresh = store_.revoke(owner);
+  ASSERT_TRUE(fresh.ok());
+  // Both old capabilities are dead, whatever their rights were.
+  EXPECT_EQ(store_.open(owner, Rights::none()).error(),
+            ErrorCode::bad_capability);
+  EXPECT_EQ(store_.open(reader.value(), Rights::none()).error(),
+            ErrorCode::bad_capability);
+  // The replacement works.
+  EXPECT_TRUE(store_.open(fresh.value(), rights::kRead).ok());
+}
+
+TEST_P(ObjectStoreSuite, RevocationRequiresAdminRight) {
+  if (GetParam() == SchemeKind::simple) {
+    GTEST_SKIP() << "scheme 0 cannot narrow rights";
+  }
+  const Capability owner = store_.create("doc");
+  const auto reader = store_.restrict(owner, rights::kRead);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(store_.revoke(reader.value()).error(),
+            ErrorCode::permission_denied);
+  // The failed attempt must not have rotated the secret.
+  EXPECT_TRUE(store_.open(owner, Rights::none()).ok());
+}
+
+TEST_P(ObjectStoreSuite, DestroyFreesAndReusesSlotSafely) {
+  const Capability first = store_.create("a");
+  ASSERT_TRUE(store_.destroy(first).ok());
+  EXPECT_EQ(store_.live_count(), 0u);
+  EXPECT_EQ(store_.open(first, Rights::none()).error(),
+            ErrorCode::no_such_object);
+  // The slot is reused with a fresh secret: the old capability for the
+  // same object number cannot touch the new object.
+  const Capability second = store_.create("b");
+  EXPECT_EQ(second.object, first.object);
+  EXPECT_EQ(store_.open(first, Rights::none()).error(),
+            ErrorCode::bad_capability);
+  EXPECT_EQ(*store_.open(second, Rights::none()).value().value, "b");
+}
+
+TEST_P(ObjectStoreSuite, DestroyRequiresDestroyRight) {
+  if (GetParam() == SchemeKind::simple) {
+    GTEST_SKIP() << "scheme 0 cannot narrow rights";
+  }
+  const Capability cap = store_.create("a");
+  const auto ro = store_.restrict(cap, rights::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(store_.destroy(ro.value()).error(), ErrorCode::permission_denied);
+  EXPECT_EQ(store_.live_count(), 1u);
+}
+
+TEST_P(ObjectStoreSuite, MintForDeadObjectFails) {
+  const Capability cap = store_.create("a");
+  ASSERT_TRUE(store_.destroy(cap).ok());
+  EXPECT_EQ(store_.mint_for(cap.object, Rights::all()).error(),
+            ErrorCode::no_such_object);
+}
+
+TEST_P(ObjectStoreSuite, ManyObjectsStayIndependent) {
+  std::vector<Capability> caps;
+  caps.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    caps.push_back(store_.create("obj" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto opened = store_.open(caps[static_cast<std::size_t>(i)], Rights::none());
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened.value().value, "obj" + std::to_string(i));
+  }
+  // A capability for object i never opens object j.
+  Capability crossed = caps[0];
+  crossed.object = caps[1].object;
+  EXPECT_FALSE(store_.open(crossed, Rights::none()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ObjectStoreSuite,
+                         ::testing::Values(SchemeKind::simple,
+                                           SchemeKind::encrypted,
+                                           SchemeKind::one_way_xor,
+                                           SchemeKind::commutative),
+                         [](const auto& info) {
+                           return scheme_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace amoeba::core

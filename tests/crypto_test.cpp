@@ -1,0 +1,437 @@
+// Unit and property tests for the crypto substrate: Feistel round trips
+// and avalanche, modular math, one-way functions, the commutative family's
+// algebra, and toy RSA.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "amoeba/common/error.hpp"
+#include "amoeba/common/rng.hpp"
+#include "amoeba/crypto/commutative.hpp"
+#include "amoeba/crypto/feistel.hpp"
+#include "amoeba/crypto/modmath.hpp"
+#include "amoeba/crypto/one_way.hpp"
+#include "amoeba/crypto/rsa.hpp"
+
+namespace amoeba::crypto {
+namespace {
+
+// ---------------------------------------------------------------- modmath
+
+TEST(ModMath, MulModMatchesSmallCases) {
+  EXPECT_EQ(mulmod(7, 9, 10), 3u);
+  EXPECT_EQ(mulmod(0, 12345, 97), 0u);
+  // Near-overflow case: (2^63)^2 mod (2^64 - 59).
+  const std::uint64_t big = 1ULL << 63;
+  const std::uint64_t p = 18446744073709551557ULL;
+  EXPECT_EQ(mulmod(big, big, p),
+            static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(big) * big) % p));
+}
+
+TEST(ModMath, PowModBasics) {
+  EXPECT_EQ(powmod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(powmod(5, 0, 13), 1u);
+  EXPECT_EQ(powmod(5, 3, 1), 0u);
+  // Fermat: a^(p-1) = 1 mod p.
+  const std::uint64_t p = 1000000007;
+  EXPECT_EQ(powmod(123456789, p - 1, p), 1u);
+}
+
+TEST(ModMath, IsPrimeKnownValues) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_TRUE(is_prime(1000000007));
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // 2^64 - 59
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_FALSE(is_prime(1000000007ULL * 3));
+  // Carmichael numbers must not fool the deterministic bases.
+  EXPECT_FALSE(is_prime(561));
+  EXPECT_FALSE(is_prime(1105));
+  EXPECT_FALSE(is_prime(825265));
+}
+
+TEST(ModMath, GcdAndModInv) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(17, 5), 1u);
+  EXPECT_EQ(gcd(0, 7), 7u);
+  const std::uint64_t inv = modinv(3, 11);
+  EXPECT_EQ(mulmod(3, inv, 11), 1u);
+  EXPECT_EQ(modinv(6, 12), 0u);  // not coprime
+  // Large modulus round trip.
+  const std::uint64_t m = 18446744073709551557ULL;
+  const std::uint64_t a = 0x0123456789ABCDEFULL % m;
+  EXPECT_EQ(mulmod(a, modinv(a, m), m), 1u);
+}
+
+// ---------------------------------------------------------------- feistel
+
+class FeistelWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeistelWidths, EncryptDecryptRoundTrip) {
+  const int width = GetParam();
+  Rng rng(width);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Feistel cipher(rng.next(), width);
+    const std::uint64_t plain = rng.bits(width);
+    const std::uint64_t ct = cipher.encrypt(plain);
+    EXPECT_EQ(cipher.decrypt(ct), plain);
+    if (width < 64) {
+      EXPECT_EQ(ct >> width, 0u) << "ciphertext escaped the block width";
+    }
+  }
+}
+
+TEST_P(FeistelWidths, EncryptionIsAPermutation) {
+  const int width = GetParam();
+  const Feistel cipher(0x1234, width);
+  Rng rng(99);
+  std::set<std::uint64_t> outputs;
+  constexpr int kSamples = 500;
+  std::set<std::uint64_t> inputs;
+  while (inputs.size() < kSamples) {
+    inputs.insert(rng.bits(width));
+  }
+  for (const auto in : inputs) {
+    outputs.insert(cipher.encrypt(in));
+  }
+  EXPECT_EQ(outputs.size(), inputs.size());  // injective on the sample
+}
+
+TEST_P(FeistelWidths, AvalancheOnPlaintextBitFlips) {
+  const int width = GetParam();
+  Rng rng(width * 31 + 1);
+  double total_ratio = 0;
+  int cases = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Feistel cipher(rng.next(), width);
+    const std::uint64_t plain = rng.bits(width);
+    const std::uint64_t base = cipher.encrypt(plain);
+    for (int bit = 0; bit < width; ++bit) {
+      const std::uint64_t flipped = cipher.encrypt(plain ^ (1ULL << bit));
+      total_ratio += static_cast<double>(std::popcount(base ^ flipped)) /
+                     width;
+      ++cases;
+    }
+  }
+  const double mean = total_ratio / cases;
+  // "An encryption function that mixes the bits thoroughly is required."
+  EXPECT_GT(mean, 0.45);
+  EXPECT_LT(mean, 0.55);
+}
+
+TEST_P(FeistelWidths, AvalancheOnKeyBitFlips) {
+  const int width = GetParam();
+  Rng rng(width * 17 + 3);
+  double total_ratio = 0;
+  int cases = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t key = rng.next();
+    const std::uint64_t plain = rng.bits(width);
+    const std::uint64_t base = Feistel(key, width).encrypt(plain);
+    for (int bit = 0; bit < 64; bit += 3) {
+      const std::uint64_t other =
+          Feistel(key ^ (1ULL << bit), width).encrypt(plain);
+      total_ratio += static_cast<double>(std::popcount(base ^ other)) / width;
+      ++cases;
+    }
+  }
+  EXPECT_GT(total_ratio / cases, 0.45);
+  EXPECT_LT(total_ratio / cases, 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, FeistelWidths,
+                         ::testing::Values(16, 24, 32, 40, 48, 56, 64));
+
+TEST(FeistelTest, RejectsBadWidthsAndOversizedInput) {
+  EXPECT_THROW(Feistel(1, 15), UsageError);
+  EXPECT_THROW(Feistel(1, 14), UsageError);
+  EXPECT_THROW(Feistel(1, 66), UsageError);
+  const Feistel cipher(1, 16);
+  EXPECT_THROW((void)cipher.encrypt(1ULL << 16), UsageError);
+  EXPECT_THROW((void)cipher.decrypt(1ULL << 20), UsageError);
+}
+
+TEST(FeistelTest, XorWithConstantWouldNotSurviveThisTest) {
+  // Sanity check on the avalanche requirement: flipping one plaintext bit
+  // must not flip exactly one ciphertext bit (which XOR-with-constant
+  // would do).  Guards against regressions to trivial "encryption".
+  const Feistel cipher(42, 56);
+  const std::uint64_t a = cipher.encrypt(0x00FF00FF00FF00ULL & ((1ULL<<56)-1));
+  const std::uint64_t b = cipher.encrypt((0x00FF00FF00FF00ULL ^ 1) & ((1ULL<<56)-1));
+  EXPECT_GT(std::popcount(a ^ b), 8);
+}
+
+// --------------------------------------------------------------- one-way
+
+TEST(OneWay, PurdyIsDeterministicAndInDomain) {
+  const PurdyOneWay f;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.bits(48);
+    const std::uint64_t y = f.apply_raw(x);
+    EXPECT_EQ(y, f.apply_raw(x));
+    EXPECT_EQ(y >> 48, 0u);
+  }
+}
+
+TEST(OneWay, DaviesMeyerIsDeterministicAndInDomain) {
+  const DaviesMeyerOneWay f;
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.bits(48);
+    const std::uint64_t y = f.apply_raw(x);
+    EXPECT_EQ(y, f.apply_raw(x));
+    EXPECT_EQ(y >> 48, 0u);
+  }
+}
+
+TEST(OneWay, RejectsOversizedInput) {
+  EXPECT_THROW((void)PurdyOneWay().apply_raw(1ULL << 48), UsageError);
+  EXPECT_THROW((void)DaviesMeyerOneWay().apply_raw(1ULL << 48), UsageError);
+}
+
+TEST(OneWay, FewCollisionsOnSample) {
+  const PurdyOneWay purdy;
+  const DaviesMeyerOneWay dm;
+  Rng rng(13);
+  std::set<std::uint64_t> purdy_out;
+  std::set<std::uint64_t> dm_out;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t x = rng.bits(48);
+    purdy_out.insert(purdy.apply_raw(x));
+    dm_out.insert(dm.apply_raw(x));
+  }
+  // Collisions in 5000 draws from a 2^48 space are ~ birthday-impossible.
+  EXPECT_GE(purdy_out.size(), kSamples - 2u);
+  EXPECT_GE(dm_out.size(), kSamples - 2u);
+}
+
+TEST(OneWay, OutputLooksUniform) {
+  // Each output bit should be ~50/50 across inputs; catches truncation or
+  // folding bugs that bias the high bits.
+  const PurdyOneWay f;
+  int ones[48] = {};
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t y = f.apply_raw(static_cast<std::uint64_t>(i) * 977);
+    for (int b = 0; b < 48; ++b) {
+      ones[b] += (y >> b) & 1;
+    }
+  }
+  for (int b = 0; b < 48; ++b) {
+    EXPECT_GT(ones[b], kSamples * 0.44) << "bit " << b;
+    EXPECT_LT(ones[b], kSamples * 0.56) << "bit " << b;
+  }
+}
+
+TEST(OneWay, DistinctTweaksGiveDistinctFunctions) {
+  const PurdyOneWay f1(1);
+  const PurdyOneWay f2(2);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    differing += (f1.apply_raw(x) != f2.apply_raw(x));
+  }
+  EXPECT_GE(differing, 63);
+}
+
+TEST(OneWay, PreimageSearchFailsOnSubsampledDomain) {
+  // Black-box inversion try: guess 2^16 preimages for a target in a 48-bit
+  // space; expected hits ~ 2^-32 * 2^16 = 2^-16 ~ 0.
+  const PurdyOneWay f;
+  const std::uint64_t target = f.apply_raw(0x123456789ABCULL & ((1ULL<<48)-1));
+  Rng rng(14);
+  int hits = 0;
+  for (int i = 0; i < (1 << 16); ++i) {
+    const std::uint64_t guess = rng.bits(48);
+    if (guess != 0x123456789ABCULL && f.apply_raw(guess) == target) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(OneWay, DefaultInstanceIsSharedAndStable) {
+  const auto a = default_one_way();
+  const auto b = default_one_way();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->apply_raw(42), b->apply_raw(42));
+}
+
+// ----------------------------------------------------------- commutative
+
+TEST(Commutative, ModulusFits48Bits) {
+  Rng rng(20);
+  const CommutativeFamily fam(rng);
+  EXPECT_EQ(fam.modulus() >> 48, 0u);
+  EXPECT_GT(fam.modulus(), 1ULL << 45);
+}
+
+TEST(Commutative, AllPairsCommute) {
+  Rng rng(21);
+  const CommutativeFamily fam(rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t x = fam.random_element(rng);
+    for (int j = 0; j < CommutativeFamily::kFunctions; ++j) {
+      for (int k = 0; k < CommutativeFamily::kFunctions; ++k) {
+        EXPECT_EQ(fam.apply(j, fam.apply(k, x)), fam.apply(k, fam.apply(j, x)))
+            << "F_" << j << " and F_" << k << " must commute";
+      }
+    }
+  }
+}
+
+TEST(Commutative, ApplyForClearedMatchesManualFold) {
+  Rng rng(22);
+  const CommutativeFamily fam(rng);
+  const std::uint64_t x = fam.random_element(rng);
+  // remaining = 0b10100101: cleared bits are 1,3,4,6.
+  const Rights remaining(0xA5);
+  std::uint64_t manual = x;
+  for (int k : {1, 3, 4, 6}) {
+    manual = fam.apply(k, manual);
+  }
+  EXPECT_EQ(fam.apply_for_cleared(remaining, x), manual);
+}
+
+TEST(Commutative, ApplyForClearedOrderIndependent) {
+  Rng rng(23);
+  const CommutativeFamily fam(rng);
+  const std::uint64_t x = fam.random_element(rng);
+  // Apply in two different manual orders; both must equal the fold.
+  std::uint64_t forward = x;
+  for (int k : {0, 2, 5}) forward = fam.apply(k, forward);
+  std::uint64_t backward = x;
+  for (int k : {5, 2, 0}) backward = fam.apply(k, backward);
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(Commutative, FunctionsAreDistinct) {
+  Rng rng(24);
+  const CommutativeFamily fam(rng);
+  const std::uint64_t x = fam.random_element(rng);
+  std::set<std::uint64_t> images;
+  for (int k = 0; k < CommutativeFamily::kFunctions; ++k) {
+    images.insert(fam.apply(k, x));
+  }
+  EXPECT_EQ(images.size(),
+            static_cast<std::size_t>(CommutativeFamily::kFunctions));
+}
+
+TEST(Commutative, PublicReconstructionMatches) {
+  Rng rng(25);
+  const CommutativeFamily server(rng);
+  const CommutativeFamily client(server.modulus(), server.exponents());
+  const std::uint64_t x = 0x1234567 % server.modulus();
+  for (int k = 0; k < CommutativeFamily::kFunctions; ++k) {
+    EXPECT_EQ(server.apply(k, x), client.apply(k, x));
+  }
+}
+
+TEST(Commutative, RandomElementSkipsFixedPoints) {
+  Rng rng(26);
+  const CommutativeFamily fam(rng);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = fam.random_element(rng);
+    EXPECT_GE(x, 2u);
+    EXPECT_LT(x, fam.modulus());
+  }
+}
+
+TEST(Commutative, RejectsBadIndicesAndModulus) {
+  Rng rng(27);
+  const CommutativeFamily fam(rng);
+  EXPECT_THROW((void)fam.apply(-1, 5), UsageError);
+  EXPECT_THROW((void)fam.apply(CommutativeFamily::kFunctions, 5), UsageError);
+  std::array<std::uint64_t, CommutativeFamily::kFunctions> exps{};
+  EXPECT_THROW(CommutativeFamily(1ULL << 50, exps), UsageError);
+}
+
+// ------------------------------------------------------------------- rsa
+
+TEST(RsaTest, BlockRoundTrip) {
+  Rng rng(30);
+  const RsaKeyPair kp = rsa_generate(rng);
+  EXPECT_GT(kp.pub.n, 1ULL << 59);
+  for (std::uint64_t m : {0ULL, 1ULL, 0xDEADBEEFULL, (1ULL << 32) - 1}) {
+    const std::uint64_t c = rsa_apply_block(kp.pub.n, kp.pub.e, m);
+    EXPECT_EQ(rsa_apply_block(kp.priv.n, kp.priv.d, c), m);
+  }
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  Rng rng(31);
+  const RsaKeyPair kp = rsa_generate(rng);
+  const std::uint64_t digest = 0x1337;
+  const std::uint64_t sig = rsa_apply_block(kp.priv.n, kp.priv.d, digest);
+  EXPECT_EQ(rsa_apply_block(kp.pub.n, kp.pub.e, sig), digest);
+}
+
+TEST(RsaTest, BufferWrapUnwrapAllSizes) {
+  Rng rng(32);
+  const RsaKeyPair kp = rsa_generate(rng);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 5u, 16u, 33u, 100u}) {
+    Buffer plain(len);
+    rng.fill(plain);
+    const Buffer sealed = rsa_wrap(kp.pub.n, kp.pub.e, plain);
+    const auto opened = rsa_unwrap(kp.priv.n, kp.priv.d, sealed);
+    ASSERT_TRUE(opened.has_value()) << "len " << len;
+    EXPECT_EQ(*opened, plain);
+  }
+}
+
+TEST(RsaTest, WrongKeyFailsToUnwrap) {
+  Rng rng(33);
+  const RsaKeyPair kp1 = rsa_generate(rng);
+  const RsaKeyPair kp2 = rsa_generate(rng);
+  Buffer plain(32);
+  rng.fill(plain);
+  const Buffer sealed = rsa_wrap(kp1.pub.n, kp1.pub.e, plain);
+  const auto opened = rsa_unwrap(kp2.priv.n, kp2.priv.d, sealed);
+  // Either unwrap detects garbage (overwhelmingly likely) or yields bytes
+  // that differ from the plaintext.
+  if (opened.has_value()) {
+    EXPECT_NE(*opened, plain);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(RsaTest, TamperedCiphertextDetectedOrCorrupted) {
+  Rng rng(34);
+  const RsaKeyPair kp = rsa_generate(rng);
+  Buffer plain(16);
+  rng.fill(plain);
+  Buffer sealed = rsa_wrap(kp.pub.n, kp.pub.e, plain);
+  sealed[6] ^= 0x40;  // flip a bit inside the first cipher block
+  const auto opened = rsa_unwrap(kp.priv.n, kp.priv.d, sealed);
+  if (opened.has_value()) {
+    EXPECT_NE(*opened, plain);
+  }
+}
+
+TEST(RsaTest, MalformedBufferRejected) {
+  Rng rng(35);
+  const RsaKeyPair kp = rsa_generate(rng);
+  EXPECT_FALSE(rsa_unwrap(kp.priv.n, kp.priv.d, Buffer{1, 2, 3}).has_value());
+  // Length header promising more blocks than present.
+  Writer w;
+  w.u32(100);
+  EXPECT_FALSE(rsa_unwrap(kp.priv.n, kp.priv.d, w.buffer()).has_value());
+}
+
+TEST(RsaTest, OversizedBlockThrows) {
+  Rng rng(36);
+  const RsaKeyPair kp = rsa_generate(rng);
+  EXPECT_THROW((void)rsa_apply_block(kp.pub.n, kp.pub.e, kp.pub.n),
+               UsageError);
+}
+
+}  // namespace
+}  // namespace amoeba::crypto

@@ -1,0 +1,421 @@
+// System-level integration tests: the Fig. 1 intruder scenarios executed
+// end-to-end against real services, the full Amoeba stack (block + file +
+// directory + bank + memory servers across machines), and failure
+// injection through the whole RPC path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/kernel/memory_server.hpp"
+#include "amoeba/servers/bank_server.hpp"
+#include "amoeba/servers/block_server.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/directory_server.hpp"
+#include "amoeba/servers/flat_file_server.hpp"
+#include "amoeba/softprot/filter.hpp"
+#include "amoeba/softprot/handshake.hpp"
+
+namespace amoeba {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------- Fig. 1: intruders
+
+class IntruderSuite : public ::testing::Test {
+ protected:
+  IntruderSuite()
+      : server_machine_(net_.add_machine("server")),
+        client_machine_(net_.add_machine("client")),
+        intruder_machine_(net_.add_machine("intruder")),
+        rng_(1) {
+    servers::BlockServer::Geometry geometry;
+    geometry.block_count = 8;
+    geometry.block_size = 64;
+    service_ = std::make_unique<servers::BlockServer>(
+        server_machine_, kServiceGetPort,
+        core::make_scheme(core::SchemeKind::one_way_xor, rng_), 1, geometry);
+    service_->start();
+    transport_ = std::make_unique<rpc::Transport>(client_machine_, 2);
+  }
+
+  static constexpr Port kServiceGetPort{0x6E7};
+
+  net::Network net_;
+  net::Machine& server_machine_;
+  net::Machine& client_machine_;
+  net::Machine& intruder_machine_;
+  Rng rng_;
+  std::unique_ptr<servers::BlockServer> service_;
+  std::unique_ptr<rpc::Transport> transport_;
+};
+
+TEST_F(IntruderSuite, LegitimatePathWorks) {
+  servers::BlockClient client(*transport_, service_->put_port());
+  const auto cap = client.allocate();
+  ASSERT_TRUE(cap.ok());
+  EXPECT_TRUE(client.write(cap.value(), Buffer{'o', 'k'}).ok());
+}
+
+TEST_F(IntruderSuite, ImpersonationByGetOnPutPortFails) {
+  // The intruder knows the public put-port P and tries GET(P) to steal
+  // requests.  His F-box registers F(P): clients sending to P are never
+  // delivered to him.
+  net::Receiver fake_service = intruder_machine_.listen(service_->put_port());
+  EXPECT_NE(fake_service.put_port(), service_->put_port());
+
+  servers::BlockClient client(*transport_, service_->put_port());
+  EXPECT_TRUE(client.allocate().ok());  // real server answered
+  EXPECT_FALSE(fake_service.receive({}, 50ms).has_value());
+}
+
+TEST_F(IntruderSuite, WiretapNeverSeesSecrets) {
+  // A passive tap sees every frame.  It must never see the service's
+  // get-port nor any client reply get-port in the clear.
+  std::vector<Port> observed;
+  net::TapHandle tap = net_.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data) {
+      observed.push_back(rec.message.header.dest);
+      observed.push_back(rec.message.header.reply);
+    }
+  });
+  std::vector<Port> reply_gets;  // ground truth of secrets, via inner knowledge
+  // Drive some traffic.
+  servers::BlockClient client(*transport_, service_->put_port());
+  const auto cap = client.allocate();
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(client.write(cap.value(), Buffer{1}).ok());
+
+  for (const Port p : observed) {
+    EXPECT_NE(p, kServiceGetPort) << "service get-port leaked onto the wire";
+  }
+}
+
+TEST_F(IntruderSuite, StolenReplyPortIsUseless) {
+  // The intruder records a client's (transformed) reply put-port P' from
+  // the wire and later does GET(P') hoping to catch that client's replies:
+  // his F-box listens on F(P'), and moreover the port was one-shot.
+  Port stolen;
+  net::TapHandle tap = net_.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data &&
+        !rec.message.header.reply.is_null()) {
+      stolen = rec.message.header.reply;
+    }
+  });
+  servers::BlockClient client(*transport_, service_->put_port());
+  ASSERT_TRUE(client.allocate().ok());
+  ASSERT_FALSE(stolen.is_null());
+
+  net::Receiver eavesdrop = intruder_machine_.listen(stolen);
+  EXPECT_NE(eavesdrop.put_port(), stolen);
+  const auto cap = client.allocate();  // more traffic, fresh reply ports
+  ASSERT_TRUE(cap.ok());
+  EXPECT_FALSE(eavesdrop.receive({}, 50ms).has_value());
+}
+
+TEST_F(IntruderSuite, SignatureCannotBeForged) {
+  // A client publishes F(S).  The intruder, knowing F(S) from the wire,
+  // puts F(S) in his own signature field -- but HIS F-box applies F again,
+  // so the receiver sees F(F(S)) != F(S).
+  const Port secret_signature(0x5EC2E7);
+  transport_->set_signature(secret_signature);
+  const Port published =
+      client_machine_.fbox().f().apply(secret_signature);
+
+  // Honest signed request.
+  Port seen;
+  net::TapHandle tap = net_.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data &&
+        !rec.message.header.signature.is_null()) {
+      seen = rec.message.header.signature;
+    }
+  });
+  servers::BlockClient client(*transport_, service_->put_port());
+  ASSERT_TRUE(client.allocate().ok());
+  EXPECT_EQ(seen, published);
+
+  // Intruder attempt: use the observed F(S) as his signature.
+  rpc::Transport intruder_transport(intruder_machine_, 9);
+  intruder_transport.set_signature(seen);
+  servers::BlockClient intruder_client(intruder_transport,
+                                       service_->put_port());
+  Port forged;
+  net::TapHandle tap2 = net_.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data && rec.src == intruder_machine_.id() &&
+        !rec.message.header.signature.is_null()) {
+      forged = rec.message.header.signature;
+    }
+  });
+  ASSERT_TRUE(intruder_client.allocate().ok());
+  EXPECT_NE(forged, published) << "intruder reproduced the signature";
+}
+
+TEST_F(IntruderSuite, CapabilityGuessingIsHopeless) {
+  // Brute-force forgery against a real service over RPC: random check
+  // fields for a known object number.
+  servers::BlockClient client(*transport_, service_->put_port());
+  const auto real = client.allocate();
+  ASSERT_TRUE(real.ok());
+
+  rpc::Transport intruder_transport(intruder_machine_, 13);
+  servers::BlockClient intruder_client(intruder_transport,
+                                       service_->put_port());
+  Rng guesses(1234);
+  int successes = 0;
+  for (int i = 0; i < 500; ++i) {
+    core::Capability forged = real.value();
+    forged.check = CheckField(guesses.bits(48));
+    if (forged.check == real.value().check) continue;
+    successes += intruder_client.read(forged).ok();
+  }
+  EXPECT_EQ(successes, 0);
+}
+
+TEST_F(IntruderSuite, AblationWithoutFBoxImpersonationSucceeds) {
+  // The Fig. 1 ablation: with the transformation disabled (and no
+  // softprot either), GET(P) == listening on P, so the intruder CAN
+  // receive traffic meant for the server.  This is the design point the
+  // F-box exists for.
+  net::Network open_net{net::Network::Config{.fbox_enabled = false}};
+  net::Machine& server = open_net.add_machine("server");
+  net::Machine& intruder = open_net.add_machine("intruder");
+  net::Machine& client = open_net.add_machine("client");
+
+  const Port service_port(0xCAFE);
+  net::Receiver real = server.listen(service_port);
+  net::Receiver fake = intruder.listen(service_port);
+  EXPECT_EQ(fake.put_port(), service_port);  // squatting works now
+
+  net::Message msg;
+  msg.header.dest = service_port;
+  // The client's kernel locates the port -- and may find the intruder.
+  const auto located = client.locate(service_port);
+  ASSERT_TRUE(located.has_value());
+  const bool intruder_reachable =
+      client.transmit(msg, intruder.id());  // delivered to the squatter
+  EXPECT_TRUE(intruder_reachable);
+  EXPECT_TRUE(fake.receive({}, 500ms).has_value());
+}
+
+// ------------------------------------------------- full Amoeba deployment
+
+/// The whole §3 stack on a five-machine network: storage, file server,
+/// naming, bank, and a workstation, exercised through one user scenario.
+TEST(FullStack, EndToEndUserScenario) {
+  net::Network net;
+  net::Machine& storage = net.add_machine("storage");
+  net::Machine& fileserver = net.add_machine("fileserver");
+  net::Machine& naming = net.add_machine("naming");
+  net::Machine& bankhost = net.add_machine("bank");
+  net::Machine& workstation = net.add_machine("workstation");
+  Rng rng(77);
+  const auto scheme = core::make_scheme(core::SchemeKind::commutative, rng);
+
+  servers::BlockServer::Geometry geometry;
+  geometry.block_count = 128;
+  geometry.block_size = 256;
+  servers::BlockServer blocks(storage, Port(0xB10C), scheme, 1, geometry);
+  blocks.start();
+  servers::BankServer bank(bankhost, Port(0xBA7C), scheme, 2);
+  bank.start();
+
+  rpc::Transport fs_transport(fileserver, 50);
+  servers::BankClient fs_bank(fs_transport, bank.put_port());
+  const auto fs_account = fs_bank.create_account().value();
+
+  servers::FlatFileServer files(fileserver, Port(0xF17E), scheme, 3,
+                                blocks.put_port());
+  servers::FlatFileServer::Pricing pricing;
+  pricing.bank_port = bank.put_port();
+  pricing.server_account = fs_account;
+  pricing.currency = servers::currency::kDollar;
+  pricing.price_per_block = 2;
+  files.set_pricing(pricing);
+  files.start(2);  // two worker processes comprise the file service
+
+  servers::DirectoryServer dirs(naming, Port(0xD1D1), scheme, 4);
+  dirs.start();
+  kernel::MemoryServer memory(workstation, Port(0x3E3), scheme, 5);
+  memory.start();
+
+  // --- user session on the workstation ---
+  rpc::Transport me(workstation, 6);
+  servers::BankClient my_bank(me, bank.put_port());
+  servers::FlatFileClient my_files(me, files.put_port());
+  servers::DirectoryClient my_dirs(me, dirs.put_port());
+  kernel::MemoryClient my_memory(me, memory.put_port());
+
+  // Funded account.
+  const auto wallet = my_bank.create_account().value();
+  ASSERT_TRUE(my_bank
+                  .mint(bank.master_capability(), wallet,
+                        servers::currency::kDollar, 50)
+                  .ok());
+
+  // Create and pay for a file; store its capability under a name.
+  const auto report = my_files.create(&wallet);
+  ASSERT_TRUE(report.ok());
+  Buffer content(700, 'r');
+  ASSERT_TRUE(my_files.write(report.value(), 0, content).ok());
+  const auto home = my_dirs.create_dir().value();
+  const auto docs = my_dirs.create_dir().value();
+  ASSERT_TRUE(my_dirs.enter(home, "docs", docs).ok());
+  ASSERT_TRUE(my_dirs.enter(docs, "report.txt", report.value()).ok());
+
+  // Storage was charged: 700 bytes = 3 blocks at 2 dollars.
+  EXPECT_EQ(my_bank.balance(wallet, servers::currency::kDollar).value(),
+            50 - 3 * 2);
+
+  // Share read-only through the directory: restrict LOCALLY (commutative
+  // scheme: no server round-trip) and publish the weaker capability.
+  const auto& commutative =
+      static_cast<const core::CommutativeScheme&>(*scheme);
+  core::Capability read_only = report.value();
+  for (const int bit : {core::rights::kWriteBit, core::rights::kDestroyBit,
+                        core::rights::kAdminBit}) {
+    read_only = commutative.restrict_local(read_only, bit).value();
+  }
+  ASSERT_TRUE(my_dirs.enter(docs, "report-public.txt", read_only).ok());
+
+  // --- a colleague elsewhere resolves the path and reads, cannot write ---
+  rpc::Transport colleague(net.add_machine("colleague"), 7);
+  const auto found =
+      servers::resolve_path(colleague, home, "docs/report-public.txt");
+  ASSERT_TRUE(found.ok());
+  servers::FlatFileClient their_files(colleague, found.value().server_port);
+  EXPECT_EQ(their_files.read(found.value(), 0, 3).value(), Buffer(3, 'r'));
+  EXPECT_EQ(their_files.write(found.value(), 0, Buffer{'x'}).error(),
+            ErrorCode::permission_denied);
+
+  // --- load the report into a memory segment and make a process of it ---
+  const auto segment = my_memory.create_segment(1024);
+  ASSERT_TRUE(segment.ok());
+  const auto bytes = my_files.read(report.value(), 0, 700);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(my_memory.write(segment.value(), 0, bytes.value()).ok());
+  const std::array<core::Capability, 1> segs = {segment.value()};
+  const auto process = my_memory.make_process(segs);
+  ASSERT_TRUE(process.ok());
+  ASSERT_TRUE(my_memory.start(process.value()).ok());
+
+  // --- revoke the file: every copy dies, including the directory's ---
+  const auto fresh = my_files.revoke(report.value());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(their_files.read(found.value(), 0, 1).error(),
+            ErrorCode::bad_capability);
+  const auto stale =
+      servers::resolve_path(colleague, home, "docs/report.txt").value();
+  EXPECT_EQ(their_files.read(stale, 0, 1).error(), ErrorCode::bad_capability);
+  EXPECT_TRUE(my_files.read(fresh.value(), 0, 1).ok());
+
+  // --- destroy the file; the refund comes back to the wallet ---
+  ASSERT_TRUE(my_files.destroy(fresh.value()).ok());
+  EXPECT_EQ(my_bank.balance(wallet, servers::currency::kDollar).value(), 50);
+}
+
+TEST(FullStack, SurvivesLossyNetwork) {
+  // 20% frame loss: transactions may time out, but retried operations
+  // eventually succeed and nothing corrupts.
+  net::Network net(net::Network::Config{.seed = 5, .drop_probability = 0.2});
+  net::Machine& sm = net.add_machine("server");
+  net::Machine& cm = net.add_machine("client");
+  Rng rng(3);
+  servers::BlockServer::Geometry geometry;
+  geometry.block_count = 32;
+  geometry.block_size = 64;
+  servers::BlockServer blocks(sm, Port(0xB1),
+                              core::make_scheme(core::SchemeKind::simple, rng),
+                              1, geometry);
+  blocks.start();
+  rpc::Transport transport(cm, 2);
+  transport.set_default_timeout(100ms);
+  servers::BlockClient client(transport, blocks.put_port());
+
+  auto retry = [&](auto op) {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto result = op();
+      if (result.ok()) {
+        return result;
+      }
+    }
+    return op();
+  };
+
+  const auto cap = retry([&] { return client.allocate(); });
+  ASSERT_TRUE(cap.ok());
+  for (int round = 0; round < 10; ++round) {
+    const Buffer payload{static_cast<std::uint8_t>('a' + round)};
+    ASSERT_TRUE(retry([&] { return client.write(cap.value(), payload); }).ok());
+    const auto read = retry([&] { return client.read(cap.value()); });
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value()[0], payload[0]);
+  }
+  EXPECT_GT(net.stats().dropped.load(), 0u);
+}
+
+TEST(FullStack, SoftProtStackWithoutFBoxes) {
+  // The §2.4 deployment: F-boxes off, the whole client/server exchange
+  // protected by the key matrix -- bootstrapped by the RSA handshake --
+  // while an intruder replays captured frames in vain.
+  net::Network net(net::Network::Config{.fbox_enabled = false});
+  net::Machine& sm = net.add_machine("server");
+  net::Machine& cm = net.add_machine("client");
+  net::Machine& im = net.add_machine("intruder");
+  Rng rng(9);
+  const auto scheme = core::make_scheme(core::SchemeKind::one_way_xor, rng);
+
+  auto server_keys = std::make_shared<softprot::KeyStore>();
+  auto client_keys = std::make_shared<softprot::KeyStore>();
+  softprot::BootService boot(sm, Port(0xB007), server_keys, 11);
+  boot.start();
+
+  servers::BlockServer::Geometry geometry;
+  geometry.block_count = 16;
+  geometry.block_size = 64;
+  servers::BlockServer blocks(sm, Port(0xB10C), scheme, 1, geometry);
+  blocks.set_filter(std::make_shared<softprot::SealingFilter>(server_keys, 2));
+  blocks.start();
+
+  Rng client_rng(21);
+  ASSERT_TRUE(softprot::establish_keys(cm, boot.put_port(), boot.public_key(),
+                                       *client_keys, client_rng)
+                  .ok());
+  rpc::Transport transport(cm, 3);
+  transport.set_filter(std::make_shared<softprot::SealingFilter>(client_keys, 4));
+  servers::BlockClient client(transport, blocks.put_port());
+
+  // Capture the client's sealed write for replay.
+  std::optional<net::Message> captured;
+  net::TapHandle tap = net.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data && rec.src == cm.id() &&
+        rec.message.header.opcode == servers::block_op::kWrite) {
+      captured = rec.message;
+    }
+  });
+
+  const auto cap = client.allocate();
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(client.write(cap.value(), Buffer{'v', '1'}).ok());
+  ASSERT_TRUE(captured.has_value());
+
+  // Intruder replays the captured request from his machine.  The server
+  // decrypts the capability with M[intruder][server] -- which does not
+  // exist (no handshake) or yields garbage; either way the write fails.
+  net::Message replay = *captured;
+  replay.data = {'h', 'a', 'x'};
+  net::Receiver reply_box = im.listen(Port(0x1111));
+  replay.header.reply = Port(0x1111);
+  ASSERT_TRUE(im.transmit(replay, sm.id()));
+  const auto reply = reply_box.receive({}, 1000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->message.header.status, ErrorCode::ok);
+  // The file content is unchanged.
+  EXPECT_EQ(client.read(cap.value()).value()[0], 'v');
+}
+
+}  // namespace
+}  // namespace amoeba

@@ -1,0 +1,299 @@
+// Tests for the simulated LAN and F-box layer: GET/PUT semantics, the
+// one-way port transformation, wire visibility (taps), source stamping,
+// broadcast, locate, and fault injection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/crypto/one_way.hpp"
+#include "amoeba/net/network.hpp"
+
+namespace amoeba::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message make_data(Port dest, std::uint16_t opcode) {
+  Message m;
+  m.header.dest = dest;
+  m.header.opcode = opcode;
+  return m;
+}
+
+TEST(FBoxTest, ListenPortAppliesF) {
+  Network net;
+  Machine& m = net.add_machine("server");
+  const Port get_port(0x1234);
+  Receiver r = m.listen(get_port);
+  EXPECT_EQ(r.put_port(), m.fbox().listen_port(get_port));
+  EXPECT_EQ(r.put_port(), m.fbox().f().apply(get_port));
+  EXPECT_NE(r.put_port(), get_port);
+}
+
+TEST(FBoxTest, PutToFBoxPortReachesGetter) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  const Port g(0xAAAA);
+  Receiver r = server.listen(g);
+  ASSERT_TRUE(client.transmit(make_data(r.put_port(), 7), server.id()));
+  auto d = r.receive({}, 500ms);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.header.opcode, 7);
+  EXPECT_EQ(d->src, client.id());  // source is stamped, not chosen
+}
+
+TEST(FBoxTest, PutToGetPortItselfIsRejected) {
+  // Nobody listens on G itself in F-box mode: the registration is on F(G).
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  const Port g(0xBBBB);
+  Receiver r = server.listen(g);
+  ASSERT_NE(r.put_port(), g);
+  EXPECT_FALSE(client.transmit(make_data(g, 1), server.id()));
+}
+
+TEST(FBoxTest, IntruderGetOnPutPortListensOnUselessPort) {
+  // "An intruder doing GET(P) will simply cause his F-box to listen to
+  // the (useless) port F(P)."
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& intruder = net.add_machine("intruder");
+  Machine& client = net.add_machine("client");
+  const Port g(0xCCCC);
+  Receiver real = server.listen(g);
+  const Port p = real.put_port();
+  Receiver fake = intruder.listen(p);  // intruder tries GET(P)
+  EXPECT_NE(fake.put_port(), p);       // listening on F(P), not P
+  // Client's message goes to the true server, never the intruder.
+  ASSERT_TRUE(client.transmit(make_data(p, 9), server.id()));
+  EXPECT_TRUE(real.receive({}, 500ms).has_value());
+  EXPECT_FALSE(fake.receive({}, 50ms).has_value());
+}
+
+TEST(FBoxTest, ReplyAndSignatureFieldsTransformedOnWire) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  const Port g(0xDDDD);
+  Receiver r = server.listen(g);
+
+  std::vector<TapRecord> wire;
+  TapHandle tap = net.attach_tap([&](const TapRecord& rec) {
+    if (rec.kind == FrameKind::data) wire.push_back(rec);
+  });
+
+  const Port reply_get(0x1111);
+  const Port signature(0x2222);
+  Message msg = make_data(r.put_port(), 1);
+  msg.header.reply = reply_get;
+  msg.header.signature = signature;
+  ASSERT_TRUE(client.transmit(msg, server.id()));
+
+  ASSERT_EQ(wire.size(), 1u);
+  const auto& f = client.fbox().f();
+  // Destination passes through untransformed; reply and signature get F.
+  EXPECT_EQ(wire[0].message.header.dest, r.put_port());
+  EXPECT_EQ(wire[0].message.header.reply, f.apply(reply_get));
+  EXPECT_EQ(wire[0].message.header.signature, f.apply(signature));
+  // The receiving process also sees only the transformed values: the
+  // secret get-port never crosses the wire.
+  auto d = r.receive({}, 500ms);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.header.reply, f.apply(reply_get));
+  EXPECT_NE(d->message.header.reply, reply_get);
+}
+
+TEST(FBoxTest, DisabledModeIsTransparent) {
+  Network net(Network::Config{.fbox_enabled = false});
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  const Port g(0xEEEE);
+  Receiver r = server.listen(g);
+  EXPECT_EQ(r.put_port(), g);  // no transformation
+  Message msg = make_data(g, 2);
+  msg.header.reply = Port(0x3333);
+  ASSERT_TRUE(client.transmit(msg, server.id()));
+  auto d = r.receive({}, 500ms);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.header.reply, Port(0x3333));
+}
+
+TEST(NetworkTest, TransmitToWrongMachineRejected) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& other = net.add_machine("other");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0x4444));
+  EXPECT_FALSE(client.transmit(make_data(r.put_port(), 1), other.id()));
+  EXPECT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+}
+
+TEST(NetworkTest, ReceiverDestructionWithdrawsRegistration) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Port put;
+  {
+    Receiver r = server.listen(Port(0x5555));
+    put = r.put_port();
+    EXPECT_TRUE(client.transmit(make_data(put, 1), server.id()));
+  }
+  EXPECT_FALSE(client.transmit(make_data(put, 1), server.id()));
+}
+
+TEST(NetworkTest, RoundRobinAcrossMultipleGets) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  const Port g(0x6666);
+  Receiver r1 = server.listen(g);
+  Receiver r2 = server.listen(g);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.transmit(make_data(r1.put_port(), 1), server.id()));
+  }
+  int count1 = 0;
+  int count2 = 0;
+  while (r1.receive({}, 20ms).has_value()) ++count1;
+  while (r2.receive({}, 20ms).has_value()) ++count2;
+  EXPECT_EQ(count1, 2);
+  EXPECT_EQ(count2, 2);
+}
+
+TEST(NetworkTest, BroadcastReachesAllListeners) {
+  Network net;
+  Machine& a = net.add_machine("a");
+  Machine& b = net.add_machine("b");
+  Machine& sender = net.add_machine("sender");
+  const Port g(0x7777);
+  Receiver ra = a.listen(g);
+  Receiver rb = b.listen(g);
+  sender.broadcast(make_data(ra.put_port(), 3));
+  EXPECT_TRUE(ra.receive({}, 500ms).has_value());
+  EXPECT_TRUE(rb.receive({}, 500ms).has_value());
+}
+
+TEST(NetworkTest, LocateFindsListenerAndMissesAbsent) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0x8888));
+  EXPECT_EQ(client.locate(r.put_port()), server.id());
+  EXPECT_FALSE(client.locate(Port(0x9999)).has_value());
+  EXPECT_EQ(net.stats().locates.load(), 2u);
+}
+
+TEST(NetworkTest, LocateTracksMigration) {
+  Network net;
+  Machine& a = net.add_machine("a");
+  Machine& b = net.add_machine("b");
+  Machine& client = net.add_machine("client");
+  const Port g(0xABCD);
+  Port put;
+  {
+    Receiver ra = a.listen(g);
+    put = ra.put_port();
+    EXPECT_EQ(client.locate(put), a.id());
+  }
+  EXPECT_FALSE(client.locate(put).has_value());
+  Receiver rb = b.listen(g);
+  EXPECT_EQ(client.locate(put), b.id());
+}
+
+TEST(NetworkTest, DropFaultLosesFrames) {
+  Network net(Network::Config{.seed = 9, .drop_probability = 1.0});
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0xAA11));
+  // Link-level accept still true (sender can't detect a dropped frame).
+  EXPECT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+  EXPECT_FALSE(r.receive({}, 50ms).has_value());
+  EXPECT_GE(net.stats().dropped.load(), 1u);
+}
+
+TEST(NetworkTest, DuplicateFaultDeliversTwice) {
+  Network net(Network::Config{.seed = 9, .duplicate_probability = 1.0});
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0xAA22));
+  EXPECT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+  EXPECT_TRUE(r.receive({}, 500ms).has_value());
+  EXPECT_TRUE(r.receive({}, 500ms).has_value());
+}
+
+TEST(NetworkTest, StatsCountTraffic) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0xAA33));
+  ASSERT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+  EXPECT_FALSE(client.transmit(make_data(Port(0xDEAD), 1), server.id()));
+  EXPECT_EQ(net.stats().unicasts.load(), 2u);
+  EXPECT_EQ(net.stats().delivered.load(), 1u);
+  EXPECT_EQ(net.stats().rejected.load(), 1u);
+}
+
+TEST(NetworkTest, TapSeesLocateTraffic) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0xAA44));
+  int locate_requests = 0;
+  int locate_replies = 0;
+  TapHandle tap = net.attach_tap([&](const TapRecord& rec) {
+    locate_requests += rec.kind == FrameKind::locate_request;
+    locate_replies += rec.kind == FrameKind::locate_reply;
+  });
+  (void)client.locate(r.put_port());
+  EXPECT_EQ(locate_requests, 1);
+  EXPECT_EQ(locate_replies, 1);
+}
+
+TEST(NetworkTest, DetachedTapStopsObserving) {
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0xAA55));
+  int seen = 0;
+  {
+    TapHandle tap = net.attach_tap([&](const TapRecord&) { ++seen; });
+    ASSERT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+  }
+  ASSERT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(MailboxTest, PopHonorsStopToken) {
+  Mailbox box;
+  std::stop_source source;
+  std::jthread stopper([&] {
+    std::this_thread::sleep_for(50ms);
+    source.request_stop();
+  });
+  const auto result = box.pop(source.get_token());
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(MailboxTest, CloseWakesWaiter) {
+  Mailbox box;
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(50ms);
+    box.close();
+  });
+  EXPECT_FALSE(box.pop({}).has_value());
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(MailboxTest, PushAfterCloseDiscarded) {
+  Mailbox box;
+  box.close();
+  box.push(Delivery{});
+  EXPECT_EQ(box.size(), 0u);
+}
+
+}  // namespace
+}  // namespace amoeba::net

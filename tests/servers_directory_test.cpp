@@ -1,0 +1,210 @@
+// Tests for the directory server (§3.4), including the transparent
+// cross-server path walk the paper highlights.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/directory_server.hpp"
+#include "amoeba/servers/flat_file_server.hpp"
+#include "amoeba/servers/block_server.hpp"
+
+namespace amoeba::servers {
+namespace {
+
+class DirectorySuite : public ::testing::Test {
+ protected:
+  DirectorySuite()
+      : machine_(net_.add_machine("dirserver")),
+        client_machine_(net_.add_machine("client")),
+        rng_(5) {
+    const auto scheme = core::make_scheme(core::SchemeKind::commutative, rng_);
+    server_ = std::make_unique<DirectoryServer>(machine_, Port(0xD1D1),
+                                                scheme, 1);
+    server_->start();
+    transport_ = std::make_unique<rpc::Transport>(client_machine_, 2);
+    client_ = std::make_unique<DirectoryClient>(*transport_,
+                                                server_->put_port());
+  }
+
+  core::Capability dummy_cap(std::uint32_t tag) const {
+    return core::Capability{Port(0xFA15E0000000ULL + tag), ObjectNumber(tag),
+                            Rights::all(), CheckField(tag * 7919)};
+  }
+
+  net::Network net_;
+  net::Machine& machine_;
+  net::Machine& client_machine_;
+  Rng rng_;
+  std::unique_ptr<DirectoryServer> server_;
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<DirectoryClient> client_;
+};
+
+TEST_F(DirectorySuite, EnterLookupRemove) {
+  const auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const core::Capability target = dummy_cap(1);
+  ASSERT_TRUE(client_->enter(dir.value(), "readme", target).ok());
+  const auto found = client_->lookup(dir.value(), "readme");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), target);
+  ASSERT_TRUE(client_->remove(dir.value(), "readme").ok());
+  EXPECT_EQ(client_->lookup(dir.value(), "readme").error(),
+            ErrorCode::not_found);
+}
+
+TEST_F(DirectorySuite, DuplicateNameRejected) {
+  const auto dir = client_->create_dir();
+  ASSERT_TRUE(client_->enter(dir.value(), "x", dummy_cap(1)).ok());
+  EXPECT_EQ(client_->enter(dir.value(), "x", dummy_cap(2)).error(),
+            ErrorCode::exists);
+}
+
+TEST_F(DirectorySuite, EmptyNameRejected) {
+  const auto dir = client_->create_dir();
+  EXPECT_EQ(client_->enter(dir.value(), "", dummy_cap(1)).error(),
+            ErrorCode::invalid_argument);
+}
+
+TEST_F(DirectorySuite, RemoveAbsentNameFails) {
+  const auto dir = client_->create_dir();
+  EXPECT_EQ(client_->remove(dir.value(), "ghost").error(),
+            ErrorCode::not_found);
+}
+
+TEST_F(DirectorySuite, ListReturnsSortedEntries) {
+  const auto dir = client_->create_dir();
+  ASSERT_TRUE(client_->enter(dir.value(), "bravo", dummy_cap(2)).ok());
+  ASSERT_TRUE(client_->enter(dir.value(), "alpha", dummy_cap(1)).ok());
+  const auto entries = client_->list(dir.value());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  EXPECT_EQ(entries.value()[0].name, "alpha");
+  EXPECT_EQ(entries.value()[0].capability, dummy_cap(1));
+  EXPECT_EQ(entries.value()[1].name, "bravo");
+}
+
+TEST_F(DirectorySuite, DeleteOnlyWhenEmpty) {
+  const auto dir = client_->create_dir();
+  ASSERT_TRUE(client_->enter(dir.value(), "x", dummy_cap(1)).ok());
+  EXPECT_EQ(client_->delete_dir(dir.value()).error(), ErrorCode::not_empty);
+  ASSERT_TRUE(client_->remove(dir.value(), "x").ok());
+  EXPECT_TRUE(client_->delete_dir(dir.value()).ok());
+  EXPECT_EQ(client_->list(dir.value()).error(), ErrorCode::no_such_object);
+}
+
+TEST_F(DirectorySuite, ReadOnlyDirectoryCapability) {
+  const auto dir = client_->create_dir();
+  const auto read_only =
+      restrict_capability(*transport_, dir.value(), core::rights::kRead);
+  ASSERT_TRUE(read_only.ok());
+  ASSERT_TRUE(client_->enter(dir.value(), "x", dummy_cap(1)).ok());
+  EXPECT_TRUE(client_->lookup(read_only.value(), "x").ok());
+  EXPECT_TRUE(client_->list(read_only.value()).ok());
+  EXPECT_EQ(client_->enter(read_only.value(), "y", dummy_cap(2)).error(),
+            ErrorCode::permission_denied);
+  EXPECT_EQ(client_->remove(read_only.value(), "x").error(),
+            ErrorCode::permission_denied);
+}
+
+TEST_F(DirectorySuite, NestedDirectoriesSameServer) {
+  const auto root = client_->create_dir();
+  const auto sub = client_->create_dir();
+  ASSERT_TRUE(client_->enter(root.value(), "sub", sub.value()).ok());
+  ASSERT_TRUE(client_->enter(sub.value(), "leaf", dummy_cap(3)).ok());
+  const auto resolved = resolve_path(*transport_, root.value(), "sub/leaf");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value(), dummy_cap(3));
+}
+
+TEST_F(DirectorySuite, ResolveEdgeCases) {
+  const auto root = client_->create_dir();
+  // Empty path resolves to the root itself.
+  EXPECT_EQ(resolve_path(*transport_, root.value(), "").value(), root.value());
+  // Empty components are malformed.
+  EXPECT_EQ(resolve_path(*transport_, root.value(), "a//b").error(),
+            ErrorCode::invalid_argument);
+  // Missing component.
+  EXPECT_EQ(resolve_path(*transport_, root.value(), "missing").error(),
+            ErrorCode::not_found);
+}
+
+TEST(CrossServerTraversal, PathWalkHopsBetweenDirectoryServers) {
+  // "If the capability returned happens to be for a directory managed by a
+  // different directory server, then the ensuing request to look up 'b'
+  // just goes to the new server. ... The distribution is completely
+  // transparent."
+  net::Network net;
+  net::Machine& m1 = net.add_machine("dirserver1");
+  net::Machine& m2 = net.add_machine("dirserver2");
+  net::Machine& cm = net.add_machine("client");
+  Rng rng(11);
+  const auto scheme1 = core::make_scheme(core::SchemeKind::one_way_xor, rng);
+  const auto scheme2 = core::make_scheme(core::SchemeKind::commutative, rng);
+  DirectoryServer server1(m1, Port(0xD1), scheme1, 1);
+  DirectoryServer server2(m2, Port(0xD2), scheme2, 2);
+  server1.start();
+  server2.start();
+  ASSERT_NE(server1.put_port(), server2.put_port());
+
+  rpc::Transport transport(cm, 3);
+  DirectoryClient dir1(transport, server1.put_port());
+  DirectoryClient dir2(transport, server2.put_port());
+
+  // Root "a" on server 1; "a/b" is a directory on server 2; "a/b/c" is a
+  // file capability entered there.
+  const auto a = dir1.create_dir().value();
+  const auto b = dir2.create_dir().value();
+  const core::Capability c{Port(0xF00D), ObjectNumber(9), Rights::all(),
+                           CheckField(0x1234)};
+  ASSERT_TRUE(dir1.enter(a, "b", b).ok());
+  ASSERT_TRUE(dir2.enter(b, "c", c).ok());
+
+  const auto resolved = resolve_path(transport, a, "b/c");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value(), c);
+  // Both servers actually served a lookup.
+  EXPECT_GE(server1.requests_served(), 1u);
+  EXPECT_GE(server2.requests_served(), 1u);
+}
+
+TEST(DirectoryHeterogeneous, DirectoryHoldsFileAndDirectoryCapabilities) {
+  // "The capabilities within a directory need not all be file capabilities
+  // and certainly need not all be ... managed by the same server."
+  net::Network net;
+  net::Machine& m = net.add_machine("servers");
+  net::Machine& cm = net.add_machine("client");
+  Rng rng(13);
+  const auto scheme = core::make_scheme(core::SchemeKind::one_way_xor, rng);
+
+  BlockServer::Geometry geometry;
+  geometry.block_count = 16;
+  geometry.block_size = 64;
+  BlockServer blocks(m, Port(0xB1), scheme, 1, geometry);
+  blocks.start();
+  FlatFileServer files(m, Port(0xF1), scheme, 2, blocks.put_port());
+  files.start();
+  DirectoryServer dirs(m, Port(0xD1), scheme, 3);
+  dirs.start();
+
+  rpc::Transport transport(cm, 4);
+  DirectoryClient dir_client(transport, dirs.put_port());
+  FlatFileClient file_client(transport, files.put_port());
+
+  const auto root = dir_client.create_dir().value();
+  const auto file = file_client.create().value();
+  ASSERT_TRUE(file_client.write(file, 0, Buffer{'h', 'i'}).ok());
+  ASSERT_TRUE(dir_client.enter(root, "notes.txt", file).ok());
+
+  // Another client resolves the name and reads the file through whatever
+  // server the capability points at.
+  const auto found = resolve_path(transport, root, "notes.txt");
+  ASSERT_TRUE(found.ok());
+  FlatFileClient reader(transport, found.value().server_port);
+  EXPECT_EQ(reader.read(found.value(), 0, 2).value(), (Buffer{'h', 'i'}));
+}
+
+}  // namespace
+}  // namespace amoeba::servers

@@ -1,0 +1,433 @@
+// Tests for the F-box-less software protection (§2.4): sealing, the key
+// matrix, hashed capability caches, the public-key boot handshake, and the
+// replay/impersonation defenses it provides.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "amoeba/core/capability.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/server.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/softprot/filter.hpp"
+#include "amoeba/softprot/handshake.hpp"
+#include "amoeba/softprot/keystore.hpp"
+#include "amoeba/softprot/seal.hpp"
+
+namespace amoeba::softprot {
+namespace {
+
+using namespace std::chrono_literals;
+
+net::CapabilityBytes sample_cap(std::uint64_t tag) {
+  const core::Capability cap{Port(0xABC000000000ULL | tag),
+                             ObjectNumber(7), Rights(0x3F),
+                             CheckField(0x123456789ABCULL ^ tag)};
+  return core::pack(cap);
+}
+
+// -------------------------------------------------------------------- seal
+
+TEST(Seal, RoundTripsUnderSameKey) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng.next();
+    net::CapabilityBytes block;
+    rng.fill(block);
+    const net::CapabilityBytes original = block;
+    seal128(key, block);
+    EXPECT_NE(block, original);
+    unseal128(key, block);
+    EXPECT_EQ(block, original);
+  }
+}
+
+TEST(Seal, WrongKeyYieldsGarbage) {
+  net::CapabilityBytes block = sample_cap(1);
+  const net::CapabilityBytes original = block;
+  seal128(111, block);
+  unseal128(222, block);
+  EXPECT_NE(block, original);
+}
+
+TEST(Seal, EveryInputBitAffectsWholeOutput) {
+  // Both halves of the ciphertext must change when any single plaintext
+  // bit flips (the two-pass construction's purpose).
+  const std::uint64_t key = 0xFEED;
+  const net::CapabilityBytes base_plain = sample_cap(2);
+  net::CapabilityBytes base = base_plain;
+  seal128(key, base);
+  for (int byte = 0; byte < 16; ++byte) {
+    net::CapabilityBytes mutated = base_plain;
+    mutated[static_cast<std::size_t>(byte)] ^= 1;
+    seal128(key, mutated);
+    bool low_half_changed = false;
+    bool high_half_changed = false;
+    for (int i = 0; i < 8; ++i) {
+      low_half_changed |= mutated[static_cast<std::size_t>(i)] !=
+                          base[static_cast<std::size_t>(i)];
+      high_half_changed |= mutated[static_cast<std::size_t>(8 + i)] !=
+                           base[static_cast<std::size_t>(8 + i)];
+    }
+    EXPECT_TRUE(low_half_changed) << "byte " << byte;
+    EXPECT_TRUE(high_half_changed) << "byte " << byte;
+  }
+}
+
+TEST(Seal, XcryptDataIsSymmetricAndNonceSensitive) {
+  Rng rng(2);
+  Buffer data(100);
+  rng.fill(data);
+  const Buffer original = data;
+  xcrypt_data(42, 7, data);
+  EXPECT_NE(data, original);
+  xcrypt_data(42, 7, data);
+  EXPECT_EQ(data, original);
+  // Different nonce produces a different ciphertext.
+  Buffer other = original;
+  xcrypt_data(42, 8, other);
+  Buffer base = original;
+  xcrypt_data(42, 7, base);
+  EXPECT_NE(other, base);
+}
+
+// ---------------------------------------------------------------- keystore
+
+TEST(KeyStoreTest, StoresAndClears) {
+  KeyStore ks;
+  EXPECT_FALSE(ks.tx(MachineId(1)).has_value());
+  ks.set_tx(MachineId(1), 10);
+  ks.set_rx(MachineId(2), 20);
+  EXPECT_EQ(ks.tx(MachineId(1)), 10u);
+  EXPECT_EQ(ks.rx(MachineId(2)), 20u);
+  EXPECT_EQ(ks.tx_count(), 1u);
+  ks.clear();
+  EXPECT_FALSE(ks.tx(MachineId(1)).has_value());
+  EXPECT_FALSE(ks.rx(MachineId(2)).has_value());
+}
+
+TEST(KeyMatrixTest, ProvisionIsPairwiseConsistent) {
+  KeyMatrix matrix(5);
+  auto a = std::make_shared<KeyStore>();
+  auto b = std::make_shared<KeyStore>();
+  auto c = std::make_shared<KeyStore>();
+  matrix.provision({{MachineId(1), a}, {MachineId(2), b}, {MachineId(3), c}});
+  // M[a][b]: a's tx key for b equals b's rx key for a, for every pair.
+  EXPECT_EQ(a->tx(MachineId(2)), b->rx(MachineId(1)));
+  EXPECT_EQ(b->tx(MachineId(1)), a->rx(MachineId(2)));
+  EXPECT_EQ(a->tx(MachineId(3)), c->rx(MachineId(1)));
+  EXPECT_EQ(c->tx(MachineId(2)), b->rx(MachineId(3)));
+  // Distinct pairs get distinct keys.
+  EXPECT_NE(a->tx(MachineId(2)), a->tx(MachineId(3)));
+}
+
+// ------------------------------------------------------------------ filter
+
+struct FilterRig {
+  FilterRig() {
+    KeyMatrix matrix(9);
+    matrix.provision({{MachineId(1), client_keys}, {MachineId(2), server_keys}});
+  }
+  std::shared_ptr<KeyStore> client_keys = std::make_shared<KeyStore>();
+  std::shared_ptr<KeyStore> server_keys = std::make_shared<KeyStore>();
+};
+
+TEST(SealingFilterTest, OutgoingIncomingRoundTrip) {
+  FilterRig rig;
+  SealingFilter client(rig.client_keys, 1);
+  SealingFilter server(rig.server_keys, 2);
+
+  net::Message msg;
+  msg.header.capability = sample_cap(3);
+  const net::CapabilityBytes plain = msg.header.capability;
+  client.outgoing(msg, MachineId(2));
+  EXPECT_NE(msg.header.capability, plain);  // sealed on the wire
+  ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  EXPECT_EQ(msg.header.capability, plain);
+}
+
+TEST(SealingFilterTest, NullCapabilityPassesUntouched) {
+  FilterRig rig;
+  SealingFilter client(rig.client_keys, 1);
+  net::Message msg;  // all-zero capability
+  client.outgoing(msg, MachineId(2));
+  EXPECT_EQ(msg.header.capability, net::CapabilityBytes{});
+}
+
+TEST(SealingFilterTest, ReplayFromOtherMachineDecryptsToGarbage) {
+  // The §2.4 core defense: intruder I captures C->S traffic and plays it
+  // back; S decrypts with M[I][S] instead of M[C][S] and the capability
+  // makes no sense.
+  FilterRig rig;
+  auto intruder_keys = std::make_shared<KeyStore>();
+  KeyMatrix matrix(10);
+  matrix.provision({{MachineId(1), rig.client_keys},
+                    {MachineId(2), rig.server_keys},
+                    {MachineId(3), intruder_keys}});
+  SealingFilter client(rig.client_keys, 1);
+  SealingFilter server(rig.server_keys, 2);
+
+  net::Message msg;
+  msg.header.capability = sample_cap(4);
+  const net::CapabilityBytes plain = msg.header.capability;
+  client.outgoing(msg, MachineId(2));
+  const net::Message captured = msg;  // wiretap copy
+
+  // Replayed with the intruder's (unforgeable) source address.
+  net::Message replayed = captured;
+  ASSERT_TRUE(server.incoming(replayed, MachineId(3)));
+  EXPECT_NE(replayed.header.capability, plain);  // gibberish, not the cap
+}
+
+TEST(SealingFilterTest, MissingRxKeyReportsFailure) {
+  FilterRig rig;
+  SealingFilter server(rig.server_keys, 2);
+  net::Message msg;
+  msg.header.capability = sample_cap(5);
+  EXPECT_FALSE(server.incoming(msg, MachineId(99)));
+  EXPECT_EQ(server.stats().missing_key_failures, 1u);
+}
+
+TEST(SealingFilterTest, CachesAvoidRepeatedEncryption) {
+  FilterRig rig;
+  SealingFilter client(rig.client_keys, 1);
+  SealingFilter server(rig.server_keys, 2);
+
+  for (int i = 0; i < 10; ++i) {
+    net::Message msg;
+    msg.header.capability = sample_cap(6);  // same capability every time
+    client.outgoing(msg, MachineId(2));
+    ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  }
+  EXPECT_EQ(client.stats().seal_cache_misses, 1u);
+  EXPECT_EQ(client.stats().seal_cache_hits, 9u);
+  EXPECT_EQ(server.stats().unseal_cache_misses, 1u);
+  EXPECT_EQ(server.stats().unseal_cache_hits, 9u);
+}
+
+TEST(SealingFilterTest, CacheDisabledStillCorrect) {
+  FilterRig rig;
+  SealingFilter::Options opts;
+  opts.cache_enabled = false;
+  SealingFilter client(rig.client_keys, 1, opts);
+  SealingFilter server(rig.server_keys, 2, opts);
+  net::Message msg;
+  msg.header.capability = sample_cap(7);
+  const auto plain = msg.header.capability;
+  client.outgoing(msg, MachineId(2));
+  ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  EXPECT_EQ(msg.header.capability, plain);
+  EXPECT_EQ(client.stats().seal_cache_hits, 0u);
+}
+
+TEST(SealingFilterTest, DataEncryptionRoundTrips) {
+  FilterRig rig;
+  SealingFilter::Options opts;
+  opts.encrypt_data = true;
+  SealingFilter client(rig.client_keys, 1, opts);
+  SealingFilter server(rig.server_keys, 2, opts);
+  net::Message msg;
+  msg.data = {'s', 'e', 'c', 'r', 'e', 't'};
+  const Buffer plain = msg.data;
+  client.outgoing(msg, MachineId(2));
+  EXPECT_NE(msg.data, plain);
+  ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  EXPECT_EQ(msg.data, plain);
+}
+
+// --------------------------------------------------------------- handshake
+
+TEST(Announcement, EncodeDecodeRoundTrip) {
+  const Announcement a{Port(0x1234), {12345678901234567ULL, 65537}};
+  const auto decoded = decode_announcement(encode_announcement(a));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().boot_put_port, a.boot_put_port);
+  EXPECT_EQ(decoded.value().public_key.n, a.public_key.n);
+  EXPECT_EQ(decoded.value().public_key.e, a.public_key.e);
+  EXPECT_FALSE(decode_announcement(Buffer{1, 2}).ok());
+}
+
+struct BootRig {
+  BootRig()
+      : server_machine(net.add_machine("server")),
+        client_machine(net.add_machine("client")),
+        server_keys(std::make_shared<KeyStore>()),
+        client_keys(std::make_shared<KeyStore>()),
+        boot(server_machine, Port(0xB001), server_keys, 42) {
+    boot.start();
+  }
+
+  net::Network net{net::Network::Config{.fbox_enabled = false}};
+  net::Machine& server_machine;
+  net::Machine& client_machine;
+  std::shared_ptr<KeyStore> server_keys;
+  std::shared_ptr<KeyStore> client_keys;
+  BootService boot;
+};
+
+TEST(HandshakeTest, EstablishesConsistentKeys) {
+  BootRig rig;
+  Rng rng(7);
+  const auto result =
+      establish_keys(rig.client_machine, rig.boot.put_port(),
+                     rig.boot.public_key(), *rig.client_keys, rng);
+  ASSERT_TRUE(result.ok());
+  // Client tx == server rx and vice versa.
+  EXPECT_EQ(rig.client_keys->tx(rig.server_machine.id()),
+            rig.server_keys->rx(rig.client_machine.id()));
+  EXPECT_EQ(rig.client_keys->rx(rig.server_machine.id()),
+            rig.server_keys->tx(rig.client_machine.id()));
+}
+
+TEST(HandshakeTest, FreshKeysPerHandshake) {
+  BootRig rig;
+  Rng rng(8);
+  ASSERT_TRUE(establish_keys(rig.client_machine, rig.boot.put_port(),
+                             rig.boot.public_key(), *rig.client_keys, rng)
+                  .ok());
+  const auto k1 = rig.client_keys->tx(rig.server_machine.id());
+  const auto r1 = rig.client_keys->rx(rig.server_machine.id());
+  ASSERT_TRUE(establish_keys(rig.client_machine, rig.boot.put_port(),
+                             rig.boot.public_key(), *rig.client_keys, rng)
+                  .ok());
+  EXPECT_NE(rig.client_keys->tx(rig.server_machine.id()), k1);
+  EXPECT_NE(rig.client_keys->rx(rig.server_machine.id()), r1);
+}
+
+TEST(HandshakeTest, ImpostorWithoutPrivateKeyRejected) {
+  BootRig rig;
+  // An impostor boot service with its own keypair, squatting on a port the
+  // client believes belongs to the real server's published public key.
+  auto impostor_keys = std::make_shared<KeyStore>();
+  BootService impostor(rig.net.add_machine("impostor"), Port(0xBAD),
+                       impostor_keys, 666);
+  impostor.start();
+  Rng rng(9);
+  const auto result =
+      establish_keys(rig.client_machine, impostor.put_port(),
+                     rig.boot.public_key(),  // expecting the REAL key
+                     *rig.client_keys, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), ErrorCode::unsealing_failed);
+  EXPECT_FALSE(rig.client_keys->tx(MachineId(3)).has_value());
+}
+
+TEST(HandshakeTest, RebootInvalidatesOldTrafficUntilRehandshake) {
+  BootRig rig;
+  Rng rng(10);
+  ASSERT_TRUE(establish_keys(rig.client_machine, rig.boot.put_port(),
+                             rig.boot.public_key(), *rig.client_keys, rng)
+                  .ok());
+  // Seal a capability under the pre-reboot keys (a wiretap capture).
+  SealingFilter client(rig.client_keys, 1);
+  net::Message captured;
+  captured.header.capability = sample_cap(8);
+  const auto plain = captured.header.capability;
+  client.outgoing(captured, rig.server_machine.id());
+
+  rig.boot.reboot();
+
+  // Server has no keys at all now: traffic from the client is unreadable.
+  SealingFilter server(rig.server_keys, 2);
+  net::Message replay = captured;
+  EXPECT_FALSE(server.incoming(replay, rig.client_machine.id()));
+
+  // Client re-handshakes; new conventional keys are chosen.
+  ASSERT_TRUE(establish_keys(rig.client_machine, rig.boot.put_port(),
+                             rig.boot.public_key(), *rig.client_keys, rng)
+                  .ok());
+  // The captured pre-reboot ciphertext decrypts to garbage under the new
+  // keys -- "the use of different conventional keys after each reboot
+  // makes it impossible ... by playing back old messages."
+  net::Message stale = captured;
+  ASSERT_TRUE(server.incoming(stale, rig.client_machine.id()));
+  EXPECT_NE(stale.header.capability, plain);
+  // Fresh traffic under the new keys works.
+  net::Message fresh;
+  fresh.header.capability = plain;
+  client.outgoing(fresh, rig.server_machine.id());
+  ASSERT_TRUE(server.incoming(fresh, rig.client_machine.id()));
+  EXPECT_EQ(fresh.header.capability, plain);
+}
+
+TEST(HandshakeTest, AnnouncementBroadcastReachesListeners) {
+  BootRig rig;
+  net::Receiver listener = rig.client_machine.listen(kAnnounceGetPort);
+  rig.boot.announce();
+  auto delivery = listener.receive({}, 500ms);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->message.header.opcode, kOpAnnounce);
+  const auto announcement = decode_announcement(delivery->message.data);
+  ASSERT_TRUE(announcement.ok());
+  EXPECT_EQ(announcement.value().boot_put_port, rig.boot.put_port());
+  EXPECT_EQ(announcement.value().public_key.n, rig.boot.public_key().n);
+}
+
+// -------------------------------------------- end-to-end sealed RPC stack
+
+class CapEchoService final : public rpc::Service {
+ public:
+  using rpc::Service::Service;
+
+ protected:
+  net::Message handle(const net::Delivery& request) override {
+    // Echo the (unsealed-by-filter) capability back in the reply.
+    net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+    reply.header.capability = request.message.header.capability;
+    return reply;
+  }
+};
+
+TEST(SealedRpc, EndToEndSealUnsealThroughTransportAndService) {
+  net::Network net(net::Network::Config{.fbox_enabled = false});
+  net::Machine& sm = net.add_machine("server");
+  net::Machine& cm = net.add_machine("client");
+  auto server_keys = std::make_shared<KeyStore>();
+  auto client_keys = std::make_shared<KeyStore>();
+  KeyMatrix matrix(11);
+  matrix.provision({{sm.id(), server_keys}, {cm.id(), client_keys}});
+
+  CapEchoService service(sm, Port(0x2001), "cap-echo");
+  service.set_filter(std::make_shared<SealingFilter>(server_keys, 1));
+  service.start();
+  rpc::Transport transport(cm, 1);
+  transport.set_filter(std::make_shared<SealingFilter>(client_keys, 2));
+
+  net::Message req;
+  req.header.dest = service.put_port();
+  req.header.capability = sample_cap(9);
+
+  // On the wire the capability must be ciphertext.
+  net::CapabilityBytes on_wire{};
+  net::TapHandle tap = net.attach_tap([&](const net::TapRecord& rec) {
+    if (rec.kind == net::FrameKind::data && rec.dst == sm.id()) {
+      on_wire = rec.message.header.capability;
+    }
+  });
+  const auto reply = transport.trans(req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().message.header.capability, sample_cap(9));
+  EXPECT_NE(on_wire, sample_cap(9));
+}
+
+TEST(SealedRpc, UnkeyedClientGetsGarbageOrFailure) {
+  net::Network net(net::Network::Config{.fbox_enabled = false});
+  net::Machine& sm = net.add_machine("server");
+  net::Machine& cm = net.add_machine("client");
+  auto server_keys = std::make_shared<KeyStore>();
+
+  CapEchoService service(sm, Port(0x2002), "cap-echo");
+  service.set_filter(std::make_shared<SealingFilter>(server_keys, 1));
+  service.start();
+  rpc::Transport transport(cm, 1);  // no filter, no keys
+
+  net::Message req;
+  req.header.dest = service.put_port();
+  req.header.capability = sample_cap(10);
+  const auto reply = transport.trans(req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().message.header.status, ErrorCode::unsealing_failed);
+}
+
+}  // namespace
+}  // namespace amoeba::softprot

@@ -1,0 +1,238 @@
+// Tests for the capability-based UNIX file system (§3.5, "the third file
+// system"): the POSIX-flavoured facade over directory + flat file servers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/servers/block_server.hpp"
+#include "amoeba/servers/common.hpp"
+#include "amoeba/servers/unixfs.hpp"
+
+namespace amoeba::servers {
+namespace {
+
+Buffer bytes(std::string_view s) { return Buffer(s.begin(), s.end()); }
+
+std::string text(const Buffer& b) { return std::string(b.begin(), b.end()); }
+
+class UnixFsSuite : public ::testing::Test {
+ protected:
+  UnixFsSuite()
+      : host_(net_.add_machine("servers")),
+        user_(net_.add_machine("user")),
+        rng_(61) {
+    const auto scheme = core::make_scheme(core::SchemeKind::one_way_xor, rng_);
+    BlockServer::Geometry geometry;
+    geometry.block_count = 512;
+    geometry.block_size = 128;
+    blocks_ = std::make_unique<BlockServer>(host_, Port(0xB10C), scheme, 1,
+                                            geometry);
+    blocks_->start();
+    files_ = std::make_unique<FlatFileServer>(host_, Port(0xF17E), scheme, 2,
+                                              blocks_->put_port());
+    files_->start();
+    dirs_ = std::make_unique<DirectoryServer>(host_, Port(0xD1D1), scheme, 3);
+    dirs_->start();
+    transport_ = std::make_unique<rpc::Transport>(user_, 4);
+    fs_ = std::make_unique<UnixFs>(
+        UnixFs::format(*transport_, dirs_->put_port(), files_->put_port())
+            .value());
+  }
+
+  net::Network net_;
+  net::Machine& host_;
+  net::Machine& user_;
+  Rng rng_;
+  std::unique_ptr<BlockServer> blocks_;
+  std::unique_ptr<FlatFileServer> files_;
+  std::unique_ptr<DirectoryServer> dirs_;
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<UnixFs> fs_;
+};
+
+TEST_F(UnixFsSuite, CreateWriteReadRoundTrip) {
+  const auto fd = fs_->open("hello.txt",
+                            UnixFs::kWrite | UnixFs::kRead | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("hello unix")).ok());
+  ASSERT_TRUE(fs_->lseek(fd.value(), 0, UnixFs::Whence::kSet).ok());
+  EXPECT_EQ(text(fs_->read(fd.value(), 100).value()), "hello unix");
+  EXPECT_TRUE(fs_->close(fd.value()).ok());
+}
+
+TEST_F(UnixFsSuite, OffsetsAdvanceLikePosix) {
+  const auto fd = fs_->open("f", UnixFs::kWrite | UnixFs::kRead |
+                                     UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("abcdef")).ok());
+  // Sequential reads continue where the previous one stopped.
+  ASSERT_TRUE(fs_->lseek(fd.value(), 0, UnixFs::Whence::kSet).ok());
+  EXPECT_EQ(text(fs_->read(fd.value(), 2).value()), "ab");
+  EXPECT_EQ(text(fs_->read(fd.value(), 2).value()), "cd");
+  // lseek relative and from end.
+  EXPECT_EQ(fs_->lseek(fd.value(), -1, UnixFs::Whence::kCur).value(), 3u);
+  EXPECT_EQ(text(fs_->read(fd.value(), 1).value()), "d");
+  EXPECT_EQ(fs_->lseek(fd.value(), -2, UnixFs::Whence::kEnd).value(), 4u);
+  EXPECT_EQ(text(fs_->read(fd.value(), 10).value()), "ef");
+  // Negative absolute position is rejected.
+  EXPECT_EQ(fs_->lseek(fd.value(), -99, UnixFs::Whence::kSet).error(),
+            ErrorCode::invalid_argument);
+}
+
+TEST_F(UnixFsSuite, OpenFlagsEnforced) {
+  // Missing file without kCreate.
+  EXPECT_EQ(fs_->open("nope", UnixFs::kRead).error(), ErrorCode::not_found);
+  // kCreate requires kWrite.
+  EXPECT_EQ(fs_->open("nope", UnixFs::kRead | UnixFs::kCreate).error(),
+            ErrorCode::invalid_argument);
+  // A read-only descriptor rejects writes locally...
+  ASSERT_TRUE(fs_->open("f", UnixFs::kWrite | UnixFs::kCreate).ok());
+  const auto ro = fs_->open("f", UnixFs::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(fs_->write(ro.value(), bytes("x")).error(),
+            ErrorCode::permission_denied);
+  // ...and a write-only descriptor rejects reads.
+  const auto wo = fs_->open("f", UnixFs::kWrite);
+  ASSERT_TRUE(wo.ok());
+  EXPECT_EQ(fs_->read(wo.value(), 1).error(), ErrorCode::permission_denied);
+}
+
+TEST_F(UnixFsSuite, TruncateAndAppend) {
+  const auto fd = fs_->open("log", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("0123456789")).ok());
+  ASSERT_TRUE(fs_->close(fd.value()).ok());
+  // O_TRUNC empties the file.
+  const auto trunc = fs_->open("log", UnixFs::kWrite | UnixFs::kTrunc);
+  ASSERT_TRUE(trunc.ok());
+  EXPECT_EQ(fs_->stat("log").value().size, 0u);
+  ASSERT_TRUE(fs_->write(trunc.value(), bytes("new")).ok());
+  ASSERT_TRUE(fs_->close(trunc.value()).ok());
+  // O_APPEND writes land at EOF regardless of seeks.
+  const auto append = fs_->open("log", UnixFs::kWrite | UnixFs::kAppend);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(fs_->lseek(append.value(), 0, UnixFs::Whence::kSet).ok());
+  ASSERT_TRUE(fs_->write(append.value(), bytes("+more")).ok());
+  const auto check = fs_->open("log", UnixFs::kRead);
+  EXPECT_EQ(text(fs_->read(check.value(), 100).value()), "new+more");
+}
+
+TEST_F(UnixFsSuite, DirectoriesAndNestedPaths) {
+  ASSERT_TRUE(fs_->mkdir("usr").ok());
+  ASSERT_TRUE(fs_->mkdir("usr/local").ok());
+  ASSERT_TRUE(fs_->mkdir("usr/local/bin").ok());
+  const auto fd = fs_->open("usr/local/bin/tool",
+                            UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("#!amoeba")).ok());
+
+  const auto st = fs_->stat("usr/local/bin/tool");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st.value().is_directory);
+  EXPECT_EQ(st.value().size, 8u);
+
+  const auto dir_st = fs_->stat("usr/local");
+  ASSERT_TRUE(dir_st.ok());
+  EXPECT_TRUE(dir_st.value().is_directory);
+  EXPECT_EQ(dir_st.value().size, 1u);  // one entry: bin
+
+  const auto entries = fs_->readdir("usr/local/bin");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "tool");
+  // Leading slash and root listing both work.
+  EXPECT_TRUE(fs_->stat("/usr").ok());
+  EXPECT_EQ(fs_->readdir("/").value().size(), 1u);
+}
+
+TEST_F(UnixFsSuite, UnlinkAndRmdirSemantics) {
+  ASSERT_TRUE(fs_->mkdir("d").ok());
+  const auto fd = fs_->open("d/f", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  // rmdir refuses non-empty directories and files.
+  EXPECT_EQ(fs_->rmdir("d").error(), ErrorCode::not_empty);
+  EXPECT_EQ(fs_->rmdir("d/f").error(), ErrorCode::invalid_argument);
+  // unlink refuses directories.
+  EXPECT_EQ(fs_->unlink("d").error(), ErrorCode::invalid_argument);
+  ASSERT_TRUE(fs_->unlink("d/f").ok());
+  EXPECT_EQ(fs_->stat("d/f").error(), ErrorCode::not_found);
+  EXPECT_TRUE(fs_->rmdir("d").ok());
+  EXPECT_EQ(fs_->stat("d").error(), ErrorCode::not_found);
+}
+
+TEST_F(UnixFsSuite, UnlinkDestroysTheFileObject) {
+  const auto fd = fs_->open("victim", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("data")).ok());
+  const auto cap = fs_->stat("victim").value().capability;
+  ASSERT_TRUE(fs_->unlink("victim").ok());
+  // The capability is dead at the file server, not merely unnamed.
+  FlatFileClient files(*transport_, files_->put_port());
+  EXPECT_FALSE(files.size(cap).ok());
+}
+
+TEST_F(UnixFsSuite, RenameMovesAcrossDirectories) {
+  ASSERT_TRUE(fs_->mkdir("a").ok());
+  ASSERT_TRUE(fs_->mkdir("b").ok());
+  const auto fd = fs_->open("a/doc", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("content")).ok());
+  ASSERT_TRUE(fs_->rename("a/doc", "b/doc2").ok());
+  EXPECT_EQ(fs_->stat("a/doc").error(), ErrorCode::not_found);
+  const auto moved = fs_->open("b/doc2", UnixFs::kRead);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(text(fs_->read(moved.value(), 100).value()), "content");
+  // Rename onto an existing name is rejected (no implicit overwrite).
+  ASSERT_TRUE(fs_->open("a/doc", UnixFs::kWrite | UnixFs::kCreate).ok());
+  EXPECT_EQ(fs_->rename("a/doc", "b/doc2").error(), ErrorCode::exists);
+}
+
+TEST_F(UnixFsSuite, DescriptorTableReusesSlots) {
+  const auto fd1 = fs_->open("f1", UnixFs::kWrite | UnixFs::kCreate);
+  const auto fd2 = fs_->open("f2", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_NE(fd1.value(), fd2.value());
+  ASSERT_TRUE(fs_->close(fd1.value()).ok());
+  // Operations on a closed descriptor fail (before any reuse).
+  EXPECT_EQ(fs_->read(fd1.value(), 1).error(), ErrorCode::invalid_argument);
+  // POSIX: lowest free descriptor is reused.
+  const auto fd3 = fs_->open("f3", UnixFs::kWrite | UnixFs::kCreate);
+  EXPECT_EQ(fd3.value(), fd1.value());
+  EXPECT_EQ(fs_->close(99).error(), ErrorCode::invalid_argument);
+}
+
+TEST_F(UnixFsSuite, PathEdgeCases) {
+  EXPECT_EQ(fs_->open("", UnixFs::kRead).error(), ErrorCode::invalid_argument);
+  EXPECT_EQ(fs_->open("/", UnixFs::kRead).error(),
+            ErrorCode::invalid_argument);
+  EXPECT_EQ(fs_->mkdir("a//b").error(), ErrorCode::invalid_argument);
+  // Opening a directory as a file fails.
+  ASSERT_TRUE(fs_->mkdir("dir").ok());
+  EXPECT_EQ(fs_->open("dir", UnixFs::kRead).error(),
+            ErrorCode::invalid_argument);
+  // A file used as an intermediate component fails (ENOTDIR).
+  ASSERT_TRUE(fs_->open("plain", UnixFs::kWrite | UnixFs::kCreate).ok());
+  EXPECT_EQ(fs_->open("plain/sub", UnixFs::kRead).error(),
+            ErrorCode::invalid_argument);
+}
+
+TEST_F(UnixFsSuite, TwoMountsShareTheTree) {
+  // Another process mounts the same root capability and sees the files --
+  // the tree is server state, the UnixFs object only user-side bookkeeping.
+  const auto fd = fs_->open("shared", UnixFs::kWrite | UnixFs::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), bytes("visible")).ok());
+
+  rpc::Transport other(net_.add_machine("other-user"), 9);
+  UnixFs second_mount(other, files_->put_port(), fs_->root());
+  const auto their_fd = second_mount.open("shared", UnixFs::kRead);
+  ASSERT_TRUE(their_fd.ok());
+  EXPECT_EQ(text(second_mount.read(their_fd.value(), 100).value()),
+            "visible");
+}
+
+}  // namespace
+}  // namespace amoeba::servers
