@@ -1,0 +1,154 @@
+// E11: multi-client validation throughput on the sharded object store.
+//
+// The paper's performance argument (§2.3) is that presenting a capability
+// costs the server one table lookup plus one cheap cryptographic check.
+// That only holds at scale if the lookup does not serialize the whole
+// service: this benchmark drives open() from 1..8 threads against
+//   (a) the sharded store (per-shard locks + validated-capability cache),
+//   (b) the same store behind one global mutex -- the seed's old
+//       service-wide locking discipline, kept as the contrast baseline,
+// plus a hot-capability variant (pure cache hit) and a create/destroy
+// churn mix.  On a multi-core host (a) scales with threads while (b)
+// flatlines; items_per_second is the figure of merit.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/object_store.hpp"
+#include "amoeba/core/schemes.hpp"
+
+namespace {
+
+using namespace amoeba;
+
+constexpr Port kPort{0xBE11CAFE5EEDULL};
+constexpr int kObjects = 4096;
+
+/// Shared store + capability working set, built once per benchmark run and
+/// torn down when the last thread leaves.
+struct Rig {
+  explicit Rig(core::SchemeKind kind) {
+    Rng rng(17);
+    store = std::make_unique<core::ObjectStore<int>>(
+        core::make_scheme(kind, rng), kPort, 17);
+    caps.reserve(kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+      caps.push_back(store->create(i));
+    }
+  }
+  std::unique_ptr<core::ObjectStore<int>> store;
+  std::vector<core::Capability> caps;
+};
+
+std::mutex g_rig_mutex;
+std::unique_ptr<Rig> g_rig;
+int g_rig_users = 0;
+
+Rig& acquire_rig(core::SchemeKind kind) {
+  const std::lock_guard lock(g_rig_mutex);
+  if (g_rig_users++ == 0) {
+    g_rig = std::make_unique<Rig>(kind);
+  }
+  return *g_rig;
+}
+
+void release_rig() {
+  const std::lock_guard lock(g_rig_mutex);
+  if (--g_rig_users == 0) {
+    g_rig.reset();
+  }
+}
+
+/// (a) Sharded: threads validate random capabilities concurrently.
+void BM_ShardedOpen(benchmark::State& state) {
+  Rig& rig = acquire_rig(core::SchemeKind::encrypted);
+  Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
+  for (auto _ : state) {
+    const auto& cap = rig.caps[rng.below(kObjects)];
+    auto opened = rig.store->open(cap, core::rights::kRead);
+    benchmark::DoNotOptimize(opened);
+    if (!opened.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const auto stats = rig.store->cache_stats();
+    state.counters["cache_hit_ratio"] =
+        stats.hits + stats.misses == 0
+            ? 0.0
+            : static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.hits + stats.misses);
+  }
+  release_rig();
+}
+BENCHMARK(BM_ShardedOpen)->ThreadRange(1, 8)->UseRealTime();
+
+/// (b) Contrast: every open behind one global mutex (the seed's
+/// service-wide lock).  The store underneath is identical.
+void BM_GloballyLockedOpen(benchmark::State& state) {
+  static std::mutex global_lock;
+  Rig& rig = acquire_rig(core::SchemeKind::encrypted);
+  Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
+  for (auto _ : state) {
+    const auto& cap = rig.caps[rng.below(kObjects)];
+    const std::lock_guard lock(global_lock);
+    auto opened = rig.store->open(cap, core::rights::kRead);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(state.iterations());
+  release_rig();
+}
+BENCHMARK(BM_GloballyLockedOpen)->ThreadRange(1, 8)->UseRealTime();
+
+/// Pure cache-hit path: one hot capability per thread, revalidated
+/// endlessly -- the §2.4 soft-protection cache generalized.
+void BM_ShardedOpenHot(benchmark::State& state) {
+  Rig& rig = acquire_rig(core::SchemeKind::encrypted);
+  const auto& cap =
+      rig.caps[static_cast<std::size_t>(state.thread_index()) % kObjects];
+  for (auto _ : state) {
+    auto opened = rig.store->open(cap, core::rights::kRead);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(state.iterations());
+  release_rig();
+}
+BENCHMARK(BM_ShardedOpenHot)->ThreadRange(1, 8)->UseRealTime();
+
+/// Lifecycle churn: create/open/destroy mix exercising the per-shard free
+/// lists and the epoch-based cache invalidation under contention.
+void BM_ShardedChurn(benchmark::State& state) {
+  Rig& rig = acquire_rig(core::SchemeKind::one_way_xor);
+  Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 99);
+  std::vector<core::Capability> mine;
+  for (auto _ : state) {
+    const std::uint64_t op = rng.below(4);
+    if (op == 0 || mine.empty()) {
+      mine.push_back(rig.store->create(1));
+    } else if (op == 1) {
+      const std::size_t idx = rng.below(mine.size());
+      benchmark::DoNotOptimize(rig.store->destroy(mine[idx]));
+      mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      auto opened =
+          rig.store->open(mine[rng.below(mine.size())], core::rights::kRead);
+      benchmark::DoNotOptimize(opened);
+    }
+  }
+  for (const auto& cap : mine) {
+    benchmark::DoNotOptimize(rig.store->destroy(cap));
+  }
+  state.SetItemsProcessed(state.iterations());
+  release_rig();
+}
+BENCHMARK(BM_ShardedChurn)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -35,6 +35,7 @@ inline constexpr std::uint16_t kRevokeObject = 0x0703;  // params: server port+o
 class CapabilityManager final : public rpc::Service {
  public:
   CapabilityManager(net::Machine& machine, Port get_port);
+  ~CapabilityManager() override { stop(); }  // quiesce workers first
 
   [[nodiscard]] std::size_t registered_count() const;
 

@@ -13,13 +13,35 @@
 // plus destroy-with-slot-reuse, where a reused object number draws a fresh
 // secret so stale capabilities for the dead object cannot resurrect.
 //
-// Not thread-safe by itself; a multi-worker service serializes access
-// (CP.50: define the mutex together with the data it guards -- that mutex
-// lives in the owning service, next to its store).
+// Concurrency model.  The table is sharded: object numbers are assigned so
+// that `object % shard_count` names the owning shard, and each shard has
+// its own mutex, slot vector, free list and RNG.  All operations are
+// thread-safe; independent objects in different shards proceed in
+// parallel, which is what lets a multi-worker service drop its
+// service-wide lock (the paper's premise that validation is a cheap table
+// lookup only holds if the lookup does not serialize the whole server).
+// open() returns an accessor that holds the shard lock for the accessor's
+// lifetime, so the payload pointer stays valid and exclusive until the
+// caller drops it.  Two-object operations (a bank transfer) go through
+// open2()/open_with_peek(), which acquire the two shard locks in index
+// order -- the deadlock-freedom argument is the classic total order on
+// lock acquisition.
+//
+// Validation cache.  Each shard carries a small direct-mapped cache of
+// successfully validated capabilities (the §2.4 soft-protection cache,
+// generalized to every scheme): a repeat open() with a capability that
+// validated before skips the Feistel/one-way recomputation.  Entries are
+// keyed by (object, rights, check) and stamped with the slot's secret
+// epoch; rotating the secret (create into a reused slot, revoke, destroy)
+// bumps the epoch, so stale entries die without any scan -- revocation
+// stays instant and exact.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -31,60 +53,216 @@
 namespace amoeba::core {
 
 template <typename T>
-class ObjectStore {
+class ShardedObjectStore {
  public:
-  ObjectStore(std::shared_ptr<const ProtectionScheme> scheme, Port server_port,
-              std::uint64_t seed)
-      : scheme_(std::move(scheme)), server_port_(server_port), rng_(seed) {
+  /// Power of two; 16 shards keeps per-shard contention negligible for a
+  /// service with a few dozen workers while costing ~1 KiB per shard.
+  static constexpr std::size_t kDefaultShards = 16;
+
+  ShardedObjectStore(std::shared_ptr<const ProtectionScheme> scheme,
+                     Port server_port, std::uint64_t seed,
+                     std::size_t shards = kDefaultShards)
+      : scheme_(std::move(scheme)), server_port_(server_port) {
     if (scheme_ == nullptr) {
       throw UsageError("ObjectStore requires a protection scheme");
     }
-  }
-
-  /// Creates an object and mints its owner capability carrying `rights`.
-  [[nodiscard]] Capability create(T value, Rights rights = Rights::all()) {
-    std::uint32_t index;
-    if (!free_list_.empty()) {
-      index = free_list_.back();
-      free_list_.pop_back();
-    } else {
-      if (slots_.size() > ObjectNumber::kMask) {
-        throw UsageError("ObjectStore: 24-bit object space exhausted");
-      }
-      index = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
+    if (shards == 0 || (shards & (shards - 1)) != 0) {
+      throw UsageError("ObjectStore shard count must be a power of two");
     }
-    Slot& slot = slots_[index];
-    slot.secret = scheme_->new_secret(rng_);
-    slot.value = std::move(value);
-    slot.live = true;
-    ++live_count_;
-    return scheme_->mint(server_port_, ObjectNumber(index), slot.secret,
-                         rights);
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      // Distinct per-shard RNG streams derived from the store seed.
+      shards_.push_back(std::make_unique<Shard>(seed ^ (0x9E3779B97F4A7C15ULL *
+                                                        (s + 1))));
+    }
   }
 
-  struct Opened {
+  /// Exclusive accessor to one live object.  Holds the owning shard's lock
+  /// for its lifetime: `value` stays valid and data-race-free until the
+  /// Opened is dropped.  Do not call single-capability store operations on
+  /// the same store while one is held (use destroy(Opened&&) / open2 for
+  /// the multi-step patterns); the shard mutex is not recursive.
+  class Opened {
+   public:
     T* value = nullptr;
     Rights rights;
     ObjectNumber object;
+
+    Opened() = default;
+    Opened(Opened&&) noexcept = default;
+    Opened& operator=(Opened&&) noexcept = default;
+
+   private:
+    friend class ShardedObjectStore;
+    Opened(T* v, Rights r, ObjectNumber o, std::unique_lock<std::mutex> lock)
+        : value(v), rights(r), object(o), lock_(std::move(lock)) {}
+    std::unique_lock<std::mutex> lock_;
   };
 
+  /// Two objects opened atomically (both shard locks held, acquired in
+  /// index order).  When both capabilities name the same shard, `b` shares
+  /// `a`'s lock.
+  struct Opened2 {
+    Opened a;
+    Opened b;
+  };
+
+  /// One validated object plus an unvalidated peek at a second (may be
+  /// null when the second object is dead); both shard locks held.
+  struct OpenedWith {
+    Opened opened;
+    T* peeked = nullptr;
+
+   private:
+    friend class ShardedObjectStore;
+    std::unique_lock<std::mutex> other_lock_;
+  };
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Creates an object and mints its owner capability carrying `rights`.
+  /// Freed slots anywhere in the table are reused before any shard grows,
+  /// so the object-number space stays dense and a destroy+create pair
+  /// round-trips through the same number (with a fresh secret).
+  [[nodiscard]] Capability create(T value, Rights rights = Rights::all()) {
+    const std::size_t start =
+        cursor_.fetch_add(1, std::memory_order_relaxed) & (shards_.size() - 1);
+    std::size_t chosen = start;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::size_t s = (start + i) & (shards_.size() - 1);
+      if (shards_[s]->free_count.load(std::memory_order_relaxed) > 0) {
+        chosen = s;
+        break;
+      }
+    }
+    Shard& shard = *shards_[chosen];
+    const std::unique_lock lock(shard.mutex);
+    std::uint32_t index;
+    if (!shard.free_list.empty()) {
+      index = shard.free_list.back();
+      shard.free_list.pop_back();
+      shard.free_count.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      if (shard.slots.size() >
+          (ObjectNumber::kMask - chosen) / shards_.size()) {
+        throw UsageError("ObjectStore: 24-bit object space exhausted");
+      }
+      index = static_cast<std::uint32_t>(shard.slots.size());
+      shard.slots.emplace_back();
+    }
+    Slot& slot = shard.slots[index];
+    slot.secret = scheme_->new_secret(shard.rng);
+    ++slot.epoch;  // stale cache entries for a reused number die here
+    slot.value = std::move(value);
+    slot.live = true;
+    live_count_.fetch_add(1, std::memory_order_relaxed);
+    const auto object = ObjectNumber(
+        static_cast<std::uint32_t>(index * shards_.size() + chosen));
+    return scheme_->mint(server_port_, object, slot.secret, rights);
+  }
+
   /// The server workhorse: look the object up by the (unencrypted) object
-  /// field, validate the check field against the stored secret, and verify
-  /// the granted rights cover `required`.
+  /// field, validate the check field against the stored secret (through
+  /// the per-shard validated-capability cache), and verify the granted
+  /// rights cover `required`.
   [[nodiscard]] Result<Opened> open(const Capability& cap, Rights required) {
-    Slot* slot = find(cap.object);
+    Shard& shard = shard_of(cap.object);
+    std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, cap.object);
     if (slot == nullptr) {
       return ErrorCode::no_such_object;
     }
-    const Result<Rights> granted = scheme_->validate(cap, slot->secret);
+    const Result<Rights> granted = validate_cached(shard, *slot, cap);
     if (!granted.ok()) {
       return granted.error();
     }
     if (!granted.value().has_all(required)) {
       return ErrorCode::permission_denied;
     }
-    return Opened{&slot->value, granted.value(), cap.object};
+    return Opened(&slot->value, granted.value(), cap.object, std::move(lock));
+  }
+
+  /// Opens two objects atomically (the bank-transfer shape).  Locks the
+  /// two owning shards in ascending index order, so concurrent pair
+  /// operations cannot deadlock whatever their argument order.
+  [[nodiscard]] Result<Opened2> open2(const Capability& cap_a,
+                                      Rights required_a,
+                                      const Capability& cap_b,
+                                      Rights required_b) {
+    const std::size_t sa = shard_index(cap_a.object);
+    const std::size_t sb = shard_index(cap_b.object);
+    std::unique_lock<std::mutex> lock_a;
+    std::unique_lock<std::mutex> lock_b;
+    lock_pair(sa, sb, lock_a, lock_b);
+
+    Shard& shard_a = *shards_[sa];
+    Slot* slot_a = find(shard_a, cap_a.object);
+    if (slot_a == nullptr) {
+      return ErrorCode::no_such_object;
+    }
+    const Result<Rights> granted_a = validate_cached(shard_a, *slot_a, cap_a);
+    if (!granted_a.ok()) {
+      return granted_a.error();
+    }
+    if (!granted_a.value().has_all(required_a)) {
+      return ErrorCode::permission_denied;
+    }
+    Shard& shard_b = *shards_[sb];
+    Slot* slot_b = find(shard_b, cap_b.object);
+    if (slot_b == nullptr) {
+      return ErrorCode::no_such_object;
+    }
+    const Result<Rights> granted_b = validate_cached(shard_b, *slot_b, cap_b);
+    if (!granted_b.ok()) {
+      return granted_b.error();
+    }
+    if (!granted_b.value().has_all(required_b)) {
+      return ErrorCode::permission_denied;
+    }
+    Opened2 pair;
+    pair.a = Opened(&slot_a->value, granted_a.value(), cap_a.object,
+                    std::move(lock_a));
+    pair.b = Opened(&slot_b->value, granted_b.value(), cap_b.object,
+                    std::move(lock_b));
+    return pair;
+  }
+
+  /// Validates `cap` and, under the same pair of shard locks, peeks the
+  /// payload of `other` without a capability check (the multiversion
+  /// commit shape: the draft capability is validated, the file it forked
+  /// from is server-internal state).  `peeked` is null when `other` is
+  /// dead or unknown.
+  [[nodiscard]] Result<OpenedWith> open_with_peek(const Capability& cap,
+                                                  Rights required,
+                                                  ObjectNumber other) {
+    const std::size_t sa = shard_index(cap.object);
+    const std::size_t sb = shard_index(other);
+    std::unique_lock<std::mutex> lock_a;
+    std::unique_lock<std::mutex> lock_b;
+    lock_pair(sa, sb, lock_a, lock_b);
+
+    Shard& shard_a = *shards_[sa];
+    Slot* slot_a = find(shard_a, cap.object);
+    if (slot_a == nullptr) {
+      return ErrorCode::no_such_object;
+    }
+    const Result<Rights> granted = validate_cached(shard_a, *slot_a, cap);
+    if (!granted.ok()) {
+      return granted.error();
+    }
+    if (!granted.value().has_all(required)) {
+      return ErrorCode::permission_denied;
+    }
+    Slot* slot_b = find(*shards_[sb], other);
+    OpenedWith result;
+    result.opened =
+        Opened(&slot_a->value, granted.value(), cap.object, std::move(lock_a));
+    result.peeked = slot_b == nullptr ? nullptr : &slot_b->value;
+    result.other_lock_ = std::move(lock_b);
+    return result;
   }
 
   /// Server-side sub-capability fabrication: any valid capability may be
@@ -92,11 +270,13 @@ class ObjectStore {
   /// exactly as in the paper -- you can only lose rights this way.
   [[nodiscard]] Result<Capability> restrict(const Capability& cap,
                                             Rights mask) {
-    Slot* slot = find(cap.object);
+    Shard& shard = shard_of(cap.object);
+    const std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, cap.object);
     if (slot == nullptr) {
       return ErrorCode::no_such_object;
     }
-    const Result<Rights> granted = scheme_->validate(cap, slot->secret);
+    const Result<Rights> granted = validate_cached(shard, *slot, cap);
     if (!granted.ok()) {
       return granted.error();
     }
@@ -109,27 +289,59 @@ class ObjectStore {
   /// caller's rights.  Guarded by the admin bit ("obviously this operation
   /// must be protected with a bit in the RIGHTS field").
   [[nodiscard]] Result<Capability> revoke(const Capability& cap) {
-    auto opened = open(cap, rights::kAdmin);
-    if (!opened.ok()) {
-      return opened.error();
+    Shard& shard = shard_of(cap.object);
+    const std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, cap.object);
+    if (slot == nullptr) {
+      return ErrorCode::no_such_object;
     }
-    Slot& slot = slots_[cap.object.value()];
-    slot.secret = scheme_->new_secret(rng_);
-    return scheme_->mint(server_port_, cap.object, slot.secret,
-                         opened.value().rights);
+    const Result<Rights> granted = validate_cached(shard, *slot, cap);
+    if (!granted.ok()) {
+      return granted.error();
+    }
+    if (!granted.value().has_all(rights::kAdmin)) {
+      return ErrorCode::permission_denied;
+    }
+    slot->secret = scheme_->new_secret(shard.rng);
+    ++slot->epoch;  // instant, exact cache invalidation
+    return scheme_->mint(server_port_, cap.object, slot->secret,
+                         granted.value());
   }
 
-  /// Destroys the object; its number returns to the free list.
+  /// Destroys the object; its number returns to the owning shard's free
+  /// list.
   [[nodiscard]] Result<void> destroy(const Capability& cap) {
     auto opened = open(cap, rights::kDestroy);
     if (!opened.ok()) {
       return opened.error();
     }
-    Slot& slot = slots_[cap.object.value()];
+    return destroy(std::move(opened.value()));
+  }
+
+  /// Destroys through an already-held accessor (for handlers that opened
+  /// the object, inspected it, and then decide to destroy -- re-opening
+  /// would self-deadlock on the shard mutex).  Requires the destroy right
+  /// on the accessor, like the capability form.
+  [[nodiscard]] Result<void> destroy(Opened&& opened) {
+    if (opened.value == nullptr || !opened.lock_.owns_lock()) {
+      throw UsageError("ObjectStore::destroy: empty accessor");
+    }
+    if (!opened.rights.has_all(rights::kDestroy)) {
+      return ErrorCode::permission_denied;
+    }
+    const std::size_t s = shard_index(opened.object);
+    Shard& shard = *shards_[s];
+    Slot& slot =
+        shard.slots[opened.object.value() / shards_.size()];
     slot.live = false;
     slot.value = T{};
-    --live_count_;
-    free_list_.push_back(cap.object.value());
+    ++slot.epoch;
+    live_count_.fetch_sub(1, std::memory_order_relaxed);
+    shard.free_list.push_back(
+        static_cast<std::uint32_t>(opened.object.value() / shards_.size()));
+    shard.free_count.fetch_add(1, std::memory_order_relaxed);
+    opened.value = nullptr;
+    opened.lock_.unlock();
     return {};
   }
 
@@ -138,7 +350,9 @@ class ObjectStore {
   /// administrative operations).  Returns no_such_object for dead slots.
   [[nodiscard]] Result<Capability> mint_for(ObjectNumber object,
                                             Rights rights) {
-    Slot* slot = find(object);
+    Shard& shard = shard_of(object);
+    const std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, object);
     if (slot == nullptr) {
       return ErrorCode::no_such_object;
     }
@@ -146,37 +360,132 @@ class ObjectStore {
   }
 
   /// Direct payload access without capability checks -- for server
-  /// internals and test assertions only.
+  /// internals and test assertions only.  The returned pointer is not
+  /// protected by any lock; concurrent destruction of the object leaves it
+  /// dangling.  Concurrent code should use open()/open_with_peek().
   [[nodiscard]] T* peek(ObjectNumber object) {
-    Slot* slot = find(object);
+    Shard& shard = shard_of(object);
+    const std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, object);
     return slot == nullptr ? nullptr : &slot->value;
   }
 
-  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] std::size_t live_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const ProtectionScheme& scheme() const { return *scheme_; }
   [[nodiscard]] Port server_port() const { return server_port_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Aggregate validated-capability cache statistics across shards.
+  [[nodiscard]] CacheStats cache_stats() const {
+    CacheStats total;
+    for (const auto& shard : shards_) {
+      const std::unique_lock lock(shard->mutex);
+      total.hits += shard->cache_hits;
+      total.misses += shard->cache_misses;
+    }
+    return total;
+  }
 
  private:
   struct Slot {
     std::uint64_t secret = 0;
     T value{};
     bool live = false;
+    std::uint32_t epoch = 0;  // bumped on every secret rotation
   };
 
-  Slot* find(ObjectNumber object) {
-    const std::uint32_t index = object.value();
-    if (index >= slots_.size() || !slots_[index].live) {
+  /// Direct-mapped validated-capability cache entry.  `epoch` ties the
+  /// entry to one secret generation of the slot.
+  struct CacheEntry {
+    std::uint32_t object = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t check = 0;
+    std::uint8_t rights = 0;
+    bool used = false;
+    Rights granted;
+  };
+  static constexpr std::size_t kCacheEntries = 256;  // per shard, bounded
+
+  struct Shard {
+    explicit Shard(std::uint64_t seed) : rng(seed) {}
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free_list;
+    std::atomic<std::uint32_t> free_count{0};
+    Rng rng;
+    std::array<CacheEntry, kCacheEntries> cache{};
+    std::uint64_t cache_hits = 0;    // guarded by mutex
+    std::uint64_t cache_misses = 0;  // guarded by mutex
+  };
+
+  [[nodiscard]] std::size_t shard_index(ObjectNumber object) const {
+    return object.value() & (shards_.size() - 1);
+  }
+  [[nodiscard]] Shard& shard_of(ObjectNumber object) {
+    return *shards_[shard_index(object)];
+  }
+
+  /// Caller holds the shard mutex.
+  Slot* find(Shard& shard, ObjectNumber object) {
+    const std::size_t index = object.value() / shards_.size();
+    if (index >= shard.slots.size() || !shard.slots[index].live) {
       return nullptr;
     }
-    return &slots_[index];
+    return &shard.slots[index];
+  }
+
+  /// Locks the two shards' mutexes in ascending index order (one lock when
+  /// they coincide).  lock_a/lock_b come back owning sa/sb respectively.
+  void lock_pair(std::size_t sa, std::size_t sb,
+                 std::unique_lock<std::mutex>& lock_a,
+                 std::unique_lock<std::mutex>& lock_b) {
+    if (sa == sb) {
+      lock_a = std::unique_lock(shards_[sa]->mutex);
+      return;
+    }
+    const std::size_t lo = sa < sb ? sa : sb;
+    const std::size_t hi = sa < sb ? sb : sa;
+    std::unique_lock first(shards_[lo]->mutex);
+    std::unique_lock second(shards_[hi]->mutex);
+    lock_a = sa == lo ? std::move(first) : std::move(second);
+    lock_b = sb == hi ? std::move(second) : std::move(first);
+  }
+
+  /// Validation through the shard's cache; caller holds the shard mutex.
+  Result<Rights> validate_cached(Shard& shard, Slot& slot,
+                                 const Capability& cap) {
+    const std::uint64_t mix =
+        (static_cast<std::uint64_t>(cap.object.value()) << 8 |
+         cap.rights.bits()) * 0x9E3779B97F4A7C15ULL ^
+        cap.check.value() * 0xC2B2AE3D27D4EB4FULL;
+    CacheEntry& entry = shard.cache[(mix >> 32) & (kCacheEntries - 1)];
+    if (entry.used && entry.object == cap.object.value() &&
+        entry.epoch == slot.epoch && entry.check == cap.check.value() &&
+        entry.rights == cap.rights.bits()) {
+      ++shard.cache_hits;
+      return entry.granted;
+    }
+    ++shard.cache_misses;
+    const Result<Rights> granted = scheme_->validate(cap, slot.secret);
+    if (granted.ok()) {
+      entry = CacheEntry{cap.object.value(), slot.epoch, cap.check.value(),
+                         cap.rights.bits(), true, granted.value()};
+    }
+    return granted;
   }
 
   std::shared_ptr<const ProtectionScheme> scheme_;
   Port server_port_;
-  Rng rng_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_list_;
-  std::size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::size_t> live_count_{0};
 };
+
+/// Every server's object table.  The sharded implementation keeps the
+/// original single-threaded API, so the name the servers use is an alias.
+template <typename T>
+using ObjectStore = ShardedObjectStore<T>;
 
 }  // namespace amoeba::core

@@ -55,11 +55,9 @@ class MemoryServer final : public rpc::Service {
   MemoryServer(net::Machine& machine, Port get_port,
                std::shared_ptr<const core::ProtectionScheme> scheme,
                std::uint64_t seed, std::uint64_t memory_limit = 64 << 20);
+  ~MemoryServer() override { stop(); }  // quiesce workers before members die
 
   [[nodiscard]] std::uint64_t memory_in_use() const;
-
- protected:
-  net::Message handle(const net::Delivery& request) override;
 
  private:
   struct Segment {
@@ -71,12 +69,21 @@ class MemoryServer final : public rpc::Service {
   };
   using Payload = std::variant<Segment, Process>;
 
+  net::Message do_create_segment(const net::Delivery& request);
+  net::Message do_rw_segment(const net::Delivery& request);
+  net::Message do_segment_info(const net::Delivery& request);
+  net::Message do_delete_segment(const net::Delivery& request);
   net::Message do_make_process(const net::Delivery& request);
+  net::Message do_process_state(const net::Delivery& request);
+  net::Message do_process_info(const net::Delivery& request);
+  net::Message do_delete_process(const net::Delivery& request);
 
-  mutable std::mutex mutex_;
+  // Segments/processes are exclusive under their shard locks while
+  // opened; only the machine-wide memory budget needs its own lock.
   core::ObjectStore<Payload> store_;
   std::uint64_t memory_limit_;
-  std::uint64_t memory_in_use_ = 0;
+  mutable std::mutex memory_mutex_;
+  std::uint64_t memory_in_use_ = 0;  // guarded by memory_mutex_
 };
 
 /// Client stub for a (possibly remote) memory server.

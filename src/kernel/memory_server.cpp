@@ -4,10 +4,11 @@
 
 namespace amoeba::kernel {
 
+using servers::capability_reply;
 using servers::error_reply;
 using servers::fail;
-using servers::handle_owner_ops;
 using servers::header_capability;
+using servers::register_owner_ops;
 using servers::set_header_capability;
 
 MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
@@ -15,143 +16,184 @@ MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
                            std::uint64_t seed, std::uint64_t memory_limit)
     : rpc::Service(machine, get_port, "memory"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
-      memory_limit_(memory_limit) {}
+      memory_limit_(memory_limit) {
+  register_owner_ops(*this, store_);
+  on(mem_op::kCreateSegment, [this](const net::Delivery& request) {
+    return do_create_segment(request);
+  });
+  on(mem_op::kReadSegment,
+     [this](const net::Delivery& request) { return do_rw_segment(request); });
+  on(mem_op::kWriteSegment,
+     [this](const net::Delivery& request) { return do_rw_segment(request); });
+  on(mem_op::kSegmentInfo, [this](const net::Delivery& request) {
+    return do_segment_info(request);
+  });
+  on(mem_op::kDeleteSegment, [this](const net::Delivery& request) {
+    return do_delete_segment(request);
+  });
+  on(mem_op::kMakeProcess, [this](const net::Delivery& request) {
+    return do_make_process(request);
+  });
+  on(mem_op::kStartProcess, [this](const net::Delivery& request) {
+    return do_process_state(request);
+  });
+  on(mem_op::kStopProcess, [this](const net::Delivery& request) {
+    return do_process_state(request);
+  });
+  on(mem_op::kProcessInfo, [this](const net::Delivery& request) {
+    return do_process_info(request);
+  });
+  on(mem_op::kDeleteProcess, [this](const net::Delivery& request) {
+    return do_delete_process(request);
+  });
+}
 
 std::uint64_t MemoryServer::memory_in_use() const {
-  const std::lock_guard lock(mutex_);
+  const std::lock_guard lock(memory_mutex_);
   return memory_in_use_;
 }
 
-net::Message MemoryServer::handle(const net::Delivery& request) {
-  const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+net::Message MemoryServer::do_create_segment(const net::Delivery& request) {
+  const std::uint64_t size = request.message.header.params[0];
+  {
+    // Reserve the budget first.  Overflow-safe form: `in_use + size` with
+    // a client-controlled size could wrap past the limit check.
+    const std::lock_guard lock(memory_mutex_);
+    if (size > memory_limit_ || memory_in_use_ > memory_limit_ - size) {
+      return error_reply(request, ErrorCode::no_space);
+    }
+    memory_in_use_ += size;
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case mem_op::kCreateSegment: {
-      const std::uint64_t size = request.message.header.params[0];
-      if (memory_in_use_ + size > memory_limit_) {
-        return error_reply(request, ErrorCode::no_space);
-      }
-      memory_in_use_ += size;
-      Segment segment;
-      segment.bytes.resize(size, 0);
-      const core::Capability fresh =
-          store_.create(Payload{std::move(segment)});
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh);
-      return reply;
-    }
-    case mem_op::kReadSegment: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const auto* segment = std::get_if<Segment>(opened.value().value);
-      if (segment == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      const std::uint64_t offset = request.message.header.params[0];
-      const std::uint64_t length = request.message.header.params[1];
-      if (offset > segment->bytes.size()) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      const std::uint64_t take =
-          std::min(length, segment->bytes.size() - offset);
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.data.assign(
-          segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-          segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
-      return reply;
-    }
-    case mem_op::kWriteSegment: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* segment = std::get_if<Segment>(opened.value().value);
-      if (segment == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      const std::uint64_t offset = request.message.header.params[0];
-      const auto& data = request.message.data;
-      if (offset + data.size() > segment->bytes.size()) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      std::copy(data.begin(), data.end(),
-                segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
-      return error_reply(request, ErrorCode::ok);
-    }
-    case mem_op::kSegmentInfo: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const auto* segment = std::get_if<Segment>(opened.value().value);
-      if (segment == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.params[0] = segment->bytes.size();
-      return reply;
-    }
-    case mem_op::kDeleteSegment: {
-      auto opened = store_.open(cap, core::rights::kDestroy);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const auto* segment = std::get_if<Segment>(opened.value().value);
-      if (segment == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      memory_in_use_ -= segment->bytes.size();
-      return error_reply(request, store_.destroy(cap).error());
-    }
-    case mem_op::kMakeProcess:
-      return do_make_process(request);
-    case mem_op::kStartProcess:
-    case mem_op::kStopProcess: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* process = std::get_if<Process>(opened.value().value);
-      if (process == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      process->state = request.message.header.opcode == mem_op::kStartProcess
-                           ? ProcessState::running
-                           : ProcessState::stopped;
-      return error_reply(request, ErrorCode::ok);
-    }
-    case mem_op::kProcessInfo: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const auto* process = std::get_if<Process>(opened.value().value);
-      if (process == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.params[0] = static_cast<std::uint64_t>(process->state);
-      reply.header.params[1] = process->segments.size();
-      return reply;
-    }
-    case mem_op::kDeleteProcess: {
-      auto opened = store_.open(cap, core::rights::kDestroy);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      if (std::get_if<Process>(opened.value().value) == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      return error_reply(request, store_.destroy(cap).error());
-    }
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
+  try {
+    Segment segment;
+    segment.bytes.resize(size, 0);
+    return capability_reply(request,
+                            store_.create(Payload{std::move(segment)}));
+  } catch (...) {
+    // Allocation or slot creation failed after the budget was reserved:
+    // roll the reservation back before the service loop reports the
+    // failure, or the leaked budget would eventually wedge every create.
+    const std::lock_guard lock(memory_mutex_);
+    memory_in_use_ -= size;
+    throw;
   }
+}
+
+net::Message MemoryServer::do_rw_segment(const net::Delivery& request) {
+  const bool writing =
+      request.message.header.opcode == mem_op::kWriteSegment;
+  auto opened = store_.open(header_capability(request.message),
+                            writing ? core::rights::kWrite
+                                    : core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* segment = std::get_if<Segment>(opened.value().value);
+  if (segment == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::uint64_t offset = request.message.header.params[0];
+  if (writing) {
+    const auto& data = request.message.data;
+    // Overflow-safe bounds check: `offset + data.size()` with a
+    // client-controlled offset could wrap and pass.
+    if (offset > segment->bytes.size() ||
+        data.size() > segment->bytes.size() - offset) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    std::copy(data.begin(), data.end(),
+              segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+    return error_reply(request, ErrorCode::ok);
+  }
+  const std::uint64_t length = request.message.header.params[1];
+  if (offset > segment->bytes.size()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::uint64_t take = std::min(length, segment->bytes.size() - offset);
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data.assign(
+      segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+      segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
+  return reply;
+}
+
+net::Message MemoryServer::do_segment_info(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const auto* segment = std::get_if<Segment>(opened.value().value);
+  if (segment == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = segment->bytes.size();
+  return reply;
+}
+
+net::Message MemoryServer::do_delete_segment(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const auto* segment = std::get_if<Segment>(opened.value().value);
+  if (segment == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::uint64_t freed = segment->bytes.size();
+  const auto destroyed = store_.destroy(std::move(opened.value()));
+  if (destroyed.ok()) {
+    const std::lock_guard lock(memory_mutex_);
+    memory_in_use_ -= freed;
+  }
+  return error_reply(request, destroyed.error());
+}
+
+net::Message MemoryServer::do_process_state(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* process = std::get_if<Process>(opened.value().value);
+  if (process == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  process->state = request.message.header.opcode == mem_op::kStartProcess
+                       ? ProcessState::running
+                       : ProcessState::stopped;
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message MemoryServer::do_process_info(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  const auto* process = std::get_if<Process>(opened.value().value);
+  if (process == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = static_cast<std::uint64_t>(process->state);
+  reply.header.params[1] = process->segments.size();
+  return reply;
+}
+
+net::Message MemoryServer::do_delete_process(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  if (std::get_if<Process>(opened.value().value) == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  return error_reply(request,
+                     store_.destroy(std::move(opened.value())).error());
 }
 
 net::Message MemoryServer::do_make_process(const net::Delivery& request) {

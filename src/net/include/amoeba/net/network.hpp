@@ -25,6 +25,7 @@
 // observe location traffic like any other.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -32,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -237,28 +239,67 @@ class Network {
     std::shared_ptr<Mailbox> mailbox;
   };
 
-  // All return without holding the mutex while invoking taps/mailboxes.
+  /// All GET registrations for one put-port, plus the delivery cursor that
+  /// spreads frames round-robin across them.  The cursor lives and dies
+  /// with the entry, so an idle port leaves nothing behind once its last
+  /// Receiver unregisters (the old per-network round_robin_ map grew
+  /// unboundedly under service churn).
+  struct PortEntry {
+    std::vector<Registration> registrations;
+    std::atomic<std::size_t> cursor{0};
+  };
+
+  /// One stripe of the listener registry.  transmit/broadcast/locate take
+  /// the stripe's lock shared; only (un)registration takes it exclusive,
+  /// so concurrent traffic to different ports -- and even to one port --
+  /// never serializes on a network-wide mutex.
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Port, std::unique_ptr<PortEntry>> ports;
+  };
+  static constexpr std::size_t kStripes = 64;
+
+  [[nodiscard]] Stripe& stripe_for(Port port) {
+    return stripes_[std::hash<Port>{}(port) & (kStripes - 1)];
+  }
+
+  using TapList = std::vector<std::pair<std::uint64_t, TapFn>>;
+
+  // All return without holding any lock while invoking taps/mailboxes.
   bool transmit_from(Machine& src, Message msg, MachineId dst);
   void broadcast_from(Machine& src, Message msg);
   std::optional<MachineId> locate_from(Machine& src, Port put_port);
   Receiver register_listener(Machine& m, Port get_port);
   void unregister(std::uint64_t id, Port put_port);
   void detach_tap(std::uint64_t id);
+  void mutate_taps(const std::function<void(TapList&)>& edit);
   void emit(const TapRecord& record);
   /// Rolls fault dice; returns number of delivery attempts (0 = dropped).
   int fault_copies();
 
-  Config config_;
+  Config config_;  // immutable after construction (fault knobs are below)
   std::shared_ptr<const crypto::OneWayFn> f_;
   Stats stats_;
 
-  mutable std::mutex mutex_;
+  std::array<Stripe, kStripes> stripes_;
+
+  mutable std::mutex machines_mutex_;
   std::deque<std::unique_ptr<Machine>> machines_;  // stable addresses
-  std::unordered_map<Port, std::vector<Registration>> listeners_;
-  std::unordered_map<Port, std::size_t> round_robin_;
-  std::vector<std::pair<std::uint64_t, TapFn>> taps_;
+
+  // Wiretaps: emit() loads an immutable snapshot atomically; attach/detach
+  // build a fresh list and swap it in, so frame delivery never blocks on
+  // tap churn.
+  mutable std::mutex taps_mutex_;  // serializes writers only
+  std::atomic<std::shared_ptr<const TapList>> taps_;
+
+  // Fault injection: probabilities are atomics (runtime-adjustable); the
+  // dice RNG has its own lock, touched only when a fault mode is armed.
+  std::atomic<double> drop_probability_;
+  std::atomic<double> duplicate_probability_;
+  mutable std::mutex fault_mutex_;
   Rng rng_;
-  std::uint64_t next_id_ = 1;
+
+  std::atomic<std::uint64_t> next_id_{1};
 };
 
 }  // namespace amoeba::net

@@ -76,7 +76,12 @@ std::optional<MachineId> Machine::locate(Port put_port) {
 Network::Network() : Network(Config()) {}
 
 Network::Network(Config config, std::shared_ptr<const crypto::OneWayFn> f)
-    : config_(config), f_(std::move(f)), rng_(config.seed) {
+    : config_(config),
+      f_(std::move(f)),
+      taps_(std::make_shared<const TapList>()),
+      drop_probability_(config.drop_probability),
+      duplicate_probability_(config.duplicate_probability),
+      rng_(config.seed) {
   if (f_ == nullptr) {
     throw UsageError("Network requires a one-way function");
   }
@@ -85,57 +90,63 @@ Network::Network(Config config, std::shared_ptr<const crypto::OneWayFn> f)
 Network::~Network() = default;
 
 Machine& Network::add_machine(std::string name) {
-  const std::lock_guard lock(mutex_);
+  const std::lock_guard lock(machines_mutex_);
   const MachineId id(static_cast<std::uint32_t>(machines_.size() + 1));
   machines_.push_back(std::unique_ptr<Machine>(
       new Machine(this, id, std::move(name), f_, config_.fbox_enabled)));
   return *machines_.back();
 }
 
+void Network::mutate_taps(const std::function<void(TapList&)>& edit) {
+  // Copy-on-write: writers serialize on taps_mutex_, readers (emit) keep
+  // loading the previous immutable snapshot until the swap.
+  const std::lock_guard lock(taps_mutex_);
+  TapList next = *taps_.load();
+  edit(next);
+  taps_.store(std::make_shared<const TapList>(std::move(next)));
+}
+
 TapHandle Network::attach_tap(TapFn fn) {
-  const std::lock_guard lock(mutex_);
-  const std::uint64_t id = next_id_++;
-  taps_.emplace_back(id, std::move(fn));
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  mutate_taps([&](TapList& taps) { taps.emplace_back(id, std::move(fn)); });
   return TapHandle(this, id);
 }
 
 void Network::detach_tap(std::uint64_t id) {
-  const std::lock_guard lock(mutex_);
-  std::erase_if(taps_, [id](const auto& t) { return t.first == id; });
+  mutate_taps([&](TapList& taps) {
+    std::erase_if(taps, [id](const auto& t) { return t.first == id; });
+  });
 }
 
 void Network::set_fault_injection(double drop_probability,
                                   double duplicate_probability) {
-  const std::lock_guard lock(mutex_);
-  config_.drop_probability = drop_probability;
-  config_.duplicate_probability = duplicate_probability;
+  drop_probability_.store(drop_probability, std::memory_order_relaxed);
+  duplicate_probability_.store(duplicate_probability,
+                               std::memory_order_relaxed);
 }
 
 void Network::emit(const TapRecord& record) {
-  // Copy the tap list under the lock; invoke outside it (CP.22: never call
-  // unknown code while holding a lock).
-  std::vector<TapFn> fns;
-  {
-    const std::lock_guard lock(mutex_);
-    fns.reserve(taps_.size());
-    for (const auto& [id, fn] : taps_) {
-      fns.push_back(fn);
-    }
-  }
-  for (const auto& fn : fns) {
+  // Snapshot load; taps run outside every lock (CP.22: never call unknown
+  // code while holding a lock).
+  const std::shared_ptr<const TapList> taps = taps_.load();
+  for (const auto& [id, fn] : *taps) {
     fn(record);
   }
 }
 
 int Network::fault_copies() {
-  const std::lock_guard lock(mutex_);
-  if (config_.drop_probability > 0.0 &&
-      rng_.uniform01() < config_.drop_probability) {
+  const double drop = drop_probability_.load(std::memory_order_relaxed);
+  const double duplicate =
+      duplicate_probability_.load(std::memory_order_relaxed);
+  if (drop <= 0.0 && duplicate <= 0.0) {
+    return 1;  // fault-free fast path: no lock, no RNG draw
+  }
+  const std::lock_guard lock(fault_mutex_);
+  if (drop > 0.0 && rng_.uniform01() < drop) {
     stats_.dropped.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  if (config_.duplicate_probability > 0.0 &&
-      rng_.uniform01() < config_.duplicate_probability) {
+  if (duplicate > 0.0 && rng_.uniform01() < duplicate) {
     stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
     return 2;
   }
@@ -145,23 +156,30 @@ int Network::fault_copies() {
 Receiver Network::register_listener(Machine& m, Port get_port) {
   const Port put_port = m.fbox().listen_port(get_port);
   auto mailbox = std::make_shared<Mailbox>();
-  const std::lock_guard lock(mutex_);
-  const std::uint64_t id = next_id_++;
-  listeners_[put_port].push_back(Registration{id, m.id(), mailbox});
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripe_for(put_port);
+  const std::unique_lock lock(stripe.mutex);
+  auto& entry = stripe.ports[put_port];
+  if (entry == nullptr) {
+    entry = std::make_unique<PortEntry>();
+  }
+  entry->registrations.push_back(Registration{id, m.id(), mailbox});
   return Receiver(this, put_port, id, std::move(mailbox));
 }
 
 void Network::unregister(std::uint64_t id, Port put_port) {
-  const std::lock_guard lock(mutex_);
-  auto it = listeners_.find(put_port);
-  if (it == listeners_.end()) {
+  Stripe& stripe = stripe_for(put_port);
+  const std::unique_lock lock(stripe.mutex);
+  auto it = stripe.ports.find(put_port);
+  if (it == stripe.ports.end()) {
     return;
   }
-  std::erase_if(it->second,
+  std::erase_if(it->second->registrations,
                 [id](const Registration& r) { return r.id == id; });
-  if (it->second.empty()) {
-    listeners_.erase(it);
-    round_robin_.erase(put_port);
+  if (it->second->registrations.empty()) {
+    // The whole entry -- including its round-robin cursor -- goes away
+    // with the last GET, so port churn cannot grow the registry.
+    stripe.ports.erase(it);
   }
 }
 
@@ -179,19 +197,21 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   // matches the frame's destination field.
   std::shared_ptr<Mailbox> mailbox;
   {
-    const std::lock_guard lock(mutex_);
-    auto it = listeners_.find(msg.header.dest);
-    if (it != listeners_.end()) {
+    Stripe& stripe = stripe_for(msg.header.dest);
+    const std::shared_lock lock(stripe.mutex);
+    auto it = stripe.ports.find(msg.header.dest);
+    if (it != stripe.ports.end()) {
       // Round-robin across this port's registrations on that machine.
       std::vector<const Registration*> eligible;
-      for (const auto& reg : it->second) {
+      for (const auto& reg : it->second->registrations) {
         if (reg.machine == dst) {
           eligible.push_back(&reg);
         }
       }
       if (!eligible.empty()) {
-        const std::size_t idx = round_robin_[msg.header.dest]++ %
-                                eligible.size();
+        const std::size_t idx =
+            it->second->cursor.fetch_add(1, std::memory_order_relaxed) %
+            eligible.size();
         mailbox = eligible[idx]->mailbox;
       }
     }
@@ -219,11 +239,12 @@ void Network::broadcast_from(Machine& src, Message msg) {
   }
   std::vector<std::shared_ptr<Mailbox>> targets;
   {
-    const std::lock_guard lock(mutex_);
-    auto it = listeners_.find(msg.header.dest);
-    if (it != listeners_.end()) {
-      targets.reserve(it->second.size());
-      for (const auto& reg : it->second) {
+    Stripe& stripe = stripe_for(msg.header.dest);
+    const std::shared_lock lock(stripe.mutex);
+    auto it = stripe.ports.find(msg.header.dest);
+    if (it != stripe.ports.end()) {
+      targets.reserve(it->second->registrations.size());
+      for (const auto& reg : it->second->registrations) {
         targets.push_back(reg.mailbox);
       }
     }
@@ -246,10 +267,11 @@ std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
                  put_port});
   std::optional<MachineId> found;
   {
-    const std::lock_guard lock(mutex_);
-    auto it = listeners_.find(put_port);
-    if (it != listeners_.end() && !it->second.empty()) {
-      found = it->second.front().machine;
+    Stripe& stripe = stripe_for(put_port);
+    const std::shared_lock lock(stripe.mutex);
+    auto it = stripe.ports.find(put_port);
+    if (it != stripe.ports.end() && !it->second->registrations.empty()) {
+      found = it->second->registrations.front().machine;
     }
   }
   if (found.has_value()) {

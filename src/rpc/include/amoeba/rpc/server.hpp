@@ -2,19 +2,24 @@
 //
 // A service chooses a secret get-port G, does GET(G), and serves requests
 // arriving on P = F(G) (§2.2).  Concrete servers (file, directory, bank,
-// ...) subclass Service and implement handle(); the loop takes care of
-// receiving, replying to the frame's stamped source, and clean shutdown.
-// Multiple worker threads may GET on the same port; the network delivers
-// round-robin, exactly like multiple server processes comprising one
-// service in Amoeba.
+// ...) subclass Service and register an opcode handler table with on();
+// the loop takes care of receiving, dispatching, replying to the frame's
+// stamped source (including the automatic no_such_operation reply for
+// opcodes the service does not implement), and clean shutdown.  A subclass
+// with needs the table cannot express may instead override handle()
+// wholesale.  Multiple worker threads may GET on the same port; the
+// network delivers round-robin, exactly like multiple server processes
+// comprising one service in Amoeba.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <latch>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "amoeba/net/network.hpp"
@@ -27,6 +32,10 @@ class Service {
   /// Binds the service to a machine and its secret get-port.  The service
   /// does not listen until start() is called.
   Service(net::Machine& machine, Port get_port, std::string name);
+  /// Joins the workers.  Concrete subclasses must call stop() in their own
+  /// destructor: by the time this base destructor runs, the subclass state
+  /// (stores, tables) is already gone and the vtable has been rewound, so
+  /// a still-running worker would race both.
   virtual ~Service();
 
   Service(const Service&) = delete;
@@ -64,11 +73,25 @@ class Service {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// One request processor: produces the reply message (status + payload;
+  /// the loop fills in the destination from the request's reply port).
+  /// Runs on worker threads; handlers guard any state they share.
+  using Handler = std::function<net::Message(const net::Delivery&)>;
+
+  /// Registers the handler for one opcode.  Must be called before start()
+  /// (typically from the subclass constructor): the table is immutable
+  /// while workers run, which is what lets dispatch read it without a
+  /// lock.  Throws UsageError on duplicate registration or when running.
+  /// Public so helpers (the shared owner-operation registrations) and
+  /// table-driven services built without subclassing can use it.
+  void on(std::uint16_t opcode, Handler handler);
+
  protected:
-  /// Processes one request and produces the reply message (status +
-  /// payload; the loop fills in the destination from the request's reply
-  /// port).  Runs on a worker thread; implementations guard their state.
-  [[nodiscard]] virtual net::Message handle(const net::Delivery& request) = 0;
+  /// Processes one request and produces the reply message.  The default
+  /// looks the opcode up in the on() table and replies no_such_operation
+  /// for unknown opcodes; subclasses with dynamic dispatch needs may
+  /// override it entirely.
+  [[nodiscard]] virtual net::Message handle(const net::Delivery& request);
 
  private:
   void run(std::stop_token stop, std::latch& ready);
@@ -81,6 +104,7 @@ class Service {
   mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;
+  std::unordered_map<std::uint16_t, Handler> handlers_;  // frozen at start()
 };
 
 }  // namespace amoeba::rpc

@@ -57,6 +57,28 @@ void Service::set_allowed_signatures(std::vector<Port> published_signatures) {
   allowed_signatures_ = std::move(published_signatures);
 }
 
+void Service::on(std::uint16_t opcode, Handler handler) {
+  if (!workers_.empty()) {
+    throw UsageError("Service::on: register handlers before start()");
+  }
+  if (handler == nullptr) {
+    throw UsageError("Service::on: null handler");
+  }
+  if (!handlers_.emplace(opcode, std::move(handler)).second) {
+    throw UsageError("Service::on: duplicate handler for opcode");
+  }
+}
+
+net::Message Service::handle(const net::Delivery& request) {
+  // The table is frozen once workers run (on() rejects late registration),
+  // so this lookup is lock-free and race-free.
+  const auto it = handlers_.find(request.message.header.opcode);
+  if (it == handlers_.end()) {
+    return net::make_reply(request.message, ErrorCode::no_such_operation);
+  }
+  return it->second(request);
+}
+
 void Service::run(std::stop_token stop, std::latch& ready) {
   // GET(G): the registration lives on this worker's stack, so a stopping
   // worker withdraws its F-box registration on exit.
@@ -88,7 +110,14 @@ void Service::run(std::stop_token stop, std::latch& ready) {
                !filter->incoming(delivery->message, delivery->src)) {
       reply = net::make_reply(delivery->message, ErrorCode::unsealing_failed);
     } else {
-      reply = handle(*delivery);
+      try {
+        reply = handle(*delivery);
+      } catch (const std::exception&) {
+        // A handler failure (bad_alloc on an oversized request, a violated
+        // precondition) must not take the whole service process down; the
+        // offending client gets the invariant-failure status instead.
+        reply = net::make_reply(delivery->message, ErrorCode::internal);
+      }
     }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     const Port reply_port = delivery->message.header.reply;

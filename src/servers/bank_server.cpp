@@ -11,6 +11,12 @@ namespace {
   return !__builtin_add_overflow(a, b, &out);
 }
 
+/// Multiplication likewise (conversion rates scale client balances).
+[[nodiscard]] bool mul_checked(std::int64_t a, std::int64_t b,
+                               std::int64_t& out) {
+  return !__builtin_mul_overflow(a, b, &out);
+}
+
 }  // namespace
 
 BankServer::BankServer(net::Machine& machine, Port get_port,
@@ -21,6 +27,19 @@ BankServer::BankServer(net::Machine& machine, Port get_port,
   Account master;
   master.is_master = true;
   master_ = store_.create(std::move(master));
+
+  register_owner_ops(*this, store_);
+  on(bank_op::kCreateAccount, [this](const net::Delivery& request) {
+    return capability_reply(request, store_.create(Account{}));
+  });
+  on(bank_op::kBalance,
+     [this](const net::Delivery& request) { return do_balance(request); });
+  on(bank_op::kTransfer,
+     [this](const net::Delivery& request) { return do_transfer(request); });
+  on(bank_op::kConvert,
+     [this](const net::Delivery& request) { return do_convert(request); });
+  on(bank_op::kMint,
+     [this](const net::Delivery& request) { return do_mint(request); });
 }
 
 void BankServer::set_conversion_rate(std::uint32_t from, std::uint32_t to,
@@ -28,63 +47,42 @@ void BankServer::set_conversion_rate(std::uint32_t from, std::uint32_t to,
   if (num <= 0 || den <= 0) {
     throw UsageError("conversion rate must be positive");
   }
-  const std::lock_guard lock(mutex_);
+  const std::unique_lock lock(rates_mutex_);
   rates_[{from, to}] = {num, den};
 }
 
-net::Message BankServer::handle(const net::Delivery& request) {
-  const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+net::Message BankServer::do_balance(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case bank_op::kCreateAccount: {
-      const core::Capability fresh = store_.create(Account{});
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh);
-      return reply;
-    }
-    case bank_op::kBalance: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const std::uint32_t cur =
-          static_cast<std::uint32_t>(request.message.header.params[0]);
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      const auto& balances = opened.value().value->balances;
-      auto it = balances.find(cur);
-      reply.header.params[0] =
-          static_cast<std::uint64_t>(it == balances.end() ? 0 : it->second);
-      return reply;
-    }
-    case bank_op::kTransfer:
-      return do_transfer(request, cap);
-    case bank_op::kConvert:
-      return do_convert(request, cap);
-    case bank_op::kMint:
-      return do_mint(request, cap);
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
-  }
+  const std::uint32_t cur =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  const auto& balances = opened.value().value->balances;
+  auto it = balances.find(cur);
+  reply.header.params[0] =
+      static_cast<std::uint64_t>(it == balances.end() ? 0 : it->second);
+  return reply;
 }
 
-net::Message BankServer::do_transfer(const net::Delivery& request,
-                                     const core::Capability& from_cap) {
-  auto from = store_.open(from_cap, bank_rights::kWithdraw);
-  if (!from.ok()) {
-    return fail(request, from);
-  }
+net::Message BankServer::do_transfer(const net::Delivery& request) {
   Reader r(request.message.data);
   const core::Capability to_cap = read_capability(r);
   if (!r.exhausted()) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  auto to = store_.open(to_cap, bank_rights::kDeposit);
-  if (!to.ok()) {
-    return fail(request, to);
+  // Both accounts under their shard locks at once: the transfer is atomic
+  // against every other transfer touching either account, without any
+  // bank-wide serialization.
+  auto pair = store_.open2(header_capability(request.message),
+                           bank_rights::kWithdraw, to_cap,
+                           bank_rights::kDeposit);
+  if (!pair.ok()) {
+    return fail(request, pair);
   }
+  auto& [from, to] = pair.value();
   const std::uint32_t cur =
       static_cast<std::uint32_t>(request.message.header.params[0]);
   const std::int64_t amount =
@@ -92,16 +90,16 @@ net::Message BankServer::do_transfer(const net::Delivery& request,
   if (amount <= 0) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  std::int64_t& from_balance = from.value().value->balances[cur];
+  std::int64_t& from_balance = from.value->balances[cur];
   if (from_balance < amount) {
     return error_reply(request, ErrorCode::insufficient_funds);
   }
-  if (from.value().object == to.value().object) {
+  if (from.object == to.object) {
     return error_reply(request, ErrorCode::ok);  // self-transfer: no-op
   }
   // Distinct accounts: the maps are distinct, so taking the second
   // reference cannot invalidate the first.
-  std::int64_t& to_balance = to.value().value->balances[cur];
+  std::int64_t& to_balance = to.value->balances[cur];
   std::int64_t new_to = 0;
   if (!add_checked(to_balance, amount, new_to)) {
     return error_reply(request, ErrorCode::invalid_argument);
@@ -111,11 +109,11 @@ net::Message BankServer::do_transfer(const net::Delivery& request,
   return error_reply(request, ErrorCode::ok);
 }
 
-net::Message BankServer::do_convert(const net::Delivery& request,
-                                    const core::Capability& cap) {
+net::Message BankServer::do_convert(const net::Delivery& request) {
   // Converting rearranges the holder's own money: needs both directions.
-  auto opened = store_.open(
-      cap, bank_rights::kWithdraw.with(bank_rights::kDepositBit));
+  auto opened =
+      store_.open(header_capability(request.message),
+                  bank_rights::kWithdraw.with(bank_rights::kDepositBit));
   if (!opened.ok()) {
     return fail(request, opened);
   }
@@ -128,16 +126,25 @@ net::Message BankServer::do_convert(const net::Delivery& request,
   if (amount <= 0) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  auto rate = rates_.find({from_cur, to_cur});
-  if (rate == rates_.end()) {
-    return error_reply(request, ErrorCode::bad_currency);  // inconvertible
+  std::pair<std::int64_t, std::int64_t> rate;
+  {
+    const std::shared_lock lock(rates_mutex_);
+    auto it = rates_.find({from_cur, to_cur});
+    if (it == rates_.end()) {
+      return error_reply(request, ErrorCode::bad_currency);  // inconvertible
+    }
+    rate = it->second;
   }
   auto& balances = opened.value().value->balances;
   if (balances[from_cur] < amount) {
     return error_reply(request, ErrorCode::insufficient_funds);
   }
-  const auto [num, den] = rate->second;
-  const std::int64_t converted = amount * num / den;
+  const auto [num, den] = rate;
+  std::int64_t scaled = 0;
+  if (!mul_checked(amount, num, scaled)) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::int64_t converted = scaled / den;
   std::int64_t new_balance = 0;
   if (!add_checked(balances[to_cur], converted, new_balance)) {
     return error_reply(request, ErrorCode::invalid_argument);
@@ -149,24 +156,21 @@ net::Message BankServer::do_convert(const net::Delivery& request,
   return reply;
 }
 
-net::Message BankServer::do_mint(const net::Delivery& request,
-                                 const core::Capability& master_cap) {
-  auto master = store_.open(master_cap, bank_rights::kMint);
-  if (!master.ok()) {
-    return fail(request, master);
-  }
-  if (!master.value().value->is_master) {
-    // A forged kMint bit on an ordinary account must not create money.
-    return error_reply(request, ErrorCode::permission_denied);
-  }
+net::Message BankServer::do_mint(const net::Delivery& request) {
   Reader r(request.message.data);
   const core::Capability to_cap = read_capability(r);
   if (!r.exhausted()) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  auto to = store_.open(to_cap, bank_rights::kDeposit);
-  if (!to.ok()) {
-    return fail(request, to);
+  auto pair = store_.open2(header_capability(request.message),
+                           bank_rights::kMint, to_cap, bank_rights::kDeposit);
+  if (!pair.ok()) {
+    return fail(request, pair);
+  }
+  auto& [master, to] = pair.value();
+  if (!master.value->is_master) {
+    // A forged kMint bit on an ordinary account must not create money.
+    return error_reply(request, ErrorCode::permission_denied);
   }
   const std::uint32_t cur =
       static_cast<std::uint32_t>(request.message.header.params[0]);
@@ -176,10 +180,10 @@ net::Message BankServer::do_mint(const net::Delivery& request,
     return error_reply(request, ErrorCode::invalid_argument);
   }
   std::int64_t new_balance = 0;
-  if (!add_checked(to.value().value->balances[cur], amount, new_balance)) {
+  if (!add_checked(to.value->balances[cur], amount, new_balance)) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  to.value().value->balances[cur] = new_balance;
+  to.value->balances[cur] = new_balance;
   return error_reply(request, ErrorCode::ok);
 }
 

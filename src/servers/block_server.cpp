@@ -11,75 +11,88 @@ BlockServer::BlockServer(net::Machine& machine, Port get_port,
       geometry_(geometry),
       disk_(geometry.block_count, geometry.block_size, geometry.write_once),
       store_(std::move(scheme),
-             machine.fbox().listen_port(get_port), seed) {}
+             machine.fbox().listen_port(get_port), seed) {
+  register_owner_ops(*this, store_);
+  on(block_op::kAllocate,
+     [this](const net::Delivery& request) { return do_allocate(request); });
+  on(block_op::kRead,
+     [this](const net::Delivery& request) { return do_read(request); });
+  on(block_op::kWrite,
+     [this](const net::Delivery& request) { return do_write(request); });
+  on(block_op::kFree,
+     [this](const net::Delivery& request) { return do_free(request); });
+  on(block_op::kInfo,
+     [this](const net::Delivery& request) { return do_info(request); });
+}
 
 SimDisk::Stats BlockServer::disk_stats() const {
   const std::lock_guard lock(mutex_);
   return disk_.stats();
 }
 
-net::Message BlockServer::handle(const net::Delivery& request) {
+net::Message BlockServer::do_allocate(const net::Delivery& request) {
+  Result<std::uint32_t> block = [&] {
+    const std::lock_guard lock(mutex_);
+    return disk_.allocate();
+  }();
+  if (!block.ok()) {
+    return error_reply(request, block.error());
+  }
+  return capability_reply(request, store_.create(block.value()));
+}
+
+net::Message BlockServer::do_read(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto data = [&] {
+    const std::lock_guard lock(mutex_);
+    return disk_.read(*opened.value().value);
+  }();
+  if (!data.ok()) {
+    return error_reply(request, data.error());
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data = std::move(data.value());
+  return reply;
+}
+
+net::Message BlockServer::do_write(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
   const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+  const auto written = disk_.write(*opened.value().value,
+                                   request.message.data);
+  return error_reply(request, written.ok() ? ErrorCode::ok : written.error());
+}
+
+net::Message BlockServer::do_free(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case block_op::kAllocate: {
-      const auto block = disk_.allocate();
-      if (!block.ok()) {
-        return error_reply(request, block.error());
-      }
-      const core::Capability fresh = store_.create(block.value());
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh);
-      return reply;
-    }
-    case block_op::kRead: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto data = disk_.read(*opened.value().value);
-      if (!data.ok()) {
-        return error_reply(request, data.error());
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.data = std::move(data.value());
-      return reply;
-    }
-    case block_op::kWrite: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const auto written =
-          disk_.write(*opened.value().value, request.message.data);
-      return error_reply(request, written.ok() ? ErrorCode::ok
-                                               : written.error());
-    }
-    case block_op::kFree: {
-      auto opened = store_.open(cap, core::rights::kDestroy);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      const std::uint32_t block = *opened.value().value;
-      const auto destroyed = store_.destroy(cap);
-      if (!destroyed.ok()) {
-        return error_reply(request, destroyed.error());
-      }
-      return error_reply(request, disk_.free_block(block).error());
-    }
-    case block_op::kInfo: {
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.params[0] = disk_.block_count();
-      reply.header.params[1] = disk_.block_size();
-      reply.header.params[2] = disk_.free_count();
-      return reply;
-    }
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
+  const std::uint32_t block = *opened.value().value;
+  const auto destroyed = store_.destroy(std::move(opened.value()));
+  if (!destroyed.ok()) {
+    return error_reply(request, destroyed.error());
   }
+  const std::lock_guard lock(mutex_);
+  return error_reply(request, disk_.free_block(block).error());
+}
+
+net::Message BlockServer::do_info(const net::Delivery& request) {
+  const std::lock_guard lock(mutex_);
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = disk_.block_count();
+  reply.header.params[1] = disk_.block_size();
+  reply.header.params[2] = disk_.free_count();
+  return reply;
 }
 
 // ------------------------------------------------------------- BlockClient

@@ -6,101 +6,109 @@ DirectoryServer::DirectoryServer(
     net::Machine& machine, Port get_port,
     std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed)
     : rpc::Service(machine, get_port, "directory"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {}
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {
+  register_owner_ops(*this, store_);
+  on(dir_op::kCreateDir, [this](const net::Delivery& request) {
+    return capability_reply(request, store_.create(Directory{}));
+  });
+  on(dir_op::kLookup,
+     [this](const net::Delivery& request) { return do_lookup(request); });
+  on(dir_op::kEnter,
+     [this](const net::Delivery& request) { return do_enter(request); });
+  on(dir_op::kRemove,
+     [this](const net::Delivery& request) { return do_remove(request); });
+  on(dir_op::kList,
+     [this](const net::Delivery& request) { return do_list(request); });
+  on(dir_op::kDeleteDir,
+     [this](const net::Delivery& request) { return do_delete(request); });
+}
 
-net::Message DirectoryServer::handle(const net::Delivery& request) {
-  const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+net::Message DirectoryServer::do_lookup(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case dir_op::kCreateDir: {
-      const core::Capability fresh = store_.create(Directory{});
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh);
-      return reply;
-    }
-    case dir_op::kLookup: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      Reader r(request.message.data);
-      const std::string name = r.str();
-      if (!r.exhausted()) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      const Directory& dir = *opened.value().value;
-      auto it = dir.find(name);
-      if (it == dir.end()) {
-        return error_reply(request, ErrorCode::not_found);
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.capability = it->second;
-      return reply;
-    }
-    case dir_op::kEnter: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      Reader r(request.message.data);
-      const std::string name = r.str();
-      const core::Capability target = read_capability(r);
-      if (!r.exhausted() || name.empty()) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      Directory& dir = *opened.value().value;
-      if (dir.contains(name)) {
-        return error_reply(request, ErrorCode::exists);
-      }
-      dir.emplace(name, core::pack(target));
-      return error_reply(request, ErrorCode::ok);
-    }
-    case dir_op::kRemove: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      Reader r(request.message.data);
-      const std::string name = r.str();
-      if (!r.exhausted()) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      return error_reply(request, opened.value().value->erase(name) > 0
-                                      ? ErrorCode::ok
-                                      : ErrorCode::not_found);
-    }
-    case dir_op::kList: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      Writer w;
-      const Directory& dir = *opened.value().value;
-      w.u32(static_cast<std::uint32_t>(dir.size()));
-      for (const auto& [name, capability] : dir) {
-        w.str(name);
-        write_capability(w, core::unpack(capability));
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.data = w.take();
-      return reply;
-    }
-    case dir_op::kDeleteDir: {
-      auto opened = store_.open(cap, core::rights::kDestroy);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      if (!opened.value().value->empty()) {
-        return error_reply(request, ErrorCode::not_empty);
-      }
-      return error_reply(request, store_.destroy(cap).error());
-    }
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
+  Reader r(request.message.data);
+  const std::string name = r.str();
+  if (!r.exhausted()) {
+    return error_reply(request, ErrorCode::invalid_argument);
   }
+  const Directory& dir = *opened.value().value;
+  auto it = dir.find(name);
+  if (it == dir.end()) {
+    return error_reply(request, ErrorCode::not_found);
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.capability = it->second;
+  return reply;
+}
+
+net::Message DirectoryServer::do_enter(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  Reader r(request.message.data);
+  const std::string name = r.str();
+  const core::Capability target = read_capability(r);
+  if (!r.exhausted() || name.empty()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  Directory& dir = *opened.value().value;
+  if (dir.contains(name)) {
+    return error_reply(request, ErrorCode::exists);
+  }
+  dir.emplace(name, core::pack(target));
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message DirectoryServer::do_remove(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  Reader r(request.message.data);
+  const std::string name = r.str();
+  if (!r.exhausted()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  return error_reply(request, opened.value().value->erase(name) > 0
+                                  ? ErrorCode::ok
+                                  : ErrorCode::not_found);
+}
+
+net::Message DirectoryServer::do_list(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  Writer w;
+  const Directory& dir = *opened.value().value;
+  w.u32(static_cast<std::uint32_t>(dir.size()));
+  for (const auto& [name, capability] : dir) {
+    w.str(name);
+    write_capability(w, core::unpack(capability));
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.data = w.take();
+  return reply;
+}
+
+net::Message DirectoryServer::do_delete(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  if (!opened.value().value->empty()) {
+    return error_reply(request, ErrorCode::not_empty);
+  }
+  return error_reply(request,
+                     store_.destroy(std::move(opened.value())).error());
 }
 
 // --------------------------------------------------------- DirectoryClient

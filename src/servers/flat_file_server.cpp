@@ -1,6 +1,7 @@
 #include "amoeba/servers/flat_file_server.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "amoeba/servers/common.hpp"
 
@@ -13,71 +14,70 @@ FlatFileServer::FlatFileServer(
     : rpc::Service(machine, get_port, "flatfile"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
       transport_(machine, seed ^ 0xF17EULL),
-      blocks_(transport_, block_server_port) {}
+      blocks_(transport_, block_server_port) {
+  register_owner_ops(*this, store_);
+  on(file_op::kCreate,
+     [this](const net::Delivery& request) { return do_create(request); });
+  on(file_op::kDestroy,
+     [this](const net::Delivery& request) { return do_destroy(request); });
+  on(file_op::kRead,
+     [this](const net::Delivery& request) { return do_read(request); });
+  on(file_op::kWrite,
+     [this](const net::Delivery& request) { return do_write(request); });
+  on(file_op::kSize,
+     [this](const net::Delivery& request) { return do_size(request); });
+}
 
 void FlatFileServer::set_pricing(Pricing pricing) {
-  const std::lock_guard lock(mutex_);
+  const std::lock_guard lock(pricing_mutex_);
   pricing_ = std::move(pricing);
 }
 
-Result<void> FlatFileServer::charge(Inode& inode, std::int64_t block_count) {
-  if (!pricing_.has_value() || !inode.paid || block_count == 0) {
+Result<void> FlatFileServer::charge(const Inode& inode,
+                                    std::int64_t block_count) {
+  std::optional<Pricing> pricing;
+  {
+    const std::lock_guard lock(pricing_mutex_);
+    pricing = pricing_;
+  }
+  if (!pricing.has_value() || !inode.paid || block_count == 0) {
     return {};
   }
-  BankClient bank(transport_, pricing_->bank_port);
+  BankClient bank(transport_, pricing->bank_port);
   if (block_count > 0) {
-    return bank.transfer(inode.payer, pricing_->server_account,
-                         pricing_->currency,
-                         block_count * pricing_->price_per_block);
+    return bank.transfer(inode.payer, pricing->server_account,
+                         pricing->currency,
+                         block_count * pricing->price_per_block);
   }
   // Negative: refund on destroy ("returning the resource might result in
   // the client getting his money back").
-  return bank.transfer(pricing_->server_account, inode.payer,
-                       pricing_->currency,
-                       -block_count * pricing_->price_per_block);
+  return bank.transfer(pricing->server_account, inode.payer,
+                       pricing->currency,
+                       -block_count * pricing->price_per_block);
 }
 
-net::Message FlatFileServer::handle(const net::Delivery& request) {
-  const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+Result<std::uint32_t> FlatFileServer::ensure_block_size() {
+  std::uint32_t size = block_size_.load(std::memory_order_relaxed);
+  if (size != 0) {
+    return size;
   }
-  // Lazily learn the block size from the block server (it may not have
-  // been started before us).
-  if (block_size_ == 0) {
-    auto info = blocks_.info();
-    if (!info.ok()) {
-      return error_reply(request, ErrorCode::internal);
-    }
-    block_size_ = info.value().block_size;
+  auto info = blocks_.info();
+  if (!info.ok()) {
+    return ErrorCode::internal;
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case file_op::kCreate:
-      return do_create(request);
-    case file_op::kDestroy:
-      return do_destroy(request, cap);
-    case file_op::kRead:
-      return do_read(request, cap);
-    case file_op::kWrite:
-      return do_write(request, cap);
-    case file_op::kSize: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.params[0] = opened.value().value->size;
-      return reply;
-    }
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
-  }
+  size = info.value().block_size;
+  block_size_.store(size, std::memory_order_relaxed);
+  return size;
 }
 
 net::Message FlatFileServer::do_create(const net::Delivery& request) {
+  bool priced = false;
+  {
+    const std::lock_guard lock(pricing_mutex_);
+    priced = pricing_.has_value();
+  }
   Inode inode;
-  if (pricing_.has_value()) {
+  if (priced) {
     // Payment account capability required in the data field.
     Reader r(request.message.data);
     inode.payer = read_capability(r);
@@ -86,23 +86,22 @@ net::Message FlatFileServer::do_create(const net::Delivery& request) {
     }
     inode.paid = true;
   }
-  const core::Capability fresh = store_.create(std::move(inode));
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  set_header_capability(reply, fresh);
-  return reply;
+  return capability_reply(request, store_.create(std::move(inode)));
 }
 
-net::Message FlatFileServer::do_destroy(const net::Delivery& request,
-                                        const core::Capability& cap) {
-  auto opened = store_.open(cap, core::rights::kDestroy);
+net::Message FlatFileServer::do_destroy(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
   if (!opened.ok()) {
     return fail(request, opened);
   }
   Inode inode = std::move(*opened.value().value);
-  const auto destroyed = store_.destroy(cap);
+  const auto destroyed = store_.destroy(std::move(opened.value()));
   if (!destroyed.ok()) {
     return error_reply(request, destroyed.error());
   }
+  // Shard lock released: the block frees and the refund are plain client
+  // RPCs against the other services.
   for (const auto& block_cap : inode.blocks) {
     (void)blocks_.free_block(block_cap);  // best effort
   }
@@ -110,9 +109,25 @@ net::Message FlatFileServer::do_destroy(const net::Delivery& request,
   return error_reply(request, ErrorCode::ok);
 }
 
-net::Message FlatFileServer::do_read(const net::Delivery& request,
-                                     const core::Capability& cap) {
-  auto opened = store_.open(cap, core::rights::kRead);
+net::Message FlatFileServer::do_size(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = opened.value().value->size;
+  return reply;
+}
+
+net::Message FlatFileServer::do_read(const net::Delivery& request) {
+  const auto block_size_result = ensure_block_size();
+  if (!block_size_result.ok()) {
+    return fail(request, block_size_result);
+  }
+  const std::uint32_t block_size = block_size_result.value();
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
   if (!opened.ok()) {
     return fail(request, opened);
   }
@@ -127,14 +142,14 @@ net::Message FlatFileServer::do_read(const net::Delivery& request,
   out.reserve(length);
   std::uint64_t pos = position;
   while (out.size() < length) {
-    const std::uint64_t block_index = pos / block_size_;
-    const std::uint64_t offset = pos % block_size_;
+    const std::uint64_t block_index = pos / block_size;
+    const std::uint64_t offset = pos % block_size;
     auto data = blocks_.read(inode.blocks[block_index]);
     if (!data.ok()) {
       return error_reply(request, ErrorCode::internal);
     }
     const std::uint64_t take =
-        std::min<std::uint64_t>(block_size_ - offset, length - out.size());
+        std::min<std::uint64_t>(block_size - offset, length - out.size());
     out.insert(out.end(),
                data.value().begin() + static_cast<std::ptrdiff_t>(offset),
                data.value().begin() + static_cast<std::ptrdiff_t>(offset + take));
@@ -145,9 +160,14 @@ net::Message FlatFileServer::do_read(const net::Delivery& request,
   return reply;
 }
 
-net::Message FlatFileServer::do_write(const net::Delivery& request,
-                                      const core::Capability& cap) {
-  auto opened = store_.open(cap, core::rights::kWrite);
+net::Message FlatFileServer::do_write(const net::Delivery& request) {
+  const auto block_size_result = ensure_block_size();
+  if (!block_size_result.ok()) {
+    return fail(request, block_size_result);
+  }
+  const std::uint32_t block_size = block_size_result.value();
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
   if (!opened.ok()) {
     return fail(request, opened);
   }
@@ -157,10 +177,16 @@ net::Message FlatFileServer::do_write(const net::Delivery& request,
   if (data.empty()) {
     return error_reply(request, ErrorCode::ok);
   }
+  // Position is client-controlled: reject offsets whose end position
+  // cannot be represented (the block arithmetic below must not wrap).
+  if (position > std::numeric_limits<std::uint64_t>::max() - block_size -
+                     data.size()) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
   const std::uint64_t end = position + data.size();
 
   // Grow: allocate (and charge for) the blocks the write needs.
-  const std::uint64_t needed_blocks = (end + block_size_ - 1) / block_size_;
+  const std::uint64_t needed_blocks = (end + block_size - 1) / block_size;
   if (needed_blocks > inode.blocks.size()) {
     const std::int64_t growth =
         static_cast<std::int64_t>(needed_blocks - inode.blocks.size());
@@ -180,19 +206,19 @@ net::Message FlatFileServer::do_write(const net::Delivery& request,
   std::uint64_t pos = position;
   std::size_t consumed = 0;
   while (consumed < data.size()) {
-    const std::uint64_t block_index = pos / block_size_;
-    const std::uint64_t offset = pos % block_size_;
+    const std::uint64_t block_index = pos / block_size;
+    const std::uint64_t offset = pos % block_size;
     const std::uint64_t take = std::min<std::uint64_t>(
-        block_size_ - offset, data.size() - consumed);
+        block_size - offset, data.size() - consumed);
     Buffer content;
-    if (offset != 0 || take != block_size_) {
+    if (offset != 0 || take != block_size) {
       auto existing = blocks_.read(inode.blocks[block_index]);
       if (!existing.ok()) {
         return error_reply(request, ErrorCode::internal);
       }
       content = std::move(existing.value());
     } else {
-      content.resize(block_size_, 0);
+      content.resize(block_size, 0);
     }
     std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(consumed), take,
                 content.begin() + static_cast<std::ptrdiff_t>(offset));

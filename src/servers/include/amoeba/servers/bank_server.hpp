@@ -15,7 +15,7 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "amoeba/core/object_store.hpp"
@@ -54,6 +54,7 @@ class BankServer final : public rpc::Service {
   BankServer(net::Machine& machine, Port get_port,
              std::shared_ptr<const core::ProtectionScheme> scheme,
              std::uint64_t seed);
+  ~BankServer() override { stop(); }  // quiesce workers before members die
 
   /// The bank's own capability: the only source of new money (kMint).
   [[nodiscard]] core::Capability master_capability() const {
@@ -65,25 +66,23 @@ class BankServer final : public rpc::Service {
   void set_conversion_rate(std::uint32_t from, std::uint32_t to,
                            std::int64_t num, std::int64_t den);
 
- protected:
-  net::Message handle(const net::Delivery& request) override;
-
  private:
   struct Account {
     std::unordered_map<std::uint32_t, std::int64_t> balances;
     bool is_master = false;
   };
 
-  net::Message do_transfer(const net::Delivery& request,
-                           const core::Capability& from_cap);
-  net::Message do_convert(const net::Delivery& request,
-                          const core::Capability& cap);
-  net::Message do_mint(const net::Delivery& request,
-                       const core::Capability& master_cap);
+  net::Message do_balance(const net::Delivery& request);
+  net::Message do_transfer(const net::Delivery& request);
+  net::Message do_convert(const net::Delivery& request);
+  net::Message do_mint(const net::Delivery& request);
 
-  mutable std::mutex mutex_;
+  // Account state lives in (and is locked by) the sharded store; transfers
+  // hold both accounts' shard locks via open2.  Only the rate table needs
+  // its own lock (written by set_conversion_rate, read by converts).
   core::ObjectStore<Account> store_;
   core::Capability master_;
+  mutable std::shared_mutex rates_mutex_;
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::pair<std::int64_t, std::int64_t>>
       rates_;

@@ -39,6 +39,7 @@ class BlockServer final : public rpc::Service {
   BlockServer(net::Machine& machine, Port get_port,
               std::shared_ptr<const core::ProtectionScheme> scheme,
               std::uint64_t seed, Geometry geometry);
+  ~BlockServer() override { stop(); }  // quiesce workers before members die
 
   [[nodiscard]] std::uint32_t block_size() const {
     return geometry_.block_size;
@@ -47,12 +48,15 @@ class BlockServer final : public rpc::Service {
   /// Disk statistics snapshot (for benches / tests).
   [[nodiscard]] SimDisk::Stats disk_stats() const;
 
- protected:
-  net::Message handle(const net::Delivery& request) override;
-
  private:
+  net::Message do_allocate(const net::Delivery& request);
+  net::Message do_read(const net::Delivery& request);
+  net::Message do_write(const net::Delivery& request);
+  net::Message do_free(const net::Delivery& request);
+  net::Message do_info(const net::Delivery& request);
+
   Geometry geometry_;
-  mutable std::mutex mutex_;  // guards disk_ and store_ together
+  mutable std::mutex mutex_;  // guards disk_ (the store shards itself)
   SimDisk disk_;
   core::ObjectStore<std::uint32_t> store_;  // payload: disk block index
 };

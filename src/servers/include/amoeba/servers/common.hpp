@@ -8,12 +8,12 @@
 #pragma once
 
 #include <array>
-#include <optional>
 
 #include "amoeba/common/serial.hpp"
 #include "amoeba/core/capability.hpp"
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/net/message.hpp"
+#include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
 
 namespace amoeba::servers {
@@ -100,36 +100,37 @@ template <typename T>
 inline constexpr std::uint16_t kOpRestrict = 0xF0;  // params[0] = mask
 inline constexpr std::uint16_t kOpRevoke = 0xF1;
 
-/// Server side: intercepts the shared owner opcodes against the given
-/// object store.  Returns nullopt if the opcode is not one of them.
+/// Builds a reply carrying `cap` in the header slot (the shape of every
+/// "here is your new capability" answer).
+[[nodiscard]] inline net::Message capability_reply(const net::Delivery& request,
+                                                   const core::Capability& cap) {
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  set_header_capability(reply, cap);
+  return reply;
+}
+
+/// Server side: registers the shared owner opcodes against the given
+/// object store on a service's dispatch table.  The store must outlive
+/// the service (it is invariably a member of the same server object).
 template <typename T>
-[[nodiscard]] std::optional<net::Message> handle_owner_ops(
-    core::ObjectStore<T>& store, const net::Delivery& request) {
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case kOpRestrict: {
-      const Rights mask(
-          static_cast<std::uint8_t>(request.message.header.params[0]));
-      auto restricted = store.restrict(cap, mask);
-      if (!restricted.ok()) {
-        return net::make_reply(request.message, restricted.error());
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, restricted.value());
-      return reply;
+void register_owner_ops(rpc::Service& service, core::ObjectStore<T>& store) {
+  service.on(kOpRestrict, [&store](const net::Delivery& request) {
+    const Rights mask(
+        static_cast<std::uint8_t>(request.message.header.params[0]));
+    auto restricted =
+        store.restrict(header_capability(request.message), mask);
+    if (!restricted.ok()) {
+      return net::make_reply(request.message, restricted.error());
     }
-    case kOpRevoke: {
-      auto fresh = store.revoke(cap);
-      if (!fresh.ok()) {
-        return net::make_reply(request.message, fresh.error());
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh.value());
-      return reply;
+    return capability_reply(request, restricted.value());
+  });
+  service.on(kOpRevoke, [&store](const net::Delivery& request) {
+    auto fresh = store.revoke(header_capability(request.message));
+    if (!fresh.ok()) {
+      return net::make_reply(request.message, fresh.error());
     }
-    default:
-      return std::nullopt;
-  }
+    return capability_reply(request, fresh.value());
+  });
 }
 
 /// Client side: asks the managing server (addressed through the

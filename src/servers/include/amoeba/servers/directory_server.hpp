@@ -15,7 +15,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "amoeba/core/object_store.hpp"
@@ -39,14 +38,19 @@ class DirectoryServer final : public rpc::Service {
   DirectoryServer(net::Machine& machine, Port get_port,
                   std::shared_ptr<const core::ProtectionScheme> scheme,
                   std::uint64_t seed);
-
- protected:
-  net::Message handle(const net::Delivery& request) override;
+  ~DirectoryServer() override { stop(); }  // quiesce workers before members die
 
  private:
   using Directory = std::map<std::string, core::CapabilityBytes>;
 
-  mutable std::mutex mutex_;
+  net::Message do_lookup(const net::Delivery& request);
+  net::Message do_enter(const net::Delivery& request);
+  net::Message do_remove(const net::Delivery& request);
+  net::Message do_list(const net::Delivery& request);
+  net::Message do_delete(const net::Delivery& request);
+
+  // No service-wide lock: each directory is exclusive under its shard
+  // lock for the duration of the open() accessor.
   core::ObjectStore<Directory> store_;
 };
 

@@ -13,6 +13,7 @@
 // allocations are paid for at the configured price per block.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -48,12 +49,10 @@ class FlatFileServer final : public rpc::Service {
   FlatFileServer(net::Machine& machine, Port get_port,
                  std::shared_ptr<const core::ProtectionScheme> scheme,
                  std::uint64_t seed, Port block_server_port);
+  ~FlatFileServer() override { stop(); }  // quiesce workers before members die
 
   /// Enables storage charging.  Must be called before start().
   void set_pricing(Pricing pricing);
-
- protected:
-  net::Message handle(const net::Delivery& request) override;
 
  private:
   struct Inode {
@@ -65,21 +64,26 @@ class FlatFileServer final : public rpc::Service {
 
   /// Charges `blocks` worth of space to the inode's payer; no-op when
   /// pricing is off or the file was created before pricing.
-  [[nodiscard]] Result<void> charge(Inode& inode, std::int64_t blocks);
+  [[nodiscard]] Result<void> charge(const Inode& inode, std::int64_t blocks);
+
+  /// Lazily learns the block size from the block server (it may not have
+  /// been started before us).
+  [[nodiscard]] Result<std::uint32_t> ensure_block_size();
 
   net::Message do_create(const net::Delivery& request);
-  net::Message do_destroy(const net::Delivery& request,
-                          const core::Capability& cap);
-  net::Message do_read(const net::Delivery& request,
-                       const core::Capability& cap);
-  net::Message do_write(const net::Delivery& request,
-                        const core::Capability& cap);
+  net::Message do_destroy(const net::Delivery& request);
+  net::Message do_read(const net::Delivery& request);
+  net::Message do_write(const net::Delivery& request);
+  net::Message do_size(const net::Delivery& request);
 
-  mutable std::mutex mutex_;
+  // Inodes are exclusive under their shard lock while opened; a worker
+  // holds that lock across its block-server RPCs, so writes to one file
+  // serialize while different files proceed in parallel.
   core::ObjectStore<Inode> store_;
   rpc::Transport transport_;  // for talking to the block (and bank) server
   BlockClient blocks_;
-  std::uint32_t block_size_ = 0;  // fetched lazily from the block server
+  std::atomic<std::uint32_t> block_size_{0};  // lazily fetched; 0 = unknown
+  mutable std::mutex pricing_mutex_;
   std::optional<Pricing> pricing_;
 };
 

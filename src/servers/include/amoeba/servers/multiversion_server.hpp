@@ -48,31 +48,41 @@ class MultiVersionServer final : public rpc::Service {
   MultiVersionServer(net::Machine& machine, Port get_port,
                      std::shared_ptr<const core::ProtectionScheme> scheme,
                      std::uint64_t seed, std::uint32_t page_size = 1024);
+  ~MultiVersionServer() override { stop(); }  // quiesce workers first
 
   [[nodiscard]] std::uint32_t page_size() const { return pages_.page_size(); }
   [[nodiscard]] PageStore::Stats page_stats() const;
-
- protected:
-  net::Message handle(const net::Delivery& request) override;
 
  private:
   struct FileObj {
     std::vector<std::uint32_t> version_roots;  // [0] = v0; back() = head
   };
   struct DraftObj {
-    ObjectNumber file;
+    // The full capability (not just the number) the draft was forked
+    // from: commit revalidates it, so a draft cannot attach its pages to
+    // an unrelated file that happens to reuse the number after a
+    // destroy, and revoking the file cuts off outstanding drafts too.
+    core::Capability file_cap;
     std::size_t base_versions = 0;  // history length at fork time
     std::uint32_t root = PageStore::kEmptyRoot;
   };
   using Payload = std::variant<FileObj, DraftObj>;
 
-  net::Message do_read_page(const net::Delivery& request,
-                            const core::Capability& cap);
-  net::Message do_commit(const net::Delivery& request,
-                         const core::Capability& cap);
+  net::Message do_new_version(const net::Delivery& request);
+  net::Message do_read_page(const net::Delivery& request);
+  net::Message do_write_page(const net::Delivery& request);
+  net::Message do_commit(const net::Delivery& request);
+  net::Message do_abort(const net::Delivery& request);
+  net::Message do_history(const net::Delivery& request);
+  net::Message do_destroy_file(const net::Delivery& request);
 
-  mutable std::mutex mutex_;
+  // Files and drafts are exclusive under their shard locks while opened;
+  // commit holds the draft and its file together via open_with_peek.  The
+  // page store (shared refcounted trees) keeps its own lock, always
+  // acquired after a shard lock and never around store_ calls, so the
+  // shard -> pages ordering is acyclic.
   core::ObjectStore<Payload> store_;
+  mutable std::mutex pages_mutex_;
   PageStore pages_;
 };
 

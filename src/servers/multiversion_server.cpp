@@ -8,123 +8,66 @@ MultiVersionServer::MultiVersionServer(
     std::uint32_t page_size)
     : rpc::Service(machine, get_port, "multiversion"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
-      pages_(page_size) {}
+      pages_(page_size) {
+  register_owner_ops(*this, store_);
+  on(mv_op::kCreateFile, [this](const net::Delivery& request) {
+    FileObj file;
+    file.version_roots.push_back(PageStore::kEmptyRoot);  // empty v0
+    return capability_reply(request,
+                            store_.create(Payload{std::move(file)}));
+  });
+  on(mv_op::kNewVersion,
+     [this](const net::Delivery& request) { return do_new_version(request); });
+  on(mv_op::kReadPage,
+     [this](const net::Delivery& request) { return do_read_page(request); });
+  on(mv_op::kWritePage,
+     [this](const net::Delivery& request) { return do_write_page(request); });
+  on(mv_op::kCommit,
+     [this](const net::Delivery& request) { return do_commit(request); });
+  on(mv_op::kAbort,
+     [this](const net::Delivery& request) { return do_abort(request); });
+  on(mv_op::kHistory,
+     [this](const net::Delivery& request) { return do_history(request); });
+  on(mv_op::kDestroyFile, [this](const net::Delivery& request) {
+    return do_destroy_file(request);
+  });
+}
 
 PageStore::Stats MultiVersionServer::page_stats() const {
-  const std::lock_guard lock(mutex_);
+  const std::lock_guard lock(pages_mutex_);
   return pages_.stats();
 }
 
-net::Message MultiVersionServer::handle(const net::Delivery& request) {
-  const std::lock_guard lock(mutex_);
-  if (auto owner = handle_owner_ops(store_, request); owner.has_value()) {
-    return std::move(*owner);
+net::Message MultiVersionServer::do_new_version(const net::Delivery& request) {
+  DraftObj draft;
+  {
+    const core::Capability file_cap = header_capability(request.message);
+    auto opened = store_.open(file_cap, core::rights::kWrite);
+    if (!opened.ok()) {
+      return fail(request, opened);
+    }
+    auto* file = std::get_if<FileObj>(opened.value().value);
+    if (file == nullptr) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    draft.file_cap = file_cap;
+    draft.base_versions = file->version_roots.size();
+    draft.root = file->version_roots.back();
+    const std::lock_guard pages_lock(pages_mutex_);
+    pages_.retain(draft.root);  // the draft holds its own snapshot ref
   }
-  const core::Capability cap = header_capability(request.message);
-  switch (request.message.header.opcode) {
-    case mv_op::kCreateFile: {
-      FileObj file;
-      file.version_roots.push_back(PageStore::kEmptyRoot);  // empty v0
-      const core::Capability fresh = store_.create(Payload{std::move(file)});
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, fresh);
-      return reply;
-    }
-    case mv_op::kNewVersion: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* file = std::get_if<FileObj>(opened.value().value);
-      if (file == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      DraftObj draft;
-      draft.file = opened.value().object;
-      draft.base_versions = file->version_roots.size();
-      draft.root = file->version_roots.back();
-      pages_.retain(draft.root);  // the draft holds its own snapshot ref
-      const core::Capability draft_cap =
-          store_.create(Payload{std::move(draft)});
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      set_header_capability(reply, draft_cap);
-      return reply;
-    }
-    case mv_op::kReadPage:
-      return do_read_page(request, cap);
-    case mv_op::kWritePage: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* draft = std::get_if<DraftObj>(opened.value().value);
-      if (draft == nullptr) {
-        // Writing a file capability directly: committed versions are
-        // immutable; only drafts accept writes.
-        return error_reply(request, ErrorCode::immutable);
-      }
-      const std::uint32_t page_no =
-          static_cast<std::uint32_t>(request.message.header.params[0]);
-      auto new_root = pages_.write(draft->root, page_no,
-                                   request.message.data);
-      if (!new_root.ok()) {
-        return error_reply(request, new_root.error());
-      }
-      pages_.release(draft->root);
-      draft->root = new_root.value();
-      return error_reply(request, ErrorCode::ok);
-    }
-    case mv_op::kCommit:
-      return do_commit(request, cap);
-    case mv_op::kAbort: {
-      auto opened = store_.open(cap, core::rights::kWrite);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* draft = std::get_if<DraftObj>(opened.value().value);
-      if (draft == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      pages_.release(draft->root);
-      // Drafts are destroyed through their own object slot; the caller's
-      // capability must allow destruction, which a fresh draft cap does.
-      return error_reply(request, store_.destroy(cap).error());
-    }
-    case mv_op::kHistory: {
-      auto opened = store_.open(cap, core::rights::kRead);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* file = std::get_if<FileObj>(opened.value().value);
-      if (file == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-      reply.header.params[0] = file->version_roots.size();
-      return reply;
-    }
-    case mv_op::kDestroyFile: {
-      auto opened = store_.open(cap, core::rights::kDestroy);
-      if (!opened.ok()) {
-        return fail(request, opened);
-      }
-      auto* file = std::get_if<FileObj>(opened.value().value);
-      if (file == nullptr) {
-        return error_reply(request, ErrorCode::invalid_argument);
-      }
-      for (const std::uint32_t root : file->version_roots) {
-        pages_.release(root);
-      }
-      return error_reply(request, store_.destroy(cap).error());
-    }
-    default:
-      return error_reply(request, ErrorCode::no_such_operation);
-  }
+  // The file's shard lock is released before the draft slot is allocated
+  // (create picks its own shard; holding the first lock would deadlock
+  // when both land on the same shard).  The draft's retained root keeps
+  // the snapshot alive whatever happens to the file meanwhile; a stale
+  // base_versions simply loses the optimistic race at commit.
+  const core::Capability draft_cap = store_.create(Payload{std::move(draft)});
+  return capability_reply(request, draft_cap);
 }
 
-net::Message MultiVersionServer::do_read_page(const net::Delivery& request,
-                                              const core::Capability& cap) {
-  auto opened = store_.open(cap, core::rights::kRead);
+net::Message MultiVersionServer::do_read_page(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
   if (!opened.ok()) {
     return fail(request, opened);
   }
@@ -144,7 +87,10 @@ net::Message MultiVersionServer::do_read_page(const net::Delivery& request,
       return error_reply(request, ErrorCode::not_found);
     }
   }
-  auto data = pages_.read(root, page_no);
+  auto data = [&] {
+    const std::lock_guard pages_lock(pages_mutex_);
+    return pages_.read(root, page_no);
+  }();
   if (!data.ok()) {
     return error_reply(request, data.error());
   }
@@ -153,9 +99,107 @@ net::Message MultiVersionServer::do_read_page(const net::Delivery& request,
   return reply;
 }
 
-net::Message MultiVersionServer::do_commit(const net::Delivery& request,
-                                           const core::Capability& cap) {
-  auto opened = store_.open(cap, core::rights::kWrite);
+net::Message MultiVersionServer::do_write_page(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* draft = std::get_if<DraftObj>(opened.value().value);
+  if (draft == nullptr) {
+    // Writing a file capability directly: committed versions are
+    // immutable; only drafts accept writes.
+    return error_reply(request, ErrorCode::immutable);
+  }
+  const std::uint32_t page_no =
+      static_cast<std::uint32_t>(request.message.header.params[0]);
+  const std::lock_guard pages_lock(pages_mutex_);
+  auto new_root = pages_.write(draft->root, page_no, request.message.data);
+  if (!new_root.ok()) {
+    return error_reply(request, new_root.error());
+  }
+  pages_.release(draft->root);
+  draft->root = new_root.value();
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message MultiVersionServer::do_commit(const net::Delivery& request) {
+  const core::Capability cap = header_capability(request.message);
+  // First pass: learn which file capability the draft forked from (the
+  // draft payload is the only place that records it).
+  core::Capability file_cap;
+  {
+    auto opened = store_.open(cap, core::rights::kWrite);
+    if (!opened.ok()) {
+      return fail(request, opened);
+    }
+    const auto* draft = std::get_if<DraftObj>(opened.value().value);
+    if (draft == nullptr) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    file_cap = draft->file_cap;
+  }
+  // Second pass: revalidate the draft and the stored file capability
+  // under both shard locks; the commit decision and the history push are
+  // atomic from here.  Validating the file (not merely peeking its slot)
+  // is what stops a stale draft from committing into an unrelated file
+  // that reused the number, and makes file revocation cut off drafts.
+  // (A concurrent commit of the same draft capability loses the race at
+  // this revalidation: the winner destroys the draft slot first.)
+  auto pinned =
+      store_.open2(cap, core::rights::kWrite, file_cap, Rights::none());
+  if (!pinned.ok()) {
+    // Distinguish "draft bad" from "file gone": reopen the draft alone.
+    auto draft_alone = store_.open(cap, core::rights::kWrite);
+    if (!draft_alone.ok()) {
+      return fail(request, draft_alone);
+    }
+    const auto* draft = std::get_if<DraftObj>(draft_alone.value().value);
+    if (draft == nullptr) {
+      return error_reply(request, ErrorCode::invalid_argument);
+    }
+    // The draft is fine, so the file side failed: destroyed, reused, or
+    // revoked while the draft was open.  The draft is consumed and its
+    // snapshot reference dropped, as for a destroyed file.
+    const std::uint32_t orphan_root = draft->root;
+    const auto destroyed = store_.destroy(std::move(draft_alone.value()));
+    if (destroyed.ok()) {
+      const std::lock_guard pages_lock(pages_mutex_);
+      pages_.release(orphan_root);
+    }
+    return error_reply(request, ErrorCode::no_such_object);
+  }
+  auto* draft = std::get_if<DraftObj>(pinned.value().a.value);
+  if (draft == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::uint32_t draft_root = draft->root;
+  auto* file = std::get_if<FileObj>(pinned.value().b.value);
+  if (file == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  if (file->version_roots.size() != draft->base_versions) {
+    // Optimistic concurrency: someone committed since this draft forked.
+    return error_reply(request, ErrorCode::conflict);
+  }
+  // Committing consumes the draft, so the capability must allow its
+  // destruction -- checked before the root is published, otherwise a
+  // surviving draft and the file history would both own one reference.
+  if (!pinned.value().a.rights.has_all(core::rights::kDestroy)) {
+    return error_reply(request, ErrorCode::permission_denied);
+  }
+  // Atomic: the draft's snapshot reference transfers to the file history.
+  file->version_roots.push_back(draft_root);
+  const std::uint64_t new_index = file->version_roots.size() - 1;
+  (void)store_.destroy(std::move(pinned.value().a));
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.params[0] = new_index;
+  return reply;
+}
+
+net::Message MultiVersionServer::do_abort(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kWrite);
   if (!opened.ok()) {
     return fail(request, opened);
   }
@@ -163,26 +207,53 @@ net::Message MultiVersionServer::do_commit(const net::Delivery& request,
   if (draft == nullptr) {
     return error_reply(request, ErrorCode::invalid_argument);
   }
-  auto* file_payload = store_.peek(draft->file);
-  auto* file =
-      file_payload == nullptr ? nullptr : std::get_if<FileObj>(file_payload);
+  const std::uint32_t draft_root = draft->root;
+  // Drafts are destroyed through their own object slot; the caller's
+  // capability must allow destruction, which a fresh draft cap does.
+  const auto destroyed = store_.destroy(std::move(opened.value()));
+  if (!destroyed.ok()) {
+    return error_reply(request, destroyed.error());
+  }
+  const std::lock_guard pages_lock(pages_mutex_);
+  pages_.release(draft_root);
+  return error_reply(request, ErrorCode::ok);
+}
+
+net::Message MultiVersionServer::do_history(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kRead);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* file = std::get_if<FileObj>(opened.value().value);
   if (file == nullptr) {
-    // File destroyed while the draft was open.
-    pages_.release(draft->root);
-    (void)store_.destroy(cap);
-    return error_reply(request, ErrorCode::no_such_object);
+    return error_reply(request, ErrorCode::invalid_argument);
   }
-  if (file->version_roots.size() != draft->base_versions) {
-    // Optimistic concurrency: someone committed since this draft forked.
-    return error_reply(request, ErrorCode::conflict);
-  }
-  // Atomic: the draft's snapshot reference transfers to the file history.
-  file->version_roots.push_back(draft->root);
-  const std::uint64_t new_index = file->version_roots.size() - 1;
-  (void)store_.destroy(cap);
   net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = new_index;
+  reply.header.params[0] = file->version_roots.size();
   return reply;
+}
+
+net::Message MultiVersionServer::do_destroy_file(const net::Delivery& request) {
+  auto opened =
+      store_.open(header_capability(request.message), core::rights::kDestroy);
+  if (!opened.ok()) {
+    return fail(request, opened);
+  }
+  auto* file = std::get_if<FileObj>(opened.value().value);
+  if (file == nullptr) {
+    return error_reply(request, ErrorCode::invalid_argument);
+  }
+  const std::vector<std::uint32_t> roots = std::move(file->version_roots);
+  const auto destroyed = store_.destroy(std::move(opened.value()));
+  if (!destroyed.ok()) {
+    return error_reply(request, destroyed.error());
+  }
+  const std::lock_guard pages_lock(pages_mutex_);
+  for (const std::uint32_t root : roots) {
+    pages_.release(root);
+  }
+  return error_reply(request, ErrorCode::ok);
 }
 
 // ------------------------------------------------------ MultiVersionClient

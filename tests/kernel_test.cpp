@@ -164,6 +164,24 @@ TEST_F(MemorySuite, ElectronicDisk) {
   EXPECT_EQ(client_->read(disk.value(), 1000, 1).value(), Buffer{42});
 }
 
+TEST_F(MemorySuite, OverflowingOffsetsAndSizesRejected) {
+  // Client-controlled 64-bit parameters must not wrap the bounds checks:
+  // a write at offset 2^64-8 or a segment of size 2^64-1 is an error
+  // reply, not memory corruption or a dead server process.
+  const auto segment = client_->create_segment(64);
+  ASSERT_TRUE(segment.ok());
+  const Buffer data(16, 0xAB);
+  EXPECT_EQ(client_->write(segment.value(),
+                           ~std::uint64_t{0} - 8, data).error(),
+            ErrorCode::invalid_argument);
+  EXPECT_EQ(client_->create_segment(~std::uint64_t{0}).error(),
+            ErrorCode::no_space);
+  // The server survived both: normal traffic still works and the budget
+  // was not inflated by the rejected creation.
+  EXPECT_TRUE(client_->write(segment.value(), 0, data).ok());
+  EXPECT_EQ(server_->memory_in_use(), 64u);
+}
+
 TEST_F(MemorySuite, ReadOnlySegmentDelegation) {
   const auto segment = client_->create_segment(64);
   ASSERT_TRUE(client_->write(segment.value(), 0, Buffer{7}).ok());

@@ -22,6 +22,7 @@ using namespace std::chrono_literals;
 class EchoService final : public Service {
  public:
   using Service::Service;
+  ~EchoService() override { stop(); }  // workers quiesce before vptr reset
 
  protected:
   net::Message handle(const net::Delivery& request) override {

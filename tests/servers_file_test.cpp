@@ -96,6 +96,20 @@ TEST_F(FlatFileSuite, UnalignedPositionsAndEof) {
   EXPECT_TRUE(client_->read(file.value(), 200, 10).value().empty());
 }
 
+TEST_F(FlatFileSuite, OverflowingWritePositionRejected) {
+  // A write position near 2^64 must not wrap the end-of-write arithmetic
+  // into the existing allocation (out-of-bounds block indexing).
+  const auto file = client_->create();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(client_->write(file.value(), 0, Buffer(64, 1)).ok());
+  EXPECT_EQ(client_->write(file.value(), ~std::uint64_t{0} - 4,
+                           Buffer{1, 2, 3, 4, 5, 6, 7, 8})
+                .error(),
+            ErrorCode::invalid_argument);
+  // Server intact: the file still reads back.
+  EXPECT_EQ(client_->read(file.value(), 0, 64).value(), Buffer(64, 1));
+}
+
 TEST_F(FlatFileSuite, FileServerConsumesBlockServerBlocks) {
   const auto before = client_->create();
   ASSERT_TRUE(before.ok());

@@ -231,6 +231,43 @@ TEST_F(MultiVersionSuite, CommitAfterFileDestroyedFails) {
   EXPECT_EQ(client_->commit(draft.value()).error(), ErrorCode::no_such_object);
 }
 
+TEST_F(MultiVersionSuite, StaleDraftCannotCommitIntoReusedFileSlot) {
+  // Destroying a file returns its object number to the free list; a new
+  // file can reuse it.  A draft forked from the dead file must not be
+  // able to inject its pages into the unrelated new file: commit
+  // revalidates the stored file capability, which the reused slot's
+  // fresh secret rejects.
+  const auto doomed = client_->create_file();
+  const auto draft = client_->new_version(doomed.value());
+  ASSERT_TRUE(client_->write_page(draft.value(), 0, Buffer{'!'}).ok());
+  ASSERT_TRUE(client_->destroy(doomed.value()).ok());
+  const auto reused = client_->create_file();
+  ASSERT_EQ(reused.value().object, doomed.value().object);  // number reused
+  EXPECT_EQ(client_->commit(draft.value()).error(),
+            ErrorCode::no_such_object);
+  EXPECT_EQ(client_->history(reused.value()).value(), 1u);  // untouched
+}
+
+TEST_F(MultiVersionSuite, CommitNeedsTheDestroyRight) {
+  // Committing consumes the draft object, so a draft capability narrowed
+  // below kDestroy cannot commit -- otherwise the published root and the
+  // surviving draft would each own the same page-tree reference.
+  const auto file = client_->create_file();
+  const auto draft = client_->new_version(file.value());
+  ASSERT_TRUE(client_->write_page(draft.value(), 0, Buffer{'x'}).ok());
+  const auto weak = servers::restrict_capability(
+      *transport_, draft.value(),
+      core::rights::kRead.with(core::rights::kWriteBit));
+  ASSERT_TRUE(weak.ok());
+  EXPECT_EQ(client_->commit(weak.value()).error(),
+            ErrorCode::permission_denied);
+  EXPECT_EQ(client_->history(file.value()).value(), 1u);  // nothing published
+  // The full-rights capability still commits and aborting afterwards is a
+  // clean error (the draft was consumed exactly once).
+  EXPECT_TRUE(client_->commit(draft.value()).ok());
+  EXPECT_EQ(client_->history(file.value()).value(), 2u);
+}
+
 TEST_F(MultiVersionSuite, PageSharingAcrossVersions) {
   const auto file = client_->create_file();
   // Commit v1 with 8 pages.

@@ -368,6 +368,7 @@ TEST(HandshakeTest, AnnouncementBroadcastReachesListeners) {
 class CapEchoService final : public rpc::Service {
  public:
   using rpc::Service::Service;
+  ~CapEchoService() override { stop(); }  // workers quiesce before vptr reset
 
  protected:
   net::Message handle(const net::Delivery& request) override {
