@@ -12,6 +12,8 @@
 // grows.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -142,7 +144,7 @@ int main(int argc, char** argv) {
               "cached (port, machine) pairs otherwise, recovery after "
               "migration.\n");
   cache_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

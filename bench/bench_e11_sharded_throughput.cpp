@@ -17,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "smoke.hpp"
+
 #include "amoeba/common/rng.hpp"
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/core/schemes.hpp"
@@ -151,4 +153,8 @@ BENCHMARK(BM_ShardedChurn)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  amoeba::bench::initialize(argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -13,6 +13,8 @@
 // table lookup.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -136,7 +138,7 @@ int main(int argc, char** argv) {
   std::printf("E1: sub-capability fabrication -- the paper's claim is that "
               "scheme 3 avoids the server round-trip that schemes 1-2 "
               "need for every restriction.\n");
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -13,6 +13,8 @@
 // line vs. a linearly growing one.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
   std::printf("E2: revocation -- Amoeba rotates one random number (flat "
               "line); the Eden-style kernel manager must scan its copy "
               "table (linear).\n");
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -9,6 +9,8 @@
 // 48-bit capability at the measured guess rate.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <chrono>
 #include <cmath>
@@ -115,7 +117,7 @@ int main(int argc, char** argv) {
   std::printf("E3: sparse capabilities -- forgery resistance comes from the "
               "48-bit check space alone.\n");
   sparseness_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   extrapolation_report();
   return 0;

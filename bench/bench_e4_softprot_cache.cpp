@@ -11,6 +11,8 @@
 // hit ratios.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -104,7 +106,7 @@ BENCHMARK(BM_FilterRoundTrip)->Arg(0)->Arg(1);
 int main(int argc, char** argv) {
   std::printf("E4: hashed capability caches avoid re-running the cipher on "
               "hot capabilities (client and server triples, §2.4).\n");
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

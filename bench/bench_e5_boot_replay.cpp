@@ -7,6 +7,8 @@
 // address select the wrong matrix key.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -107,7 +109,7 @@ void replay_report() {
 int main(int argc, char** argv) {
   std::printf("E5: boot handshake cost and replay defense (§2.4).\n");
   replay_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

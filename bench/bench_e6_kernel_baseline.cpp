@@ -13,6 +13,8 @@
 // read-only delegation without cloning whole objects.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
   std::printf("E6: sparse user-space capabilities vs kernel mediation -- "
               "the kernel-mediated design pays an extra RPC on every use.\n");
   password_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

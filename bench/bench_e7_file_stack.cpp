@@ -7,6 +7,8 @@
 // is visible as the block-server RPCs behind every file operation.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -156,7 +158,7 @@ BENCHMARK(BM_PathResolutionCrossServer)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
 int main(int argc, char** argv) {
   std::printf("E7: the block/file/directory stack -- every file byte crosses "
               "two services; every path component is one lookup RPC.\n");
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

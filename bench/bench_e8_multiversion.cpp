@@ -7,6 +7,8 @@
 // rate under concurrent committers (optimistic concurrency).
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -167,7 +169,7 @@ int main(int argc, char** argv) {
   std::printf("E8: multiversion file server -- COW cost must track tree "
               "depth, not file size; commits are atomic and optimistic.\n");
   conflict_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

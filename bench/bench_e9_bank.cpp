@@ -6,6 +6,8 @@
 // pre-payment pattern that amortizes it.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -165,7 +167,7 @@ int main(int argc, char** argv) {
   std::printf("E9: bank server -- transfers, conversion, and what charging "
               "per kiloblock costs the file path.\n");
   prepay_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -10,6 +10,8 @@
 // one-way function evaluation for both constructions.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -145,7 +147,7 @@ BENCHMARK(BM_EndToEndRpc)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   attack_report();
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -9,6 +9,8 @@
 // deleted right.
 #include <benchmark/benchmark.h>
 
+#include "smoke.hpp"
+
 #include "amoeba/common/rng.hpp"
 #include "amoeba/core/capability.hpp"
 #include "amoeba/core/schemes.hpp"
@@ -105,7 +107,7 @@ BENCHMARK(BM_ValidateRejectForged)->DenseRange(0, 3);
 int main(int argc, char** argv) {
   std::printf("FIG2: capability layout 48+24+8+48 = 128 bits (16 bytes); "
               "all four schemes operate on this exact format.\n");
-  ::benchmark::Initialize(&argc, argv);
+  amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

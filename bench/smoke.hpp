@@ -1,0 +1,33 @@
+// Shared `--smoke` handling for every bench binary: CI runs the Release
+// benchmarks with this flag so the perf code paths compile AND execute on
+// every change, without waiting for statistically stable numbers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+namespace amoeba::bench {
+
+/// Drop-in replacement for benchmark::Initialize that also understands
+/// `--smoke`: strips the flag and caps each benchmark at a token min time
+/// (one repetition, ~1 ms) so the whole binary finishes in seconds.
+inline void initialize(int argc, char** argv) {
+  static char min_time[] = "--benchmark_min_time=0.001";
+  static std::vector<char*> args;  // benchmark::Initialize keeps pointers
+  args.assign(argv, argv + argc);
+  bool smoke = false;
+  std::erase_if(args, [&](char* arg) {
+    const bool match = std::strcmp(arg, "--smoke") == 0;
+    smoke |= match;
+    return match;
+  });
+  if (smoke) {
+    args.insert(args.begin() + 1, min_time);
+  }
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+}
+
+}  // namespace amoeba::bench

@@ -35,6 +35,9 @@ class Writer {
   void bytes(std::span<const std::uint8_t> data);
   /// Length-prefixed (u32) UTF-8 string.
   void str(std::string_view s);
+  /// Unprefixed byte run for fields whose width both sides know statically
+  /// (capability images inside the batch envelope).
+  void raw(std::span<const std::uint8_t> data);
 
   [[nodiscard]] const Buffer& buffer() const { return out_; }
   [[nodiscard]] Buffer take() { return std::move(out_); }
@@ -58,6 +61,8 @@ class Reader {
   CheckField check() { return CheckField(u48()); }
   Buffer bytes();
   std::string str();
+  /// Unprefixed fixed-width byte run; fills `out` (zeroed on underflow).
+  void raw(std::span<std::uint8_t> out);
 
   /// True when every read so far stayed inside the buffer.
   [[nodiscard]] bool ok() const { return !failed_; }

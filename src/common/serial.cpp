@@ -39,6 +39,10 @@ void Writer::str(std::string_view s) {
   out_.insert(out_.end(), s.begin(), s.end());
 }
 
+void Writer::raw(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
 bool Reader::take(std::size_t n, const std::uint8_t** out) {
   if (failed_ || data_.size() - pos_ < n) {
     failed_ = true;
@@ -96,6 +100,15 @@ std::string Reader::str() {
   const std::uint8_t* p = nullptr;
   if (!take(n, &p)) return {};
   return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+void Reader::raw(std::span<std::uint8_t> out) {
+  const std::uint8_t* p = nullptr;
+  if (!take(out.size(), &p)) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  std::memcpy(out.data(), p, out.size());
 }
 
 }  // namespace amoeba

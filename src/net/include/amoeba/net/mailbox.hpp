@@ -28,6 +28,13 @@ class Mailbox {
   /// Non-blocking variant.
   [[nodiscard]] std::optional<Delivery> try_pop();
 
+  /// Blocks like pop, then reaps the WHOLE backlog under one lock: the
+  /// batch-reap path for completion pumps draining many replies at once.
+  /// Empty result means stop/close/timeout, exactly like pop's nullopt.
+  [[nodiscard]] std::deque<Delivery> drain(
+      std::stop_token stop,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
   /// Closes the mailbox: pending and future pops return nullopt.
   void close();
 

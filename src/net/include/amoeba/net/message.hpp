@@ -25,11 +25,18 @@ namespace amoeba::net {
 /// Wire image of one capability (Fig. 2: 48 + 24 + 8 + 48 bits = 16 bytes).
 using CapabilityBytes = std::array<std::uint8_t, 16>;
 
+/// Header flag bits.  The batch bit marks envelope frames carrying many
+/// sub-requests (or sub-replies) in the data field; the network counts
+/// them separately so frame-level accounting stays honest when one frame
+/// stands in for N transactions.
+inline constexpr std::uint16_t kFlagBatch = 0x0001;
+
 struct Header {
   Port dest;        // put-port of the addressed service
   Port reply;       // get-port when submitted; put-port once on the wire
   Port signature;   // optional sender signature; 0 = unsigned
   std::uint16_t opcode = 0;     // request: operation; reply: echo of it
+  std::uint16_t flags = 0;      // kFlag* bits; passed through untransformed
   ErrorCode status = ErrorCode::ok;  // meaningful in replies
   CapabilityBytes capability{};      // object being operated on (may be 0)
   std::array<std::uint64_t, 4> params{};  // small scalar parameters

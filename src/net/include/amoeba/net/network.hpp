@@ -108,8 +108,9 @@ class Receiver {
   friend class Machine;
   friend class Network;
   Receiver(Network* net, Port put_port, std::uint64_t id,
-           std::shared_ptr<Mailbox> mailbox)
-      : net_(net), put_port_(put_port), id_(id), mailbox_(std::move(mailbox)) {}
+           std::shared_ptr<Mailbox> mailbox, bool owns_mailbox = true)
+      : net_(net), put_port_(put_port), id_(id), mailbox_(std::move(mailbox)),
+        owns_mailbox_(owns_mailbox) {}
 
   void release();
 
@@ -117,6 +118,9 @@ class Receiver {
   Port put_port_;
   std::uint64_t id_ = 0;
   std::shared_ptr<Mailbox> mailbox_;
+  // A demultiplexed registration (listen into a caller-owned mailbox shared
+  // by many ports) must not close that mailbox when one port unregisters.
+  bool owns_mailbox_ = true;
 };
 
 /// The F-box: the per-machine transformation unit.  Exposed as its own
@@ -161,6 +165,14 @@ class Machine {
   /// multi-threaded service); frames are delivered round-robin.
   [[nodiscard]] Receiver listen(Port get_port);
 
+  /// GET(G) into a caller-owned mailbox shared by many registrations: the
+  /// demultiplexer a completion-based RPC client needs to collect replies
+  /// for every one-shot reply port through one pump.  The Receiver still
+  /// owns the registration (destroying it withdraws the GET) but leaves
+  /// the mailbox open.
+  [[nodiscard]] Receiver listen(Port get_port,
+                                std::shared_ptr<Mailbox> mailbox);
+
   /// PUT to a specific machine.  Returns true if the destination F-box
   /// admitted the frame (a GET was outstanding) -- the link-level signal
   /// kernels use to invalidate stale location cache entries.  Under fault
@@ -203,6 +215,7 @@ class Network {
     std::atomic<std::uint64_t> dropped{0};    // fault injection
     std::atomic<std::uint64_t> duplicated{0};
     std::atomic<std::uint64_t> locates{0};
+    std::atomic<std::uint64_t> batch_frames{0};  // frames with kFlagBatch
   };
 
   /// Default-configured network (F-boxes on, no faults).
@@ -269,11 +282,13 @@ class Network {
   bool transmit_from(Machine& src, Message msg, MachineId dst);
   void broadcast_from(Machine& src, Message msg);
   std::optional<MachineId> locate_from(Machine& src, Port put_port);
-  Receiver register_listener(Machine& m, Port get_port);
+  Receiver register_listener(Machine& m, Port get_port,
+                             std::shared_ptr<Mailbox> shared_mailbox = nullptr);
   void unregister(std::uint64_t id, Port put_port);
   void detach_tap(std::uint64_t id);
   void mutate_taps(const std::function<void(TapList&)>& edit);
   void emit(const TapRecord& record);
+  [[nodiscard]] bool taps_active() const;
   /// Rolls fault dice; returns number of delivery attempts (0 = dropped).
   int fault_copies();
 
@@ -288,9 +303,12 @@ class Network {
 
   // Wiretaps: emit() loads an immutable snapshot atomically; attach/detach
   // build a fresh list and swap it in, so frame delivery never blocks on
-  // tap churn.
+  // tap churn.  taps_active_ is the fast-path gate: when no tap is
+  // attached (the common case) transmit skips building TapRecords -- a
+  // full message copy per frame -- entirely.
   mutable std::mutex taps_mutex_;  // serializes writers only
   std::atomic<std::shared_ptr<const TapList>> taps_;
+  std::atomic<bool> taps_active_{false};
 
   // Fault injection: probabilities are atomics (runtime-adjustable); the
   // dice RNG has its own lock, touched only when a fault mode is armed.

@@ -37,6 +37,25 @@ std::optional<Delivery> Mailbox::pop(
   return d;
 }
 
+std::deque<Delivery> Mailbox::drain(
+    std::stop_token stop, std::optional<std::chrono::milliseconds> timeout) {
+  std::unique_lock lock(mutex_);
+  const auto ready = [this] { return closed_ || !queue_.empty(); };
+  if (timeout.has_value()) {
+    const auto deadline = std::chrono::steady_clock::now() + *timeout;
+    if (!cv_.wait_until(lock, stop, deadline, ready)) {
+      return {};
+    }
+  } else {
+    if (!cv_.wait(lock, stop, ready)) {
+      return {};
+    }
+  }
+  std::deque<Delivery> out;
+  out.swap(queue_);
+  return out;
+}
+
 std::optional<Delivery> Mailbox::try_pop() {
   const std::lock_guard lock(mutex_);
   if (queue_.empty()) {

@@ -36,6 +36,7 @@ Receiver& Receiver::operator=(Receiver&& other) noexcept {
     put_port_ = other.put_port_;
     id_ = other.id_;
     mailbox_ = std::move(other.mailbox_);
+    owns_mailbox_ = other.owns_mailbox_;
     other.net_ = nullptr;
     other.id_ = 0;
   }
@@ -46,7 +47,9 @@ Receiver::~Receiver() { release(); }
 
 void Receiver::release() {
   if (net_ != nullptr && mailbox_ != nullptr) {
-    mailbox_->close();
+    if (owns_mailbox_) {
+      mailbox_->close();
+    }
     net_->unregister(id_, put_port_);
   }
   net_ = nullptr;
@@ -57,6 +60,10 @@ void Receiver::release() {
 
 Receiver Machine::listen(Port get_port) {
   return net_->register_listener(*this, get_port);
+}
+
+Receiver Machine::listen(Port get_port, std::shared_ptr<Mailbox> mailbox) {
+  return net_->register_listener(*this, get_port, std::move(mailbox));
 }
 
 bool Machine::transmit(Message msg, MachineId dst) {
@@ -103,7 +110,9 @@ void Network::mutate_taps(const std::function<void(TapList&)>& edit) {
   const std::lock_guard lock(taps_mutex_);
   TapList next = *taps_.load();
   edit(next);
+  const bool active = !next.empty();
   taps_.store(std::make_shared<const TapList>(std::move(next)));
+  taps_active_.store(active, std::memory_order_release);
 }
 
 TapHandle Network::attach_tap(TapFn fn) {
@@ -134,6 +143,10 @@ void Network::emit(const TapRecord& record) {
   }
 }
 
+bool Network::taps_active() const {
+  return taps_active_.load(std::memory_order_acquire);
+}
+
 int Network::fault_copies() {
   const double drop = drop_probability_.load(std::memory_order_relaxed);
   const double duplicate =
@@ -153,9 +166,12 @@ int Network::fault_copies() {
   return 1;
 }
 
-Receiver Network::register_listener(Machine& m, Port get_port) {
+Receiver Network::register_listener(Machine& m, Port get_port,
+                                    std::shared_ptr<Mailbox> shared_mailbox) {
   const Port put_port = m.fbox().listen_port(get_port);
-  auto mailbox = std::make_shared<Mailbox>();
+  const bool owns_mailbox = shared_mailbox == nullptr;
+  auto mailbox =
+      owns_mailbox ? std::make_shared<Mailbox>() : std::move(shared_mailbox);
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Stripe& stripe = stripe_for(put_port);
   const std::unique_lock lock(stripe.mutex);
@@ -164,7 +180,7 @@ Receiver Network::register_listener(Machine& m, Port get_port) {
     entry = std::make_unique<PortEntry>();
   }
   entry->registrations.push_back(Registration{id, m.id(), mailbox});
-  return Receiver(this, put_port, id, std::move(mailbox));
+  return Receiver(this, put_port, id, std::move(mailbox), owns_mailbox);
 }
 
 void Network::unregister(std::uint64_t id, Port put_port) {
@@ -185,12 +201,17 @@ void Network::unregister(std::uint64_t id, Port put_port) {
 
 bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   stats_.unicasts.fetch_add(1, std::memory_order_relaxed);
+  if ((msg.header.flags & kFlagBatch) != 0) {
+    stats_.batch_frames.fetch_add(1, std::memory_order_relaxed);
+  }
   // The F-box transformation happens on the way out; after this point the
   // message is in wire form and the secret get-port/signature values are
   // gone.
   src.fbox().transform_outgoing(msg.header);
 
-  emit(TapRecord{FrameKind::data, src.id(), dst, msg, Port()});
+  if (taps_active()) {
+    emit(TapRecord{FrameKind::data, src.id(), dst, msg, Port()});
+  }
 
   const int copies = fault_copies();
   // Pick the destination mailbox: a registration on `dst` whose port
@@ -201,18 +222,24 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     const std::shared_lock lock(stripe.mutex);
     auto it = stripe.ports.find(msg.header.dest);
     if (it != stripe.ports.end()) {
-      // Round-robin across this port's registrations on that machine.
-      std::vector<const Registration*> eligible;
-      for (const auto& reg : it->second->registrations) {
-        if (reg.machine == dst) {
-          eligible.push_back(&reg);
-        }
+      // Round-robin across this port's registrations on that machine
+      // (two passes over the tiny registration list -- no allocation on
+      // the delivery fast path).
+      const auto& registrations = it->second->registrations;
+      std::size_t eligible = 0;
+      for (const auto& reg : registrations) {
+        eligible += reg.machine == dst ? 1 : 0;
       }
-      if (!eligible.empty()) {
-        const std::size_t idx =
+      if (eligible > 0) {
+        std::size_t idx =
             it->second->cursor.fetch_add(1, std::memory_order_relaxed) %
-            eligible.size();
-        mailbox = eligible[idx]->mailbox;
+            eligible;
+        for (const auto& reg : registrations) {
+          if (reg.machine == dst && idx-- == 0) {
+            mailbox = reg.mailbox;
+            break;
+          }
+        }
       }
     }
   }
@@ -220,18 +247,27 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     return false;  // receiving F-box had no GET outstanding
   }
-  for (int i = 0; i < copies; ++i) {
-    stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+  stats_.delivered.fetch_add(static_cast<std::uint64_t>(copies),
+                             std::memory_order_relaxed);
+  for (int i = 0; i + 1 < copies; ++i) {
     mailbox->push(Delivery{src.id(), msg});
+  }
+  if (copies > 0) {
+    mailbox->push(Delivery{src.id(), std::move(msg)});  // last copy moves
   }
   return true;
 }
 
 void Network::broadcast_from(Machine& src, Message msg) {
   stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
+  if ((msg.header.flags & kFlagBatch) != 0) {
+    stats_.batch_frames.fetch_add(1, std::memory_order_relaxed);
+  }
   src.fbox().transform_outgoing(msg.header);
 
-  emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
+  if (taps_active()) {
+    emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
+  }
 
   const int copies = fault_copies();
   if (copies == 0) {
@@ -263,8 +299,10 @@ void Network::broadcast_from(Machine& src, Message msg) {
 
 std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
   stats_.locates.fetch_add(1, std::memory_order_relaxed);
-  emit(TapRecord{FrameKind::locate_request, src.id(), MachineId(), Message{},
-                 put_port});
+  if (taps_active()) {
+    emit(TapRecord{FrameKind::locate_request, src.id(), MachineId(),
+                   Message{}, put_port});
+  }
   std::optional<MachineId> found;
   {
     Stripe& stripe = stripe_for(put_port);
@@ -274,7 +312,7 @@ std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
       found = it->second->registrations.front().machine;
     }
   }
-  if (found.has_value()) {
+  if (found.has_value() && taps_active()) {
     emit(TapRecord{FrameKind::locate_reply, *found, src.id(), Message{},
                    put_port});
   }

@@ -1,0 +1,152 @@
+#include "amoeba/rpc/batch.hpp"
+
+namespace amoeba::rpc {
+namespace {
+
+template <typename Entry>
+void encode_entry_head(Writer& w, const Entry& entry, std::uint16_t head) {
+  w.u16(head);
+  w.raw(entry.capability);
+  for (const auto p : entry.params) {
+    w.u64(p);
+  }
+  w.bytes(entry.data);
+}
+
+/// Shared decode shape for both directions; the only difference is what
+/// the leading u16 of each entry means.
+template <typename Entry, typename HeadFn>
+std::optional<std::vector<Entry>> decode_with(
+    std::span<const std::uint8_t> data, HeadFn&& set_head) {
+  Reader r(data);
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxBatchEntries) {
+    return std::nullopt;
+  }
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    set_head(entry, r.u16());
+    r.raw(entry.capability);
+    for (auto& p : entry.params) {
+      p = r.u64();
+    }
+    entry.data = r.bytes();
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) {
+    return std::nullopt;  // trailing garbage
+  }
+  return entries;
+}
+
+}  // namespace
+
+Buffer encode_batch(std::span<const BatchRequest> entries) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    encode_entry_head(w, entry, entry.opcode);
+  }
+  return w.take();
+}
+
+Buffer encode_batch(std::span<const BatchReply> entries) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    encode_entry_head(w, entry, static_cast<std::uint16_t>(entry.status));
+  }
+  return w.take();
+}
+
+std::optional<std::vector<BatchRequest>> decode_batch_request(
+    std::span<const std::uint8_t> data) {
+  return decode_with<BatchRequest>(
+      data, [](BatchRequest& e, std::uint16_t head) { e.opcode = head; });
+}
+
+std::optional<std::vector<BatchReply>> decode_batch_reply(
+    std::span<const std::uint8_t> data) {
+  return decode_with<BatchReply>(data, [](BatchReply& e, std::uint16_t head) {
+    e.status = static_cast<ErrorCode>(head);
+  });
+}
+
+// -------------------------------------------------------------------- Batch
+
+std::size_t Batch::add(std::uint16_t opcode,
+                       const net::CapabilityBytes* capability, Buffer data,
+                       std::array<std::uint64_t, 4> params) {
+  if (entries_.size() >= kMaxBatchEntries) {
+    throw UsageError("Batch::add: kMaxBatchEntries exceeded");
+  }
+  BatchRequest entry;
+  entry.opcode = opcode;
+  if (capability != nullptr) {
+    entry.capability = *capability;
+  }
+  entry.params = params;
+  entry.data = std::move(data);
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+net::Message Batch::build() {
+  net::Message request;
+  request.header.dest = dest_;
+  request.header.opcode = kBatchOpcode;
+  request.header.flags |= net::kFlagBatch;
+  request.data = encode_batch(entries_);
+  entries_.clear();
+  return request;
+}
+
+Result<std::vector<BatchReply>> Batch::run() {
+  return run(transport_->default_timeout());
+}
+
+Result<std::vector<BatchReply>> Batch::run(std::chrono::milliseconds timeout) {
+  if (entries_.empty()) {
+    return std::vector<BatchReply>{};
+  }
+  const std::size_t expected = entries_.size();
+  auto replies = parse_reply(transport_->trans(build(), timeout));
+  if (replies.ok() && replies.value().size() != expected) {
+    // A truncated or padded reply envelope must not reach callers that
+    // index replies by add() position.
+    return ErrorCode::internal;
+  }
+  return replies;
+}
+
+Future Batch::run_async() { return run_async(transport_->default_timeout()); }
+
+Future Batch::run_async(std::chrono::milliseconds timeout) {
+  if (entries_.empty()) {
+    return Future();
+  }
+  return transport_->trans_async(build(), timeout);
+}
+
+Result<std::vector<BatchReply>> Batch::parse_reply(
+    Result<net::Delivery> delivery) {
+  if (!delivery.ok()) {
+    return delivery.error();
+  }
+  const net::Message& reply = delivery.value().message;
+  if (reply.header.status != ErrorCode::ok) {
+    return reply.header.status;  // envelope-level failure
+  }
+  auto entries = decode_batch_reply(reply.data);
+  if (!entries.has_value()) {
+    return ErrorCode::internal;  // malformed reply envelope
+  }
+  return std::move(*entries);
+}
+
+}  // namespace amoeba::rpc

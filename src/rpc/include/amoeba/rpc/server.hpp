@@ -10,6 +10,14 @@
 // wholesale.  Multiple worker threads may GET on the same port; the
 // network delivers round-robin, exactly like multiple server processes
 // comprising one service in Amoeba.
+//
+// Batch envelopes (rpc/batch.hpp): a frame carrying kBatchOpcode is
+// unpacked here and each sub-request dispatched through the same handle()
+// path, producing one batched reply with per-entry status.  Envelope-level
+// checks (signature, filter) run once per frame; wide envelopes can
+// optionally be fanned across transient helper threads
+// (set_batch_fan_out), which is safe because handlers already tolerate
+// multi-worker concurrency.
 #pragma once
 
 #include <atomic>
@@ -67,10 +75,20 @@ class Service {
   /// signature is replayable and §2.4's source addresses take over.
   void set_allowed_signatures(std::vector<Port> published_signatures);
 
+  /// Fans sub-requests of one batch envelope across up to `helpers`
+  /// transient threads (1 = in the receiving worker, the default; pays off
+  /// when handlers block or compute, not for cheap table lookups).
+  void set_batch_fan_out(int helpers);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] net::Machine& machine() { return *machine_; }
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Sub-requests unpacked from batch envelopes (each envelope also counts
+  /// once in requests_served).
+  [[nodiscard]] std::uint64_t batched_requests() const {
+    return batched_requests_.load(std::memory_order_relaxed);
   }
 
   /// One request processor: produces the reply message (status + payload;
@@ -95,12 +113,16 @@ class Service {
 
  private:
   void run(std::stop_token stop, std::latch& ready);
+  [[nodiscard]] net::Message handle_batch(const net::Delivery& request);
+  [[nodiscard]] net::Message handle_one(const net::Delivery& request);
 
   net::Machine* machine_;
   Port get_port_;
   std::string name_;
   std::vector<std::jthread> workers_;
+  std::atomic<int> batch_fan_out_{1};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
   mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;

@@ -1,24 +1,39 @@
-// Client-side blocking RPC (§2.1): "After making a request, a client
-// blocks until the reply comes in, so the approach can be regarded as a
-// simple remote procedure call mechanism.  The system does not use
-// connections or virtual circuits or any other long-lived communication
-// structures."
+// Client-side RPC core (§2.1), completion-based.
 //
-// Each transaction picks a fresh one-shot reply get-port G'; the F-box
-// puts P' = F(G') on the wire and only this client can receive the reply.
+// The paper's transaction model is connectionless blocking RPC: "After
+// making a request, a client blocks until the reply comes in, so the
+// approach can be regarded as a simple remote procedure call mechanism.
+// The system does not use connections or virtual circuits or any other
+// long-lived communication structures."  This transport keeps those wire
+// semantics -- every transaction still picks a fresh one-shot reply
+// get-port G', the F-box puts P' = F(G') on the wire, and only this client
+// can receive the reply -- but decouples completion order from issue
+// order: trans_async() returns a Future immediately, so one client thread
+// can pipeline many outstanding transactions.  Internally a completion
+// registry keyed by the one-shot reply put-port routes every arriving
+// reply (they all land in one shared demux mailbox, drained by one pump
+// thread) to its transaction; trans() is trans_async().get().
+//
 // The transport also implements the kernel's (port -> machine) cache with
 // LOCATE broadcast on miss and invalidation when a cached machine's F-box
-// rejects the frame (server migrated or died).
+// rejects the frame (server migrated or died).  Cache entries carry a
+// generation stamp so that when many in-flight transactions resolved
+// through one stale entry, the first rejected frame invalidates it exactly
+// once and re-LOCATEs are single-flight -- no thundering LOCATE storm.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stop_token>
+#include <thread>
 #include <unordered_map>
-
-#include <memory>
+#include <unordered_set>
 
 #include "amoeba/common/error.hpp"
 #include "amoeba/common/rng.hpp"
@@ -26,6 +41,44 @@
 #include "amoeba/rpc/filter.hpp"
 
 namespace amoeba::rpc {
+
+/// The completion handle of one in-flight transaction.  The issuing
+/// Transport resolves every future it hands out -- with the reply, with
+/// ErrorCode::timeout when the deadline passes, or with a transport error
+/// -- so get() never blocks forever while the transport lives.
+class [[nodiscard]] Future {
+ public:
+  Future() = default;
+
+  /// False for a default-constructed or already-consumed future.
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// True once the outcome is available (get() will not block).
+  [[nodiscard]] bool ready() const;
+
+  /// Blocks until this future's transaction completes and consumes the
+  /// outcome (one-shot; the future is invalid afterwards).  A triggered
+  /// stop token abandons the wait with ErrorCode::timeout -- the
+  /// transaction itself still completes in the background.  Throws
+  /// UsageError when called on an invalid future.
+  [[nodiscard]] Result<net::Delivery> get(std::stop_token stop = {});
+
+  /// Waits up to `timeout` for readiness; true when ready.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+
+ private:
+  friend class Transport;
+
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable_any cv;
+    std::optional<Result<net::Delivery>> outcome;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
 
 class Transport {
  public:
@@ -38,25 +91,50 @@ class Transport {
   };
 
   Transport(net::Machine& machine, std::uint64_t seed);
+  /// Joins the completion pump and fails any still-pending future with
+  /// ErrorCode::timeout so no waiter is left blocked.
+  ~Transport();
 
-  /// Performs one blocking transaction.  `request.header.dest` must hold
-  /// the service's put-port; the reply field is overwritten with a fresh
-  /// one-shot port.  Returns the reply message together with the stamped
-  /// source machine of the replying server.  Thread-safe: any number of
-  /// threads may call trans concurrently on one transport.
-  [[nodiscard]] Result<net::Delivery> trans(net::Message request,
-                                            std::chrono::milliseconds timeout,
-                                            std::stop_token stop = {});
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Issues one transaction without waiting for the reply.
+  /// `request.header.dest` must hold the service's put-port; the reply
+  /// field is overwritten with a fresh one-shot port.  The returned future
+  /// resolves with the reply message together with the stamped source
+  /// machine of the replying server, or with an error.  Thread-safe: any
+  /// number of threads may issue and pipeline concurrently, and each
+  /// thread may keep any number of transactions in flight.
+  [[nodiscard]] Future trans_async(net::Message request,
+                                   std::chrono::milliseconds timeout);
 
   /// As above with the transport's default timeout (2 s unless changed).
-  [[nodiscard]] Result<net::Delivery> trans(net::Message request) {
-    return trans(std::move(request), default_timeout_);
+  [[nodiscard]] Future trans_async(net::Message request) {
+    return trans_async(std::move(request), default_timeout());
   }
 
-  /// Changes the timeout used by the single-argument trans overload
-  /// (lossy-network tests and benches want fast failure).
+  /// Performs one blocking transaction: trans_async(...).get().
+  [[nodiscard]] Result<net::Delivery> trans(net::Message request,
+                                            std::chrono::milliseconds timeout,
+                                            std::stop_token stop = {}) {
+    return trans_async(std::move(request), timeout).get(std::move(stop));
+  }
+
+  /// As above with the transport's default timeout.
+  [[nodiscard]] Result<net::Delivery> trans(net::Message request) {
+    return trans(std::move(request), default_timeout());
+  }
+
+  /// Changes the timeout used by the single-argument overloads
+  /// (lossy-network tests and benches want fast failure).  Safe against
+  /// concurrent trans()/trans_async() callers.
   void set_default_timeout(std::chrono::milliseconds timeout) {
-    default_timeout_ = timeout;
+    default_timeout_ms_.store(timeout.count(), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::chrono::milliseconds default_timeout() const {
+    return std::chrono::milliseconds(
+        default_timeout_ms_.load(std::memory_order_relaxed));
   }
 
   /// Optional signature get-port applied to outgoing requests (the F-box
@@ -64,26 +142,63 @@ class Transport {
   void set_signature(Port signature_get_port);
 
   /// Installs a message filter (capability sealing in F-box-less mode).
+  /// Filters run on issuing threads (outgoing) and on the completion pump
+  /// (incoming), so implementations must be internally synchronized.
   void set_filter(std::shared_ptr<MessageFilter> filter);
 
   [[nodiscard]] net::Machine& machine() { return machine_; }
   [[nodiscard]] Stats stats() const;
 
+  /// Number of transactions currently awaiting their reply.
+  [[nodiscard]] std::size_t in_flight() const;
+
   /// Drops every cached (port -> machine) entry.
   void flush_cache();
 
  private:
-  std::optional<MachineId> resolve(Port put_port);
-  void invalidate(Port put_port);
+  struct CacheEntry {
+    MachineId machine;
+    std::uint64_t generation;
+  };
+
+  /// One registered, unreplied transaction.
+  struct Pending {
+    std::shared_ptr<Future::State> state;
+    net::Receiver receiver;  // keeps the one-shot GET alive
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  std::optional<CacheEntry> resolve(Port put_port);
+  void invalidate(Port put_port, std::uint64_t generation);
+
+  void pump(std::stop_token stop);
+  void settle_all(std::deque<net::Delivery>&& batch);
+  void expire_overdue();
+  static void complete(Pending& pending, Result<net::Delivery> outcome);
 
   net::Machine& machine_;
-  std::chrono::milliseconds default_timeout_{2000};
+  std::atomic<std::int64_t> default_timeout_ms_{2000};
+
+  // Guards rng/signature/filter/stats and the location cache (including
+  // the single-flight LOCATE set).
   mutable std::mutex mutex_;
+  std::condition_variable locate_cv_;
   Rng rng_;
-  std::unordered_map<Port, MachineId> cache_;
+  std::unordered_map<Port, CacheEntry> cache_;
+  std::unordered_set<Port> locating_;  // ports with a LOCATE in flight
+  std::uint64_t next_generation_ = 0;
   Port signature_;
   std::shared_ptr<MessageFilter> filter_;
   Stats stats_;
+
+  // Completion registry: every one-shot reply port is registered into this
+  // shared mailbox; the pump thread demultiplexes arrivals back to their
+  // futures and fails overdue entries.
+  std::shared_ptr<net::Mailbox> replies_;
+  mutable std::mutex pending_mutex_;
+  std::unordered_map<Port, Pending> pending_;
+  std::chrono::steady_clock::time_point pump_wakes_at_;  // under pending_mutex_
+  std::jthread pump_;  // last member: must die before the registries
 };
 
 }  // namespace amoeba::rpc

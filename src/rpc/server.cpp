@@ -1,8 +1,10 @@
 #include "amoeba/rpc/server.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "amoeba/common/error.hpp"
+#include "amoeba/rpc/batch.hpp"
 
 namespace amoeba::rpc {
 
@@ -57,12 +59,22 @@ void Service::set_allowed_signatures(std::vector<Port> published_signatures) {
   allowed_signatures_ = std::move(published_signatures);
 }
 
+void Service::set_batch_fan_out(int helpers) {
+  if (helpers < 1) {
+    throw UsageError("Service::set_batch_fan_out: need at least one helper");
+  }
+  batch_fan_out_.store(helpers, std::memory_order_relaxed);
+}
+
 void Service::on(std::uint16_t opcode, Handler handler) {
   if (!workers_.empty()) {
     throw UsageError("Service::on: register handlers before start()");
   }
   if (handler == nullptr) {
     throw UsageError("Service::on: null handler");
+  }
+  if (opcode == kBatchOpcode) {
+    throw UsageError("Service::on: kBatchOpcode is reserved for envelopes");
   }
   if (!handlers_.emplace(opcode, std::move(handler)).second) {
     throw UsageError("Service::on: duplicate handler for opcode");
@@ -77,6 +89,75 @@ net::Message Service::handle(const net::Delivery& request) {
     return net::make_reply(request.message, ErrorCode::no_such_operation);
   }
   return it->second(request);
+}
+
+net::Message Service::handle_one(const net::Delivery& request) {
+  try {
+    return handle(request);
+  } catch (const std::exception&) {
+    // A handler failure (bad_alloc on an oversized request, a violated
+    // precondition) must not take the whole service process down; the
+    // offending client gets the invariant-failure status instead.
+    return net::make_reply(request.message, ErrorCode::internal);
+  }
+}
+
+net::Message Service::handle_batch(const net::Delivery& request) {
+  auto subs = decode_batch_request(request.message.data);
+  if (!subs.has_value()) {
+    return net::make_reply(request.message, ErrorCode::invalid_argument);
+  }
+  batched_requests_.fetch_add(subs->size(), std::memory_order_relaxed);
+  std::vector<BatchReply> replies(subs->size());
+  const auto process = [&](std::size_t i) {
+    BatchRequest& sub = (*subs)[i];
+    net::Delivery sub_request;
+    sub_request.src = request.src;
+    sub_request.message.header.dest = request.message.header.dest;
+    sub_request.message.header.opcode = sub.opcode;
+    sub_request.message.header.signature = request.message.header.signature;
+    sub_request.message.header.capability = sub.capability;
+    sub_request.message.header.params = sub.params;
+    sub_request.message.data = std::move(sub.data);
+    net::Message sub_reply;
+    if (sub.opcode == kBatchOpcode) {
+      // No nested envelopes: unbounded recursion for no amortization win.
+      sub_reply =
+          net::make_reply(sub_request.message, ErrorCode::invalid_argument);
+    } else {
+      sub_reply = handle_one(sub_request);
+    }
+    replies[i] = BatchReply{sub_reply.header.status,
+                            sub_reply.header.capability,
+                            sub_reply.header.params,
+                            std::move(sub_reply.data)};
+  };
+  const std::size_t fan_out =
+      std::min<std::size_t>(
+          static_cast<std::size_t>(
+              batch_fan_out_.load(std::memory_order_relaxed)),
+          subs->size());
+  if (fan_out <= 1) {
+    for (std::size_t i = 0; i < subs->size(); ++i) {
+      process(i);
+    }
+  } else {
+    // Strided fan-out across transient helpers; handlers are already safe
+    // under multi-worker concurrency, so this adds parallelism, not risk.
+    std::vector<std::jthread> helpers;
+    helpers.reserve(fan_out);
+    for (std::size_t h = 0; h < fan_out; ++h) {
+      helpers.emplace_back([&, h] {
+        for (std::size_t i = h; i < replies.size(); i += fan_out) {
+          process(i);
+        }
+      });
+    }
+  }
+  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
+  reply.header.flags |= net::kFlagBatch;
+  reply.data = encode_batch(replies);
+  return reply;
 }
 
 void Service::run(std::stop_token stop, std::latch& ready) {
@@ -109,15 +190,10 @@ void Service::run(std::stop_token stop, std::latch& ready) {
     } else if (filter != nullptr &&
                !filter->incoming(delivery->message, delivery->src)) {
       reply = net::make_reply(delivery->message, ErrorCode::unsealing_failed);
+    } else if (delivery->message.header.opcode == kBatchOpcode) {
+      reply = handle_batch(*delivery);
     } else {
-      try {
-        reply = handle(*delivery);
-      } catch (const std::exception&) {
-        // A handler failure (bad_alloc on an oversized request, a violated
-        // precondition) must not take the whole service process down; the
-        // offending client gets the invariant-failure status instead.
-        reply = net::make_reply(delivery->message, ErrorCode::internal);
-      }
+      reply = handle_one(*delivery);
     }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     const Port reply_port = delivery->message.header.reply;

@@ -1,9 +1,72 @@
 #include "amoeba/rpc/transport.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace amoeba::rpc {
 
+using Clock = std::chrono::steady_clock;
+
+// ------------------------------------------------------------------- Future
+
+bool Future::ready() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  const std::lock_guard lock(state_->mutex);
+  return state_->outcome.has_value();
+}
+
+Result<net::Delivery> Future::get(std::stop_token stop) {
+  if (state_ == nullptr) {
+    throw UsageError("Future::get: invalid (empty or already consumed)");
+  }
+  const auto state = std::move(state_);
+  std::unique_lock lock(state->mutex);
+  if (!state->cv.wait(lock, stop,
+                      [&] { return state->outcome.has_value(); })) {
+    return ErrorCode::timeout;  // stop requested before completion
+  }
+  return std::move(*state->outcome);
+}
+
+bool Future::wait_for(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  std::unique_lock lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout,
+                             [&] { return state_->outcome.has_value(); });
+}
+
+// ---------------------------------------------------------------- Transport
+
 Transport::Transport(net::Machine& machine, std::uint64_t seed)
-    : machine_(machine), rng_(seed ^ machine.id().value()) {}
+    : machine_(machine),
+      rng_(seed ^ machine.id().value()),
+      replies_(std::make_shared<net::Mailbox>()),
+      pump_wakes_at_(Clock::time_point::max()),
+      pump_([this](std::stop_token st) { pump(st); }) {}
+
+Transport::~Transport() {
+  pump_.request_stop();
+  replies_->close();  // wakes the pump even mid-pop
+  pump_.join();
+  // Fail whatever is still in flight so no Future::get blocks forever.
+  std::vector<Pending> leftovers;
+  {
+    const std::lock_guard lock(pending_mutex_);
+    leftovers.reserve(pending_.size());
+    for (auto& [port, pending] : pending_) {
+      leftovers.push_back(std::move(pending));
+    }
+    pending_.clear();
+  }
+  for (auto& pending : leftovers) {
+    complete(pending, ErrorCode::timeout);
+  }
+}
 
 void Transport::set_signature(Port signature_get_port) {
   const std::lock_guard lock(mutex_);
@@ -20,90 +83,280 @@ Transport::Stats Transport::stats() const {
   return stats_;
 }
 
+std::size_t Transport::in_flight() const {
+  const std::lock_guard lock(pending_mutex_);
+  return pending_.size();
+}
+
 void Transport::flush_cache() {
   const std::lock_guard lock(mutex_);
   cache_.clear();
 }
 
-std::optional<MachineId> Transport::resolve(Port put_port) {
-  {
-    const std::lock_guard lock(mutex_);
+std::optional<Transport::CacheEntry> Transport::resolve(Port put_port) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
     auto it = cache_.find(put_port);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
       return it->second;
     }
-    ++stats_.cache_misses;
+    if (!locating_.contains(put_port)) {
+      break;
+    }
+    // Single-flight: another thread is already broadcasting a LOCATE for
+    // this port; ride its answer instead of adding to the storm.
+    locate_cv_.wait(lock);
   }
+  ++stats_.cache_misses;
+  locating_.insert(put_port);
+  lock.unlock();
   const auto located = machine_.locate(put_port);
+  lock.lock();
+  locating_.erase(put_port);
+  std::optional<CacheEntry> result;
   if (located.has_value()) {
-    const std::lock_guard lock(mutex_);
-    cache_[put_port] = *located;
+    const CacheEntry entry{*located, ++next_generation_};
+    cache_[put_port] = entry;
+    result = entry;
   }
-  return located;
+  locate_cv_.notify_all();
+  return result;
 }
 
-void Transport::invalidate(Port put_port) {
+void Transport::invalidate(Port put_port, std::uint64_t generation) {
   const std::lock_guard lock(mutex_);
-  cache_.erase(put_port);
-  ++stats_.cache_invalidations;
+  auto it = cache_.find(put_port);
+  // Generation guard: when many in-flight transactions resolved through
+  // one stale entry, only the first rejected frame evicts it; the rest
+  // find a newer (or absent) entry and simply re-resolve.
+  if (it != cache_.end() && it->second.generation == generation) {
+    cache_.erase(it);
+    ++stats_.cache_invalidations;
+  }
 }
 
-Result<net::Delivery> Transport::trans(net::Message request,
-                                       std::chrono::milliseconds timeout,
-                                       std::stop_token stop) {
+Future Transport::trans_async(net::Message request,
+                              std::chrono::milliseconds timeout) {
+  auto state = std::make_shared<Future::State>();
+  Future future(state);
+
+  // One lock hold covers the per-transaction bookkeeping: stats, the
+  // signature/filter snapshot, the one-shot port draw, and a fast-path
+  // probe of the location cache (the hot path never takes mutex_ twice).
+  std::shared_ptr<MessageFilter> filter;
   Port reply_get_port;
+  std::optional<CacheEntry> fast_dst;
   {
     const std::lock_guard lock(mutex_);
     ++stats_.transactions;
-    reply_get_port = Port(rng_.bits(Port::kBits));
-    request.header.signature = signature_;
-  }
-  // One-shot reply registration; destroyed (and the port forgotten) when
-  // this call returns.
-  net::Receiver reply_receiver = machine_.listen(reply_get_port);
-  request.header.reply = reply_get_port;
-
-  std::shared_ptr<MessageFilter> filter;
-  {
-    const std::lock_guard lock(mutex_);
     filter = filter_;
+    request.header.signature = signature_;
+    do {
+      reply_get_port = Port(rng_.bits(Port::kBits));
+    } while (reply_get_port.is_null());
+    auto it = cache_.find(request.header.dest);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      fast_dst = it->second;
+    }
   }
 
+  // One-shot reply registration, demultiplexed through the shared
+  // mailbox.  Registered in the completion registry BEFORE the frame goes
+  // out, so a reply cannot beat its own bookkeeping.
+  const auto deadline = Clock::now() + timeout;
+  Port registry_key;
+  bool registered = false;
+  bool wake_pump = false;
+  for (int attempt = 0; attempt < 4 && !registered; ++attempt) {
+    if (attempt > 0) {
+      const std::lock_guard lock(mutex_);
+      do {
+        reply_get_port = Port(rng_.bits(Port::kBits));
+      } while (reply_get_port.is_null());
+    }
+    net::Receiver receiver = machine_.listen(reply_get_port, replies_);
+    registry_key = receiver.put_port();
+    if (registry_key.is_null()) {
+      continue;  // F(G') == 0 would masquerade as a wake marker: redraw
+    }
+    const std::lock_guard lock(pending_mutex_);
+    if (pending_.contains(registry_key)) {
+      continue;  // 2^-48 one-shot port collision: redraw
+    }
+    pending_.emplace(registry_key,
+                     Pending{state, std::move(receiver), deadline});
+    // Only a deadline earlier than the pump's next scheduled wake needs a
+    // nudge; later deadlines are picked up when it recomputes anyway.
+    wake_pump = deadline < pump_wakes_at_;
+    if (wake_pump) {
+      pump_wakes_at_ = deadline;
+    }
+    registered = true;
+  }
+  if (!registered) {
+    Pending failed{state, net::Receiver(), deadline};
+    complete(failed, ErrorCode::internal);
+    return future;
+  }
+  if (wake_pump) {
+    // Wake marker: a null-dest delivery the pump discards after
+    // recomputing its deadline.
+    replies_->push(net::Delivery{MachineId(), net::Message{}});
+  }
+
+  request.header.reply = reply_get_port;
   // Two attempts: a stale cache entry (server migrated/died) costs one
-  // rejected transmit, an invalidation, and a fresh LOCATE.
+  // rejected transmit, one invalidation, and a fresh LOCATE.
   bool sent = false;
   for (int attempt = 0; attempt < 2 && !sent; ++attempt) {
-    const auto dst = resolve(request.header.dest);
+    const auto dst = fast_dst.has_value() ? std::exchange(fast_dst, {})
+                                          : resolve(request.header.dest);
     if (!dst.has_value()) {
-      return ErrorCode::no_such_port;
+      break;
     }
     // Seal a copy: a retry to a different machine must re-seal the
     // original, not the already-sealed bytes.
     net::Message wire = request;
     if (filter != nullptr) {
-      filter->outgoing(wire, *dst);
+      filter->outgoing(wire, dst->machine);
     }
-    sent = machine_.transmit(std::move(wire), *dst);
+    sent = machine_.transmit(std::move(wire), dst->machine);
     if (!sent) {
-      invalidate(request.header.dest);
+      invalidate(request.header.dest, dst->generation);
     }
   }
   if (!sent) {
-    return ErrorCode::no_such_port;
+    // The reply can never come: withdraw the registration (unless the
+    // pump already expired it) and fail the future now.
+    std::optional<Pending> pending;
+    {
+      const std::lock_guard lock(pending_mutex_);
+      auto it = pending_.find(registry_key);
+      if (it != pending_.end()) {
+        pending.emplace(std::move(it->second));
+        pending_.erase(it);
+      }
+    }
+    if (pending.has_value()) {
+      complete(*pending, ErrorCode::no_such_port);
+    }
   }
+  return future;
+}
 
-  auto delivery = reply_receiver.receive(stop, timeout);
-  if (!delivery.has_value()) {
+void Transport::complete(Pending& pending, Result<net::Delivery> outcome) {
+  {
+    const std::lock_guard lock(pending.state->mutex);
+    pending.state->outcome.emplace(std::move(outcome));
+  }
+  pending.state->cv.notify_all();
+}
+
+void Transport::settle_all(std::deque<net::Delivery>&& batch) {
+  // One registry lock reaps every matching transaction of the batch;
+  // futures complete (and the one-shot GET registrations die) outside it.
+  std::vector<std::pair<Pending, net::Delivery>> matched;
+  matched.reserve(batch.size());
+  {
+    const std::lock_guard lock(pending_mutex_);
+    for (auto& delivery : batch) {
+      if (delivery.message.header.dest.is_null()) {
+        continue;  // wake marker from trans_async
+      }
+      auto it = pending_.find(delivery.message.header.dest);
+      if (it == pending_.end()) {
+        continue;  // duplicate frame or post-timeout straggler: dropped
+      }
+      matched.emplace_back(std::move(it->second), std::move(delivery));
+      pending_.erase(it);
+    }
+  }
+  if (matched.empty()) {
+    return;
+  }
+  std::shared_ptr<MessageFilter> filter;
+  {
     const std::lock_guard lock(mutex_);
-    ++stats_.timeouts;
-    return ErrorCode::timeout;
+    filter = filter_;
   }
-  if (filter != nullptr &&
-      !filter->incoming(delivery->message, delivery->src)) {
-    return ErrorCode::unsealing_failed;
+  for (auto& [pending, delivery] : matched) {
+    if (filter != nullptr &&
+        !filter->incoming(delivery.message, delivery.src)) {
+      complete(pending, ErrorCode::unsealing_failed);
+    } else {
+      complete(pending, std::move(delivery));
+    }
   }
-  return std::move(*delivery);
+  // ~matched here withdraws the one-shot GET registrations.
+}
+
+void Transport::expire_overdue() {
+  // The only full registry scan in the pump; it runs when a deadline
+  // actually fires (or a wake marker moved it), never per reply.  It also
+  // recomputes the next wake time, repairing the staleness settle() leaves
+  // behind (pump_wakes_at_ only ever errs early, so the worst case is one
+  // spurious wake, not a missed timeout).
+  const auto now = Clock::now();
+  std::vector<Pending> overdue;
+  {
+    const std::lock_guard lock(pending_mutex_);
+    auto earliest = Clock::time_point::max();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.deadline <= now) {
+        overdue.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        earliest = std::min(earliest, it->second.deadline);
+        ++it;
+      }
+    }
+    pump_wakes_at_ = earliest;
+  }
+  if (overdue.empty()) {
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    stats_.timeouts += overdue.size();
+  }
+  for (auto& pending : overdue) {
+    complete(pending, ErrorCode::timeout);
+  }
+}
+
+void Transport::pump(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    std::optional<std::chrono::milliseconds> wait;
+    {
+      const std::lock_guard lock(pending_mutex_);
+      if (pump_wakes_at_ != Clock::time_point::max()) {
+        wait = std::max(std::chrono::milliseconds(1),
+                        std::chrono::ceil<std::chrono::milliseconds>(
+                            pump_wakes_at_ - Clock::now()));
+      }
+    }
+    auto batch = replies_->drain(stop, wait);
+    if (stop.stop_requested() || replies_->closed()) {
+      return;
+    }
+    if (batch.empty()) {
+      expire_overdue();  // deadline tick
+      continue;
+    }
+    settle_all(std::move(batch));
+    // Continuous reply traffic must not starve deadlines: a lost frame's
+    // transaction still has to time out while its neighbours settle.
+    bool deadline_passed;
+    {
+      const std::lock_guard lock(pending_mutex_);
+      deadline_passed = pump_wakes_at_ <= Clock::now();
+    }
+    if (deadline_passed) {
+      expire_overdue();
+    }
+  }
 }
 
 }  // namespace amoeba::rpc

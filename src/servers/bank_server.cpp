@@ -218,6 +218,33 @@ Result<void> BankClient::transfer(const core::Capability& from,
                       {currency, static_cast<std::uint64_t>(amount), 0, 0}));
 }
 
+std::vector<Result<void>> BankClient::transfer_many(
+    std::span<const Transfer> transfers) {
+  rpc::Batch batch(*transport_, server_port_);
+  for (const auto& transfer : transfers) {
+    Writer w;
+    write_capability(w, transfer.to);
+    const auto from = core::pack(transfer.from);
+    batch.add(bank_op::kTransfer, &from, w.take(),
+              {transfer.currency, static_cast<std::uint64_t>(transfer.amount),
+               0, 0});
+  }
+  std::vector<Result<void>> results;
+  results.reserve(transfers.size());
+  auto replies = batch.run();
+  if (!replies.ok()) {
+    results.assign(transfers.size(), Result<void>(replies.error()));
+    return results;
+  }
+  // run() guarantees one reply per queued entry on success.
+  for (const auto& reply : replies.value()) {
+    results.push_back(reply.status == ErrorCode::ok
+                          ? Result<void>()
+                          : Result<void>(reply.status));
+  }
+  return results;
+}
+
 Result<std::int64_t> BankClient::convert(const core::Capability& account,
                                          std::uint32_t from_currency,
                                          std::uint32_t to_currency,

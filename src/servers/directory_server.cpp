@@ -1,6 +1,40 @@
 #include "amoeba/servers/directory_server.hpp"
 
+#include <optional>
+
 namespace amoeba::servers {
+namespace {
+
+/// True for paths resolve_path/resolve_paths reject up front: no leading,
+/// trailing, or doubled separators.
+[[nodiscard]] bool malformed_path(std::string_view path) {
+  return !path.empty() && (path.front() == '/' || path.back() == '/' ||
+                           path.find("//") != std::string_view::npos);
+}
+
+/// Splits the leading component off `path` ("a/b/c" -> "a", rest "b/c").
+[[nodiscard]] std::string_view pop_component(std::string_view& path) {
+  const std::size_t slash = path.find('/');
+  std::string_view component;
+  if (slash == std::string_view::npos) {
+    component = path;
+    path = {};
+  } else {
+    component = path.substr(0, slash);
+    path.remove_prefix(slash + 1);
+  }
+  return component;
+}
+
+/// A non-directory server answers a LOOKUP with no_such_operation (opcode
+/// spaces are disjoint per service class): the path used a file as a
+/// directory -- ENOTDIR in UNIX terms.
+[[nodiscard]] ErrorCode as_walk_error(ErrorCode code) {
+  return code == ErrorCode::no_such_operation ? ErrorCode::invalid_argument
+                                              : code;
+}
+
+}  // namespace
 
 DirectoryServer::DirectoryServer(
     net::Machine& machine, Port get_port,
@@ -180,42 +214,92 @@ Result<void> DirectoryClient::delete_dir(const core::Capability& dir) {
 Result<core::Capability> resolve_path(rpc::Transport& transport,
                                       const core::Capability& root,
                                       std::string_view path) {
-  // Validate syntax up front: no leading/trailing/doubled separators.
-  if (!path.empty() &&
-      (path.front() == '/' || path.back() == '/' ||
-       path.find("//") != std::string_view::npos)) {
+  if (malformed_path(path)) {
     return ErrorCode::invalid_argument;
   }
   core::Capability current = root;
-  std::size_t begin = 0;
-  while (begin < path.size()) {
-    const std::size_t slash = path.find('/', begin);
-    const std::string_view component =
-        path.substr(begin, slash == std::string_view::npos ? path.size() - begin
-                                                           : slash - begin);
-    if (component.empty()) {
-      return ErrorCode::invalid_argument;
-    }
+  while (!path.empty()) {
+    const std::string_view component = pop_component(path);
     // Address the lookup to whatever server manages the current node --
     // this is what makes cross-server traversal transparent.
     DirectoryClient dir(transport, current.server_port);
     auto next = dir.lookup(current, std::string(component));
     if (!next.ok()) {
-      // A non-directory server answers a LOOKUP with no_such_operation
-      // (opcode spaces are disjoint per service class): the path used a
-      // file as a directory -- ENOTDIR in UNIX terms.
-      if (next.error() == ErrorCode::no_such_operation) {
-        return ErrorCode::invalid_argument;
-      }
-      return next.error();
+      return as_walk_error(next.error());
     }
     current = next.value();
-    if (slash == std::string_view::npos) {
-      break;
-    }
-    begin = slash + 1;
   }
   return current;
+}
+
+std::vector<Result<core::Capability>> resolve_paths(
+    rpc::Transport& transport, const core::Capability& root,
+    std::span<const std::string> paths) {
+  struct Walk {
+    core::Capability at;
+    std::string_view rest;
+    std::optional<ErrorCode> failed;
+    bool done = false;
+  };
+  std::vector<Walk> walks(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    walks[i].at = root;
+    walks[i].rest = paths[i];
+    if (malformed_path(walks[i].rest)) {
+      walks[i].failed = ErrorCode::invalid_argument;
+    } else if (walks[i].rest.empty()) {
+      walks[i].done = true;  // empty path resolves to the root itself
+    }
+  }
+  // Level-synchronous rounds: every unfinished walk advances one
+  // component per round, and walks standing at the same server share one
+  // batch frame.  Port order in the map keeps round trips deterministic.
+  for (;;) {
+    std::map<Port, std::vector<std::size_t>> frontier;
+    for (std::size_t i = 0; i < walks.size(); ++i) {
+      if (!walks[i].done && !walks[i].failed.has_value()) {
+        frontier[walks[i].at.server_port].push_back(i);
+      }
+    }
+    if (frontier.empty()) {
+      break;
+    }
+    for (auto& [server, members] : frontier) {
+      rpc::Batch batch(transport, server);
+      for (const auto i : members) {
+        Writer w;
+        w.str(pop_component(walks[i].rest));
+        const auto packed = core::pack(walks[i].at);
+        batch.add(dir_op::kLookup, &packed, w.take());
+      }
+      auto replies = batch.run();
+      if (!replies.ok()) {
+        for (const auto i : members) {
+          walks[i].failed = as_walk_error(replies.error());
+        }
+        continue;
+      }
+      // run() guarantees one reply per queued entry on success.
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        Walk& walk = walks[members[k]];
+        const rpc::BatchReply& reply = replies.value()[k];
+        if (reply.status != ErrorCode::ok) {
+          walk.failed = as_walk_error(reply.status);
+          continue;
+        }
+        walk.at = core::unpack(reply.capability);
+        walk.done = walk.rest.empty();
+      }
+    }
+  }
+  std::vector<Result<core::Capability>> results;
+  results.reserve(walks.size());
+  for (const auto& walk : walks) {
+    results.push_back(walk.failed.has_value()
+                          ? Result<core::Capability>(*walk.failed)
+                          : Result<core::Capability>(walk.at));
+  }
+  return results;
 }
 
 }  // namespace amoeba::servers

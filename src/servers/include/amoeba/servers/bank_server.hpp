@@ -16,9 +16,12 @@
 #include <map>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/batch.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
 #include "amoeba/servers/common.hpp"
@@ -103,6 +106,23 @@ class BankClient {
                                       const core::Capability& to,
                                       std::uint32_t currency,
                                       std::int64_t amount);
+
+  /// One independent transfer inside a multi-transfer (§3.6's payroll
+  /// shape: one payer, many payees -- or any mix).
+  struct Transfer {
+    core::Capability from;
+    core::Capability to;
+    std::uint32_t currency = 0;
+    std::int64_t amount = 0;
+  };
+
+  /// Executes independent transfers as ONE batched round trip; outcomes
+  /// come back per transfer, in order.  Each entry is atomic exactly as a
+  /// lone transfer is (both accounts under their shard locks); entries are
+  /// independent of each other -- a failed entry does not roll back its
+  /// neighbours.  An envelope-level failure is reported on every entry.
+  [[nodiscard]] std::vector<Result<void>> transfer_many(
+      std::span<const Transfer> transfers);
   /// Converts within one account at the configured rate.
   [[nodiscard]] Result<std::int64_t> convert(const core::Capability& account,
                                              std::uint32_t from_currency,

@@ -15,9 +15,12 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "amoeba/core/object_store.hpp"
+#include "amoeba/rpc/batch.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
 #include "amoeba/servers/common.hpp"
@@ -93,5 +96,16 @@ class DirectoryClient {
 [[nodiscard]] Result<core::Capability> resolve_path(
     rpc::Transport& transport, const core::Capability& root,
     std::string_view path);
+
+/// The path walk on batched round trips: resolves many paths relative to
+/// `root` level-synchronously -- each round advances every unfinished walk
+/// by one component, and all walks currently standing at the same server
+/// share one batch frame of LOOKUPs.  W paths of depth D over S servers
+/// cost at most D*S round trips instead of W*D, while hops between
+/// directory servers stay as transparent as in resolve_path.  Outcomes
+/// come back in input order.
+[[nodiscard]] std::vector<Result<core::Capability>> resolve_paths(
+    rpc::Transport& transport, const core::Capability& root,
+    std::span<const std::string> paths);
 
 }  // namespace amoeba::servers

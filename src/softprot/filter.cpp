@@ -1,7 +1,7 @@
 #include "amoeba/softprot/filter.hpp"
 #include "amoeba/common/error.hpp"
 
-
+#include "amoeba/rpc/batch.hpp"
 #include "amoeba/softprot/seal.hpp"
 
 namespace amoeba::softprot {
@@ -74,6 +74,11 @@ void SealingFilter::outgoing(net::Message& msg, MachineId dst) {
       }
     }
   }
+  if ((msg.header.flags & net::kFlagBatch) != 0) {
+    // Seal before (optional) data encryption, mirroring incoming's
+    // decrypt-then-unseal order.
+    transform_batch_entries(msg.data, *key, /*sealing=*/true);
+  }
   if (options_.encrypt_data && !msg.data.empty()) {
     std::uint64_t nonce;
     {
@@ -83,6 +88,32 @@ void SealingFilter::outgoing(net::Message& msg, MachineId dst) {
     msg.header.params[kNonceParam] = nonce;
     xcrypt_data(*key, nonce, msg.data);
   }
+}
+
+void SealingFilter::transform_batch_entries(Buffer& data, std::uint64_t key,
+                                            bool sealing) {
+  // A batch envelope carries one capability image per entry in the
+  // payload; each must be (un)sealed exactly like a lone request's header
+  // capability, or batching would put in cleartext what §2.4 protects.
+  // Request and reply entries share one wire layout (the leading u16 is
+  // opcode or status and passes through), so one direction-agnostic
+  // decode serves both.  The hashed caches are not consulted here: the
+  // envelope already amortizes the per-frame costs.
+  auto entries = rpc::decode_batch_request(data);
+  if (!entries.has_value()) {
+    return;  // malformed envelope: pass through, the service rejects it
+  }
+  for (auto& entry : *entries) {
+    if (is_all_zero(entry.capability)) {
+      continue;  // null capability (no object): stays null, like the header
+    }
+    if (sealing) {
+      seal128(key, entry.capability);
+    } else {
+      unseal128(key, entry.capability);
+    }
+  }
+  data = rpc::encode_batch(*entries);
 }
 
 bool SealingFilter::incoming(net::Message& msg, MachineId src) {
@@ -119,6 +150,9 @@ bool SealingFilter::incoming(net::Message& msg, MachineId src) {
   }
   if (options_.encrypt_data && !msg.data.empty()) {
     xcrypt_data(*key, msg.header.params[kNonceParam], msg.data);
+  }
+  if ((msg.header.flags & net::kFlagBatch) != 0) {
+    transform_batch_entries(msg.data, *key, /*sealing=*/false);
   }
   return true;
 }

@@ -47,12 +47,15 @@ class SealingFilter final : public rpc::MessageFilter {
                 Options options);
 
   /// Seals the header capability (and optionally the data) for `dst` with
-  /// M[me][dst].  A missing tx key leaves the message unsealed -- the
-  /// receiver will fail to make sense of it, which is the §2.4 failure
-  /// mode for unkeyed peers.
+  /// M[me][dst].  Batch envelopes (net::kFlagBatch) get every per-entry
+  /// capability image in the payload sealed too -- batching must not leak
+  /// in cleartext what a lone request would protect.  A missing tx key
+  /// leaves the message unsealed -- the receiver will fail to make sense
+  /// of it, which is the §2.4 failure mode for unkeyed peers.
   void outgoing(net::Message& msg, MachineId dst) override;
 
-  /// Unseals with M[src][me].  Returns false when no rx key exists.
+  /// Unseals with M[src][me] (batch envelope entries included).  Returns
+  /// false when no rx key exists.
   [[nodiscard]] bool incoming(net::Message& msg, MachineId src) override;
 
   [[nodiscard]] Stats stats() const;
@@ -72,6 +75,9 @@ class SealingFilter final : public rpc::MessageFilter {
   };
   using Cache = std::unordered_map<CacheKey, net::CapabilityBytes,
                                    CacheKeyHash>;
+
+  static void transform_batch_entries(Buffer& data, std::uint64_t key,
+                                      bool sealing);
 
   std::shared_ptr<KeyStore> keys_;
   Options options_;

@@ -163,5 +163,48 @@ TEST_F(BankSuite, PrePaymentPattern) {
   EXPECT_EQ(client_->balance(alice_, currency::kDollar).value(), 500);
 }
 
+TEST_F(BankSuite, TransferManyBatchesIndependentOutcomes) {
+  // Payroll shape: several independent transfers in ONE batched round
+  // trip, each entry atomic on its own, failures isolated per entry.
+  const auto carol = client_->create_account().value();
+  const std::vector<BankClient::Transfer> payroll = {
+      {alice_, bob_, currency::kDollar, 300},
+      {alice_, carol, currency::kDollar, 200},
+      {bob_, carol, currency::kYen, 50},        // bob has no yen
+      {alice_, bob_, currency::kDollar, -5},    // rejected amount
+      {alice_, carol, currency::kDollar, 100},
+  };
+  const auto before = net_.stats().unicasts.load();
+  const auto outcomes = client_->transfer_many(payroll);
+  // One request frame, one reply frame, for all five transfers.
+  EXPECT_EQ(net_.stats().unicasts.load() - before, 2u);
+  EXPECT_EQ(net_.stats().batch_frames.load(), 2u);
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[2].error(), ErrorCode::insufficient_funds);
+  EXPECT_EQ(outcomes[3].error(), ErrorCode::invalid_argument);
+  EXPECT_TRUE(outcomes[4].ok());
+  EXPECT_EQ(client_->balance(alice_, currency::kDollar).value(), 400);
+  EXPECT_EQ(client_->balance(bob_, currency::kDollar).value(), 300);
+  EXPECT_EQ(client_->balance(carol, currency::kDollar).value(), 300);
+}
+
+TEST_F(BankSuite, TransferManyRightsDisciplineHoldsPerEntry) {
+  // A read-only capability inside a batch must fail exactly like it does
+  // in a lone transfer -- batching must not widen any right.
+  const auto read_only =
+      restrict_capability(*transport_, alice_, core::rights::kRead).value();
+  const std::vector<BankClient::Transfer> mixed = {
+      {read_only, bob_, currency::kDollar, 10},
+      {alice_, bob_, currency::kDollar, 10},
+  };
+  const auto outcomes = client_->transfer_many(mixed);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].error(), ErrorCode::permission_denied);
+  EXPECT_TRUE(outcomes[1].ok());
+  EXPECT_EQ(client_->balance(bob_, currency::kDollar).value(), 10);
+}
+
 }  // namespace
 }  // namespace amoeba::servers

@@ -206,5 +206,102 @@ TEST(DirectoryHeterogeneous, DirectoryHoldsFileAndDirectoryCapabilities) {
   EXPECT_EQ(reader.read(found.value(), 0, 2).value(), (Buffer{'h', 'i'}));
 }
 
+TEST(BatchedPathWalk, ResolvePathsSharesFramesAcrossWalks) {
+  // Two directory servers; a tree spanning both; many paths resolved at
+  // once.  Walks standing at the same server in the same round must share
+  // one batch frame, and every outcome must match its one-at-a-time
+  // resolve_path counterpart.
+  net::Network net;
+  net::Machine& m1 = net.add_machine("dirserver1");
+  net::Machine& m2 = net.add_machine("dirserver2");
+  net::Machine& cm = net.add_machine("client");
+  Rng rng(17);
+  const auto scheme1 = core::make_scheme(core::SchemeKind::one_way_xor, rng);
+  const auto scheme2 = core::make_scheme(core::SchemeKind::commutative, rng);
+  DirectoryServer server1(m1, Port(0xDA), scheme1, 1);
+  DirectoryServer server2(m2, Port(0xDB), scheme2, 2);
+  server1.start();
+  server2.start();
+
+  rpc::Transport transport(cm, 3);
+  DirectoryClient dir1(transport, server1.put_port());
+  DirectoryClient dir2(transport, server2.put_port());
+
+  // root(a, server1) -> {sub1 on server1, sub2 on server2}; leaves on each.
+  const auto root = dir1.create_dir().value();
+  const auto sub1 = dir1.create_dir().value();
+  const auto sub2 = dir2.create_dir().value();
+  const core::Capability leaf1{Port(0x111), ObjectNumber(1), Rights::all(),
+                               CheckField(0xAAA)};
+  const core::Capability leaf2{Port(0x222), ObjectNumber(2), Rights::all(),
+                               CheckField(0xBBB)};
+  ASSERT_TRUE(dir1.enter(root, "sub1", sub1).ok());
+  ASSERT_TRUE(dir1.enter(root, "sub2", sub2).ok());
+  ASSERT_TRUE(dir1.enter(sub1, "leaf", leaf1).ok());
+  ASSERT_TRUE(dir2.enter(sub2, "leaf", leaf2).ok());
+
+  const std::vector<std::string> paths = {
+      "sub1/leaf", "sub2/leaf", "sub1", "missing/x", "sub1//bad", "",
+  };
+  const auto before_frames = net.stats().batch_frames.load();
+  const auto results = resolve_paths(transport, root, paths);
+  ASSERT_EQ(results.size(), paths.size());
+  EXPECT_EQ(results[0].value(), leaf1);
+  EXPECT_EQ(results[1].value(), leaf2);
+  EXPECT_EQ(results[2].value(), sub1);
+  EXPECT_EQ(results[3].error(), ErrorCode::not_found);
+  EXPECT_EQ(results[4].error(), ErrorCode::invalid_argument);
+  EXPECT_EQ(results[5].value(), root);  // empty path is the root itself
+
+  // Round 1: all four live walks stand at server1 -> one frame.  Round 2:
+  // one walk each at server1 and server2 -> two frames.  Six frames total
+  // counting the three batched replies.
+  EXPECT_EQ(net.stats().batch_frames.load() - before_frames, 6u);
+
+  // The batched walk agrees with the sequential one on every path.
+  for (const auto& path : paths) {
+    const auto sequential = resolve_path(transport, root, path);
+    const auto batched = resolve_paths(transport, root, {&path, 1});
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0].ok(), sequential.ok());
+    EXPECT_EQ(batched[0].error(), sequential.error());
+    if (sequential.ok()) {
+      EXPECT_EQ(batched[0].value(), sequential.value());
+    }
+  }
+}
+
+TEST(BatchedPathWalk, FileInTheMiddleOfAPathIsInvalidArgument) {
+  // A sub-request LOOKUP answered with no_such_operation (a file server's
+  // opcode space) must map to invalid_argument exactly like resolve_path.
+  net::Network net;
+  net::Machine& m = net.add_machine("servers");
+  net::Machine& cm = net.add_machine("client");
+  Rng rng(19);
+  const auto scheme = core::make_scheme(core::SchemeKind::one_way_xor, rng);
+  BlockServer::Geometry geometry;
+  geometry.block_count = 16;
+  geometry.block_size = 64;
+  BlockServer blocks(m, Port(0xB2), scheme, 1, geometry);
+  blocks.start();
+  FlatFileServer files(m, Port(0xF2), scheme, 2, blocks.put_port());
+  files.start();
+  DirectoryServer dirs(m, Port(0xD3), scheme, 3);
+  dirs.start();
+
+  rpc::Transport transport(cm, 4);
+  DirectoryClient dir_client(transport, dirs.put_port());
+  FlatFileClient file_client(transport, files.put_port());
+  const auto root = dir_client.create_dir().value();
+  const auto file = file_client.create().value();
+  ASSERT_TRUE(dir_client.enter(root, "notes", file).ok());
+
+  const std::vector<std::string> paths = {"notes/deeper", "notes"};
+  const auto results = resolve_paths(transport, root, paths);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].error(), ErrorCode::invalid_argument);  // ENOTDIR
+  EXPECT_EQ(results[1].value(), file);
+}
+
 }  // namespace
 }  // namespace amoeba::servers

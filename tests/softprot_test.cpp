@@ -7,6 +7,7 @@
 
 #include "amoeba/core/capability.hpp"
 #include "amoeba/net/network.hpp"
+#include "amoeba/rpc/batch.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
 #include "amoeba/softprot/filter.hpp"
@@ -144,6 +145,68 @@ TEST(SealingFilterTest, OutgoingIncomingRoundTrip) {
   EXPECT_NE(msg.header.capability, plain);  // sealed on the wire
   ASSERT_TRUE(server.incoming(msg, MachineId(1)));
   EXPECT_EQ(msg.header.capability, plain);
+}
+
+TEST(SealingFilterTest, BatchEnvelopeEntriesAreSealedToo) {
+  // A batch frame carries per-entry capability images in the payload; the
+  // filter must protect them exactly like a lone request's header slot --
+  // otherwise batching (transfer_many, resolve_paths) would hand a
+  // wiretapper cleartext capabilities.
+  FilterRig rig;
+  SealingFilter client(rig.client_keys, 1);
+  SealingFilter server(rig.server_keys, 2);
+
+  std::vector<rpc::BatchRequest> entries(3);
+  entries[0].opcode = 7;
+  entries[0].capability = sample_cap(4);
+  entries[1].opcode = 8;  // null capability: must stay null
+  entries[2].opcode = 9;
+  entries[2].capability = sample_cap(5);
+  net::Message msg;
+  msg.header.opcode = rpc::kBatchOpcode;
+  msg.header.flags |= net::kFlagBatch;
+  msg.data = rpc::encode_batch(entries);
+
+  client.outgoing(msg, MachineId(2));
+  const auto on_wire = rpc::decode_batch_request(msg.data);
+  ASSERT_TRUE(on_wire.has_value());
+  EXPECT_NE((*on_wire)[0].capability, entries[0].capability);  // sealed
+  EXPECT_EQ((*on_wire)[1].capability, entries[1].capability);  // null
+  EXPECT_NE((*on_wire)[2].capability, entries[2].capability);
+  EXPECT_NE((*on_wire)[0].capability, (*on_wire)[2].capability);
+
+  ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  const auto arrived = rpc::decode_batch_request(msg.data);
+  ASSERT_TRUE(arrived.has_value());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*arrived)[i].opcode, entries[i].opcode);
+    EXPECT_EQ((*arrived)[i].capability, entries[i].capability);
+  }
+}
+
+TEST(SealingFilterTest, BatchSealingComposesWithDataEncryption) {
+  FilterRig rig;
+  SealingFilter::Options options;
+  options.encrypt_data = true;
+  SealingFilter client(rig.client_keys, 1, options);
+  SealingFilter server(rig.server_keys, 2, options);
+
+  std::vector<rpc::BatchRequest> entries(1);
+  entries[0].opcode = 1;
+  entries[0].capability = sample_cap(6);
+  entries[0].data = {1, 2, 3};
+  net::Message msg;
+  msg.header.flags |= net::kFlagBatch;
+  msg.data = rpc::encode_batch(entries);
+
+  client.outgoing(msg, MachineId(2));
+  // Encrypted payload: not even the envelope structure parses on the wire.
+  EXPECT_FALSE(rpc::decode_batch_request(msg.data).has_value());
+  ASSERT_TRUE(server.incoming(msg, MachineId(1)));
+  const auto arrived = rpc::decode_batch_request(msg.data);
+  ASSERT_TRUE(arrived.has_value());
+  EXPECT_EQ((*arrived)[0].capability, entries[0].capability);
+  EXPECT_EQ((*arrived)[0].data, entries[0].data);
 }
 
 TEST(SealingFilterTest, NullCapabilityPassesUntouched) {
