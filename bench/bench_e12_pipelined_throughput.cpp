@@ -6,12 +6,16 @@
 // now available against a multi-worker bank service (every request is an
 // open() on the sharded store plus a balance read):
 //
-//   blocking   trans():             one transaction in flight, two thread
+//   blocking   rpc::call:           one transaction in flight, two thread
 //                                   rendezvous on every round trip
-//   pipelined  trans_async():       a window of W outstanding futures,
-//                                   completions decoupled from issue order
-//   batched    rpc::Batch:          B sub-requests per frame, one round
+//   pipelined  rpc::call_async:     a window of W outstanding typed
+//                                   futures, completions decoupled from
+//                                   issue order
+//   batched    rpc::TypedBatch:     B sub-requests per frame, one round
 //                                   trip amortized over all of them
+//
+// All three shapes go through the typed bank_ops descriptors, so the
+// bench also measures the typed codec layer on the hot path.
 //
 // items_per_second counts *sub-requests*, the figure the §2.3 validation
 // cost argument is about.  Acceptance for this PR: pipelined/batched
@@ -61,13 +65,11 @@ struct Rig {
     }
   }
 
+  /// One typed balance lookup, built but not sent.
   [[nodiscard]] net::Message balance_request(std::size_t i) const {
-    net::Message req;
-    req.header.dest = bank->put_port();
-    req.header.opcode = servers::bank_op::kBalance;
-    req.header.params[0] = servers::currency::kDollar;
-    servers::set_header_capability(req, accounts[i % kAccounts]);
-    return req;
+    return rpc::make_request(bank->put_port(), servers::bank_ops::kBalance,
+                             accounts[i % kAccounts],
+                             {servers::currency::kDollar});
   }
 
   net::Network net;
@@ -122,17 +124,17 @@ void BM_PipelinedBalance(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedBalance)->Arg(8)->Arg(32)->Arg(128)->UseRealTime();
 
-/// Batched: B balance lookups per envelope, one round trip each.
+/// Batched: B typed balance lookups per envelope, one round trip each.
 void BM_BatchedBalance(benchmark::State& state) {
   const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
   Rig rig;
-  rpc::Batch batch(*rig.transport, rig.bank->put_port());
+  rpc::TypedBatch batch(*rig.transport, rig.bank->put_port());
   std::size_t i = 0;
   for (auto _ : state) {
     for (std::size_t k = 0; k < batch_size; ++k) {
-      const auto packed = core::pack(rig.accounts[i++ % kAccounts]);
-      batch.add(servers::bank_op::kBalance, &packed, {},
-                {servers::currency::kDollar, 0, 0, 0});
+      (void)batch.add(servers::bank_ops::kBalance,
+                      rig.accounts[i++ % kAccounts],
+                      {servers::currency::kDollar});
     }
     auto replies = batch.run();
     benchmark::DoNotOptimize(replies);
@@ -152,12 +154,12 @@ void BM_PipelinedBatches(benchmark::State& state) {
   constexpr std::size_t kWindow = 4;
   const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
   Rig rig;
-  rpc::Batch batch(*rig.transport, rig.bank->put_port());
+  rpc::TypedBatch batch(*rig.transport, rig.bank->put_port());
   std::deque<rpc::Future> in_flight;
   std::size_t i = 0;
   bool failed = false;
   const auto drain_one = [&] {
-    auto replies = rpc::Batch::parse_reply(in_flight.front().get());
+    auto replies = rpc::TypedBatch::parse_reply(in_flight.front().get());
     in_flight.pop_front();
     failed |= !replies.ok() || replies.value().size() != batch_size;
   };
@@ -166,9 +168,9 @@ void BM_PipelinedBatches(benchmark::State& state) {
       drain_one();
     }
     for (std::size_t k = 0; k < batch_size; ++k) {
-      const auto packed = core::pack(rig.accounts[i++ % kAccounts]);
-      batch.add(servers::bank_op::kBalance, &packed, {},
-                {servers::currency::kDollar, 0, 0, 0});
+      (void)batch.add(servers::bank_ops::kBalance,
+                      rig.accounts[i++ % kAccounts],
+                      {servers::currency::kDollar});
     }
     in_flight.push_back(batch.run_async());
   }
@@ -187,14 +189,10 @@ BENCHMARK(BM_PipelinedBatches)->Arg(32)->UseRealTime();
 void contrast_report() {
   Rig rig;
   constexpr int kRounds = 2000;
-  const auto timed = [](auto&& fn) {
-    const auto begin = std::chrono::steady_clock::now();
-    fn();
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - begin;
-    return static_cast<double>(kRounds) / elapsed.count();
+  const auto throughput = [](auto&& fn) {  // transactions per second
+    return static_cast<double>(kRounds) / (bench::timed_ms(fn) / 1000.0);
   };
-  const double blocking = timed([&] {
+  const double blocking = throughput([&] {
     for (int i = 0; i < kRounds; ++i) {
       if (!rig.transport->trans(rig.balance_request(
               static_cast<std::size_t>(i))).ok()) {
@@ -203,7 +201,7 @@ void contrast_report() {
       }
     }
   });
-  const double pipelined = timed([&] {
+  const double pipelined = throughput([&] {
     std::deque<rpc::Future> in_flight;
     for (int i = 0; i < kRounds; ++i) {
       if (in_flight.size() >= 32) {
@@ -218,14 +216,14 @@ void contrast_report() {
       in_flight.pop_front();
     }
   });
-  const double batched = timed([&] {
-    rpc::Batch batch(*rig.transport, rig.bank->put_port());
+  const double batched = throughput([&] {
+    rpc::TypedBatch batch(*rig.transport, rig.bank->put_port());
     for (int i = 0; i < kRounds; i += 32) {
       for (int k = 0; k < 32; ++k) {
-        const auto packed = core::pack(
-            rig.accounts[static_cast<std::size_t>(i + k) % kAccounts]);
-        batch.add(servers::bank_op::kBalance, &packed, {},
-                  {servers::currency::kDollar, 0, 0, 0});
+        (void)batch.add(
+            servers::bank_ops::kBalance,
+            rig.accounts[static_cast<std::size_t>(i + k) % kAccounts],
+            {servers::currency::kDollar});
       }
       (void)batch.run();
     }

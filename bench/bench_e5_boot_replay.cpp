@@ -1,16 +1,20 @@
 // E5: the §2.4 public-key boot protocol and its replay defense.
 //
 // Measured: full handshake latency (RSA wrap/unwrap + two conventional
-// seals + one RPC), the RSA primitives it is built from, and -- as a
-// report -- the replay outcomes: pre-reboot ciphertext is useless after
-// re-keying, and frames replayed from a different (unforgeable) source
-// address select the wrong matrix key.
+// seals + one RPC), the RSA primitives it is built from, the boot-replay
+// storm (a rebooted workstation re-establishing keys with ALL its
+// servers: blocking one-by-one vs pipelined KeyExchange futures), and --
+// as a report -- the replay outcomes: pre-reboot ciphertext is useless
+// after re-keying, and frames replayed from a different (unforgeable)
+// source address select the wrong matrix key.
 #include <benchmark/benchmark.h>
 
 #include "smoke.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "amoeba/common/rng.hpp"
 #include "amoeba/crypto/rsa.hpp"
@@ -63,6 +67,114 @@ void BM_FullHandshake(benchmark::State& state) {
 }
 BENCHMARK(BM_FullHandshake)->Unit(benchmark::kMicrosecond);
 
+/// The rebooted-workstation shape: one client must re-handshake with S
+/// servers.  Blocking pays S full round trips in sequence; the pipelined
+/// KeyExchange issues all S proposals through one transport before
+/// collecting any reply, so the RSA work of the S boot services overlaps.
+void BM_BootReplayStorm(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const bool pipelined = state.range(1) != 0;
+  net::Network net(net::Network::Config{.fbox_enabled = false});
+  std::vector<std::unique_ptr<softprot::BootService>> boots;
+  for (int s = 0; s < servers; ++s) {
+    auto& machine = net.add_machine("server-" + std::to_string(s));
+    boots.push_back(std::make_unique<softprot::BootService>(
+        machine, Port(0xB000 + static_cast<std::uint64_t>(s)),
+        std::make_shared<softprot::KeyStore>(),
+        static_cast<std::uint64_t>(s) + 3));
+    boots.back()->start();
+  }
+  net::Machine& cm = net.add_machine("client");
+  rpc::Transport transport(cm, 99);
+  softprot::KeyStore client_keys;
+  Rng rng(4);
+  for (auto _ : state) {
+    if (pipelined) {
+      std::vector<softprot::KeyExchange> storm;
+      storm.reserve(boots.size());
+      for (const auto& boot : boots) {
+        storm.emplace_back(transport, boot->put_port(), boot->public_key(),
+                           rng);
+      }
+      for (auto& exchange : storm) {
+        if (!exchange.complete(client_keys).ok()) {
+          state.SkipWithError("pipelined handshake failed");
+          return;
+        }
+      }
+    } else {
+      for (const auto& boot : boots) {
+        if (!softprot::establish_keys(transport, boot->put_port(),
+                                     boot->public_key(), client_keys, rng)
+                 .ok()) {
+          state.SkipWithError("blocking handshake failed");
+          return;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * servers);
+  state.SetLabel(std::string(pipelined ? "pipelined" : "blocking") + ", " +
+                 std::to_string(servers) + " servers");
+}
+BENCHMARK(BM_BootReplayStorm)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Prints the storm contrast (the ROADMAP's PR-2 follow-up figure): same
+/// number of round trips, but the pipelined client overlaps them all.
+void boot_storm_report() {
+  constexpr int kServers = 16;
+  std::printf("---- boot-replay storm: re-keying with %d servers ----\n",
+              kServers);
+  net::Network net(net::Network::Config{.fbox_enabled = false});
+  std::vector<std::unique_ptr<softprot::BootService>> boots;
+  for (int s = 0; s < kServers; ++s) {
+    auto& machine = net.add_machine("server-" + std::to_string(s));
+    boots.push_back(std::make_unique<softprot::BootService>(
+        machine, Port(0xB000 + static_cast<std::uint64_t>(s)),
+        std::make_shared<softprot::KeyStore>(),
+        static_cast<std::uint64_t>(s) + 7));
+    boots.back()->start();
+  }
+  net::Machine& cm = net.add_machine("client");
+  rpc::Transport transport(cm, 123);
+  softprot::KeyStore keys;
+  Rng rng(8);
+  const auto before_blocking = transport.stats().transactions;
+  const double blocking = bench::timed_ms([&] {
+    for (const auto& boot : boots) {
+      (void)softprot::establish_keys(transport, boot->put_port(),
+                                     boot->public_key(), keys, rng);
+    }
+  });
+  const auto blocking_rts = transport.stats().transactions - before_blocking;
+  const auto before_pipelined = transport.stats().transactions;
+  const double pipelined = bench::timed_ms([&] {
+    std::vector<softprot::KeyExchange> storm;
+    storm.reserve(boots.size());
+    for (const auto& boot : boots) {
+      storm.emplace_back(transport, boot->put_port(), boot->public_key(),
+                         rng);
+    }
+    for (auto& exchange : storm) {
+      (void)exchange.complete(keys);
+    }
+  });
+  const auto pipelined_rts = transport.stats().transactions - before_pipelined;
+  std::printf("  blocking:  %7.2f ms (%llu round trips, sequential)\n",
+              blocking, static_cast<unsigned long long>(blocking_rts));
+  std::printf("  pipelined: %7.2f ms (%llu round trips, all in flight; "
+              "%.1fx faster)\n",
+              pipelined, static_cast<unsigned long long>(pipelined_rts),
+              blocking / pipelined);
+  std::printf("------------------------------------------------------\n");
+}
+
 void replay_report() {
   std::printf("---- replay outcomes ----\n");
   net::Network net(net::Network::Config{.fbox_enabled = false});
@@ -109,6 +221,7 @@ void replay_report() {
 int main(int argc, char** argv) {
   std::printf("E5: boot handshake cost and replay defense (§2.4).\n");
   replay_report();
+  boot_storm_report();
   amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 
 #include "smoke.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "amoeba/servers/common.hpp"
 #include "amoeba/servers/directory_server.hpp"
 #include "amoeba/servers/flat_file_server.hpp"
+#include "amoeba/servers/unixfs.hpp"
 
 namespace {
 
@@ -153,11 +155,97 @@ void BM_PathResolutionCrossServer(benchmark::State& state) {
 BENCHMARK(BM_PathResolutionCrossServer)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMicrosecond);
 
+/// Builds a directory of `files` one-block files and returns the mounted
+/// fs; the ls(1) shape both readdir+stat variants run against.
+servers::UnixFs populate_listing(Rig& rig, int files) {
+  auto fs = servers::UnixFs::format(*rig.transport, rig.dirs->put_port(),
+                                    rig.files->put_port())
+                .value();
+  const Buffer payload(64, 'x');
+  for (int i = 0; i < files; ++i) {
+    const int fd =
+        fs.open("f" + std::to_string(i),
+                servers::UnixFs::kWrite | servers::UnixFs::kCreate)
+            .value();
+    (void)fs.write(fd, payload);
+    (void)fs.close(fd);
+  }
+  return fs;
+}
+
+/// The ls -l storm, naive: readdir then one stat() per entry, each stat
+/// re-resolving its path and asking for the size -- 1 + 2N round trips.
+void BM_ReaddirStatLoop(benchmark::State& state) {
+  Rig rig;
+  auto fs = populate_listing(rig, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto entries = fs.readdir("").value();
+    for (const auto& entry : entries) {
+      auto st = fs.stat(entry.name);
+      benchmark::DoNotOptimize(st);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReaddirStatLoop)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same storm on readdir_stat(): one LIST plus one typed batch frame
+/// per server, every frame in flight at once.
+void BM_ReaddirStatBatched(benchmark::State& state) {
+  Rig rig;
+  auto fs = populate_listing(rig, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto entries = fs.readdir_stat("");
+    benchmark::DoNotOptimize(entries);
+    if (!entries.ok() ||
+        entries.value().size() != static_cast<std::size_t>(state.range(0))) {
+      state.SkipWithError("readdir_stat failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReaddirStatBatched)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// Prints the round-trip arithmetic the batched listing saves.
+void readdir_stat_report() {
+  constexpr int kFiles = 256;
+  Rig rig;
+  auto fs = populate_listing(rig, kFiles);
+  const auto before_loop = rig.transport->stats().transactions;
+  const double loop_ms = bench::timed_ms([&] {
+    const auto entries = fs.readdir("").value();
+    for (const auto& entry : entries) {
+      (void)fs.stat(entry.name);
+    }
+  });
+  const auto loop_rts = rig.transport->stats().transactions - before_loop;
+  const auto before_batched = rig.transport->stats().transactions;
+  const double batched_ms =
+      bench::timed_ms([&] { (void)fs.readdir_stat(""); });
+  const auto batched_rts =
+      rig.transport->stats().transactions - before_batched;
+  std::printf("---- ls -l over %d files: stat loop vs readdir_stat ----\n",
+              kFiles);
+  std::printf("  stat loop:    %8.2f ms, %4llu round trips\n", loop_ms,
+              static_cast<unsigned long long>(loop_rts));
+  std::printf("  readdir_stat: %8.2f ms, %4llu round trips (%.1fx faster, "
+              "%.0fx fewer trips)\n",
+              batched_ms, static_cast<unsigned long long>(batched_rts),
+              loop_ms / batched_ms,
+              static_cast<double>(loop_rts) /
+                  static_cast<double>(batched_rts));
+  std::printf("--------------------------------------------------------\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("E7: the block/file/directory stack -- every file byte crosses "
               "two services; every path component is one lookup RPC.\n");
+  readdir_stat_report();
   amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,10 +5,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
 namespace amoeba::bench {
+
+/// Stopwatch for the hand-rolled contrast reports: runs `fn` once and
+/// returns the wall-clock milliseconds it took.
+template <typename Fn>
+[[nodiscard]] double timed_ms(Fn&& fn) {
+  const auto begin = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - begin)
+      .count();
+}
 
 /// Drop-in replacement for benchmark::Initialize that also understands
 /// `--smoke`: strips the flag and caps each benchmark at a token min time

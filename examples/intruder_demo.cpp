@@ -52,7 +52,7 @@ void fbox_world() {
     if (!rec.message.header.reply.is_null()) {
       seen_reply_port = rec.message.header.reply;
     }
-    if (rec.message.header.opcode == servers::block_op::kWrite) {
+    if (rec.message.header.opcode == servers::block_ops::kWrite.opcode) {
       captured_write = rec.message;
     }
   });
@@ -132,7 +132,7 @@ void softprot_world() {
   std::optional<net::Message> captured;
   net::TapHandle tap = net.attach_tap([&](const net::TapRecord& rec) {
     if (rec.kind == net::FrameKind::data && rec.src == client.id() &&
-        rec.message.header.opcode == servers::block_op::kWrite) {
+        rec.message.header.opcode == servers::block_ops::kWrite.opcode) {
       captured = rec.message;
     }
   });

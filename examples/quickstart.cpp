@@ -98,39 +98,39 @@ int main() {
               reinterpret_cast<const char*>(owner_read.value().data()));
 
   // --- pipelined client: many transactions in flight from one thread ---
-  // trans() blocks (§2.1); trans_async() returns a Future immediately, so
-  // one thread can keep a window of requests outstanding and collect the
-  // replies as the service's workers finish them.
+  // rpc::call blocks (§2.1); rpc::call_async returns a TypedFuture
+  // immediately, so one thread can keep a window of requests outstanding
+  // and collect the decoded replies as the service's workers finish them.
   std::printf("\npipelining 8 one-word reads through one thread...\n");
-  std::vector<rpc::Future> in_flight;
+  std::vector<rpc::TypedFuture<servers::file_ops::ReadOp>> in_flight;
   for (std::uint64_t word = 0; word < 8; ++word) {
-    net::Message req;
-    req.header.dest = files.put_port();
-    req.header.opcode = servers::file_op::kRead;
-    req.header.params[0] = word * 4;  // position
-    req.header.params[1] = 4;         // length
-    servers::set_header_capability(req, fresh.value());
-    in_flight.push_back(me.trans_async(std::move(req)));
+    in_flight.push_back(rpc::call_async(me, files.put_port(),
+                                        servers::file_ops::kRead,
+                                        fresh.value(), {word * 4, 4}));
   }
   std::printf("issued %zu, in flight now: %zu\n", in_flight.size(),
               me.in_flight());
   for (auto& future : in_flight) {
     const auto reply = future.get();  // completes out of issue order too
-    std::printf("  \"%.*s\"", static_cast<int>(reply.value().message.data.size()),
-                reinterpret_cast<const char*>(reply.value().message.data.data()));
+    std::printf("  \"%.*s\"",
+                static_cast<int>(reply.value().bytes.size()),
+                reinterpret_cast<const char*>(reply.value().bytes.data()));
   }
   std::printf("\n");
 
   // --- batched client: N sub-requests in ONE frame, one round trip ---
-  rpc::Batch batch(me, files.put_port());
-  const auto packed = core::pack(fresh.value());
+  rpc::TypedBatch batch(me, files.put_port());
+  std::vector<rpc::TypedBatch::Entry<servers::file_ops::ReadOp>> entries;
   for (std::uint64_t word = 0; word < 8; ++word) {
-    batch.add(servers::file_op::kRead, &packed, {}, {word * 4, 4, 0, 0});
+    entries.push_back(
+        batch.add(servers::file_ops::kRead, fresh.value(), {word * 4, 4}));
   }
   const auto replies = batch.run();
   std::printf("batched the same 8 reads into one frame; statuses:");
-  for (const auto& entry : replies.value()) {
-    std::printf(" %s", error_name(entry.status));
+  for (const auto& entry : entries) {
+    const auto outcome = replies.value().get(entry);
+    std::printf(" %s", error_name(outcome.ok() ? ErrorCode::ok
+                                               : outcome.error()));
   }
   std::printf("\n\nall done.\n");
   return 0;

@@ -30,6 +30,8 @@ const char* error_name(ErrorCode e) {
   return "unknown_error";
 }
 
+std::string to_string(ErrorCode e) { return error_name(e); }
+
 namespace {
 std::string hex48(std::uint64_t v) {
   char buf[16];

@@ -42,6 +42,10 @@ enum class ErrorCode : std::uint16_t {
 
 [[nodiscard]] const char* error_name(ErrorCode e);
 
+/// error_name as a std::string, for streaming into test failure messages
+/// and composing diagnostics ("bank.transfer: invalid_argument").
+[[nodiscard]] std::string to_string(ErrorCode e);
+
 /// Thrown only for local programming errors (precondition violations),
 /// never for remote/distributed failures.
 class UsageError : public std::logic_error {

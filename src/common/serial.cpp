@@ -103,6 +103,9 @@ std::string Reader::str() {
 }
 
 void Reader::raw(std::span<std::uint8_t> out) {
+  if (out.empty()) {
+    return;  // nothing to fill; memcpy/memset forbid null even for n = 0
+  }
   const std::uint8_t* p = nullptr;
   if (!take(out.size(), &p)) {
     std::memset(out.data(), 0, out.size());

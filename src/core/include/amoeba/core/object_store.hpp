@@ -185,6 +185,29 @@ class ShardedObjectStore {
     return Opened(&slot->value, granted.value(), cap.object, std::move(lock));
   }
 
+  /// Validates a capability and the required rights WITHOUT keeping the
+  /// object open: the shard lock is taken only for the lookup/validation
+  /// and released before returning.  This is the typed dispatcher's
+  /// pre-handler check for multi-object operations, where the handler must
+  /// take its own open2() locks afterwards (holding an accessor here would
+  /// deadlock); the handler's re-validation hits the per-shard cache.
+  [[nodiscard]] Result<Rights> check(const Capability& cap, Rights required) {
+    Shard& shard = shard_of(cap.object);
+    const std::unique_lock lock(shard.mutex);
+    Slot* slot = find(shard, cap.object);
+    if (slot == nullptr) {
+      return ErrorCode::no_such_object;
+    }
+    const Result<Rights> granted = validate_cached(shard, *slot, cap);
+    if (!granted.ok()) {
+      return granted.error();
+    }
+    if (!granted.value().has_all(required)) {
+      return ErrorCode::permission_denied;
+    }
+    return granted;
+  }
+
   /// Opens two objects atomically (the bank-transfer shape).  Locks the
   /// two owning shards in ascending index order, so concurrent pair
   /// operations cannot deadlock whatever their argument order.

@@ -30,24 +30,82 @@
 
 namespace amoeba::kernel {
 
-namespace mem_op {
-inline constexpr std::uint16_t kCreateSegment = 0x0601;  // params[0] = size
-inline constexpr std::uint16_t kReadSegment = 0x0602;    // params: offset, length
-inline constexpr std::uint16_t kWriteSegment = 0x0603;   // params[0] = offset
-inline constexpr std::uint16_t kSegmentInfo = 0x0604;    // -> params[0] = size
-inline constexpr std::uint16_t kDeleteSegment = 0x0605;
-inline constexpr std::uint16_t kMakeProcess = 0x0606;    // data: N segment caps
-inline constexpr std::uint16_t kStartProcess = 0x0607;
-inline constexpr std::uint16_t kStopProcess = 0x0608;
-inline constexpr std::uint16_t kProcessInfo = 0x0609;    // -> state, #segments
-inline constexpr std::uint16_t kDeleteProcess = 0x060A;
-}  // namespace mem_op
-
 enum class ProcessState : std::uint8_t {
   constructed = 0,
   running = 1,
   stopped = 2,
 };
+
+/// The memory server's operation table.
+namespace mem_ops {
+
+struct CreateSegmentRequest {
+  std::uint64_t size = 0;
+  using Wire = rpc::Layout<CreateSegmentRequest,
+                           rpc::Param<0, &CreateSegmentRequest::size>>;
+};
+
+struct ReadSegmentRequest {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  using Wire = rpc::Layout<ReadSegmentRequest,
+                           rpc::Param<0, &ReadSegmentRequest::offset>,
+                           rpc::Param<1, &ReadSegmentRequest::length>>;
+};
+
+struct WriteSegmentRequest {
+  std::uint64_t offset = 0;
+  Buffer bytes;
+  using Wire = rpc::Layout<WriteSegmentRequest,
+                           rpc::Param<0, &WriteSegmentRequest::offset>,
+                           rpc::RawData<&WriteSegmentRequest::bytes>>;
+};
+
+struct SegmentInfoReply {
+  std::uint64_t size = 0;
+  using Wire =
+      rpc::Layout<SegmentInfoReply, rpc::Param<0, &SegmentInfoReply::size>>;
+};
+
+struct MakeProcessRequest {
+  std::vector<core::Capability> segments;  // text, data, stack, ...
+  using Wire = rpc::Layout<MakeProcessRequest,
+                           rpc::Data<&MakeProcessRequest::segments>>;
+};
+
+struct ProcessInfoReply {
+  ProcessState state = ProcessState::constructed;
+  std::uint64_t segment_count = 0;
+  using Wire = rpc::Layout<ProcessInfoReply,
+                           rpc::Param<0, &ProcessInfoReply::state>,
+                           rpc::Param<1, &ProcessInfoReply::segment_count>>;
+};
+
+inline constexpr rpc::Op<CreateSegmentRequest, rpc::CapabilityReply>
+    kCreateSegment{0x0601, "mem.create_segment", rpc::kFactoryOp};
+inline constexpr rpc::Op<ReadSegmentRequest, rpc::BytesReply> kReadSegment{
+    0x0602, "mem.read_segment", core::rights::kRead};
+inline constexpr rpc::Op<WriteSegmentRequest, rpc::Empty> kWriteSegment{
+    0x0603, "mem.write_segment", core::rights::kWrite};
+inline constexpr rpc::Op<rpc::Empty, SegmentInfoReply> kSegmentInfo{
+    0x0604, "mem.segment_info", core::rights::kRead};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDeleteSegment{
+    0x0605, "mem.delete_segment", core::rights::kDestroy};
+// MAKE PROCESS consumes segment capabilities from the data field; each
+// must grant read (the child's image is loaded from it).
+inline constexpr rpc::Op<MakeProcessRequest, rpc::CapabilityReply>
+    kMakeProcess{0x0606, "mem.make_process", rpc::kFactoryOp,
+                 core::rights::kRead};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kStartProcess{
+    0x0607, "mem.start_process", core::rights::kWrite};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kStopProcess{
+    0x0608, "mem.stop_process", core::rights::kWrite};
+inline constexpr rpc::Op<rpc::Empty, ProcessInfoReply> kProcessInfo{
+    0x0609, "mem.process_info", core::rights::kRead};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDeleteProcess{
+    0x060A, "mem.delete_process", core::rights::kDestroy};
+
+}  // namespace mem_ops
 
 class MemoryServer final : public rpc::Service {
  public:
@@ -68,19 +126,26 @@ class MemoryServer final : public rpc::Service {
     ProcessState state = ProcessState::constructed;
   };
   using Payload = std::variant<Segment, Process>;
+  using Store = core::ObjectStore<Payload>;
 
-  net::Message do_create_segment(const net::Delivery& request);
-  net::Message do_rw_segment(const net::Delivery& request);
-  net::Message do_segment_info(const net::Delivery& request);
-  net::Message do_delete_segment(const net::Delivery& request);
-  net::Message do_make_process(const net::Delivery& request);
-  net::Message do_process_state(const net::Delivery& request);
-  net::Message do_process_info(const net::Delivery& request);
-  net::Message do_delete_process(const net::Delivery& request);
+  [[nodiscard]] Result<rpc::CapabilityReply> do_create_segment(
+      const mem_ops::CreateSegmentRequest& req);
+  [[nodiscard]] Result<rpc::BytesReply> do_read_segment(
+      const mem_ops::ReadSegmentRequest& req, Store::Opened& opened);
+  [[nodiscard]] Result<void> do_write_segment(
+      const mem_ops::WriteSegmentRequest& req, Store::Opened& opened);
+  /// Returns the budget on destruction; shared by mem.delete_segment and
+  /// std.destroy (which also accepts processes).
+  [[nodiscard]] Result<void> do_delete_segment(Store::Opened&& opened);
+  [[nodiscard]] Result<void> do_delete_any(Store::Opened&& opened);
+  [[nodiscard]] Result<rpc::CapabilityReply> do_make_process(
+      const mem_ops::MakeProcessRequest& req);
+  [[nodiscard]] Result<void> do_process_state(Store::Opened& opened,
+                                              ProcessState state);
 
   // Segments/processes are exclusive under their shard locks while
   // opened; only the machine-wide memory budget needs its own lock.
-  core::ObjectStore<Payload> store_;
+  Store store_;
   std::uint64_t memory_limit_;
   mutable std::mutex memory_mutex_;
   std::uint64_t memory_in_use_ = 0;  // guarded by memory_mutex_

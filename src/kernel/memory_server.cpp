@@ -4,47 +4,59 @@
 
 namespace amoeba::kernel {
 
-using servers::capability_reply;
-using servers::error_reply;
-using servers::fail;
-using servers::header_capability;
-using servers::register_owner_ops;
-using servers::set_header_capability;
-
 MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
                            std::shared_ptr<const core::ProtectionScheme> scheme,
                            std::uint64_t seed, std::uint64_t memory_limit)
     : rpc::Service(machine, get_port, "memory"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
       memory_limit_(memory_limit) {
-  register_owner_ops(*this, store_);
-  on(mem_op::kCreateSegment, [this](const net::Delivery& request) {
-    return do_create_segment(request);
+  // std.destroy must return a segment's bytes to the machine budget.
+  rpc::register_std_ops(
+      *this, store_,
+      {.destroy = [this](Store::Opened&& opened) {
+         return do_delete_any(std::move(opened));
+       }});
+  on(mem_ops::kCreateSegment,
+     [this](const auto& call) { return do_create_segment(call.body); });
+  on(mem_ops::kReadSegment, store_, [this](const auto& call, auto& opened) {
+    return do_read_segment(call.body, opened);
   });
-  on(mem_op::kReadSegment,
-     [this](const net::Delivery& request) { return do_rw_segment(request); });
-  on(mem_op::kWriteSegment,
-     [this](const net::Delivery& request) { return do_rw_segment(request); });
-  on(mem_op::kSegmentInfo, [this](const net::Delivery& request) {
-    return do_segment_info(request);
+  on(mem_ops::kWriteSegment, store_, [this](const auto& call, auto& opened) {
+    return do_write_segment(call.body, opened);
   });
-  on(mem_op::kDeleteSegment, [this](const net::Delivery& request) {
-    return do_delete_segment(request);
+  on(mem_ops::kSegmentInfo, store_,
+     [](const auto&, auto& opened) -> Result<mem_ops::SegmentInfoReply> {
+       const auto* segment = std::get_if<Segment>(opened.value);
+       if (segment == nullptr) {
+         return ErrorCode::invalid_argument;
+       }
+       return mem_ops::SegmentInfoReply{segment->bytes.size()};
+     });
+  on(mem_ops::kDeleteSegment, store_, [this](const auto&, auto& opened) {
+    return do_delete_segment(std::move(opened));
   });
-  on(mem_op::kMakeProcess, [this](const net::Delivery& request) {
-    return do_make_process(request);
+  on(mem_ops::kMakeProcess,
+     [this](const auto& call) { return do_make_process(call.body); });
+  on(mem_ops::kStartProcess, store_, [this](const auto&, auto& opened) {
+    return do_process_state(opened, ProcessState::running);
   });
-  on(mem_op::kStartProcess, [this](const net::Delivery& request) {
-    return do_process_state(request);
+  on(mem_ops::kStopProcess, store_, [this](const auto&, auto& opened) {
+    return do_process_state(opened, ProcessState::stopped);
   });
-  on(mem_op::kStopProcess, [this](const net::Delivery& request) {
-    return do_process_state(request);
-  });
-  on(mem_op::kProcessInfo, [this](const net::Delivery& request) {
-    return do_process_info(request);
-  });
-  on(mem_op::kDeleteProcess, [this](const net::Delivery& request) {
-    return do_delete_process(request);
+  on(mem_ops::kProcessInfo, store_,
+     [](const auto&, auto& opened) -> Result<mem_ops::ProcessInfoReply> {
+       const auto* process = std::get_if<Process>(opened.value);
+       if (process == nullptr) {
+         return ErrorCode::invalid_argument;
+       }
+       return mem_ops::ProcessInfoReply{process->state,
+                                        process->segments.size()};
+     });
+  on(mem_ops::kDeleteProcess, store_, [this](const auto&, auto& opened) {
+    if (std::get_if<Process>(opened.value) == nullptr) {
+      return Result<void>{ErrorCode::invalid_argument};
+    }
+    return store_.destroy(std::move(opened));
   });
 }
 
@@ -53,22 +65,22 @@ std::uint64_t MemoryServer::memory_in_use() const {
   return memory_in_use_;
 }
 
-net::Message MemoryServer::do_create_segment(const net::Delivery& request) {
-  const std::uint64_t size = request.message.header.params[0];
+Result<rpc::CapabilityReply> MemoryServer::do_create_segment(
+    const mem_ops::CreateSegmentRequest& req) {
+  const std::uint64_t size = req.size;
   {
     // Reserve the budget first.  Overflow-safe form: `in_use + size` with
     // a client-controlled size could wrap past the limit check.
     const std::lock_guard lock(memory_mutex_);
     if (size > memory_limit_ || memory_in_use_ > memory_limit_ - size) {
-      return error_reply(request, ErrorCode::no_space);
+      return ErrorCode::no_space;
     }
     memory_in_use_ += size;
   }
   try {
     Segment segment;
     segment.bytes.resize(size, 0);
-    return capability_reply(request,
-                            store_.create(Payload{std::move(segment)}));
+    return rpc::CapabilityReply{store_.create(Payload{std::move(segment)})};
   } catch (...) {
     // Allocation or slot creation failed after the budget was reserved:
     // roll the reservation back before the service loop reports the
@@ -79,234 +91,170 @@ net::Message MemoryServer::do_create_segment(const net::Delivery& request) {
   }
 }
 
-net::Message MemoryServer::do_rw_segment(const net::Delivery& request) {
-  const bool writing =
-      request.message.header.opcode == mem_op::kWriteSegment;
-  auto opened = store_.open(header_capability(request.message),
-                            writing ? core::rights::kWrite
-                                    : core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  auto* segment = std::get_if<Segment>(opened.value().value);
+Result<rpc::BytesReply> MemoryServer::do_read_segment(
+    const mem_ops::ReadSegmentRequest& req, Store::Opened& opened) {
+  const auto* segment = std::get_if<Segment>(opened.value);
   if (segment == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
-  const std::uint64_t offset = request.message.header.params[0];
-  if (writing) {
-    const auto& data = request.message.data;
-    // Overflow-safe bounds check: `offset + data.size()` with a
-    // client-controlled offset could wrap and pass.
-    if (offset > segment->bytes.size() ||
-        data.size() > segment->bytes.size() - offset) {
-      return error_reply(request, ErrorCode::invalid_argument);
-    }
-    std::copy(data.begin(), data.end(),
-              segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
-    return error_reply(request, ErrorCode::ok);
+  if (req.offset > segment->bytes.size()) {
+    return ErrorCode::invalid_argument;
   }
-  const std::uint64_t length = request.message.header.params[1];
-  if (offset > segment->bytes.size()) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  const std::uint64_t take = std::min(length, segment->bytes.size() - offset);
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data.assign(
-      segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-      segment->bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
+  const std::uint64_t take =
+      std::min(req.length, segment->bytes.size() - req.offset);
+  rpc::BytesReply reply;
+  reply.bytes.assign(
+      segment->bytes.begin() + static_cast<std::ptrdiff_t>(req.offset),
+      segment->bytes.begin() + static_cast<std::ptrdiff_t>(req.offset + take));
   return reply;
 }
 
-net::Message MemoryServer::do_segment_info(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const auto* segment = std::get_if<Segment>(opened.value().value);
+Result<void> MemoryServer::do_write_segment(
+    const mem_ops::WriteSegmentRequest& req, Store::Opened& opened) {
+  auto* segment = std::get_if<Segment>(opened.value);
   if (segment == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = segment->bytes.size();
-  return reply;
+  // Overflow-safe bounds check: `offset + bytes.size()` with a
+  // client-controlled offset could wrap and pass.
+  if (req.offset > segment->bytes.size() ||
+      req.bytes.size() > segment->bytes.size() - req.offset) {
+    return ErrorCode::invalid_argument;
+  }
+  std::copy(req.bytes.begin(), req.bytes.end(),
+            segment->bytes.begin() + static_cast<std::ptrdiff_t>(req.offset));
+  return {};
 }
 
-net::Message MemoryServer::do_delete_segment(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const auto* segment = std::get_if<Segment>(opened.value().value);
+Result<void> MemoryServer::do_delete_segment(Store::Opened&& opened) {
+  const auto* segment = std::get_if<Segment>(opened.value);
   if (segment == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
   const std::uint64_t freed = segment->bytes.size();
-  const auto destroyed = store_.destroy(std::move(opened.value()));
+  const auto destroyed = store_.destroy(std::move(opened));
   if (destroyed.ok()) {
     const std::lock_guard lock(memory_mutex_);
     memory_in_use_ -= freed;
   }
-  return error_reply(request, destroyed.error());
+  return destroyed;
 }
 
-net::Message MemoryServer::do_process_state(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
+Result<void> MemoryServer::do_delete_any(Store::Opened&& opened) {
+  if (std::holds_alternative<Segment>(*opened.value)) {
+    return do_delete_segment(std::move(opened));
   }
-  auto* process = std::get_if<Process>(opened.value().value);
-  if (process == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  process->state = request.message.header.opcode == mem_op::kStartProcess
-                       ? ProcessState::running
-                       : ProcessState::stopped;
-  return error_reply(request, ErrorCode::ok);
+  return store_.destroy(std::move(opened));
 }
 
-net::Message MemoryServer::do_process_info(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const auto* process = std::get_if<Process>(opened.value().value);
-  if (process == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = static_cast<std::uint64_t>(process->state);
-  reply.header.params[1] = process->segments.size();
-  return reply;
-}
-
-net::Message MemoryServer::do_delete_process(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  if (std::get_if<Process>(opened.value().value) == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  return error_reply(request,
-                     store_.destroy(std::move(opened.value())).error());
-}
-
-net::Message MemoryServer::do_make_process(const net::Delivery& request) {
-  Reader r(request.message.data);
-  const std::uint32_t count = r.u32();
+Result<rpc::CapabilityReply> MemoryServer::do_make_process(
+    const mem_ops::MakeProcessRequest& req) {
   Process process;
-  process.segments.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const core::Capability segment_cap = servers::read_capability(r);
+  process.segments.reserve(req.segments.size());
+  for (const core::Capability& segment_cap : req.segments) {
     // Each segment capability must be valid for THIS memory server and
-    // grant at least read (the child's image is loaded from it).
-    auto segment = store_.open(segment_cap, core::rights::kRead);
+    // grant the rights the op table declares (read: the child's image is
+    // loaded from it).
+    auto segment =
+        store_.open(segment_cap, mem_ops::kMakeProcess.data_rights);
     if (!segment.ok()) {
-      return fail(request, segment);
+      return segment.error();
     }
     if (std::get_if<Segment>(segment.value().value) == nullptr) {
-      return error_reply(request, ErrorCode::invalid_argument);
+      return ErrorCode::invalid_argument;
     }
     process.segments.push_back(segment_cap);
   }
-  if (!r.exhausted()) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  return rpc::CapabilityReply{store_.create(Payload{std::move(process)})};
+}
+
+Result<void> MemoryServer::do_process_state(Store::Opened& opened,
+                                            ProcessState state) {
+  auto* process = std::get_if<Process>(opened.value);
+  if (process == nullptr) {
+    return ErrorCode::invalid_argument;
   }
-  const core::Capability fresh = store_.create(Payload{std::move(process)});
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  set_header_capability(reply, fresh);
-  return reply;
+  process->state = state;
+  return {};
 }
 
 // ------------------------------------------------------------ MemoryClient
 
 Result<core::Capability> MemoryClient::create_segment(std::uint64_t size) {
-  auto reply = servers::call(*transport_, server_port_, mem_op::kCreateSegment,
-                             nullptr, {}, {size, 0, 0, 0});
+  auto reply =
+      rpc::call(*transport_, server_port_, mem_ops::kCreateSegment, {size});
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<Buffer> MemoryClient::read(const core::Capability& segment,
                                   std::uint64_t offset, std::uint64_t length) {
-  auto reply = servers::call(*transport_, server_port_, mem_op::kReadSegment,
-                             &segment, {}, {offset, length, 0, 0});
+  auto reply = rpc::call(*transport_, server_port_, mem_ops::kReadSegment,
+                         segment, {offset, length});
   if (!reply.ok()) {
     return reply.error();
   }
-  return std::move(reply.value().data);
+  return std::move(reply.value().bytes);
 }
 
 Result<void> MemoryClient::write(const core::Capability& segment,
                                  std::uint64_t offset,
                                  std::span<const std::uint8_t> data) {
-  return servers::as_void(servers::call(
-      *transport_, server_port_, mem_op::kWriteSegment, &segment,
-      Buffer(data.begin(), data.end()), {offset, 0, 0, 0}));
+  return rpc::call(*transport_, server_port_, mem_ops::kWriteSegment, segment,
+                   {offset, Buffer(data.begin(), data.end())});
 }
 
 Result<std::uint64_t> MemoryClient::segment_size(
     const core::Capability& segment) {
-  auto reply = servers::call(*transport_, server_port_, mem_op::kSegmentInfo,
-                             &segment);
+  auto reply =
+      rpc::call(*transport_, server_port_, mem_ops::kSegmentInfo, segment);
   if (!reply.ok()) {
     return reply.error();
   }
-  return reply.value().header.params[0];
+  return reply.value().size;
 }
 
 Result<void> MemoryClient::delete_segment(const core::Capability& segment) {
-  return servers::as_void(servers::call(*transport_, server_port_,
-                                        mem_op::kDeleteSegment, &segment));
+  return rpc::call(*transport_, server_port_, mem_ops::kDeleteSegment,
+                   segment);
 }
 
 Result<core::Capability> MemoryClient::make_process(
     std::span<const core::Capability> segments) {
-  Writer w;
-  w.u32(static_cast<std::uint32_t>(segments.size()));
-  for (const auto& cap : segments) {
-    servers::write_capability(w, cap);
-  }
-  auto reply = servers::call(*transport_, server_port_, mem_op::kMakeProcess,
-                             nullptr, w.take());
+  mem_ops::MakeProcessRequest req;
+  req.segments.assign(segments.begin(), segments.end());
+  auto reply = rpc::call(*transport_, server_port_, mem_ops::kMakeProcess,
+                         std::move(req));
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<void> MemoryClient::start(const core::Capability& process) {
-  return servers::as_void(servers::call(*transport_, server_port_,
-                                        mem_op::kStartProcess, &process));
+  return rpc::call(*transport_, server_port_, mem_ops::kStartProcess,
+                   process);
 }
 
 Result<void> MemoryClient::stop(const core::Capability& process) {
-  return servers::as_void(servers::call(*transport_, server_port_,
-                                        mem_op::kStopProcess, &process));
+  return rpc::call(*transport_, server_port_, mem_ops::kStopProcess, process);
 }
 
 Result<MemoryClient::ProcessInfo> MemoryClient::process_info(
     const core::Capability& process) {
-  auto reply = servers::call(*transport_, server_port_, mem_op::kProcessInfo,
-                             &process);
+  auto reply =
+      rpc::call(*transport_, server_port_, mem_ops::kProcessInfo, process);
   if (!reply.ok()) {
     return reply.error();
   }
-  return ProcessInfo{
-      static_cast<ProcessState>(reply.value().header.params[0]),
-      reply.value().header.params[1]};
+  return ProcessInfo{reply.value().state, reply.value().segment_count};
 }
 
 Result<void> MemoryClient::delete_process(const core::Capability& process) {
-  return servers::as_void(servers::call(*transport_, server_port_,
-                                        mem_op::kDeleteProcess, &process));
+  return rpc::call(*transport_, server_port_, mem_ops::kDeleteProcess,
+                   process);
 }
 
 }  // namespace amoeba::kernel

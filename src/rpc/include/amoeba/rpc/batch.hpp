@@ -80,7 +80,7 @@ struct BatchReply {
 ///
 ///   rpc::Batch batch(transport, bank.put_port());
 ///   for (const auto& t : transfers)
-///     batch.add(bank_op::kTransfer, &cap, payload(t), {t.currency, ...});
+///     batch.add(opcode, &cap, payload(t), {t.currency, ...});
 ///   auto replies = batch.run();  // one round trip for all of them
 ///
 /// run()/run_async() consume the queued entries, so one Batch can be

@@ -35,6 +35,17 @@
 
 namespace amoeba::rpc {
 
+/// Runtime metadata of one typed operation descriptor registered on a
+/// service -- what the generic std_ops / rights-matrix property tests
+/// iterate.  Mirrors the fields of rpc::Op (rpc/op.hpp).
+struct OpInfo {
+  std::uint16_t opcode = 0;
+  std::string name;
+  Rights required;            // rights the header capability must grant
+  Rights data_rights;         // rights demanded of data-field capabilities
+  bool object = true;         // false: factory op, no header capability
+};
+
 class Service {
  public:
   /// Binds the service to a machine and its secret get-port.  The service
@@ -104,6 +115,34 @@ class Service {
   /// table-driven services built without subclassing can use it.
   void on(std::uint16_t opcode, Handler handler);
 
+  // ---- typed operation registration (defined in rpc/typed.hpp) --------
+  // The declarative path: the dispatch layer decodes the request body,
+  // validates the header capability against the op's declared rights
+  // BEFORE the handler runs, encodes the reply, and maps Result errors to
+  // statuses.  Including rpc/typed.hpp is required at the call site.
+
+  /// Factory ops (op.object == false): no header capability, nothing to
+  /// validate.  `handler`: (const Call<OpT>&) -> Outcome<OpT>.
+  template <typename OpT, typename F>
+    requires requires { typename OpT::Request; typename OpT::Reply; }
+  void on(const OpT& op, F handler);
+
+  /// Object ops.  When `handler` is (Call<OpT>&, Store::Opened&), the
+  /// dispatcher opens the object with the op's declared rights and hands
+  /// the handler the exclusive accessor (the common single-object shape).
+  /// When it is (Call<OpT>&), the dispatcher validates rights via
+  /// store.check() and the handler takes its own locks (open2 pair ops).
+  template <typename OpT, typename Store, typename F>
+    requires requires { typename OpT::Request; typename OpT::Reply; }
+  void on(const OpT& op, Store& store, F handler);
+
+  /// Every typed descriptor registered on this service, in registration
+  /// order -- lets generic tests exercise any server without per-server
+  /// case lists.
+  [[nodiscard]] const std::vector<OpInfo>& registered_ops() const {
+    return typed_ops_;
+  }
+
  protected:
   /// Processes one request and produces the reply message.  The default
   /// looks the opcode up in the on() table and replies no_such_operation
@@ -112,6 +151,10 @@ class Service {
   [[nodiscard]] virtual net::Message handle(const net::Delivery& request);
 
  private:
+  /// Records a typed descriptor's metadata (called by the typed on()
+  /// overloads after the raw registration validated the opcode).
+  void note_op(OpInfo info);
+
   void run(std::stop_token stop, std::latch& ready);
   [[nodiscard]] net::Message handle_batch(const net::Delivery& request);
   [[nodiscard]] net::Message handle_one(const net::Delivery& request);
@@ -127,6 +170,7 @@ class Service {
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;
   std::unordered_map<std::uint16_t, Handler> handlers_;  // frozen at start()
+  std::vector<OpInfo> typed_ops_;                        // frozen at start()
 };
 
 }  // namespace amoeba::rpc

@@ -81,6 +81,8 @@ void Service::on(std::uint16_t opcode, Handler handler) {
   }
 }
 
+void Service::note_op(OpInfo info) { typed_ops_.push_back(std::move(info)); }
+
 net::Message Service::handle(const net::Delivery& request) {
   // The table is frozen once workers run (on() rejects late registration),
   // so this lookup is lock-free and race-free.

@@ -1,0 +1,53 @@
+#include "amoeba/rpc/typed.hpp"
+
+namespace amoeba::rpc {
+namespace detail {
+
+net::Message decode_error_reply(const net::Delivery& request,
+                                const char* op_name) {
+  net::Message reply =
+      net::make_reply(request.message, ErrorCode::invalid_argument);
+  // The diagnostic rides in the data field; clients that only look at the
+  // status see plain invalid_argument, debugging clients get the op name.
+  Writer w;
+  w.str(std::string(op_name) + ": request body malformed (" +
+        to_string(ErrorCode::invalid_argument) + ")");
+  reply.data = w.take();
+  return reply;
+}
+
+}  // namespace detail
+
+Result<TypedBatch::Replies> TypedBatch::run() {
+  auto raw = batch_.run();
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  Replies replies;
+  replies.entries_ = std::move(raw.value());
+  return replies;
+}
+
+Result<TypedBatch::Replies> TypedBatch::run(
+    std::chrono::milliseconds timeout) {
+  auto raw = batch_.run(timeout);
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  Replies replies;
+  replies.entries_ = std::move(raw.value());
+  return replies;
+}
+
+Result<TypedBatch::Replies> TypedBatch::parse_reply(
+    Result<net::Delivery> delivery) {
+  auto raw = Batch::parse_reply(std::move(delivery));
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  Replies replies;
+  replies.entries_ = std::move(raw.value());
+  return replies;
+}
+
+}  // namespace amoeba::rpc

@@ -1,7 +1,5 @@
 #include "amoeba/servers/bank_server.hpp"
 
-#include <limits>
-
 namespace amoeba::servers {
 namespace {
 
@@ -28,18 +26,23 @@ BankServer::BankServer(net::Machine& machine, Port get_port,
   master.is_master = true;
   master_ = store_.create(std::move(master));
 
-  register_owner_ops(*this, store_);
-  on(bank_op::kCreateAccount, [this](const net::Delivery& request) {
-    return capability_reply(request, store_.create(Account{}));
+  rpc::register_std_ops(*this, store_);
+  on(bank_ops::kCreateAccount,
+     [this](const auto&) -> Result<rpc::CapabilityReply> {
+       return rpc::CapabilityReply{store_.create(Account{})};
+     });
+  on(bank_ops::kBalance, store_, [this](const auto& call, auto& account) {
+    return do_balance(call.body, account);
   });
-  on(bank_op::kBalance,
-     [this](const net::Delivery& request) { return do_balance(request); });
-  on(bank_op::kTransfer,
-     [this](const net::Delivery& request) { return do_transfer(request); });
-  on(bank_op::kConvert,
-     [this](const net::Delivery& request) { return do_convert(request); });
-  on(bank_op::kMint,
-     [this](const net::Delivery& request) { return do_mint(request); });
+  on(bank_ops::kTransfer, store_, [this](const auto& call) {
+    return do_transfer(call.capability, call.body);
+  });
+  on(bank_ops::kConvert, store_, [this](const auto& call, auto& account) {
+    return do_convert(call.body, account);
+  });
+  on(bank_ops::kMint, store_, [this](const auto& call) {
+    return do_mint(call.capability, call.body);
+  });
 }
 
 void BankServer::set_conversion_rate(std::uint32_t from, std::uint32_t to,
@@ -51,183 +54,140 @@ void BankServer::set_conversion_rate(std::uint32_t from, std::uint32_t to,
   rates_[{from, to}] = {num, den};
 }
 
-net::Message BankServer::do_balance(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const std::uint32_t cur =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  const auto& balances = opened.value().value->balances;
-  auto it = balances.find(cur);
-  reply.header.params[0] =
-      static_cast<std::uint64_t>(it == balances.end() ? 0 : it->second);
-  return reply;
+Result<bank_ops::BalanceReply> BankServer::do_balance(
+    const bank_ops::BalanceRequest& req, Store::Opened& account) {
+  const auto& balances = account.value->balances;
+  auto it = balances.find(req.currency);
+  return bank_ops::BalanceReply{it == balances.end() ? 0 : it->second};
 }
 
-net::Message BankServer::do_transfer(const net::Delivery& request) {
-  Reader r(request.message.data);
-  const core::Capability to_cap = read_capability(r);
-  if (!r.exhausted()) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
+Result<void> BankServer::do_transfer(const core::Capability& from_cap,
+                                     const bank_ops::TransferRequest& req) {
   // Both accounts under their shard locks at once: the transfer is atomic
   // against every other transfer touching either account, without any
-  // bank-wide serialization.
-  auto pair = store_.open2(header_capability(request.message),
-                           bank_rights::kWithdraw, to_cap,
-                           bank_rights::kDeposit);
+  // bank-wide serialization.  The rights come straight from the op table.
+  auto pair = store_.open2(from_cap, bank_ops::kTransfer.required, req.to,
+                           bank_ops::kTransfer.data_rights);
   if (!pair.ok()) {
-    return fail(request, pair);
+    return pair.error();
   }
   auto& [from, to] = pair.value();
-  const std::uint32_t cur =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
-  const std::int64_t amount =
-      static_cast<std::int64_t>(request.message.header.params[1]);
-  if (amount <= 0) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (req.amount <= 0) {
+    return ErrorCode::invalid_argument;
   }
-  std::int64_t& from_balance = from.value->balances[cur];
-  if (from_balance < amount) {
-    return error_reply(request, ErrorCode::insufficient_funds);
+  std::int64_t& from_balance = from.value->balances[req.currency];
+  if (from_balance < req.amount) {
+    return ErrorCode::insufficient_funds;
   }
   if (from.object == to.object) {
-    return error_reply(request, ErrorCode::ok);  // self-transfer: no-op
+    return {};  // self-transfer: no-op
   }
   // Distinct accounts: the maps are distinct, so taking the second
   // reference cannot invalidate the first.
-  std::int64_t& to_balance = to.value->balances[cur];
+  std::int64_t& to_balance = to.value->balances[req.currency];
   std::int64_t new_to = 0;
-  if (!add_checked(to_balance, amount, new_to)) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (!add_checked(to_balance, req.amount, new_to)) {
+    return ErrorCode::invalid_argument;
   }
-  from_balance -= amount;
+  from_balance -= req.amount;
   to_balance = new_to;
-  return error_reply(request, ErrorCode::ok);
+  return {};
 }
 
-net::Message BankServer::do_convert(const net::Delivery& request) {
-  // Converting rearranges the holder's own money: needs both directions.
-  auto opened =
-      store_.open(header_capability(request.message),
-                  bank_rights::kWithdraw.with(bank_rights::kDepositBit));
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const std::uint32_t from_cur =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
-  const std::uint32_t to_cur =
-      static_cast<std::uint32_t>(request.message.header.params[1]);
-  const std::int64_t amount =
-      static_cast<std::int64_t>(request.message.header.params[2]);
-  if (amount <= 0) {
-    return error_reply(request, ErrorCode::invalid_argument);
+Result<bank_ops::ConvertReply> BankServer::do_convert(
+    const bank_ops::ConvertRequest& req, Store::Opened& account) {
+  if (req.amount <= 0) {
+    return ErrorCode::invalid_argument;
   }
   std::pair<std::int64_t, std::int64_t> rate;
   {
     const std::shared_lock lock(rates_mutex_);
-    auto it = rates_.find({from_cur, to_cur});
+    auto it = rates_.find({req.from_currency, req.to_currency});
     if (it == rates_.end()) {
-      return error_reply(request, ErrorCode::bad_currency);  // inconvertible
+      return ErrorCode::bad_currency;  // inconvertible
     }
     rate = it->second;
   }
-  auto& balances = opened.value().value->balances;
-  if (balances[from_cur] < amount) {
-    return error_reply(request, ErrorCode::insufficient_funds);
+  auto& balances = account.value->balances;
+  if (balances[req.from_currency] < req.amount) {
+    return ErrorCode::insufficient_funds;
   }
   const auto [num, den] = rate;
   std::int64_t scaled = 0;
-  if (!mul_checked(amount, num, scaled)) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (!mul_checked(req.amount, num, scaled)) {
+    return ErrorCode::invalid_argument;
   }
   const std::int64_t converted = scaled / den;
   std::int64_t new_balance = 0;
-  if (!add_checked(balances[to_cur], converted, new_balance)) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (!add_checked(balances[req.to_currency], converted, new_balance)) {
+    return ErrorCode::invalid_argument;
   }
-  balances[from_cur] -= amount;
-  balances[to_cur] = new_balance;
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = static_cast<std::uint64_t>(converted);
-  return reply;
+  balances[req.from_currency] -= req.amount;
+  balances[req.to_currency] = new_balance;
+  return bank_ops::ConvertReply{converted};
 }
 
-net::Message BankServer::do_mint(const net::Delivery& request) {
-  Reader r(request.message.data);
-  const core::Capability to_cap = read_capability(r);
-  if (!r.exhausted()) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  auto pair = store_.open2(header_capability(request.message),
-                           bank_rights::kMint, to_cap, bank_rights::kDeposit);
+Result<void> BankServer::do_mint(const core::Capability& master_cap,
+                                 const bank_ops::MintRequest& req) {
+  auto pair = store_.open2(master_cap, bank_ops::kMint.required, req.to,
+                           bank_ops::kMint.data_rights);
   if (!pair.ok()) {
-    return fail(request, pair);
+    return pair.error();
   }
   auto& [master, to] = pair.value();
   if (!master.value->is_master) {
     // A forged kMint bit on an ordinary account must not create money.
-    return error_reply(request, ErrorCode::permission_denied);
+    return ErrorCode::permission_denied;
   }
-  const std::uint32_t cur =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
-  const std::int64_t amount =
-      static_cast<std::int64_t>(request.message.header.params[1]);
-  if (amount <= 0) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (req.amount <= 0) {
+    return ErrorCode::invalid_argument;
   }
   std::int64_t new_balance = 0;
-  if (!add_checked(to.value->balances[cur], amount, new_balance)) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (!add_checked(to.value->balances[req.currency], req.amount,
+                   new_balance)) {
+    return ErrorCode::invalid_argument;
   }
-  to.value->balances[cur] = new_balance;
-  return error_reply(request, ErrorCode::ok);
+  to.value->balances[req.currency] = new_balance;
+  return {};
 }
 
 // -------------------------------------------------------------- BankClient
 
 Result<core::Capability> BankClient::create_account() {
-  auto reply = call(*transport_, server_port_, bank_op::kCreateAccount);
+  auto reply = rpc::call(*transport_, server_port_, bank_ops::kCreateAccount);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<std::int64_t> BankClient::balance(const core::Capability& account,
                                          std::uint32_t currency) {
-  auto reply = call(*transport_, server_port_, bank_op::kBalance, &account,
-                    {}, {currency, 0, 0, 0});
+  auto reply = rpc::call(*transport_, server_port_, bank_ops::kBalance,
+                         account, {currency});
   if (!reply.ok()) {
     return reply.error();
   }
-  return static_cast<std::int64_t>(reply.value().header.params[0]);
+  return reply.value().balance;
 }
 
 Result<void> BankClient::transfer(const core::Capability& from,
                                   const core::Capability& to,
                                   std::uint32_t currency,
                                   std::int64_t amount) {
-  Writer w;
-  write_capability(w, to);
-  return as_void(call(*transport_, server_port_, bank_op::kTransfer, &from,
-                      w.take(),
-                      {currency, static_cast<std::uint64_t>(amount), 0, 0}));
+  return rpc::call(*transport_, server_port_, bank_ops::kTransfer, from,
+                   {currency, amount, to});
 }
 
 std::vector<Result<void>> BankClient::transfer_many(
     std::span<const Transfer> transfers) {
-  rpc::Batch batch(*transport_, server_port_);
+  rpc::TypedBatch batch(*transport_, server_port_);
+  std::vector<rpc::TypedBatch::Entry<bank_ops::TransferOp>> entries;
+  entries.reserve(transfers.size());
   for (const auto& transfer : transfers) {
-    Writer w;
-    write_capability(w, transfer.to);
-    const auto from = core::pack(transfer.from);
-    batch.add(bank_op::kTransfer, &from, w.take(),
-              {transfer.currency, static_cast<std::uint64_t>(transfer.amount),
-               0, 0});
+    entries.push_back(
+        batch.add(bank_ops::kTransfer, transfer.from,
+                  {transfer.currency, transfer.amount, transfer.to}));
   }
   std::vector<Result<void>> results;
   results.reserve(transfers.size());
@@ -237,10 +197,8 @@ std::vector<Result<void>> BankClient::transfer_many(
     return results;
   }
   // run() guarantees one reply per queued entry on success.
-  for (const auto& reply : replies.value()) {
-    results.push_back(reply.status == ErrorCode::ok
-                          ? Result<void>()
-                          : Result<void>(reply.status));
+  for (const auto& entry : entries) {
+    results.push_back(replies.value().get(entry));
   }
   return results;
 }
@@ -249,24 +207,19 @@ Result<std::int64_t> BankClient::convert(const core::Capability& account,
                                          std::uint32_t from_currency,
                                          std::uint32_t to_currency,
                                          std::int64_t amount) {
-  auto reply = call(*transport_, server_port_, bank_op::kConvert, &account,
-                    {},
-                    {from_currency, to_currency,
-                     static_cast<std::uint64_t>(amount), 0});
+  auto reply = rpc::call(*transport_, server_port_, bank_ops::kConvert,
+                         account, {from_currency, to_currency, amount});
   if (!reply.ok()) {
     return reply.error();
   }
-  return static_cast<std::int64_t>(reply.value().header.params[0]);
+  return reply.value().converted;
 }
 
 Result<void> BankClient::mint(const core::Capability& master,
                               const core::Capability& to,
                               std::uint32_t currency, std::int64_t amount) {
-  Writer w;
-  write_capability(w, to);
-  return as_void(call(*transport_, server_port_, bank_op::kMint, &master,
-                      w.take(),
-                      {currency, static_cast<std::uint64_t>(amount), 0, 0}));
+  return rpc::call(*transport_, server_port_, bank_ops::kMint, master,
+                   {currency, amount, to});
 }
 
 }  // namespace amoeba::servers

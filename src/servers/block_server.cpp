@@ -1,5 +1,7 @@
 #include "amoeba/servers/block_server.hpp"
 
+#include <utility>
+
 #include "amoeba/servers/common.hpp"
 
 namespace amoeba::servers {
@@ -12,17 +14,23 @@ BlockServer::BlockServer(net::Machine& machine, Port get_port,
       disk_(geometry.block_count, geometry.block_size, geometry.write_once),
       store_(std::move(scheme),
              machine.fbox().listen_port(get_port), seed) {
-  register_owner_ops(*this, store_);
-  on(block_op::kAllocate,
-     [this](const net::Delivery& request) { return do_allocate(request); });
-  on(block_op::kRead,
-     [this](const net::Delivery& request) { return do_read(request); });
-  on(block_op::kWrite,
-     [this](const net::Delivery& request) { return do_write(request); });
-  on(block_op::kFree,
-     [this](const net::Delivery& request) { return do_free(request); });
-  on(block_op::kInfo,
-     [this](const net::Delivery& request) { return do_info(request); });
+  // std.destroy must free the disk block too, not just the slot.
+  rpc::register_std_ops(
+      *this, store_,
+      {.destroy = [this](Store::Opened&& block) {
+         return do_free(std::move(block));
+       }});
+  on(block_ops::kAllocate,
+     [this](const auto&) { return do_allocate(); });
+  on(block_ops::kRead, store_,
+     [this](const auto&, auto& block) { return do_read(block); });
+  on(block_ops::kWrite, store_, [this](const auto& call, auto& block) {
+    return do_write(call.body, block);
+  });
+  on(block_ops::kFree, store_, [this](const auto&, auto& block) {
+    return do_free(std::move(block));
+  });
+  on(block_ops::kInfo, [this](const auto&) { return do_info(); });
 }
 
 SimDisk::Stats BlockServer::disk_stats() const {
@@ -30,108 +38,85 @@ SimDisk::Stats BlockServer::disk_stats() const {
   return disk_.stats();
 }
 
-net::Message BlockServer::do_allocate(const net::Delivery& request) {
+Result<rpc::CapabilityReply> BlockServer::do_allocate() {
   Result<std::uint32_t> block = [&] {
     const std::lock_guard lock(mutex_);
     return disk_.allocate();
   }();
   if (!block.ok()) {
-    return error_reply(request, block.error());
+    return block.error();
   }
-  return capability_reply(request, store_.create(block.value()));
+  return rpc::CapabilityReply{store_.create(block.value())};
 }
 
-net::Message BlockServer::do_read(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
+Result<rpc::BytesReply> BlockServer::do_read(Store::Opened& block) {
   auto data = [&] {
     const std::lock_guard lock(mutex_);
-    return disk_.read(*opened.value().value);
+    return disk_.read(*block.value);
   }();
   if (!data.ok()) {
-    return error_reply(request, data.error());
+    return data.error();
   }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data = std::move(data.value());
-  return reply;
+  return rpc::BytesReply{std::move(data.value())};
 }
 
-net::Message BlockServer::do_write(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
+Result<void> BlockServer::do_write(const rpc::BytesRequest& req,
+                                   Store::Opened& block) {
   const std::lock_guard lock(mutex_);
-  const auto written = disk_.write(*opened.value().value,
-                                   request.message.data);
-  return error_reply(request, written.ok() ? ErrorCode::ok : written.error());
+  return disk_.write(*block.value, req.bytes);
 }
 
-net::Message BlockServer::do_free(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const std::uint32_t block = *opened.value().value;
-  const auto destroyed = store_.destroy(std::move(opened.value()));
+Result<void> BlockServer::do_free(Store::Opened&& block) {
+  const std::uint32_t index = *block.value;
+  const auto destroyed = store_.destroy(std::move(block));
   if (!destroyed.ok()) {
-    return error_reply(request, destroyed.error());
+    return destroyed.error();
   }
   const std::lock_guard lock(mutex_);
-  return error_reply(request, disk_.free_block(block).error());
+  return disk_.free_block(index);
 }
 
-net::Message BlockServer::do_info(const net::Delivery& request) {
+Result<block_ops::InfoReply> BlockServer::do_info() const {
   const std::lock_guard lock(mutex_);
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = disk_.block_count();
-  reply.header.params[1] = disk_.block_size();
-  reply.header.params[2] = disk_.free_count();
-  return reply;
+  return block_ops::InfoReply{disk_.block_count(), disk_.block_size(),
+                              disk_.free_count()};
 }
 
 // ------------------------------------------------------------- BlockClient
 
 Result<core::Capability> BlockClient::allocate() {
-  auto reply = call(*transport_, server_port_, block_op::kAllocate);
+  auto reply = rpc::call(*transport_, server_port_, block_ops::kAllocate);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<Buffer> BlockClient::read(const core::Capability& block) {
-  auto reply = call(*transport_, server_port_, block_op::kRead, &block);
+  auto reply = rpc::call(*transport_, server_port_, block_ops::kRead, block);
   if (!reply.ok()) {
     return reply.error();
   }
-  return std::move(reply.value().data);
+  return std::move(reply.value().bytes);
 }
 
 Result<void> BlockClient::write(const core::Capability& block,
                                 std::span<const std::uint8_t> data) {
-  return as_void(call(*transport_, server_port_, block_op::kWrite, &block,
-                      Buffer(data.begin(), data.end())));
+  return rpc::call(*transport_, server_port_, block_ops::kWrite, block,
+                   {Buffer(data.begin(), data.end())});
 }
 
 Result<void> BlockClient::free_block(const core::Capability& block) {
-  return as_void(call(*transport_, server_port_, block_op::kFree, &block));
+  return rpc::call(*transport_, server_port_, block_ops::kFree, block);
 }
 
 Result<BlockClient::Info> BlockClient::info() {
-  auto reply = call(*transport_, server_port_, block_op::kInfo);
+  auto reply = rpc::call(*transport_, server_port_, block_ops::kInfo);
   if (!reply.ok()) {
     return reply.error();
   }
-  const auto& params = reply.value().header.params;
-  return Info{static_cast<std::uint32_t>(params[0]),
-              static_cast<std::uint32_t>(params[1]),
-              static_cast<std::uint32_t>(params[2])};
+  return Info{reply.value().block_count, reply.value().block_size,
+              reply.value().free_blocks};
 }
 
 }  // namespace amoeba::servers

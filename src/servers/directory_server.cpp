@@ -41,174 +41,117 @@ DirectoryServer::DirectoryServer(
     std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed)
     : rpc::Service(machine, get_port, "directory"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {
-  register_owner_ops(*this, store_);
-  on(dir_op::kCreateDir, [this](const net::Delivery& request) {
-    return capability_reply(request, store_.create(Directory{}));
+  // std.destroy keeps the delete semantics: only empty directories die.
+  rpc::register_std_ops(
+      *this, store_,
+      {.destroy = [this](Store::Opened&& dir) {
+         return do_delete(std::move(dir));
+       }});
+  on(dir_ops::kCreateDir, [this](const auto&) -> Result<rpc::CapabilityReply> {
+    return rpc::CapabilityReply{store_.create(Directory{})};
   });
-  on(dir_op::kLookup,
-     [this](const net::Delivery& request) { return do_lookup(request); });
-  on(dir_op::kEnter,
-     [this](const net::Delivery& request) { return do_enter(request); });
-  on(dir_op::kRemove,
-     [this](const net::Delivery& request) { return do_remove(request); });
-  on(dir_op::kList,
-     [this](const net::Delivery& request) { return do_list(request); });
-  on(dir_op::kDeleteDir,
-     [this](const net::Delivery& request) { return do_delete(request); });
+  on(dir_ops::kLookup, store_, [this](const auto& call, auto& dir) {
+    return do_lookup(call.body, dir);
+  });
+  on(dir_ops::kEnter, store_, [this](const auto& call, auto& dir) {
+    return do_enter(call.body, dir);
+  });
+  on(dir_ops::kRemove, store_, [this](const auto& call, auto& dir) {
+    return do_remove(call.body, dir);
+  });
+  on(dir_ops::kList, store_,
+     [this](const auto&, auto& dir) { return do_list(dir); });
+  on(dir_ops::kDeleteDir, store_, [this](const auto&, auto& dir) {
+    return do_delete(std::move(dir));
+  });
 }
 
-net::Message DirectoryServer::do_lookup(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
+Result<rpc::CapabilityReply> DirectoryServer::do_lookup(
+    const dir_ops::NameRequest& req, Store::Opened& dir) {
+  auto it = dir.value->find(req.name);
+  if (it == dir.value->end()) {
+    return ErrorCode::not_found;
   }
-  Reader r(request.message.data);
-  const std::string name = r.str();
-  if (!r.exhausted()) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  return rpc::CapabilityReply{core::unpack(it->second)};
+}
+
+Result<void> DirectoryServer::do_enter(const dir_ops::EnterRequest& req,
+                                       Store::Opened& dir) {
+  if (req.name.empty()) {
+    return ErrorCode::invalid_argument;
   }
-  const Directory& dir = *opened.value().value;
-  auto it = dir.find(name);
-  if (it == dir.end()) {
-    return error_reply(request, ErrorCode::not_found);
+  if (dir.value->contains(req.name)) {
+    return ErrorCode::exists;
   }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.capability = it->second;
+  dir.value->emplace(req.name, core::pack(req.target));
+  return {};
+}
+
+Result<void> DirectoryServer::do_remove(const dir_ops::NameRequest& req,
+                                        Store::Opened& dir) {
+  return dir.value->erase(req.name) > 0 ? Result<void>{}
+                                        : Result<void>{ErrorCode::not_found};
+}
+
+Result<dir_ops::ListReply> DirectoryServer::do_list(Store::Opened& dir) {
+  dir_ops::ListReply reply;
+  reply.entries.reserve(dir.value->size());
+  for (const auto& [name, capability] : *dir.value) {
+    reply.entries.push_back(DirEntry{name, core::unpack(capability)});
+  }
   return reply;
 }
 
-net::Message DirectoryServer::do_enter(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
+Result<void> DirectoryServer::do_delete(Store::Opened&& dir) {
+  if (!dir.value->empty()) {
+    return ErrorCode::not_empty;
   }
-  Reader r(request.message.data);
-  const std::string name = r.str();
-  const core::Capability target = read_capability(r);
-  if (!r.exhausted() || name.empty()) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  Directory& dir = *opened.value().value;
-  if (dir.contains(name)) {
-    return error_reply(request, ErrorCode::exists);
-  }
-  dir.emplace(name, core::pack(target));
-  return error_reply(request, ErrorCode::ok);
-}
-
-net::Message DirectoryServer::do_remove(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  Reader r(request.message.data);
-  const std::string name = r.str();
-  if (!r.exhausted()) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  return error_reply(request, opened.value().value->erase(name) > 0
-                                  ? ErrorCode::ok
-                                  : ErrorCode::not_found);
-}
-
-net::Message DirectoryServer::do_list(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  Writer w;
-  const Directory& dir = *opened.value().value;
-  w.u32(static_cast<std::uint32_t>(dir.size()));
-  for (const auto& [name, capability] : dir) {
-    w.str(name);
-    write_capability(w, core::unpack(capability));
-  }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data = w.take();
-  return reply;
-}
-
-net::Message DirectoryServer::do_delete(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  if (!opened.value().value->empty()) {
-    return error_reply(request, ErrorCode::not_empty);
-  }
-  return error_reply(request,
-                     store_.destroy(std::move(opened.value())).error());
+  return store_.destroy(std::move(dir));
 }
 
 // --------------------------------------------------------- DirectoryClient
 
 Result<core::Capability> DirectoryClient::create_dir() {
-  auto reply = call(*transport_, server_port_, dir_op::kCreateDir);
+  auto reply = rpc::call(*transport_, server_port_, dir_ops::kCreateDir);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<core::Capability> DirectoryClient::lookup(const core::Capability& dir,
                                                  const std::string& name) {
-  Writer w;
-  w.str(name);
   auto reply =
-      call(*transport_, server_port_, dir_op::kLookup, &dir, w.take());
+      rpc::call(*transport_, server_port_, dir_ops::kLookup, dir, {name});
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<void> DirectoryClient::enter(const core::Capability& dir,
                                     const std::string& name,
                                     const core::Capability& target) {
-  Writer w;
-  w.str(name);
-  write_capability(w, target);
-  return as_void(
-      call(*transport_, server_port_, dir_op::kEnter, &dir, w.take()));
+  return rpc::call(*transport_, server_port_, dir_ops::kEnter, dir,
+                   {name, target});
 }
 
 Result<void> DirectoryClient::remove(const core::Capability& dir,
                                      const std::string& name) {
-  Writer w;
-  w.str(name);
-  return as_void(
-      call(*transport_, server_port_, dir_op::kRemove, &dir, w.take()));
+  return rpc::call(*transport_, server_port_, dir_ops::kRemove, dir, {name});
 }
 
 Result<std::vector<DirEntry>> DirectoryClient::list(
     const core::Capability& dir) {
-  auto reply = call(*transport_, server_port_, dir_op::kList, &dir);
+  auto reply = rpc::call(*transport_, server_port_, dir_ops::kList, dir);
   if (!reply.ok()) {
     return reply.error();
   }
-  Reader r(reply.value().data);
-  const std::uint32_t count = r.u32();
-  std::vector<DirEntry> entries;
-  entries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    DirEntry entry;
-    entry.name = r.str();
-    entry.capability = read_capability(r);
-    entries.push_back(std::move(entry));
-  }
-  if (!r.exhausted()) {
-    return ErrorCode::internal;
-  }
-  return entries;
+  return std::move(reply.value().entries);
 }
 
 Result<void> DirectoryClient::delete_dir(const core::Capability& dir) {
-  return as_void(call(*transport_, server_port_, dir_op::kDeleteDir, &dir));
+  return rpc::call(*transport_, server_port_, dir_ops::kDeleteDir, dir);
 }
 
 Result<core::Capability> resolve_path(rpc::Transport& transport,
@@ -265,12 +208,13 @@ std::vector<Result<core::Capability>> resolve_paths(
       break;
     }
     for (auto& [server, members] : frontier) {
-      rpc::Batch batch(transport, server);
+      rpc::TypedBatch batch(transport, server);
+      std::vector<rpc::TypedBatch::Entry<dir_ops::LookupOp>> entries;
+      entries.reserve(members.size());
       for (const auto i : members) {
-        Writer w;
-        w.str(pop_component(walks[i].rest));
-        const auto packed = core::pack(walks[i].at);
-        batch.add(dir_op::kLookup, &packed, w.take());
+        entries.push_back(
+            batch.add(dir_ops::kLookup, walks[i].at,
+                      {std::string(pop_component(walks[i].rest))}));
       }
       auto replies = batch.run();
       if (!replies.ok()) {
@@ -282,12 +226,12 @@ std::vector<Result<core::Capability>> resolve_paths(
       // run() guarantees one reply per queued entry on success.
       for (std::size_t k = 0; k < members.size(); ++k) {
         Walk& walk = walks[members[k]];
-        const rpc::BatchReply& reply = replies.value()[k];
-        if (reply.status != ErrorCode::ok) {
-          walk.failed = as_walk_error(reply.status);
+        auto found = replies.value().get(entries[k]);
+        if (!found.ok()) {
+          walk.failed = as_walk_error(found.error());
           continue;
         }
-        walk.at = core::unpack(reply.capability);
+        walk.at = found.value().capability;
         walk.done = walk.rest.empty();
       }
     }

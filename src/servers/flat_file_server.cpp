@@ -15,17 +15,27 @@ FlatFileServer::FlatFileServer(
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
       transport_(machine, seed ^ 0xF17EULL),
       blocks_(transport_, block_server_port) {
-  register_owner_ops(*this, store_);
-  on(file_op::kCreate,
-     [this](const net::Delivery& request) { return do_create(request); });
-  on(file_op::kDestroy,
-     [this](const net::Delivery& request) { return do_destroy(request); });
-  on(file_op::kRead,
-     [this](const net::Delivery& request) { return do_read(request); });
-  on(file_op::kWrite,
-     [this](const net::Delivery& request) { return do_write(request); });
-  on(file_op::kSize,
-     [this](const net::Delivery& request) { return do_size(request); });
+  // std.destroy must free the file's blocks and refund the payer too.
+  rpc::register_std_ops(
+      *this, store_,
+      {.destroy = [this](Store::Opened&& file) {
+         return do_destroy(std::move(file));
+       }});
+  on(file_ops::kCreate,
+     [this](const auto& call) { return do_create(call.body); });
+  on(file_ops::kDestroy, store_, [this](const auto&, auto& file) {
+    return do_destroy(std::move(file));
+  });
+  on(file_ops::kRead, store_, [this](const auto& call, auto& file) {
+    return do_read(call.body, file);
+  });
+  on(file_ops::kWrite, store_, [this](const auto& call, auto& file) {
+    return do_write(call.body, file);
+  });
+  on(file_ops::kSize, store_,
+     [](const auto&, auto& file) -> Result<file_ops::SizeReply> {
+       return file_ops::SizeReply{file.value->size};
+     });
 }
 
 void FlatFileServer::set_pricing(Pricing pricing) {
@@ -70,7 +80,8 @@ Result<std::uint32_t> FlatFileServer::ensure_block_size() {
   return size;
 }
 
-net::Message FlatFileServer::do_create(const net::Delivery& request) {
+Result<rpc::CapabilityReply> FlatFileServer::do_create(
+    const file_ops::CreateRequest& req) {
   bool priced = false;
   {
     const std::lock_guard lock(pricing_mutex_);
@@ -79,26 +90,20 @@ net::Message FlatFileServer::do_create(const net::Delivery& request) {
   Inode inode;
   if (priced) {
     // Payment account capability required in the data field.
-    Reader r(request.message.data);
-    inode.payer = read_capability(r);
-    if (!r.exhausted() || inode.payer.is_null()) {
-      return error_reply(request, ErrorCode::invalid_argument);
+    if (!req.payment.has_value() || req.payment->is_null()) {
+      return ErrorCode::invalid_argument;
     }
+    inode.payer = *req.payment;
     inode.paid = true;
   }
-  return capability_reply(request, store_.create(std::move(inode)));
+  return rpc::CapabilityReply{store_.create(std::move(inode))};
 }
 
-net::Message FlatFileServer::do_destroy(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  Inode inode = std::move(*opened.value().value);
-  const auto destroyed = store_.destroy(std::move(opened.value()));
+Result<void> FlatFileServer::do_destroy(Store::Opened&& file) {
+  Inode inode = std::move(*file.value);
+  const auto destroyed = store_.destroy(std::move(file));
   if (!destroyed.ok()) {
-    return error_reply(request, destroyed.error());
+    return destroyed.error();
   }
   // Shard lock released: the block frees and the refund are plain client
   // RPCs against the other services.
@@ -106,47 +111,31 @@ net::Message FlatFileServer::do_destroy(const net::Delivery& request) {
     (void)blocks_.free_block(block_cap);  // best effort
   }
   (void)charge(inode, -static_cast<std::int64_t>(inode.blocks.size()));
-  return error_reply(request, ErrorCode::ok);
+  return {};
 }
 
-net::Message FlatFileServer::do_size(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = opened.value().value->size;
-  return reply;
-}
-
-net::Message FlatFileServer::do_read(const net::Delivery& request) {
+Result<rpc::BytesReply> FlatFileServer::do_read(
+    const file_ops::ReadRequest& req, Store::Opened& file) {
   const auto block_size_result = ensure_block_size();
   if (!block_size_result.ok()) {
-    return fail(request, block_size_result);
+    return block_size_result.error();
   }
   const std::uint32_t block_size = block_size_result.value();
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
+  const Inode& inode = *file.value;
+  if (req.position >= inode.size) {
+    return rpc::BytesReply{};  // empty read
   }
-  const Inode& inode = *opened.value().value;
-  const std::uint64_t position = request.message.header.params[0];
-  std::uint64_t length = request.message.header.params[1];
-  if (position >= inode.size) {
-    return net::make_reply(request.message, ErrorCode::ok);  // empty read
-  }
-  length = std::min(length, inode.size - position);
+  const std::uint64_t length =
+      std::min(req.length, inode.size - req.position);
   Buffer out;
   out.reserve(length);
-  std::uint64_t pos = position;
+  std::uint64_t pos = req.position;
   while (out.size() < length) {
     const std::uint64_t block_index = pos / block_size;
     const std::uint64_t offset = pos % block_size;
     auto data = blocks_.read(inode.blocks[block_index]);
     if (!data.ok()) {
-      return error_reply(request, ErrorCode::internal);
+      return ErrorCode::internal;
     }
     const std::uint64_t take =
         std::min<std::uint64_t>(block_size - offset, length - out.size());
@@ -155,35 +144,28 @@ net::Message FlatFileServer::do_read(const net::Delivery& request) {
                data.value().begin() + static_cast<std::ptrdiff_t>(offset + take));
     pos += take;
   }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data = std::move(out);
-  return reply;
+  return rpc::BytesReply{std::move(out)};
 }
 
-net::Message FlatFileServer::do_write(const net::Delivery& request) {
+Result<void> FlatFileServer::do_write(const file_ops::WriteRequest& req,
+                                      Store::Opened& file) {
   const auto block_size_result = ensure_block_size();
   if (!block_size_result.ok()) {
-    return fail(request, block_size_result);
+    return block_size_result.error();
   }
   const std::uint32_t block_size = block_size_result.value();
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  Inode& inode = *opened.value().value;
-  const std::uint64_t position = request.message.header.params[0];
-  const auto& data = request.message.data;
+  Inode& inode = *file.value;
+  const auto& data = req.bytes;
   if (data.empty()) {
-    return error_reply(request, ErrorCode::ok);
+    return {};
   }
   // Position is client-controlled: reject offsets whose end position
   // cannot be represented (the block arithmetic below must not wrap).
-  if (position > std::numeric_limits<std::uint64_t>::max() - block_size -
-                     data.size()) {
-    return error_reply(request, ErrorCode::invalid_argument);
+  if (req.position > std::numeric_limits<std::uint64_t>::max() - block_size -
+                         data.size()) {
+    return ErrorCode::invalid_argument;
   }
-  const std::uint64_t end = position + data.size();
+  const std::uint64_t end = req.position + data.size();
 
   // Grow: allocate (and charge for) the blocks the write needs.
   const std::uint64_t needed_blocks = (end + block_size - 1) / block_size;
@@ -191,19 +173,19 @@ net::Message FlatFileServer::do_write(const net::Delivery& request) {
     const std::int64_t growth =
         static_cast<std::int64_t>(needed_blocks - inode.blocks.size());
     if (const auto paid = charge(inode, growth); !paid.ok()) {
-      return error_reply(request, paid.error());
+      return paid.error();
     }
     while (inode.blocks.size() < needed_blocks) {
       auto block = blocks_.allocate();
       if (!block.ok()) {
-        return error_reply(request, ErrorCode::no_space);
+        return ErrorCode::no_space;
       }
       inode.blocks.push_back(block.value());
     }
   }
 
   // Write block by block, read-modify-write at the ragged edges.
-  std::uint64_t pos = position;
+  std::uint64_t pos = req.position;
   std::size_t consumed = 0;
   while (consumed < data.size()) {
     const std::uint64_t block_index = pos / block_size;
@@ -214,7 +196,7 @@ net::Message FlatFileServer::do_write(const net::Delivery& request) {
     if (offset != 0 || take != block_size) {
       auto existing = blocks_.read(inode.blocks[block_index]);
       if (!existing.ok()) {
-        return error_reply(request, ErrorCode::internal);
+        return ErrorCode::internal;
       }
       content = std::move(existing.value());
     } else {
@@ -224,62 +206,58 @@ net::Message FlatFileServer::do_write(const net::Delivery& request) {
                 content.begin() + static_cast<std::ptrdiff_t>(offset));
     if (const auto written = blocks_.write(inode.blocks[block_index], content);
         !written.ok()) {
-      return error_reply(request, written.error());
+      return written.error();
     }
     pos += take;
     consumed += take;
   }
   inode.size = std::max(inode.size, end);
-  return error_reply(request, ErrorCode::ok);
+  return {};
 }
 
 // ---------------------------------------------------------- FlatFileClient
 
 Result<core::Capability> FlatFileClient::create(
     const core::Capability* payment) {
-  Buffer data;
+  file_ops::CreateRequest req;
   if (payment != nullptr) {
-    Writer w;
-    write_capability(w, *payment);
-    data = w.take();
+    req.payment = *payment;
   }
-  auto reply = call(*transport_, server_port_, file_op::kCreate, nullptr,
-                    std::move(data));
+  auto reply = rpc::call(*transport_, server_port_, file_ops::kCreate, req);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<void> FlatFileClient::destroy(const core::Capability& file) {
-  return as_void(call(*transport_, server_port_, file_op::kDestroy, &file));
+  return rpc::call(*transport_, server_port_, file_ops::kDestroy, file);
 }
 
 Result<Buffer> FlatFileClient::read(const core::Capability& file,
                                     std::uint64_t position,
                                     std::uint64_t length) {
-  auto reply = call(*transport_, server_port_, file_op::kRead, &file, {},
-                    {position, length, 0, 0});
+  auto reply = rpc::call(*transport_, server_port_, file_ops::kRead, file,
+                         {position, length});
   if (!reply.ok()) {
     return reply.error();
   }
-  return std::move(reply.value().data);
+  return std::move(reply.value().bytes);
 }
 
 Result<void> FlatFileClient::write(const core::Capability& file,
                                    std::uint64_t position,
                                    std::span<const std::uint8_t> data) {
-  return as_void(call(*transport_, server_port_, file_op::kWrite, &file,
-                      Buffer(data.begin(), data.end()),
-                      {position, 0, 0, 0}));
+  return rpc::call(*transport_, server_port_, file_ops::kWrite, file,
+                   {position, Buffer(data.begin(), data.end())});
 }
 
 Result<std::uint64_t> FlatFileClient::size(const core::Capability& file) {
-  auto reply = call(*transport_, server_port_, file_op::kSize, &file);
+  auto reply = rpc::call(*transport_, server_port_, file_ops::kSize, file);
   if (!reply.ok()) {
     return reply.error();
   }
-  return reply.value().header.params[0];
+  return reply.value().size;
 }
 
 Result<core::Capability> FlatFileClient::restrict(const core::Capability& file,

@@ -24,6 +24,7 @@
 #include "amoeba/rpc/batch.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/common.hpp"
 
 namespace amoeba::servers {
@@ -37,13 +38,68 @@ inline constexpr Rights kDeposit{1u << kDepositBit};
 inline constexpr Rights kMint{1u << kMintBit};
 }  // namespace bank_rights
 
-namespace bank_op {
-inline constexpr std::uint16_t kCreateAccount = 0x0501;
-inline constexpr std::uint16_t kBalance = 0x0502;   // params[0]=currency
-inline constexpr std::uint16_t kTransfer = 0x0503;  // params: currency, amount; data: to-cap
-inline constexpr std::uint16_t kConvert = 0x0504;   // params: from_cur, to_cur, amount
-inline constexpr std::uint16_t kMint = 0x0505;      // params: currency, amount; data: to-cap
-}  // namespace bank_op
+/// The bank's operation table: every op states its wire shape and the
+/// rights the presented capability must grant, in one place.
+namespace bank_ops {
+
+struct BalanceRequest {
+  std::uint32_t currency = 0;
+  using Wire = rpc::Layout<BalanceRequest, rpc::Param<0, &BalanceRequest::currency>>;
+};
+struct BalanceReply {
+  std::int64_t balance = 0;
+  using Wire = rpc::Layout<BalanceReply, rpc::Param<0, &BalanceReply::balance>>;
+};
+
+struct TransferRequest {
+  std::uint32_t currency = 0;
+  std::int64_t amount = 0;
+  core::Capability to;  // travels in the data field (§2.1)
+  using Wire = rpc::Layout<TransferRequest,
+                           rpc::Param<0, &TransferRequest::currency>,
+                           rpc::Param<1, &TransferRequest::amount>,
+                           rpc::Data<&TransferRequest::to>>;
+};
+
+struct ConvertRequest {
+  std::uint32_t from_currency = 0;
+  std::uint32_t to_currency = 0;
+  std::int64_t amount = 0;
+  using Wire = rpc::Layout<ConvertRequest,
+                           rpc::Param<0, &ConvertRequest::from_currency>,
+                           rpc::Param<1, &ConvertRequest::to_currency>,
+                           rpc::Param<2, &ConvertRequest::amount>>;
+};
+struct ConvertReply {
+  std::int64_t converted = 0;
+  using Wire = rpc::Layout<ConvertReply, rpc::Param<0, &ConvertReply::converted>>;
+};
+
+struct MintRequest {
+  std::uint32_t currency = 0;
+  std::int64_t amount = 0;
+  core::Capability to;
+  using Wire = rpc::Layout<MintRequest,
+                           rpc::Param<0, &MintRequest::currency>,
+                           rpc::Param<1, &MintRequest::amount>,
+                           rpc::Data<&MintRequest::to>>;
+};
+
+using TransferOp = rpc::Op<TransferRequest, rpc::Empty>;
+
+inline constexpr rpc::Op<rpc::Empty, rpc::CapabilityReply> kCreateAccount{
+    0x0501, "bank.create_account", rpc::kFactoryOp};
+inline constexpr rpc::Op<BalanceRequest, BalanceReply> kBalance{
+    0x0502, "bank.balance", core::rights::kRead};
+inline constexpr TransferOp kTransfer{
+    0x0503, "bank.transfer", bank_rights::kWithdraw, bank_rights::kDeposit};
+inline constexpr rpc::Op<ConvertRequest, ConvertReply> kConvert{
+    0x0504, "bank.convert",
+    bank_rights::kWithdraw.with(bank_rights::kDepositBit)};
+inline constexpr rpc::Op<MintRequest, rpc::Empty> kMint{
+    0x0505, "bank.mint", bank_rights::kMint, bank_rights::kDeposit};
+
+}  // namespace bank_ops
 
 /// Currencies are small integers; the examples use these.
 namespace currency {
@@ -74,16 +130,21 @@ class BankServer final : public rpc::Service {
     std::unordered_map<std::uint32_t, std::int64_t> balances;
     bool is_master = false;
   };
+  using Store = core::ObjectStore<Account>;
 
-  net::Message do_balance(const net::Delivery& request);
-  net::Message do_transfer(const net::Delivery& request);
-  net::Message do_convert(const net::Delivery& request);
-  net::Message do_mint(const net::Delivery& request);
+  [[nodiscard]] Result<bank_ops::BalanceReply> do_balance(
+      const bank_ops::BalanceRequest& req, Store::Opened& account);
+  [[nodiscard]] Result<void> do_transfer(const core::Capability& from,
+                                         const bank_ops::TransferRequest& req);
+  [[nodiscard]] Result<bank_ops::ConvertReply> do_convert(
+      const bank_ops::ConvertRequest& req, Store::Opened& account);
+  [[nodiscard]] Result<void> do_mint(const core::Capability& master,
+                                     const bank_ops::MintRequest& req);
 
   // Account state lives in (and is locked by) the sharded store; transfers
   // hold both accounts' shard locks via open2.  Only the rate table needs
   // its own lock (written by set_conversion_rate, read by converts).
-  core::ObjectStore<Account> store_;
+  Store store_;
   core::Capability master_;
   mutable std::shared_mutex rates_mutex_;
   std::map<std::pair<std::uint32_t, std::uint32_t>,

@@ -16,17 +16,36 @@
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/disk.hpp"
 
 namespace amoeba::servers {
 
-namespace block_op {
-inline constexpr std::uint16_t kAllocate = 0x0101;
-inline constexpr std::uint16_t kRead = 0x0102;
-inline constexpr std::uint16_t kWrite = 0x0103;
-inline constexpr std::uint16_t kFree = 0x0104;
-inline constexpr std::uint16_t kInfo = 0x0105;  // geometry + free space
-}  // namespace block_op
+/// The block server's operation table.
+namespace block_ops {
+
+struct InfoReply {
+  std::uint32_t block_count = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t free_blocks = 0;
+  using Wire = rpc::Layout<InfoReply,
+                           rpc::Param<0, &InfoReply::block_count>,
+                           rpc::Param<1, &InfoReply::block_size>,
+                           rpc::Param<2, &InfoReply::free_blocks>>;
+};
+
+inline constexpr rpc::Op<rpc::Empty, rpc::CapabilityReply> kAllocate{
+    0x0101, "block.allocate", rpc::kFactoryOp};
+inline constexpr rpc::Op<rpc::Empty, rpc::BytesReply> kRead{
+    0x0102, "block.read", core::rights::kRead};
+inline constexpr rpc::Op<rpc::BytesRequest, rpc::Empty> kWrite{
+    0x0103, "block.write", core::rights::kWrite};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kFree{
+    0x0104, "block.free", core::rights::kDestroy};
+inline constexpr rpc::Op<rpc::Empty, InfoReply> kInfo{
+    0x0105, "block.info", rpc::kFactoryOp};  // geometry + free space
+
+}  // namespace block_ops
 
 class BlockServer final : public rpc::Service {
  public:
@@ -49,16 +68,21 @@ class BlockServer final : public rpc::Service {
   [[nodiscard]] SimDisk::Stats disk_stats() const;
 
  private:
-  net::Message do_allocate(const net::Delivery& request);
-  net::Message do_read(const net::Delivery& request);
-  net::Message do_write(const net::Delivery& request);
-  net::Message do_free(const net::Delivery& request);
-  net::Message do_info(const net::Delivery& request);
+  using Store = core::ObjectStore<std::uint32_t>;  // payload: disk block index
+
+  [[nodiscard]] Result<rpc::CapabilityReply> do_allocate();
+  [[nodiscard]] Result<rpc::BytesReply> do_read(Store::Opened& block);
+  [[nodiscard]] Result<void> do_write(const rpc::BytesRequest& req,
+                                      Store::Opened& block);
+  /// Frees the disk block and destroys the slot; shared by block.free and
+  /// std.destroy (the accessor is consumed).
+  [[nodiscard]] Result<void> do_free(Store::Opened&& block);
+  [[nodiscard]] Result<block_ops::InfoReply> do_info() const;
 
   Geometry geometry_;
   mutable std::mutex mutex_;  // guards disk_ (the store shards itself)
   SimDisk disk_;
-  core::ObjectStore<std::uint32_t> store_;  // payload: disk block index
+  Store store_;
 };
 
 /// Client stub for the block service.

@@ -5,6 +5,11 @@
 // a transfer target, a segment list, a payment account -- travel in the
 // data field, exactly as §2.1 describes ("users are free to put other
 // capabilities in the data field as required").
+//
+// The six concrete servers declare their operations as rpc::Op
+// descriptors (rpc/op.hpp) and dispatch through the typed layer
+// (rpc/typed.hpp); the raw helpers kept here serve the baseline
+// comparison servers and hand-rolled wire paths in tests.
 #pragma once
 
 #include <array>
@@ -15,6 +20,7 @@
 #include "amoeba/net/message.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 
 namespace amoeba::servers {
 
@@ -30,21 +36,17 @@ inline void set_header_capability(net::Message& msg,
   return core::unpack(msg.header.capability);
 }
 
-/// Serializes a capability into a data stream (16 raw bytes).
+/// Serializes a capability into a data stream (16 raw bytes, one
+/// Writer::raw append).
 inline void write_capability(Writer& w, const core::Capability& cap) {
-  const auto bytes = core::pack(cap);
-  for (const auto b : bytes) {
-    w.u8(b);
-  }
+  wire_write(w, cap);
 }
 
-/// Deserializes a capability from a data stream.
+/// Deserializes a capability from a data stream (one Reader::raw read).
 [[nodiscard]] inline core::Capability read_capability(Reader& r) {
-  core::CapabilityBytes bytes{};
-  for (auto& b : bytes) {
-    b = r.u8();
-  }
-  return core::unpack(bytes);
+  core::Capability cap;
+  (void)wire_read(r, cap);
+  return cap;
 }
 
 /// Builds an error reply (no payload).
@@ -53,17 +55,18 @@ inline void write_capability(Writer& w, const core::Capability& cap) {
   return net::make_reply(request.message, code);
 }
 
-/// Extracts a Result<T>'s error as a reply, for the common pattern
-///   auto opened = store_.open(...); if (!opened.ok()) return fail(...);
+/// Extracts a Result<T>'s error as a reply, for raw handlers.
 template <typename T>
 [[nodiscard]] net::Message fail(const net::Delivery& request,
                                 const Result<T>& result) {
   return net::make_reply(request.message, result.error());
 }
 
-/// One client-side RPC: build the request, run the transaction, surface
-/// transport errors and non-ok reply statuses as errors, hand back the
-/// reply message otherwise.  The vocabulary call every client stub uses.
+/// One raw client-side RPC: build the request, run the transaction,
+/// surface transport errors and non-ok reply statuses as errors, hand back
+/// the reply message otherwise.  Typed stubs use rpc::call instead; this
+/// remains the vocabulary call for the baseline servers and for tests that
+/// build frames by hand.
 [[nodiscard]] inline Result<net::Message> call(
     rpc::Transport& transport, Port dest, std::uint16_t opcode,
     const core::Capability* cap = nullptr, Buffer data = {},
@@ -92,68 +95,22 @@ template <typename T>
 }
 
 // ------------------------------------------------------------------------
-// Owner operations every Amoeba server offers (§2.3): fabricating a
-// sub-capability with fewer rights, and revoking all outstanding
-// capabilities by rotating the object's random number.  Reserved opcodes,
-// identical wire format on every server, one shared implementation.
+// Owner-operation client helpers (§2.3).  The server side is the std_*
+// suite (rpc/typed.hpp), registered on every service; these wrappers keep
+// the historical names used throughout the tests and benches.
 
-inline constexpr std::uint16_t kOpRestrict = 0xF0;  // params[0] = mask
-inline constexpr std::uint16_t kOpRevoke = 0xF1;
-
-/// Builds a reply carrying `cap` in the header slot (the shape of every
-/// "here is your new capability" answer).
-[[nodiscard]] inline net::Message capability_reply(const net::Delivery& request,
-                                                   const core::Capability& cap) {
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  set_header_capability(reply, cap);
-  return reply;
-}
-
-/// Server side: registers the shared owner opcodes against the given
-/// object store on a service's dispatch table.  The store must outlive
-/// the service (it is invariably a member of the same server object).
-template <typename T>
-void register_owner_ops(rpc::Service& service, core::ObjectStore<T>& store) {
-  service.on(kOpRestrict, [&store](const net::Delivery& request) {
-    const Rights mask(
-        static_cast<std::uint8_t>(request.message.header.params[0]));
-    auto restricted =
-        store.restrict(header_capability(request.message), mask);
-    if (!restricted.ok()) {
-      return net::make_reply(request.message, restricted.error());
-    }
-    return capability_reply(request, restricted.value());
-  });
-  service.on(kOpRevoke, [&store](const net::Delivery& request) {
-    auto fresh = store.revoke(header_capability(request.message));
-    if (!fresh.ok()) {
-      return net::make_reply(request.message, fresh.error());
-    }
-    return capability_reply(request, fresh.value());
-  });
-}
-
-/// Client side: asks the managing server (addressed through the
-/// capability's own SERVER field) for a narrowed duplicate.
+/// Asks the managing server (addressed through the capability's own
+/// SERVER field) for a narrowed duplicate.
 [[nodiscard]] inline Result<core::Capability> restrict_capability(
     rpc::Transport& transport, const core::Capability& cap, Rights mask) {
-  auto reply = call(transport, cap.server_port, kOpRestrict, &cap, {},
-                    {mask.bits(), 0, 0, 0});
-  if (!reply.ok()) {
-    return reply.error();
-  }
-  return header_capability(reply.value());
+  return rpc::std_restrict(transport, cap, mask);
 }
 
-/// Client side: revokes every outstanding capability for the object and
-/// returns the fresh replacement (requires the admin right).
+/// Revokes every outstanding capability for the object and returns the
+/// fresh replacement (requires the admin right).
 [[nodiscard]] inline Result<core::Capability> revoke_capability(
     rpc::Transport& transport, const core::Capability& cap) {
-  auto reply = call(transport, cap.server_port, kOpRevoke, &cap);
-  if (!reply.ok()) {
-    return reply.error();
-  }
-  return header_capability(reply.value());
+  return rpc::std_revoke(transport, cap);
 }
 
 }  // namespace amoeba::servers

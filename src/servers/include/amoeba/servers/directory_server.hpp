@@ -23,18 +23,62 @@
 #include "amoeba/rpc/batch.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/common.hpp"
 
 namespace amoeba::servers {
 
-namespace dir_op {
-inline constexpr std::uint16_t kCreateDir = 0x0301;
-inline constexpr std::uint16_t kLookup = 0x0302;   // data: name
-inline constexpr std::uint16_t kEnter = 0x0303;    // data: name + capability
-inline constexpr std::uint16_t kRemove = 0x0304;   // data: name
-inline constexpr std::uint16_t kList = 0x0305;     // reply data: entries
-inline constexpr std::uint16_t kDeleteDir = 0x0306;
-}  // namespace dir_op
+/// One directory entry as returned by list().
+struct DirEntry {
+  std::string name;
+  core::Capability capability;
+};
+
+/// Data-stream codec for directory entries (name + 16-byte capability).
+inline void wire_write(Writer& w, const DirEntry& entry) {
+  wire_write(w, entry.name);
+  wire_write(w, entry.capability);
+}
+[[nodiscard]] inline bool wire_read(Reader& r, DirEntry& entry) {
+  return wire_read(r, entry.name) && wire_read(r, entry.capability);
+}
+
+/// The directory server's operation table.
+namespace dir_ops {
+
+struct NameRequest {
+  std::string name;
+  using Wire = rpc::Layout<NameRequest, rpc::Data<&NameRequest::name>>;
+};
+
+struct EnterRequest {
+  std::string name;
+  core::Capability target;
+  using Wire = rpc::Layout<EnterRequest,
+                           rpc::Data<&EnterRequest::name>,
+                           rpc::Data<&EnterRequest::target>>;
+};
+
+struct ListReply {
+  std::vector<DirEntry> entries;
+  using Wire = rpc::Layout<ListReply, rpc::Data<&ListReply::entries>>;
+};
+
+using LookupOp = rpc::Op<NameRequest, rpc::CapabilityReply>;
+using ListOp = rpc::Op<rpc::Empty, ListReply>;
+
+inline constexpr rpc::Op<rpc::Empty, rpc::CapabilityReply> kCreateDir{
+    0x0301, "dir.create", rpc::kFactoryOp};
+inline constexpr LookupOp kLookup{0x0302, "dir.lookup", core::rights::kRead};
+inline constexpr rpc::Op<EnterRequest, rpc::Empty> kEnter{
+    0x0303, "dir.enter", core::rights::kWrite};
+inline constexpr rpc::Op<NameRequest, rpc::Empty> kRemove{
+    0x0304, "dir.remove", core::rights::kWrite};
+inline constexpr ListOp kList{0x0305, "dir.list", core::rights::kRead};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDeleteDir{
+    0x0306, "dir.delete", core::rights::kDestroy};
+
+}  // namespace dir_ops
 
 class DirectoryServer final : public rpc::Service {
  public:
@@ -45,22 +89,22 @@ class DirectoryServer final : public rpc::Service {
 
  private:
   using Directory = std::map<std::string, core::CapabilityBytes>;
+  using Store = core::ObjectStore<Directory>;
 
-  net::Message do_lookup(const net::Delivery& request);
-  net::Message do_enter(const net::Delivery& request);
-  net::Message do_remove(const net::Delivery& request);
-  net::Message do_list(const net::Delivery& request);
-  net::Message do_delete(const net::Delivery& request);
+  [[nodiscard]] Result<rpc::CapabilityReply> do_lookup(
+      const dir_ops::NameRequest& req, Store::Opened& dir);
+  [[nodiscard]] Result<void> do_enter(const dir_ops::EnterRequest& req,
+                                      Store::Opened& dir);
+  [[nodiscard]] Result<void> do_remove(const dir_ops::NameRequest& req,
+                                       Store::Opened& dir);
+  [[nodiscard]] Result<dir_ops::ListReply> do_list(Store::Opened& dir);
+  /// Deletes an empty directory; shared by dir.delete and std.destroy
+  /// (the accessor is consumed on success).
+  [[nodiscard]] Result<void> do_delete(Store::Opened&& dir);
 
   // No service-wide lock: each directory is exclusive under its shard
   // lock for the duration of the open() accessor.
-  core::ObjectStore<Directory> store_;
-};
-
-/// One directory entry as returned by list().
-struct DirEntry {
-  std::string name;
-  core::Capability capability;
+  Store store_;
 };
 
 /// Client stub for a directory service.

@@ -22,19 +22,57 @@
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/bank_server.hpp"
 #include "amoeba/servers/block_server.hpp"
 
 namespace amoeba::servers {
 
-namespace file_op {
-inline constexpr std::uint16_t kCreate = 0x0201;
-inline constexpr std::uint16_t kDestroy = 0x0202;
-inline constexpr std::uint16_t kRead = 0x0203;   // params[0]=position, [1]=length
-inline constexpr std::uint16_t kWrite = 0x0204;  // params[0]=position
-inline constexpr std::uint16_t kSize = 0x0205;
-// Restriction/revocation use the shared owner opcodes in common.hpp.
-}  // namespace file_op
+/// The flat file server's operation table.
+namespace file_ops {
+
+struct CreateRequest {
+  /// Payment account capability; required when the server charges for
+  /// storage, ignored-if-well-formed otherwise (trailing-optional field).
+  std::optional<core::Capability> payment;
+  using Wire = rpc::Layout<CreateRequest, rpc::Data<&CreateRequest::payment>>;
+};
+
+struct ReadRequest {
+  std::uint64_t position = 0;
+  std::uint64_t length = 0;
+  using Wire = rpc::Layout<ReadRequest,
+                           rpc::Param<0, &ReadRequest::position>,
+                           rpc::Param<1, &ReadRequest::length>>;
+};
+
+struct WriteRequest {
+  std::uint64_t position = 0;
+  Buffer bytes;
+  using Wire = rpc::Layout<WriteRequest,
+                           rpc::Param<0, &WriteRequest::position>,
+                           rpc::RawData<&WriteRequest::bytes>>;
+};
+
+struct SizeReply {
+  std::uint64_t size = 0;
+  using Wire = rpc::Layout<SizeReply, rpc::Param<0, &SizeReply::size>>;
+};
+
+using ReadOp = rpc::Op<ReadRequest, rpc::BytesReply>;
+using SizeOp = rpc::Op<rpc::Empty, SizeReply>;
+
+inline constexpr rpc::Op<CreateRequest, rpc::CapabilityReply> kCreate{
+    0x0201, "file.create", rpc::kFactoryOp};
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDestroy{
+    0x0202, "file.destroy", core::rights::kDestroy};
+inline constexpr ReadOp kRead{0x0203, "file.read", core::rights::kRead};
+inline constexpr rpc::Op<WriteRequest, rpc::Empty> kWrite{
+    0x0204, "file.write", core::rights::kWrite};
+inline constexpr SizeOp kSize{0x0205, "file.size", core::rights::kRead};
+// Restriction/revocation/info/touch use the std_* suite (rpc/typed.hpp).
+
+}  // namespace file_ops
 
 class FlatFileServer final : public rpc::Service {
  public:
@@ -61,6 +99,7 @@ class FlatFileServer final : public rpc::Service {
     core::Capability payer;                // account charged for growth
     bool paid = false;                     // pricing active for this file
   };
+  using Store = core::ObjectStore<Inode>;
 
   /// Charges `blocks` worth of space to the inode's payer; no-op when
   /// pricing is off or the file was created before pricing.
@@ -70,16 +109,20 @@ class FlatFileServer final : public rpc::Service {
   /// been started before us).
   [[nodiscard]] Result<std::uint32_t> ensure_block_size();
 
-  net::Message do_create(const net::Delivery& request);
-  net::Message do_destroy(const net::Delivery& request);
-  net::Message do_read(const net::Delivery& request);
-  net::Message do_write(const net::Delivery& request);
-  net::Message do_size(const net::Delivery& request);
+  [[nodiscard]] Result<rpc::CapabilityReply> do_create(
+      const file_ops::CreateRequest& req);
+  /// Destroys the inode, frees its blocks, refunds storage charges;
+  /// shared by file.destroy and std.destroy (the accessor is consumed).
+  [[nodiscard]] Result<void> do_destroy(Store::Opened&& file);
+  [[nodiscard]] Result<rpc::BytesReply> do_read(
+      const file_ops::ReadRequest& req, Store::Opened& file);
+  [[nodiscard]] Result<void> do_write(const file_ops::WriteRequest& req,
+                                      Store::Opened& file);
 
   // Inodes are exclusive under their shard lock while opened; a worker
   // holds that lock across its block-server RPCs, so writes to one file
   // serialize while different files proceed in parallel.
-  core::ObjectStore<Inode> store_;
+  Store store_;
   rpc::Transport transport_;  // for talking to the block (and bank) server
   BlockClient blocks_;
   std::atomic<std::uint32_t> block_size_{0};  // lazily fetched; 0 = unknown

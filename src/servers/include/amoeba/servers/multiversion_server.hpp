@@ -27,21 +27,60 @@
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/rpc/server.hpp"
 #include "amoeba/rpc/transport.hpp"
+#include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/common.hpp"
 #include "amoeba/servers/page_tree.hpp"
 
 namespace amoeba::servers {
 
-namespace mv_op {
-inline constexpr std::uint16_t kCreateFile = 0x0401;
-inline constexpr std::uint16_t kNewVersion = 0x0402;  // file cap -> draft cap
-inline constexpr std::uint16_t kReadPage = 0x0403;    // params: page, version
-inline constexpr std::uint16_t kWritePage = 0x0404;   // draft cap; params[0]=page
-inline constexpr std::uint16_t kCommit = 0x0405;      // draft cap
-inline constexpr std::uint16_t kAbort = 0x0406;       // draft cap
-inline constexpr std::uint16_t kHistory = 0x0407;     // file cap -> version count
-inline constexpr std::uint16_t kDestroyFile = 0x0408;
-}  // namespace mv_op
+/// The multiversion file server's operation table.
+namespace mv_ops {
+
+struct ReadPageRequest {
+  std::uint32_t page = 0;
+  std::uint64_t version = 0;  // MultiVersionClient::kHead = current head
+  using Wire = rpc::Layout<ReadPageRequest,
+                           rpc::Param<0, &ReadPageRequest::page>,
+                           rpc::Param<1, &ReadPageRequest::version>>;
+};
+
+struct WritePageRequest {
+  std::uint32_t page = 0;
+  Buffer bytes;
+  using Wire = rpc::Layout<WritePageRequest,
+                           rpc::Param<0, &WritePageRequest::page>,
+                           rpc::RawData<&WritePageRequest::bytes>>;
+};
+
+struct CommitReply {
+  std::uint64_t version = 0;  // index of the newly committed version
+  using Wire = rpc::Layout<CommitReply, rpc::Param<0, &CommitReply::version>>;
+};
+
+struct HistoryReply {
+  std::uint64_t versions = 0;
+  using Wire =
+      rpc::Layout<HistoryReply, rpc::Param<0, &HistoryReply::versions>>;
+};
+
+inline constexpr rpc::Op<rpc::Empty, rpc::CapabilityReply> kCreateFile{
+    0x0401, "mv.create_file", rpc::kFactoryOp};
+inline constexpr rpc::Op<rpc::Empty, rpc::CapabilityReply> kNewVersion{
+    0x0402, "mv.new_version", core::rights::kWrite};  // file cap -> draft cap
+inline constexpr rpc::Op<ReadPageRequest, rpc::BytesReply> kReadPage{
+    0x0403, "mv.read_page", core::rights::kRead};
+inline constexpr rpc::Op<WritePageRequest, rpc::Empty> kWritePage{
+    0x0404, "mv.write_page", core::rights::kWrite};  // draft cap
+inline constexpr rpc::Op<rpc::Empty, CommitReply> kCommit{
+    0x0405, "mv.commit", core::rights::kWrite};  // draft cap
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kAbort{
+    0x0406, "mv.abort", core::rights::kWrite};  // draft cap
+inline constexpr rpc::Op<rpc::Empty, HistoryReply> kHistory{
+    0x0407, "mv.history", core::rights::kRead};  // file cap
+inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDestroyFile{
+    0x0408, "mv.destroy_file", core::rights::kDestroy};
+
+}  // namespace mv_ops
 
 class MultiVersionServer final : public rpc::Service {
  public:
@@ -67,21 +106,28 @@ class MultiVersionServer final : public rpc::Service {
     std::uint32_t root = PageStore::kEmptyRoot;
   };
   using Payload = std::variant<FileObj, DraftObj>;
+  using Store = core::ObjectStore<Payload>;
 
-  net::Message do_new_version(const net::Delivery& request);
-  net::Message do_read_page(const net::Delivery& request);
-  net::Message do_write_page(const net::Delivery& request);
-  net::Message do_commit(const net::Delivery& request);
-  net::Message do_abort(const net::Delivery& request);
-  net::Message do_history(const net::Delivery& request);
-  net::Message do_destroy_file(const net::Delivery& request);
+  [[nodiscard]] Result<rpc::CapabilityReply> do_new_version(
+      const core::Capability& file_cap, Store::Opened& opened);
+  [[nodiscard]] Result<rpc::BytesReply> do_read_page(
+      const mv_ops::ReadPageRequest& req, Store::Opened& opened);
+  [[nodiscard]] Result<void> do_write_page(
+      const mv_ops::WritePageRequest& req, Store::Opened& opened);
+  [[nodiscard]] Result<mv_ops::CommitReply> do_commit(
+      const core::Capability& draft_cap);
+  [[nodiscard]] Result<void> do_abort(Store::Opened&& opened);
+  [[nodiscard]] Result<void> do_destroy_file(Store::Opened&& opened);
+  /// std.destroy: files release their whole history, drafts behave like
+  /// abort -- the uniform opcode accepts either object kind.
+  [[nodiscard]] Result<void> do_destroy_any(Store::Opened&& opened);
 
   // Files and drafts are exclusive under their shard locks while opened;
   // commit holds the draft and its file together via open_with_peek.  The
   // page store (shared refcounted trees) keeps its own lock, always
   // acquired after a shard lock and never around store_ calls, so the
   // shard -> pages ordering is acyclic.
-  core::ObjectStore<Payload> store_;
+  Store store_;
   mutable std::mutex pages_mutex_;
   PageStore pages_;
 };

@@ -74,6 +74,20 @@ class UnixFs {
   [[nodiscard]] Result<void> unlink(std::string_view path);
   [[nodiscard]] Result<std::vector<DirEntry>> readdir(std::string_view path);
   [[nodiscard]] Result<Stat> stat(std::string_view path);
+
+  /// One directory entry with its stat, as returned by readdir_stat().
+  struct StatEntry {
+    std::string name;
+    Stat stat;
+  };
+
+  /// readdir + stat of every entry, batched: one LIST for the directory
+  /// itself, then the per-entry size/list sub-requests packed into ONE
+  /// batch frame per server (rpc::TypedBatch), with all frames in flight
+  /// together.  N entries spread over S servers cost 1 + S round trips
+  /// instead of the 1 + N a stat() loop pays -- the ls(1) storm collapsed.
+  [[nodiscard]] Result<std::vector<StatEntry>> readdir_stat(
+      std::string_view path);
   /// lookup + enter + remove; not atomic.
   [[nodiscard]] Result<void> rename(std::string_view from,
                                     std::string_view to);

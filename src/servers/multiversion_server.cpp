@@ -9,27 +9,42 @@ MultiVersionServer::MultiVersionServer(
     : rpc::Service(machine, get_port, "multiversion"),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
       pages_(page_size) {
-  register_owner_ops(*this, store_);
-  on(mv_op::kCreateFile, [this](const net::Delivery& request) {
+  // std.destroy must release the page-tree references a plain slot
+  // destroy would leak.
+  rpc::register_std_ops(
+      *this, store_,
+      {.destroy = [this](Store::Opened&& opened) {
+         return do_destroy_any(std::move(opened));
+       }});
+  on(mv_ops::kCreateFile, [this](const auto&) -> Result<rpc::CapabilityReply> {
     FileObj file;
     file.version_roots.push_back(PageStore::kEmptyRoot);  // empty v0
-    return capability_reply(request,
-                            store_.create(Payload{std::move(file)}));
+    return rpc::CapabilityReply{store_.create(Payload{std::move(file)})};
   });
-  on(mv_op::kNewVersion,
-     [this](const net::Delivery& request) { return do_new_version(request); });
-  on(mv_op::kReadPage,
-     [this](const net::Delivery& request) { return do_read_page(request); });
-  on(mv_op::kWritePage,
-     [this](const net::Delivery& request) { return do_write_page(request); });
-  on(mv_op::kCommit,
-     [this](const net::Delivery& request) { return do_commit(request); });
-  on(mv_op::kAbort,
-     [this](const net::Delivery& request) { return do_abort(request); });
-  on(mv_op::kHistory,
-     [this](const net::Delivery& request) { return do_history(request); });
-  on(mv_op::kDestroyFile, [this](const net::Delivery& request) {
-    return do_destroy_file(request);
+  on(mv_ops::kNewVersion, store_, [this](const auto& call, auto& opened) {
+    return do_new_version(call.capability, opened);
+  });
+  on(mv_ops::kReadPage, store_, [this](const auto& call, auto& opened) {
+    return do_read_page(call.body, opened);
+  });
+  on(mv_ops::kWritePage, store_, [this](const auto& call, auto& opened) {
+    return do_write_page(call.body, opened);
+  });
+  on(mv_ops::kCommit, store_,
+     [this](const auto& call) { return do_commit(call.capability); });
+  on(mv_ops::kAbort, store_, [this](const auto&, auto& opened) {
+    return do_abort(std::move(opened));
+  });
+  on(mv_ops::kHistory, store_,
+     [](const auto&, auto& opened) -> Result<mv_ops::HistoryReply> {
+       const auto* file = std::get_if<FileObj>(opened.value);
+       if (file == nullptr) {
+         return ErrorCode::invalid_argument;
+       }
+       return mv_ops::HistoryReply{file->version_roots.size()};
+     });
+  on(mv_ops::kDestroyFile, store_, [this](const auto&, auto& opened) {
+    return do_destroy_file(std::move(opened));
   });
 }
 
@@ -38,17 +53,20 @@ PageStore::Stats MultiVersionServer::page_stats() const {
   return pages_.stats();
 }
 
-net::Message MultiVersionServer::do_new_version(const net::Delivery& request) {
+Result<rpc::CapabilityReply> MultiVersionServer::do_new_version(
+    const core::Capability& file_cap, Store::Opened& opened) {
   DraftObj draft;
   {
-    const core::Capability file_cap = header_capability(request.message);
-    auto opened = store_.open(file_cap, core::rights::kWrite);
-    if (!opened.ok()) {
-      return fail(request, opened);
-    }
-    auto* file = std::get_if<FileObj>(opened.value().value);
+    // Take the accessor over: the file's shard lock must be released
+    // before the draft slot is allocated (create picks its own shard;
+    // holding the first lock would deadlock when both land on the same
+    // shard).  The draft's retained root keeps the snapshot alive
+    // whatever happens to the file meanwhile; a stale base_versions
+    // simply loses the optimistic race at commit.
+    Store::Opened file_access = std::move(opened);
+    auto* file = std::get_if<FileObj>(file_access.value);
     if (file == nullptr) {
-      return error_reply(request, ErrorCode::invalid_argument);
+      return ErrorCode::invalid_argument;
     }
     draft.file_cap = file_cap;
     draft.base_versions = file->version_roots.size();
@@ -56,86 +74,67 @@ net::Message MultiVersionServer::do_new_version(const net::Delivery& request) {
     const std::lock_guard pages_lock(pages_mutex_);
     pages_.retain(draft.root);  // the draft holds its own snapshot ref
   }
-  // The file's shard lock is released before the draft slot is allocated
-  // (create picks its own shard; holding the first lock would deadlock
-  // when both land on the same shard).  The draft's retained root keeps
-  // the snapshot alive whatever happens to the file meanwhile; a stale
-  // base_versions simply loses the optimistic race at commit.
-  const core::Capability draft_cap = store_.create(Payload{std::move(draft)});
-  return capability_reply(request, draft_cap);
+  return rpc::CapabilityReply{store_.create(Payload{std::move(draft)})};
 }
 
-net::Message MultiVersionServer::do_read_page(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  const std::uint32_t page_no =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
+Result<rpc::BytesReply> MultiVersionServer::do_read_page(
+    const mv_ops::ReadPageRequest& req, Store::Opened& opened) {
   std::uint32_t root;
-  if (const auto* draft = std::get_if<DraftObj>(opened.value().value)) {
+  if (const auto* draft = std::get_if<DraftObj>(opened.value)) {
     root = draft->root;
   } else {
-    const auto& file = std::get<FileObj>(*opened.value().value);
-    const std::uint64_t version = request.message.header.params[1];
-    if (version == MultiVersionClient::kHead) {
+    const auto& file = std::get<FileObj>(*opened.value);
+    if (req.version == MultiVersionClient::kHead) {
       root = file.version_roots.back();
-    } else if (version < file.version_roots.size()) {
-      root = file.version_roots[version];
+    } else if (req.version < file.version_roots.size()) {
+      root = file.version_roots[req.version];
     } else {
-      return error_reply(request, ErrorCode::not_found);
+      return ErrorCode::not_found;
     }
   }
   auto data = [&] {
     const std::lock_guard pages_lock(pages_mutex_);
-    return pages_.read(root, page_no);
+    return pages_.read(root, req.page);
   }();
   if (!data.ok()) {
-    return error_reply(request, data.error());
+    return data.error();
   }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data = std::move(data.value());
-  return reply;
+  return rpc::BytesReply{std::move(data.value())};
 }
 
-net::Message MultiVersionServer::do_write_page(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  auto* draft = std::get_if<DraftObj>(opened.value().value);
+Result<void> MultiVersionServer::do_write_page(
+    const mv_ops::WritePageRequest& req, Store::Opened& opened) {
+  auto* draft = std::get_if<DraftObj>(opened.value);
   if (draft == nullptr) {
     // Writing a file capability directly: committed versions are
     // immutable; only drafts accept writes.
-    return error_reply(request, ErrorCode::immutable);
+    return ErrorCode::immutable;
   }
-  const std::uint32_t page_no =
-      static_cast<std::uint32_t>(request.message.header.params[0]);
   const std::lock_guard pages_lock(pages_mutex_);
-  auto new_root = pages_.write(draft->root, page_no, request.message.data);
+  auto new_root = pages_.write(draft->root, req.page, req.bytes);
   if (!new_root.ok()) {
-    return error_reply(request, new_root.error());
+    return new_root.error();
   }
   pages_.release(draft->root);
   draft->root = new_root.value();
-  return error_reply(request, ErrorCode::ok);
+  return {};
 }
 
-net::Message MultiVersionServer::do_commit(const net::Delivery& request) {
-  const core::Capability cap = header_capability(request.message);
+Result<mv_ops::CommitReply> MultiVersionServer::do_commit(
+    const core::Capability& draft_cap) {
   // First pass: learn which file capability the draft forked from (the
-  // draft payload is the only place that records it).
+  // draft payload is the only place that records it).  The dispatcher
+  // already checked the write right; this open re-validates through the
+  // shard's capability cache.
   core::Capability file_cap;
   {
-    auto opened = store_.open(cap, core::rights::kWrite);
+    auto opened = store_.open(draft_cap, mv_ops::kCommit.required);
     if (!opened.ok()) {
-      return fail(request, opened);
+      return opened.error();
     }
     const auto* draft = std::get_if<DraftObj>(opened.value().value);
     if (draft == nullptr) {
-      return error_reply(request, ErrorCode::invalid_argument);
+      return ErrorCode::invalid_argument;
     }
     file_cap = draft->file_cap;
   }
@@ -146,17 +145,17 @@ net::Message MultiVersionServer::do_commit(const net::Delivery& request) {
   // that reused the number, and makes file revocation cut off drafts.
   // (A concurrent commit of the same draft capability loses the race at
   // this revalidation: the winner destroys the draft slot first.)
-  auto pinned =
-      store_.open2(cap, core::rights::kWrite, file_cap, Rights::none());
+  auto pinned = store_.open2(draft_cap, mv_ops::kCommit.required, file_cap,
+                             Rights::none());
   if (!pinned.ok()) {
     // Distinguish "draft bad" from "file gone": reopen the draft alone.
-    auto draft_alone = store_.open(cap, core::rights::kWrite);
+    auto draft_alone = store_.open(draft_cap, mv_ops::kCommit.required);
     if (!draft_alone.ok()) {
-      return fail(request, draft_alone);
+      return draft_alone.error();
     }
     const auto* draft = std::get_if<DraftObj>(draft_alone.value().value);
     if (draft == nullptr) {
-      return error_reply(request, ErrorCode::invalid_argument);
+      return ErrorCode::invalid_argument;
     }
     // The draft is fine, so the file side failed: destroyed, reused, or
     // revoked while the draft was open.  The draft is consumed and its
@@ -167,156 +166,136 @@ net::Message MultiVersionServer::do_commit(const net::Delivery& request) {
       const std::lock_guard pages_lock(pages_mutex_);
       pages_.release(orphan_root);
     }
-    return error_reply(request, ErrorCode::no_such_object);
+    return ErrorCode::no_such_object;
   }
   auto* draft = std::get_if<DraftObj>(pinned.value().a.value);
   if (draft == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
   const std::uint32_t draft_root = draft->root;
   auto* file = std::get_if<FileObj>(pinned.value().b.value);
   if (file == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
   if (file->version_roots.size() != draft->base_versions) {
     // Optimistic concurrency: someone committed since this draft forked.
-    return error_reply(request, ErrorCode::conflict);
+    return ErrorCode::conflict;
   }
   // Committing consumes the draft, so the capability must allow its
   // destruction -- checked before the root is published, otherwise a
   // surviving draft and the file history would both own one reference.
   if (!pinned.value().a.rights.has_all(core::rights::kDestroy)) {
-    return error_reply(request, ErrorCode::permission_denied);
+    return ErrorCode::permission_denied;
   }
   // Atomic: the draft's snapshot reference transfers to the file history.
   file->version_roots.push_back(draft_root);
   const std::uint64_t new_index = file->version_roots.size() - 1;
   (void)store_.destroy(std::move(pinned.value().a));
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = new_index;
-  return reply;
+  return mv_ops::CommitReply{new_index};
 }
 
-net::Message MultiVersionServer::do_abort(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kWrite);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  auto* draft = std::get_if<DraftObj>(opened.value().value);
+Result<void> MultiVersionServer::do_abort(Store::Opened&& opened) {
+  auto* draft = std::get_if<DraftObj>(opened.value);
   if (draft == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
   const std::uint32_t draft_root = draft->root;
   // Drafts are destroyed through their own object slot; the caller's
   // capability must allow destruction, which a fresh draft cap does.
-  const auto destroyed = store_.destroy(std::move(opened.value()));
+  const auto destroyed = store_.destroy(std::move(opened));
   if (!destroyed.ok()) {
-    return error_reply(request, destroyed.error());
+    return destroyed.error();
   }
   const std::lock_guard pages_lock(pages_mutex_);
   pages_.release(draft_root);
-  return error_reply(request, ErrorCode::ok);
+  return {};
 }
 
-net::Message MultiVersionServer::do_history(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kRead);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  auto* file = std::get_if<FileObj>(opened.value().value);
+Result<void> MultiVersionServer::do_destroy_file(Store::Opened&& opened) {
+  auto* file = std::get_if<FileObj>(opened.value);
   if (file == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
-  }
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.header.params[0] = file->version_roots.size();
-  return reply;
-}
-
-net::Message MultiVersionServer::do_destroy_file(const net::Delivery& request) {
-  auto opened =
-      store_.open(header_capability(request.message), core::rights::kDestroy);
-  if (!opened.ok()) {
-    return fail(request, opened);
-  }
-  auto* file = std::get_if<FileObj>(opened.value().value);
-  if (file == nullptr) {
-    return error_reply(request, ErrorCode::invalid_argument);
+    return ErrorCode::invalid_argument;
   }
   const std::vector<std::uint32_t> roots = std::move(file->version_roots);
-  const auto destroyed = store_.destroy(std::move(opened.value()));
+  const auto destroyed = store_.destroy(std::move(opened));
   if (!destroyed.ok()) {
-    return error_reply(request, destroyed.error());
+    return destroyed.error();
   }
   const std::lock_guard pages_lock(pages_mutex_);
   for (const std::uint32_t root : roots) {
     pages_.release(root);
   }
-  return error_reply(request, ErrorCode::ok);
+  return {};
+}
+
+Result<void> MultiVersionServer::do_destroy_any(Store::Opened&& opened) {
+  if (std::holds_alternative<DraftObj>(*opened.value)) {
+    return do_abort(std::move(opened));
+  }
+  return do_destroy_file(std::move(opened));
 }
 
 // ------------------------------------------------------ MultiVersionClient
 
 Result<core::Capability> MultiVersionClient::create_file() {
-  auto reply = call(*transport_, server_port_, mv_op::kCreateFile);
+  auto reply = rpc::call(*transport_, server_port_, mv_ops::kCreateFile);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<core::Capability> MultiVersionClient::new_version(
     const core::Capability& file) {
-  auto reply = call(*transport_, server_port_, mv_op::kNewVersion, &file);
+  auto reply = rpc::call(*transport_, server_port_, mv_ops::kNewVersion, file);
   if (!reply.ok()) {
     return reply.error();
   }
-  return header_capability(reply.value());
+  return reply.value().capability;
 }
 
 Result<Buffer> MultiVersionClient::read_page(const core::Capability& cap,
                                              std::uint32_t page_no,
                                              std::uint64_t version_index) {
-  auto reply = call(*transport_, server_port_, mv_op::kReadPage, &cap, {},
-                    {page_no, version_index, 0, 0});
+  auto reply = rpc::call(*transport_, server_port_, mv_ops::kReadPage, cap,
+                         {page_no, version_index});
   if (!reply.ok()) {
     return reply.error();
   }
-  return std::move(reply.value().data);
+  return std::move(reply.value().bytes);
 }
 
 Result<void> MultiVersionClient::write_page(
     const core::Capability& draft, std::uint32_t page_no,
     std::span<const std::uint8_t> data) {
-  return as_void(call(*transport_, server_port_, mv_op::kWritePage, &draft,
-                      Buffer(data.begin(), data.end()), {page_no, 0, 0, 0}));
+  return rpc::call(*transport_, server_port_, mv_ops::kWritePage, draft,
+                   {page_no, Buffer(data.begin(), data.end())});
 }
 
 Result<std::uint64_t> MultiVersionClient::commit(
     const core::Capability& draft) {
-  auto reply = call(*transport_, server_port_, mv_op::kCommit, &draft);
+  auto reply = rpc::call(*transport_, server_port_, mv_ops::kCommit, draft);
   if (!reply.ok()) {
     return reply.error();
   }
-  return reply.value().header.params[0];
+  return reply.value().version;
 }
 
 Result<void> MultiVersionClient::abort(const core::Capability& draft) {
-  return as_void(call(*transport_, server_port_, mv_op::kAbort, &draft));
+  return rpc::call(*transport_, server_port_, mv_ops::kAbort, draft);
 }
 
 Result<std::uint64_t> MultiVersionClient::history(
     const core::Capability& file) {
-  auto reply = call(*transport_, server_port_, mv_op::kHistory, &file);
+  auto reply = rpc::call(*transport_, server_port_, mv_ops::kHistory, file);
   if (!reply.ok()) {
     return reply.error();
   }
-  return reply.value().header.params[0];
+  return reply.value().versions;
 }
 
 Result<void> MultiVersionClient::destroy(const core::Capability& file) {
-  return as_void(call(*transport_, server_port_, mv_op::kDestroyFile, &file));
+  return rpc::call(*transport_, server_port_, mv_ops::kDestroyFile, file);
 }
 
 }  // namespace amoeba::servers

@@ -1,6 +1,8 @@
 #include "amoeba/servers/unixfs.hpp"
 
 #include <algorithm>
+#include <map>
+#include <variant>
 
 namespace amoeba::servers {
 
@@ -304,6 +306,78 @@ Result<std::vector<DirEntry>> UnixFs::readdir(std::string_view path) {
   }
   DirectoryClient dirs(*transport_, dir.server_port);
   return dirs.list(dir);
+}
+
+Result<std::vector<UnixFs::StatEntry>> UnixFs::readdir_stat(
+    std::string_view path) {
+  auto listed = readdir(path);
+  if (!listed.ok()) {
+    return listed.error();
+  }
+  std::vector<StatEntry> results;
+  results.reserve(listed.value().size());
+  std::map<Port, std::vector<std::size_t>> by_server;
+  for (const DirEntry& entry : listed.value()) {
+    StatEntry stat_entry;
+    stat_entry.name = entry.name;
+    stat_entry.stat.capability = entry.capability;
+    stat_entry.stat.is_directory = is_directory_capability(entry.capability);
+    by_server[entry.capability.server_port].push_back(results.size());
+    results.push_back(std::move(stat_entry));
+  }
+  // One batch frame per server -- a file entry costs a SIZE sub-request,
+  // a directory entry a LIST (its stat size is the entry count) -- and
+  // every frame is in flight at once.
+  using SizeEntry = rpc::TypedBatch::Entry<file_ops::SizeOp>;
+  using ListEntry = rpc::TypedBatch::Entry<dir_ops::ListOp>;
+  struct Queued {
+    std::size_t result_index;
+    std::variant<SizeEntry, ListEntry> entry;
+  };
+  struct Flight {
+    rpc::Future future;
+    std::vector<Queued> queued;
+  };
+  std::vector<Flight> flights;
+  flights.reserve(by_server.size());
+  for (auto& [server, members] : by_server) {
+    rpc::TypedBatch batch(*transport_, server);
+    std::vector<Queued> queued;
+    queued.reserve(members.size());
+    for (const std::size_t i : members) {
+      if (results[i].stat.is_directory) {
+        queued.push_back(
+            {i, batch.add(dir_ops::kList, results[i].stat.capability)});
+      } else {
+        queued.push_back(
+            {i, batch.add(file_ops::kSize, results[i].stat.capability)});
+      }
+    }
+    flights.push_back({batch.run_async(), std::move(queued)});
+  }
+  for (Flight& flight : flights) {
+    auto replies = rpc::TypedBatch::parse_reply(flight.future.get());
+    if (!replies.ok()) {
+      return replies.error();
+    }
+    for (const Queued& queued : flight.queued) {
+      StatEntry& entry = results[queued.result_index];
+      if (const auto* list_entry = std::get_if<ListEntry>(&queued.entry)) {
+        auto list = replies.value().get(*list_entry);
+        if (!list.ok()) {
+          return list.error();
+        }
+        entry.stat.size = list.value().entries.size();
+      } else {
+        auto size = replies.value().get(std::get<SizeEntry>(queued.entry));
+        if (!size.ok()) {
+          return size.error();
+        }
+        entry.stat.size = size.value().size;
+      }
+    }
+  }
+  return results;
 }
 
 Result<UnixFs::Stat> UnixFs::stat(std::string_view path) {

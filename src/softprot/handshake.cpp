@@ -34,6 +34,9 @@ BootService::BootService(net::Machine& machine, Port get_port,
     throw UsageError("BootService requires a key store");
   }
   keypair_ = crypto::rsa_generate(rng_);
+  on(boot_ops::kExchangeKey, [this](const auto& call) {
+    return do_exchange(call.src(), call.body);
+  });
 }
 
 void BootService::announce() {
@@ -46,15 +49,13 @@ void BootService::announce() {
 
 void BootService::reboot() { keys_->clear(); }
 
-net::Message BootService::handle(const net::Delivery& request) {
-  if (request.message.header.opcode != kOpExchangeKey) {
-    return net::make_reply(request.message, ErrorCode::no_such_operation);
-  }
+Result<rpc::BytesReply> BootService::do_exchange(
+    MachineId client, const rpc::BytesRequest& req) {
   // Unwrap the client's proposed key K with our private key.
-  const auto plain = crypto::rsa_unwrap(keypair_.priv.n, keypair_.priv.d,
-                                        request.message.data);
+  const auto plain =
+      crypto::rsa_unwrap(keypair_.priv.n, keypair_.priv.d, req.bytes);
   if (!plain.has_value() || plain->size() != 8) {
-    return net::make_reply(request.message, ErrorCode::unsealing_failed);
+    return ErrorCode::unsealing_failed;
   }
   Reader r(*plain);
   const std::uint64_t client_key = r.u64();
@@ -66,8 +67,8 @@ net::Message BootService::handle(const net::Delivery& request) {
   }
   // Install: client->us traffic decrypts with K, us->client encrypts with
   // the fresh reverse key.
-  keys_->set_rx(request.src, client_key);
-  keys_->set_tx(request.src, reverse_key);
+  keys_->set_rx(client, client_key);
+  keys_->set_tx(client, reverse_key);
 
   // Reply payload: (K, K') sealed with K itself, then transformed with our
   // private key -- the double encryption of the paper.
@@ -79,58 +80,70 @@ net::Message BootService::handle(const net::Delivery& request) {
         static_cast<std::uint8_t>(reverse_key >> (8 * i));
   }
   seal128(client_key, both);
-  net::Message reply = net::make_reply(request.message, ErrorCode::ok);
-  reply.data = crypto::rsa_wrap(keypair_.priv.n, keypair_.priv.d,
-                                std::span(both.data(), both.size()));
-  return reply;
+  return rpc::BytesReply{crypto::rsa_wrap(
+      keypair_.priv.n, keypair_.priv.d, std::span(both.data(), both.size()))};
 }
 
-Result<void> establish_keys(net::Machine& machine, Port boot_put_port,
-                            const crypto::RsaPublicKey& server_pub,
-                            KeyStore& my_keys, Rng& rng) {
-  // Pick the fresh conventional key K for my->server traffic.
-  const std::uint64_t client_key = rng.next();
+KeyExchange::KeyExchange(rpc::Transport& transport, Port boot_put_port,
+                         const crypto::RsaPublicKey& server_pub, Rng& rng)
+    : server_pub_(server_pub) {
+  // Pick the fresh conventional key K for my->server traffic and fire the
+  // proposal without waiting; any number may be in flight per transport.
+  client_key_ = rng.next();
   Writer w;
-  w.u64(client_key);
+  w.u64(client_key_);
+  future_ = transport.trans_async(rpc::make_request(
+      boot_put_port, boot_ops::kExchangeKey,
+      {crypto::rsa_wrap(server_pub.n, server_pub.e, w.buffer())}));
+}
 
-  rpc::Transport transport(machine, rng.next());
-  net::Message req;
-  req.header.dest = boot_put_port;
-  req.header.opcode = kOpExchangeKey;
-  req.data = crypto::rsa_wrap(server_pub.n, server_pub.e, w.buffer());
-  auto reply = transport.trans(std::move(req));
-  if (!reply.ok()) {
-    return reply.error();
+Result<void> KeyExchange::complete(KeyStore& my_keys) {
+  auto outcome = future_.get();
+  if (!outcome.ok()) {
+    return outcome.error();
   }
-  if (reply.value().message.header.status != ErrorCode::ok) {
-    return reply.value().message.header.status;
+  if (outcome.value().message.header.status != ErrorCode::ok) {
+    return outcome.value().message.header.status;
   }
-
   // Undo the private-key transform with the published public key, then
   // decrypt with K; the reply must echo K, which proves the responder owns
   // the private key (only it could produce a transform the public key
   // inverts to something K-decryptable containing K).
-  const auto sealed = crypto::rsa_unwrap(server_pub.n, server_pub.e,
-                                         reply.value().message.data);
+  const auto sealed = crypto::rsa_unwrap(server_pub_.n, server_pub_.e,
+                                         outcome.value().message.data);
   if (!sealed.has_value() || sealed->size() != 16) {
     return ErrorCode::unsealing_failed;
   }
   net::CapabilityBytes both{};
   std::copy(sealed->begin(), sealed->end(), both.begin());
-  unseal128(client_key, both);
+  unseal128(client_key_, both);
   std::uint64_t echoed = 0;
   std::uint64_t reverse_key = 0;
   for (int i = 7; i >= 0; --i) {
     echoed = (echoed << 8) | both[static_cast<std::size_t>(i)];
     reverse_key = (reverse_key << 8) | both[static_cast<std::size_t>(8 + i)];
   }
-  if (echoed != client_key) {
+  if (echoed != client_key_) {
     return ErrorCode::unsealing_failed;  // impostor or corrupted exchange
   }
-  const MachineId server_machine = reply.value().src;
-  my_keys.set_tx(server_machine, client_key);
+  const MachineId server_machine = outcome.value().src;
+  my_keys.set_tx(server_machine, client_key_);
   my_keys.set_rx(server_machine, reverse_key);
   return {};
+}
+
+Result<void> establish_keys(rpc::Transport& transport, Port boot_put_port,
+                            const crypto::RsaPublicKey& server_pub,
+                            KeyStore& my_keys, Rng& rng) {
+  return KeyExchange(transport, boot_put_port, server_pub, rng)
+      .complete(my_keys);
+}
+
+Result<void> establish_keys(net::Machine& machine, Port boot_put_port,
+                            const crypto::RsaPublicKey& server_pub,
+                            KeyStore& my_keys, Rng& rng) {
+  rpc::Transport transport(machine, rng.next());
+  return establish_keys(transport, boot_put_port, server_pub, my_keys, rng);
 }
 
 }  // namespace amoeba::softprot

@@ -392,7 +392,7 @@ TEST(FullStack, SoftProtStackWithoutFBoxes) {
   std::optional<net::Message> captured;
   net::TapHandle tap = net.attach_tap([&](const net::TapRecord& rec) {
     if (rec.kind == net::FrameKind::data && rec.src == cm.id() &&
-        rec.message.header.opcode == servers::block_op::kWrite) {
+        rec.message.header.opcode == servers::block_ops::kWrite.opcode) {
       captured = rec.message;
     }
   });

@@ -143,7 +143,7 @@ TEST_F(BankSuite, MalformedTransferPayloadRejected) {
   // Transfer with garbage instead of a capability in the data field.
   net::Message req;
   req.header.dest = server_->put_port();
-  req.header.opcode = bank_op::kTransfer;
+  req.header.opcode = bank_ops::kTransfer.opcode;
   set_header_capability(req, alice_);
   req.header.params[0] = currency::kDollar;
   req.header.params[1] = 1;

@@ -234,5 +234,41 @@ TEST_F(UnixFsSuite, TwoMountsShareTheTree) {
             "visible");
 }
 
+TEST_F(UnixFsSuite, ReaddirStatMatchesStatLoopWithFewerRoundTrips) {
+  // A mixed listing: files of known sizes plus a subdirectory with two
+  // entries.  The batched listing must agree with per-entry stat() while
+  // paying one batch frame per server instead of one stat per entry.
+  for (int i = 0; i < 8; ++i) {
+    const auto fd = fs_->open("file" + std::to_string(i),
+                              UnixFs::kWrite | UnixFs::kCreate);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->write(fd.value(), Buffer(static_cast<std::size_t>(i + 1),
+                                              'x'))
+                    .ok());
+    ASSERT_TRUE(fs_->close(fd.value()).ok());
+  }
+  ASSERT_TRUE(fs_->mkdir("sub").ok());
+  ASSERT_TRUE(fs_->mkdir("sub/a").ok());
+  ASSERT_TRUE(fs_->mkdir("sub/b").ok());
+
+  const auto before = transport_->stats().transactions;
+  const auto batched = fs_->readdir_stat("");
+  const auto batched_round_trips = transport_->stats().transactions - before;
+  ASSERT_TRUE(batched.ok()) << to_string(batched.error());
+  ASSERT_EQ(batched.value().size(), 9u);
+  // files live on the file server, "sub" on the directory server: one
+  // LIST for the root plus one batch frame per server = 3 transactions,
+  // where the stat loop pays 1 + 9 resolves + 9 stats.
+  EXPECT_EQ(batched_round_trips, 3u);
+  for (const auto& entry : batched.value()) {
+    const auto loop = fs_->stat(entry.name);
+    ASSERT_TRUE(loop.ok()) << entry.name << ": " << to_string(loop.error());
+    EXPECT_EQ(entry.stat.is_directory, loop.value().is_directory)
+        << entry.name;
+    EXPECT_EQ(entry.stat.size, loop.value().size) << entry.name;
+    EXPECT_EQ(entry.stat.capability, loop.value().capability) << entry.name;
+  }
+}
+
 }  // namespace
 }  // namespace amoeba::servers
