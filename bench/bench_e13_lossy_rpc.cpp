@@ -1,0 +1,128 @@
+// E13: goodput of at-most-once RPC on a lossy network.
+//
+// The at-most-once machinery (docs/PROTOCOL.md §5) buys correctness --
+// no lost or doubled transactions -- at the price of retransmissions and
+// reply-cache work.  This benchmark measures what is left of the wire
+// throughput as frame loss rises: blocking bank transfers (the worst
+// case for loss: every round trip must land twice in a row) at 0%, 5%,
+// and 20% injected drop, with a side of duplication to exercise the
+// suppression path.
+//
+// items_per_second counts COMPLETED transfers (goodput), not frames; the
+// contrast report also prints the retransmit and duplicate-suppression
+// volume behind each rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "amoeba/common/rng.hpp"
+#include "amoeba/core/schemes.hpp"
+#include "amoeba/net/network.hpp"
+#include "amoeba/rpc/transport.hpp"
+#include "amoeba/servers/bank_server.hpp"
+#include "amoeba/servers/common.hpp"
+
+#include "smoke.hpp"
+
+namespace {
+
+using namespace amoeba;
+using namespace std::chrono_literals;
+
+struct Rig {
+  explicit Rig(double drop, double duplicate = 0.0) : rng(13) {
+    bank_machine = &net.add_machine("bank");
+    client_machine = &net.add_machine("client");
+    bank = std::make_unique<servers::BankServer>(
+        *bank_machine, Port(0xE13),
+        core::make_scheme(core::SchemeKind::commutative, rng), 1);
+    bank->start(2);
+    transport = std::make_unique<rpc::Transport>(*client_machine, 2);
+    transport->set_retransmit(2ms, 64ms);
+    transport->set_default_timeout(5'000ms);
+    client =
+        std::make_unique<servers::BankClient>(*transport, bank->put_port());
+    alice = client->create_account().value();
+    bob = client->create_account().value();
+    (void)client->mint(bank->master_capability(), alice,
+                       servers::currency::kDollar, 1'000'000'000);
+    net.set_fault_injection(drop, duplicate);
+  }
+
+  net::Network net;
+  net::Machine* bank_machine = nullptr;
+  net::Machine* client_machine = nullptr;
+  Rng rng;
+  std::unique_ptr<servers::BankServer> bank;
+  std::unique_ptr<rpc::Transport> transport;
+  std::unique_ptr<servers::BankClient> client;
+  core::Capability alice;
+  core::Capability bob;
+};
+
+/// arg: drop probability in per-mille (0, 50, 200).
+void BM_LossyTransferGoodput(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 1000.0;
+  Rig rig(drop, drop / 2.0);
+  std::int64_t completed = 0;
+  for (auto _ : state) {
+    if (rig.client->transfer(rig.alice, rig.bob,
+                             servers::currency::kDollar, 1)
+            .ok()) {
+      ++completed;
+    }
+  }
+  state.SetItemsProcessed(completed);
+  state.counters["retransmits"] = static_cast<double>(
+      rig.transport->stats().retransmits);
+  state.counters["dup_suppressed"] = static_cast<double>(
+      rig.bank->reply_cache_stats().duplicates_suppressed);
+}
+BENCHMARK(BM_LossyTransferGoodput)->Arg(0)->Arg(50)->Arg(200);
+
+void contrast_report() {
+  constexpr int kTransfers = 300;
+  std::printf("---- goodput vs. injected frame loss, %d blocking transfers "
+              "----\n",
+              kTransfers);
+  double baseline = 0.0;
+  for (const int permille : {0, 50, 200}) {
+    Rig rig(permille / 1000.0, permille / 2000.0);
+    int ok = 0;
+    const double ms = amoeba::bench::timed_ms([&] {
+      for (int i = 0; i < kTransfers; ++i) {
+        if (rig.client
+                ->transfer(rig.alice, rig.bob, servers::currency::kDollar, 1)
+                .ok()) {
+          ++ok;
+        }
+      }
+    });
+    const double goodput = ok / (ms / 1000.0);
+    if (permille == 0) {
+      baseline = goodput;
+    }
+    std::printf("  drop %2d%%: %8.0f tx/s (%4.1f%% of clean), %d/%d ok, "
+                "%llu retransmits, %llu duplicates suppressed\n",
+                permille / 10, goodput, 100.0 * goodput / baseline, ok,
+                kTransfers,
+                static_cast<unsigned long long>(
+                    rig.transport->stats().retransmits),
+                static_cast<unsigned long long>(
+                    rig.bank->reply_cache_stats().duplicates_suppressed));
+  }
+  std::printf("-------------------------------------------------------------"
+              "-\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E13: at-most-once RPC goodput under injected frame loss "
+              "(docs/PROTOCOL.md \xc2\xa7" "5).\n");
+  contrast_report();
+  amoeba::bench::initialize(argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

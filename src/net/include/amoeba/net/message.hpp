@@ -30,6 +30,14 @@ using CapabilityBytes = std::array<std::uint8_t, 16>;
 /// them separately so frame-level accounting stays honest when one frame
 /// stands in for N transactions.
 inline constexpr std::uint16_t kFlagBatch = 0x0001;
+/// The frame carries at-most-once bookkeeping: (client, seq) identify the
+/// transaction, the issuing transport retransmits it until acknowledged,
+/// and the serving side suppresses duplicates through its reply cache.
+inline constexpr std::uint16_t kFlagAtMostOnce = 0x0002;
+/// Set on every copy after the first the transport puts on the wire for
+/// one transaction (diagnostics and accounting only; receivers treat
+/// retransmitted and original frames identically).
+inline constexpr std::uint16_t kFlagRetransmit = 0x0004;
 
 struct Header {
   Port dest;        // put-port of the addressed service
@@ -40,6 +48,14 @@ struct Header {
   ErrorCode status = ErrorCode::ok;  // meaningful in replies
   CapabilityBytes capability{};      // object being operated on (may be 0)
   std::array<std::uint64_t, 4> params{};  // small scalar parameters
+  // At-most-once transaction identity (docs/PROTOCOL.md §5).  client is
+  // the issuing transport's random 64-bit id (0 = no at-most-once
+  // semantics requested, the legacy frame shape); seq increases per
+  // transaction on that transport.  Replies echo both so wire traces
+  // correlate.  Neither field is secret; protection still rests entirely
+  // on ports and capabilities.
+  std::uint64_t client = 0;
+  std::uint64_t seq = 0;
 };
 
 struct Message {
@@ -56,13 +72,16 @@ struct Delivery {
 };
 
 /// Builds a reply message addressed to the request's (already transformed)
-/// reply port, echoing the opcode.
+/// reply port, echoing the opcode and the at-most-once transaction
+/// identity (client, seq) so wire traces correlate request and reply.
 [[nodiscard]] inline Message make_reply(const Message& request,
                                         ErrorCode status) {
   Message reply;
   reply.header.dest = request.header.reply;
   reply.header.opcode = request.header.opcode;
   reply.header.status = status;
+  reply.header.client = request.header.client;
+  reply.header.seq = request.header.seq;
   return reply;
 }
 

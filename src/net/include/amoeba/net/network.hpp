@@ -17,7 +17,10 @@
 //     §2.4 machinery in amoeba/softprot must then provide protection.
 //   * Passive wiretaps observe every frame in wire form -- this is the
 //     intruder's eavesdropping power.
-//   * Frames can be dropped or duplicated under fault injection.
+//   * Frames can be dropped, duplicated, or reordered under fault
+//     injection -- globally or per directed (src, dst) link -- which is
+//     what the at-most-once RPC layer (docs/PROTOCOL.md §5) is tested
+//     against.
 //
 // LOCATE (§2.2: broadcasting a LOCATE message to find which machine serves
 // a port) is provided as a kernel-level primitive: Machine::locate scans
@@ -95,7 +98,9 @@ class Receiver {
   /// G itself otherwise).
   [[nodiscard]] Port put_port() const { return put_port_; }
 
-  /// Blocking receive; see Mailbox::pop.
+  /// Blocking receive; see Mailbox::pop.  Frames queued to one receiver
+  /// are popped in delivery order (which matches transmit order on a link
+  /// unless reorder injection held a frame back).
   [[nodiscard]] std::optional<Delivery> receive(
       std::stop_token stop,
       std::optional<std::chrono::milliseconds> timeout = std::nullopt) {
@@ -175,14 +180,20 @@ class Machine {
 
   /// PUT to a specific machine.  Returns true if the destination F-box
   /// admitted the frame (a GET was outstanding) -- the link-level signal
-  /// kernels use to invalidate stale location cache entries.  Under fault
-  /// injection a dropped frame still reports true.
+  /// kernels use to invalidate stale location cache entries.  Delivery is
+  /// best-effort: under fault injection an admitted frame may still be
+  /// dropped, duplicated, or held back for reordering, and the sender
+  /// cannot tell (a dropped frame still reports true).  Thread-safe; never
+  /// blocks on receivers.
   bool transmit(Message msg, MachineId dst);
 
-  /// PUT broadcast: delivered to every matching GET on the network.
+  /// PUT broadcast: delivered to every matching GET on the network, with
+  /// the same best-effort guarantee as transmit (global drop/duplicate
+  /// faults apply; reorder injection does not).  Thread-safe.
   void broadcast(Message msg);
 
   /// Kernel LOCATE: finds a machine with a GET outstanding for `put_port`.
+  /// Synchronous registry scan; never faulted, never blocked by traffic.
   [[nodiscard]] std::optional<MachineId> locate(Port put_port);
 
  private:
@@ -198,6 +209,14 @@ class Machine {
   FBox fbox_;
 };
 
+/// Fault probabilities for one directed (src, dst) link; overrides the
+/// global knobs for that link when installed via set_link_faults.
+struct LinkFaults {
+  double drop = 0.0;       // frame silently lost
+  double duplicate = 0.0;  // frame delivered twice
+  double reorder = 0.0;    // frame held back until the next on the link
+};
+
 class Network {
  public:
   struct Config {
@@ -205,6 +224,7 @@ class Network {
     std::uint64_t seed = 1;
     double drop_probability = 0.0;       // applied per delivery attempt
     double duplicate_probability = 0.0;  // applied per delivered frame
+    double reorder_probability = 0.0;    // applied per delivered frame
   };
 
   struct Stats {
@@ -214,6 +234,7 @@ class Network {
     std::atomic<std::uint64_t> rejected{0};   // no matching GET
     std::atomic<std::uint64_t> dropped{0};    // fault injection
     std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};  // frames held back
     std::atomic<std::uint64_t> locates{0};
     std::atomic<std::uint64_t> batch_frames{0};  // frames with kFlagBatch
   };
@@ -229,17 +250,35 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Adds a machine; the reference stays valid for the network's lifetime.
+  /// Thread-safe against concurrent add_machine and traffic.
   Machine& add_machine(std::string name);
 
-  /// Attaches a passive wiretap seeing every frame in wire form.
+  /// Attaches a passive wiretap seeing every frame in wire form.  Taps run
+  /// on sender threads, outside every network lock; detaching (dropping
+  /// the handle) never blocks frame delivery.
   [[nodiscard]] TapHandle attach_tap(TapFn fn);
 
+  /// Live counters; each field is independently atomic (a snapshot read
+  /// across fields is not a consistent cut).
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] bool fbox_enabled() const { return config_.fbox_enabled; }
 
-  /// Adjusts fault injection at runtime (tests and benches).
+  /// Adjusts the network-wide fault knobs at runtime (tests and benches).
+  /// Thread-safe; releases any frame currently held back by reorder
+  /// injection, so lowering the knobs cannot strand traffic.
   void set_fault_injection(double drop_probability,
-                           double duplicate_probability);
+                           double duplicate_probability,
+                           double reorder_probability = 0.0);
+
+  /// Installs fault probabilities for one directed (src -> dst) link,
+  /// overriding the global knobs for frames on that link only (the other
+  /// direction keeps its own setting).  Thread-safe; flushes held frames
+  /// like set_fault_injection.
+  void set_link_faults(MachineId src, MachineId dst, const LinkFaults& faults);
+
+  /// Removes every per-link override (global knobs apply again) and
+  /// releases held frames.
+  void clear_link_faults();
 
  private:
   friend class Machine;
@@ -289,8 +328,18 @@ class Network {
   void mutate_taps(const std::function<void(TapList&)>& edit);
   void emit(const TapRecord& record);
   [[nodiscard]] bool taps_active() const;
-  /// Rolls fault dice; returns number of delivery attempts (0 = dropped).
-  int fault_copies();
+
+  /// Outcome of one fault-dice roll for one frame.
+  struct FaultPlan {
+    int copies = 1;     // delivery attempts (0 = dropped)
+    bool hold = false;  // stash the frame until the next one on the link
+  };
+  /// Rolls the dice for a frame on (src -> dst); per-link overrides beat
+  /// the global knobs.  `allow_hold` is false on the broadcast path
+  /// (reorder applies to unicast links only).
+  FaultPlan fault_plan(MachineId src, MachineId dst, bool allow_hold);
+  /// Delivers every frame currently held back by reorder injection.
+  void flush_held();
 
   Config config_;  // immutable after construction (fault knobs are below)
   std::shared_ptr<const crypto::OneWayFn> f_;
@@ -311,11 +360,28 @@ class Network {
   std::atomic<bool> taps_active_{false};
 
   // Fault injection: probabilities are atomics (runtime-adjustable); the
-  // dice RNG has its own lock, touched only when a fault mode is armed.
+  // dice RNG, per-link overrides, and reorder holdback slots share one
+  // lock, touched only when a fault mode is armed (link_faults_active_ and
+  // held_count_ gate the fast path so fault-free traffic never takes it).
   std::atomic<double> drop_probability_;
   std::atomic<double> duplicate_probability_;
+  std::atomic<double> reorder_probability_;
   mutable std::mutex fault_mutex_;
   Rng rng_;
+
+  /// One frame held back by reorder injection, released after the next
+  /// frame on its link (or by a fault-knob change / flush).
+  struct Held {
+    std::shared_ptr<Mailbox> mailbox;
+    Delivery delivery;
+  };
+  [[nodiscard]] static std::uint64_t link_key(MachineId src, MachineId dst) {
+    return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  }
+  std::unordered_map<std::uint64_t, LinkFaults> link_faults_;  // fault_mutex_
+  std::unordered_map<std::uint64_t, Held> held_;               // fault_mutex_
+  std::atomic<bool> link_faults_active_{false};
+  std::atomic<std::size_t> held_count_{0};
 
   std::atomic<std::uint64_t> next_id_{1};
 };

@@ -88,6 +88,7 @@ Network::Network(Config config, std::shared_ptr<const crypto::OneWayFn> f)
       taps_(std::make_shared<const TapList>()),
       drop_probability_(config.drop_probability),
       duplicate_probability_(config.duplicate_probability),
+      reorder_probability_(config.reorder_probability),
       rng_(config.seed) {
   if (f_ == nullptr) {
     throw UsageError("Network requires a one-way function");
@@ -128,10 +129,49 @@ void Network::detach_tap(std::uint64_t id) {
 }
 
 void Network::set_fault_injection(double drop_probability,
-                                  double duplicate_probability) {
+                                  double duplicate_probability,
+                                  double reorder_probability) {
   drop_probability_.store(drop_probability, std::memory_order_relaxed);
   duplicate_probability_.store(duplicate_probability,
                                std::memory_order_relaxed);
+  reorder_probability_.store(reorder_probability, std::memory_order_relaxed);
+  flush_held();  // lowering the knobs must not strand a held frame
+}
+
+void Network::set_link_faults(MachineId src, MachineId dst,
+                              const LinkFaults& faults) {
+  {
+    const std::lock_guard lock(fault_mutex_);
+    link_faults_[link_key(src, dst)] = faults;
+    link_faults_active_.store(true, std::memory_order_release);
+  }
+  flush_held();
+}
+
+void Network::clear_link_faults() {
+  {
+    const std::lock_guard lock(fault_mutex_);
+    link_faults_.clear();
+    link_faults_active_.store(false, std::memory_order_release);
+  }
+  flush_held();
+}
+
+void Network::flush_held() {
+  std::vector<Held> releases;
+  {
+    const std::lock_guard lock(fault_mutex_);
+    releases.reserve(held_.size());
+    for (auto& [link, held] : held_) {
+      releases.push_back(std::move(held));
+    }
+    held_.clear();
+    held_count_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& held : releases) {
+    stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+    held.mailbox->push(std::move(held.delivery));
+  }
 }
 
 void Network::emit(const TapRecord& record) {
@@ -147,23 +187,37 @@ bool Network::taps_active() const {
   return taps_active_.load(std::memory_order_acquire);
 }
 
-int Network::fault_copies() {
-  const double drop = drop_probability_.load(std::memory_order_relaxed);
-  const double duplicate =
-      duplicate_probability_.load(std::memory_order_relaxed);
-  if (drop <= 0.0 && duplicate <= 0.0) {
-    return 1;  // fault-free fast path: no lock, no RNG draw
+Network::FaultPlan Network::fault_plan(MachineId src, MachineId dst,
+                                       bool allow_hold) {
+  double drop = drop_probability_.load(std::memory_order_relaxed);
+  double duplicate = duplicate_probability_.load(std::memory_order_relaxed);
+  double reorder = reorder_probability_.load(std::memory_order_relaxed);
+  const bool links = link_faults_active_.load(std::memory_order_acquire);
+  if (!links && drop <= 0.0 && duplicate <= 0.0 && reorder <= 0.0) {
+    return {};  // fault-free fast path: no lock, no RNG draw
   }
   const std::lock_guard lock(fault_mutex_);
+  if (links) {
+    const auto it = link_faults_.find(link_key(src, dst));
+    if (it != link_faults_.end()) {
+      drop = it->second.drop;
+      duplicate = it->second.duplicate;
+      reorder = it->second.reorder;
+    }
+  }
   if (drop > 0.0 && rng_.uniform01() < drop) {
     stats_.dropped.fetch_add(1, std::memory_order_relaxed);
-    return 0;
+    return {.copies = 0};
   }
+  FaultPlan plan;
   if (duplicate > 0.0 && rng_.uniform01() < duplicate) {
     stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
-    return 2;
+    plan.copies = 2;
   }
-  return 1;
+  if (allow_hold && reorder > 0.0 && rng_.uniform01() < reorder) {
+    plan.hold = true;
+  }
+  return plan;
 }
 
 Receiver Network::register_listener(Machine& m, Port get_port,
@@ -213,7 +267,7 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     emit(TapRecord{FrameKind::data, src.id(), dst, msg, Port()});
   }
 
-  const int copies = fault_copies();
+  const FaultPlan plan = fault_plan(src.id(), dst, /*allow_hold=*/true);
   // Pick the destination mailbox: a registration on `dst` whose port
   // matches the frame's destination field.
   std::shared_ptr<Mailbox> mailbox;
@@ -247,6 +301,31 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     return false;  // receiving F-box had no GET outstanding
   }
+  const std::uint64_t link = link_key(src.id(), dst);
+  int copies = plan.copies;
+  bool stashed = false;
+  if (plan.hold) {
+    // Reorder injection: stash one copy until the NEXT frame on this link
+    // has been delivered (at most one held frame per link; when the slot
+    // is taken the frame falls through to normal delivery, which is
+    // itself the reordering for the already-held one).  A duplicate copy
+    // rolled for the same frame is NOT held -- it is delivered below, so
+    // duplication and reordering compose instead of cancelling.
+    {
+      const std::lock_guard lock(fault_mutex_);
+      if (!held_.contains(link)) {
+        held_.emplace(link, Held{mailbox, Delivery{src.id(), msg}});
+        held_count_.fetch_add(1, std::memory_order_relaxed);
+        stashed = true;
+      }
+    }
+    if (stashed) {
+      stats_.reordered.fetch_add(1, std::memory_order_relaxed);
+      if (--copies <= 0) {
+        return true;  // the lone copy rides the holdback slot
+      }
+    }
+  }
   stats_.delivered.fetch_add(static_cast<std::uint64_t>(copies),
                              std::memory_order_relaxed);
   for (int i = 0; i + 1 < copies; ++i) {
@@ -254,6 +333,25 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   }
   if (copies > 0) {
     mailbox->push(Delivery{src.id(), std::move(msg)});  // last copy moves
+  }
+  // A frame held on this link is released AFTER the one just handled --
+  // the actual reordering (never the frame stashed this very call).
+  // held_count_ keeps the fault-free path off the fault mutex.
+  if (!stashed && held_count_.load(std::memory_order_relaxed) > 0) {
+    std::optional<Held> release;
+    {
+      const std::lock_guard lock(fault_mutex_);
+      const auto it = held_.find(link);
+      if (it != held_.end()) {
+        release.emplace(std::move(it->second));
+        held_.erase(it);
+        held_count_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (release.has_value()) {
+      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+      release->mailbox->push(std::move(release->delivery));
+    }
   }
   return true;
 }
@@ -269,7 +367,9 @@ void Network::broadcast_from(Machine& src, Message msg) {
     emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
   }
 
-  const int copies = fault_copies();
+  const FaultPlan plan = fault_plan(src.id(), MachineId(),
+                                    /*allow_hold=*/false);
+  const int copies = plan.copies;
   if (copies == 0) {
     return;
   }

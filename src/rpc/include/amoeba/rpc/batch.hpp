@@ -25,6 +25,13 @@
 // The envelope status reports frame-level failures (malformed envelope,
 // permission_denied from signature checks); per-entry statuses report each
 // sub-request's own outcome in add() order.
+//
+// At-most-once (docs/PROTOCOL.md §5): the envelope is ONE transaction.
+// The transport stamps the whole frame with one (client, seq) pair and
+// retransmits it as a unit; the service's duplicate-suppression table
+// caches the whole batched reply under that pair, so on a lossy network
+// every sub-request of the envelope executes exactly once or the whole
+// envelope fails with a timeout -- sub-requests never partially repeat.
 #pragma once
 
 #include <array>
@@ -90,7 +97,8 @@ class Batch {
   Batch(Transport& transport, Port dest)
       : transport_(&transport), dest_(dest) {}
 
-  /// Queues one sub-request; returns its position (reply index).
+  /// Queues one sub-request; returns its position (reply index).  Not
+  /// thread-safe (a Batch belongs to one issuing thread, like a Message).
   std::size_t add(std::uint16_t opcode,
                   const net::CapabilityBytes* capability = nullptr,
                   Buffer data = {},
@@ -102,15 +110,19 @@ class Batch {
 
   /// Sends the queued entries as one batch frame and waits; replies come
   /// back in add() order, and a success is guaranteed to carry exactly one
-  /// reply per queued entry.  An empty batch returns an empty vector
-  /// without touching the network.
+  /// reply per queued entry.  The frame is one at-most-once transaction:
+  /// under loss it is retransmitted and duplicate-suppressed as a unit, so
+  /// every entry executed exactly once on success and at most once on
+  /// timeout.  An empty batch returns an empty vector without touching the
+  /// network.
   [[nodiscard]] Result<std::vector<BatchReply>> run();
   [[nodiscard]] Result<std::vector<BatchReply>> run(
       std::chrono::milliseconds timeout);
 
-  /// Pipelining: sends the queued entries without waiting.  Decode the
-  /// eventual delivery with parse_reply().  An empty batch yields an
-  /// invalid Future.
+  /// Pipelining: sends the queued entries without waiting (same
+  /// whole-envelope at-most-once guarantee as run()).  Decode the eventual
+  /// delivery with parse_reply().  An empty batch yields an invalid
+  /// Future.
   [[nodiscard]] Future run_async();
   [[nodiscard]] Future run_async(std::chrono::milliseconds timeout);
 

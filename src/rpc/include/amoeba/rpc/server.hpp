@@ -18,11 +18,25 @@
 // optionally be fanned across transient helper threads
 // (set_batch_fan_out), which is safe because handlers already tolerate
 // multi-worker concurrency.
+//
+// At-most-once duplicate suppression (docs/PROTOCOL.md §5): requests
+// stamped with kFlagAtMostOnce carry the issuing transport's (client, seq)
+// identity, and the service keeps a per-client reply cache keyed by the
+// stamped source machine plus that identity.  A retransmitted request
+// whose original already completed re-sends the cached reply WITHOUT
+// re-executing the handler (critical for non-idempotent operations like
+// bank.transfer and std_destroy); one whose original is still executing is
+// dropped silently (the client's next backoff tick retries).  The check
+// runs after the signature and filter gates, so a replayed frame from the
+// wrong machine can neither poison nor read the cache.  Batch envelopes
+// are suppressed as a unit: the whole batched reply is cached under the
+// envelope's (client, seq).
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <latch>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,20 +75,29 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Spawns `workers` listener threads.  Idempotent start/stop pairs.
+  /// Blocks until every worker's GET is registered, so a request issued
+  /// right after start() cannot race the registrations.
   void start(int workers = 1);
 
-  /// Stops all workers and waits for them to exit (jthread join).
+  /// Stops all workers and waits for them to exit (jthread join).  Safe to
+  /// call repeatedly; in-flight handlers finish before their worker exits.
   void stop();
 
   /// Moves a stopped service to another machine (process migration for the
   /// locate experiments).  Throws UsageError if the service is running.
+  /// The reply cache survives the move (a client's retransmit after the
+  /// migration is still suppressed).
   void rebind(net::Machine& machine);
 
   /// The public put-port clients use: P = F(G) under F-boxes, G otherwise.
+  /// Constant after construction; safe from any thread.
   [[nodiscard]] Port put_port() const;
 
   /// Installs a message filter (capability sealing in F-box-less mode);
-  /// applied to requests on arrival and replies on departure.
+  /// applied to requests on arrival and replies on departure -- including
+  /// replies re-sent from the reply cache, which are re-sealed per
+  /// transmission.  Thread-safe; filters must be internally synchronized
+  /// (workers run them concurrently).
   void set_filter(std::shared_ptr<MessageFilter> filter);
 
   /// Restricts the service to signed requests (§2.2 digital signatures):
@@ -84,20 +107,57 @@ class Service {
   /// is refused with permission_denied.  An empty set (the default)
   /// disables the check.  Only meaningful under F-boxes -- without them a
   /// signature is replayable and §2.4's source addresses take over.
+  /// Thread-safe; applies from the next delivered frame.
   void set_allowed_signatures(std::vector<Port> published_signatures);
 
   /// Fans sub-requests of one batch envelope across up to `helpers`
   /// transient threads (1 = in the receiving worker, the default; pays off
   /// when handlers block or compute, not for cheap table lookups).
+  /// Thread-safe; takes effect on the next envelope.
   void set_batch_fan_out(int helpers);
+
+  // ---- at-most-once reply cache ---------------------------------------
+
+  /// Counters and occupancy of the duplicate-suppression table.  Snapshot
+  /// under the cache lock; safe to call while workers run.
+  struct ReplyCacheStats {
+    std::uint64_t duplicates_suppressed = 0;  // retransmits not re-executed
+    std::uint64_t replies_resent = 0;   // of those, answered from the cache
+    std::uint64_t evicted_entries = 0;  // cached replies aged out
+    std::uint64_t evicted_clients = 0;  // whole client entries aged out
+    std::uint64_t entries = 0;          // live cached replies
+    std::uint64_t clients = 0;          // live client entries
+  };
+  [[nodiscard]] ReplyCacheStats reply_cache_stats() const;
+
+  /// Bounds the duplicate-suppression table: at most `window_per_client`
+  /// cached replies per client (oldest completed entries evicted first;
+  /// window 0 disables suppression entirely) and at most `max_clients`
+  /// clients with live cached replies (least recently used demoted to a
+  /// floor-only tombstone; 0 = unbounded).  Eviction never re-executes: a
+  /// duplicate of an evicted transaction is dropped silently, so at-most-
+  /// once degrades to "at most once + client timeout", never "twice" --
+  /// but windows should comfortably exceed the deepest client pipeline so
+  /// replies can still be RE-SENT (see docs/PROTOCOL.md §5.4 for the
+  /// memory tradeoff).  Thread-safe.
+  void set_reply_cache_limits(std::size_t window_per_client,
+                              std::size_t max_clients);
+
+  /// Drops every cached reply and client entry (the eviction hook tests
+  /// use to force the cold path).  In-flight requests are unaffected
+  /// beyond losing their suppression record.  Thread-safe.
+  void flush_reply_cache();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] net::Machine& machine() { return *machine_; }
+  /// Requests this service executed (handlers run + signature/filter
+  /// refusals).  Duplicates suppressed by the reply cache do NOT count
+  /// here; they are visible in reply_cache_stats().  Relaxed atomic read.
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
   /// Sub-requests unpacked from batch envelopes (each envelope also counts
-  /// once in requests_served).
+  /// once in requests_served).  Relaxed atomic read.
   [[nodiscard]] std::uint64_t batched_requests() const {
     return batched_requests_.load(std::memory_order_relaxed);
   }
@@ -138,7 +198,8 @@ class Service {
 
   /// Every typed descriptor registered on this service, in registration
   /// order -- lets generic tests exercise any server without per-server
-  /// case lists.
+  /// case lists (and the docs/PROTOCOL.md consistency test verify the
+  /// published opcode tables).  Immutable once workers run; lock-free.
   [[nodiscard]] const std::vector<OpInfo>& registered_ops() const {
     return typed_ops_;
   }
@@ -159,6 +220,61 @@ class Service {
   [[nodiscard]] net::Message handle_batch(const net::Delivery& request);
   [[nodiscard]] net::Message handle_one(const net::Delivery& request);
 
+  // ---- duplicate-suppression internals (docs/PROTOCOL.md §5.3) --------
+
+  /// One client's slice of the reply cache.  `replies` holds the states of
+  /// its recent transactions ordered by seq; seqs at or below `floor` were
+  /// evicted and are known stale (dropped without execution -- the
+  /// at-most-once-safe answer for a seq we no longer remember).
+  struct CachedReply {
+    bool done = false;   // false: original still executing
+    net::Message reply;  // valid once done (pre-filter, pre-dest form)
+  };
+  struct ClientEntry {
+    std::map<std::uint64_t, CachedReply> replies;
+    std::uint64_t floor = 0;
+    std::uint64_t last_used = 0;   // LRU tick for client eviction
+    std::size_t executing = 0;     // replies entries not yet done
+  };
+  /// Total client entries (live + floor-only tombstones) may reach
+  /// kTombstoneFactor x max_clients before the LRU tombstone is erased
+  /// outright -- the bound that keeps server memory finite against
+  /// client-id churn (the id is a self-chosen wire field).
+  static constexpr std::size_t kTombstoneFactor = 8;
+  /// Clients are keyed by the UNFORGEABLE stamped source machine plus the
+  /// self-chosen client id, so no machine can touch another's entries.
+  struct ClientKey {
+    std::uint32_t src = 0;
+    std::uint64_t client = 0;
+    friend bool operator==(const ClientKey&, const ClientKey&) = default;
+  };
+  struct ClientKeyHash {
+    [[nodiscard]] std::size_t operator()(const ClientKey& k) const {
+      return std::hash<std::uint64_t>{}(k.client ^
+                                        (std::uint64_t{k.src} << 32));
+    }
+  };
+  enum class DupVerdict {
+    fresh,     // unseen seq, claimed as executing: run the handler
+    drop,      // duplicate of an executing or evicted seq: say nothing
+    resend,    // duplicate of a completed seq: cached reply copied out
+  };
+  /// Classifies one at-most-once request and, for `fresh`, claims its slot
+  /// (marks it executing).  Fills `cached` on `resend`.
+  [[nodiscard]] DupVerdict claim_request(const net::Delivery& request,
+                                         net::Message& cached);
+  using ReplyCacheMap =
+      std::unordered_map<ClientKey, ClientEntry, ClientKeyHash>;
+  /// Least-recently-used eviction candidate, excluding `excluded`:
+  /// tombstones (empty reply sets) when `want_tombstones`, else clients
+  /// with live replies and nothing executing.  end() when none qualifies.
+  /// Caller holds reply_cache_mutex_.
+  [[nodiscard]] ReplyCacheMap::iterator lru_reply_cache_victim(
+      const ClientKey& excluded, bool want_tombstones);
+  /// Publishes the reply of a claimed request and evicts beyond the
+  /// per-client window / client cap.
+  void store_reply(const net::Delivery& request, const net::Message& reply);
+
   net::Machine* machine_;
   Port get_port_;
   std::string name_;
@@ -171,6 +287,16 @@ class Service {
   std::vector<Port> allowed_signatures_;
   std::unordered_map<std::uint16_t, Handler> handlers_;  // frozen at start()
   std::vector<OpInfo> typed_ops_;                        // frozen at start()
+
+  // Reply cache: one lock, never held across a handler (claim before,
+  // store after).  Counters live under the same lock.
+  mutable std::mutex reply_cache_mutex_;
+  ReplyCacheMap reply_cache_;
+  ReplyCacheStats reply_cache_counters_;  // entries/clients derived on read
+  std::size_t reply_cache_window_ = 128;
+  std::size_t reply_cache_max_clients_ = 4096;
+  std::size_t reply_cache_loaded_ = 0;  // entries with live cached replies
+  std::uint64_t reply_cache_tick_ = 0;  // LRU clock
 };
 
 }  // namespace amoeba::rpc

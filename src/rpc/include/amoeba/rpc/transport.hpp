@@ -20,6 +20,16 @@
 // generation stamp so that when many in-flight transactions resolved
 // through one stale entry, the first rejected frame invalidates it exactly
 // once and re-LOCATEs are single-flight -- no thundering LOCATE storm.
+//
+// At-most-once over a lossy network (docs/PROTOCOL.md §5).  Every
+// transaction is stamped with this transport's random 64-bit client id and
+// a monotonically increasing sequence number (header.client/seq +
+// kFlagAtMostOnce).  Until the reply arrives or the deadline passes, the
+// pump thread retransmits the request on an exponential backoff timer
+// (kFlagRetransmit marks the extra copies); the server side suppresses the
+// duplicates through its per-client reply cache and re-sends the cached
+// reply instead of re-executing, so a transaction either takes effect
+// exactly once or fails with ErrorCode::timeout -- never twice.
 #pragma once
 
 #include <atomic>
@@ -88,6 +98,7 @@ class Transport {
     std::uint64_t cache_invalidations = 0;
     std::uint64_t transactions = 0;
     std::uint64_t timeouts = 0;
+    std::uint64_t retransmits = 0;  // extra request copies put on the wire
   };
 
   Transport(net::Machine& machine, std::uint64_t seed);
@@ -102,9 +113,13 @@ class Transport {
   /// `request.header.dest` must hold the service's put-port; the reply
   /// field is overwritten with a fresh one-shot port.  The returned future
   /// resolves with the reply message together with the stamped source
-  /// machine of the replying server, or with an error.  Thread-safe: any
-  /// number of threads may issue and pipeline concurrently, and each
-  /// thread may keep any number of transactions in flight.
+  /// machine of the replying server, or with an error.  If the FIRST copy
+  /// cannot be sent at all (no listener found), the future fails fast
+  /// with no_such_port; once a copy was admitted, loss and migration are
+  /// covered by retransmission until the deadline (docs/PROTOCOL.md
+  /// §5.1).  Thread-safe: any number of threads may issue and pipeline
+  /// concurrently, and each thread may keep any number of transactions in
+  /// flight.
   [[nodiscard]] Future trans_async(net::Message request,
                                    std::chrono::milliseconds timeout);
 
@@ -137,6 +152,20 @@ class Transport {
         default_timeout_ms_.load(std::memory_order_relaxed));
   }
 
+  /// Tunes the at-most-once retransmission timer: an unacknowledged
+  /// request is re-sent `initial` after issue, then on doubling intervals
+  /// capped at `cap`, until its reply arrives or its deadline passes.
+  /// initial == 0 disables retransmission (a dropped frame then simply
+  /// times out, the pre-at-most-once behavior).  Thread-safe; applies to
+  /// transactions issued after the call.
+  void set_retransmit(std::chrono::milliseconds initial,
+                      std::chrono::milliseconds cap);
+
+  /// The random 64-bit id stamped into header.client of every request this
+  /// transport issues; the server's duplicate-suppression table keys on it
+  /// (together with the stamped source machine).
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+
   /// Optional signature get-port applied to outgoing requests (the F-box
   /// publishes F(S); receivers authenticate the sender against it).
   void set_signature(Port signature_get_port);
@@ -166,18 +195,43 @@ class Transport {
     std::shared_ptr<Future::State> state;
     net::Receiver receiver;  // keeps the one-shot GET alive
     std::chrono::steady_clock::time_point deadline;
+    // Retransmission state: the unsealed request (reply port already
+    // drawn) so the pump can put further copies on the wire, the next
+    // send time, and the backoff interval that produced it.  next_send ==
+    // time_point::max() when retransmission is disabled.
+    net::Message request;
+    std::chrono::steady_clock::time_point next_send;
+    std::chrono::milliseconds backoff{0};
   };
 
   std::optional<CacheEntry> resolve(Port put_port);
   void invalidate(Port put_port, std::uint64_t generation);
+  /// Resolves the destination, applies the outgoing filter to a sealed
+  /// copy, and transmits; invalidates + retries once on a stale cache
+  /// entry.  Returns whether any copy was admitted by a remote F-box.
+  bool send_request(const net::Message& request,
+                    const std::shared_ptr<MessageFilter>& filter,
+                    std::optional<CacheEntry> fast_dst);
 
   void pump(std::stop_token stop);
   void settle_all(std::deque<net::Delivery>&& batch);
-  void expire_overdue();
+  void expire_and_retransmit();
   static void complete(Pending& pending, Result<net::Delivery> outcome);
+
+  [[nodiscard]] std::chrono::milliseconds retransmit_initial() const {
+    return std::chrono::milliseconds(
+        retransmit_initial_ms_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::chrono::milliseconds retransmit_cap() const {
+    return std::chrono::milliseconds(
+        retransmit_cap_ms_.load(std::memory_order_relaxed));
+  }
 
   net::Machine& machine_;
   std::atomic<std::int64_t> default_timeout_ms_{2000};
+  std::atomic<std::int64_t> retransmit_initial_ms_{25};
+  std::atomic<std::int64_t> retransmit_cap_ms_{400};
+  std::uint64_t client_id_ = 0;  // immutable after construction
 
   // Guards rng/signature/filter/stats and the location cache (including
   // the single-flight LOCATE set).
@@ -187,6 +241,7 @@ class Transport {
   std::unordered_map<Port, CacheEntry> cache_;
   std::unordered_set<Port> locating_;  // ports with a LOCATE in flight
   std::uint64_t next_generation_ = 0;
+  std::uint64_t next_seq_ = 0;  // at-most-once sequence; under mutex_
   Port signature_;
   std::shared_ptr<MessageFilter> filter_;
   Stats stats_;
@@ -197,7 +252,9 @@ class Transport {
   std::shared_ptr<net::Mailbox> replies_;
   mutable std::mutex pending_mutex_;
   std::unordered_map<Port, Pending> pending_;
-  std::chrono::steady_clock::time_point pump_wakes_at_;  // under pending_mutex_
+  // Earliest deadline OR retransmit time across pending_; under
+  // pending_mutex_.  Only ever errs early (one spurious wake), never late.
+  std::chrono::steady_clock::time_point pump_wakes_at_;
   std::jthread pump_;  // last member: must die before the registries
 };
 

@@ -83,6 +83,149 @@ void Service::on(std::uint16_t opcode, Handler handler) {
 
 void Service::note_op(OpInfo info) { typed_ops_.push_back(std::move(info)); }
 
+// ------------------------------------------------------- at-most-once cache
+
+Service::ReplyCacheStats Service::reply_cache_stats() const {
+  const std::lock_guard lock(reply_cache_mutex_);
+  ReplyCacheStats stats = reply_cache_counters_;
+  stats.clients = reply_cache_.size();
+  for (const auto& [key, entry] : reply_cache_) {
+    stats.entries += entry.replies.size();
+  }
+  return stats;
+}
+
+void Service::set_reply_cache_limits(std::size_t window_per_client,
+                                     std::size_t max_clients) {
+  const std::lock_guard lock(reply_cache_mutex_);
+  reply_cache_window_ = window_per_client;
+  reply_cache_max_clients_ = max_clients;
+}
+
+void Service::flush_reply_cache() {
+  const std::lock_guard lock(reply_cache_mutex_);
+  for (const auto& [key, entry] : reply_cache_) {
+    reply_cache_counters_.evicted_entries += entry.replies.size();
+  }
+  reply_cache_counters_.evicted_clients += reply_cache_.size();
+  reply_cache_.clear();
+  reply_cache_loaded_ = 0;
+}
+
+Service::ReplyCacheMap::iterator Service::lru_reply_cache_victim(
+    const ClientKey& excluded, bool want_tombstones) {
+  auto victim = reply_cache_.end();
+  for (auto it = reply_cache_.begin(); it != reply_cache_.end(); ++it) {
+    const ClientEntry& entry = it->second;
+    if (it->first == excluded || entry.replies.empty() != want_tombstones) {
+      continue;
+    }
+    if (!want_tombstones && entry.executing != 0) {
+      continue;
+    }
+    if (victim == reply_cache_.end() ||
+        entry.last_used < victim->second.last_used) {
+      victim = it;
+    }
+  }
+  return victim;
+}
+
+Service::DupVerdict Service::claim_request(const net::Delivery& request,
+                                           net::Message& cached) {
+  const ClientKey key{request.src.value(), request.message.header.client};
+  const std::uint64_t seq = request.message.header.seq;
+  const std::lock_guard lock(reply_cache_mutex_);
+  if (reply_cache_window_ == 0) {
+    return DupVerdict::fresh;  // suppression disabled: execute everything
+  }
+  const auto [self, created] = reply_cache_.try_emplace(key);
+  ClientEntry& entry = self->second;
+  entry.last_used = ++reply_cache_tick_;
+  if (created && reply_cache_max_clients_ != 0 &&
+      reply_cache_.size() > kTombstoneFactor * reply_cache_max_clients_) {
+    // Tombstone pool bound: header.client is a self-chosen field, so an
+    // id-churning peer must not grow the map without limit.  Erase the
+    // least recently used floor-only tombstone (see PROTOCOL.md §5.4 for
+    // what that forgets).
+    const auto victim = lru_reply_cache_victim(key, /*want_tombstones=*/true);
+    if (victim != reply_cache_.end()) {
+      ++reply_cache_counters_.evicted_clients;
+      reply_cache_.erase(victim);
+    }
+  }
+  if (seq <= entry.floor) {
+    // Evicted region: the original may or may not have executed, so the
+    // only at-most-once-safe answer is silence (the client times out).
+    ++reply_cache_counters_.duplicates_suppressed;
+    return DupVerdict::drop;
+  }
+  const auto it = entry.replies.find(seq);
+  if (it != entry.replies.end()) {
+    ++reply_cache_counters_.duplicates_suppressed;
+    if (!it->second.done) {
+      return DupVerdict::drop;  // original still executing on a worker
+    }
+    ++reply_cache_counters_.replies_resent;
+    cached = it->second.reply;
+    return DupVerdict::resend;
+  }
+  if (entry.replies.empty()) {
+    ++reply_cache_loaded_;
+  }
+  entry.replies.emplace(seq, CachedReply{});  // claimed: executing
+  ++entry.executing;
+  if (reply_cache_max_clients_ != 0 &&
+      reply_cache_loaded_ > reply_cache_max_clients_) {
+    // Client cap: demote the least recently used OTHER client with no
+    // transaction still executing (rare; linear scan is fine).  Demotion
+    // drops the cached replies -- the heavy part -- but KEEPS the entry
+    // as a floor tombstone, so duplicates of the evicted transactions
+    // still drop silently instead of re-executing (the at-most-once
+    // guarantee survives eviction; see docs/PROTOCOL.md §5.4).
+    const auto victim =
+        lru_reply_cache_victim(key, /*want_tombstones=*/false);
+    if (victim != reply_cache_.end()) {
+      ClientEntry& demoted = victim->second;
+      reply_cache_counters_.evicted_entries += demoted.replies.size();
+      ++reply_cache_counters_.evicted_clients;
+      demoted.floor = std::max(demoted.floor, demoted.replies.rbegin()->first);
+      demoted.replies.clear();
+      --reply_cache_loaded_;
+    }
+  }
+  return DupVerdict::fresh;
+}
+
+void Service::store_reply(const net::Delivery& request,
+                          const net::Message& reply) {
+  const ClientKey key{request.src.value(), request.message.header.client};
+  const std::uint64_t seq = request.message.header.seq;
+  const std::lock_guard lock(reply_cache_mutex_);
+  const auto cit = reply_cache_.find(key);
+  if (cit == reply_cache_.end()) {
+    return;  // flushed or evicted while the handler ran
+  }
+  auto& entry = cit->second;
+  const auto rit = entry.replies.find(seq);
+  if (rit == entry.replies.end()) {
+    return;
+  }
+  if (!rit->second.done && entry.executing > 0) {
+    --entry.executing;
+  }
+  rit->second.done = true;
+  rit->second.reply = reply;
+  // Per-client window: age out the oldest COMPLETED transactions (an
+  // executing one blocks the sweep; the window may briefly overshoot).
+  while (entry.replies.size() > reply_cache_window_ &&
+         entry.replies.begin()->second.done) {
+    entry.floor = std::max(entry.floor, entry.replies.begin()->first);
+    entry.replies.erase(entry.replies.begin());
+    ++reply_cache_counters_.evicted_entries;
+  }
+}
+
 net::Message Service::handle(const net::Delivery& request) {
   // The table is frozen once workers run (on() rejects late registration),
   // so this lookup is lock-free and race-free.
@@ -180,6 +323,8 @@ void Service::run(std::stop_token stop, std::latch& ready) {
       allowed_signatures = allowed_signatures_;
     }
     net::Message reply;
+    bool executed = true;      // false: duplicate answered from the cache
+    bool cache_reply = false;  // true: claimed fresh, publish after handling
     if (!allowed_signatures.empty() &&
         std::find(allowed_signatures.begin(), allowed_signatures.end(),
                   delivery->message.header.signature) ==
@@ -192,12 +337,44 @@ void Service::run(std::stop_token stop, std::latch& ready) {
     } else if (filter != nullptr &&
                !filter->incoming(delivery->message, delivery->src)) {
       reply = net::make_reply(delivery->message, ErrorCode::unsealing_failed);
-    } else if (delivery->message.header.opcode == kBatchOpcode) {
-      reply = handle_batch(*delivery);
     } else {
-      reply = handle_one(*delivery);
+      // Duplicate suppression runs after the signature and filter gates:
+      // a frame replayed from the wrong machine can neither poison nor
+      // read the cache (and the cache is keyed by the stamped source
+      // machine on top of that).
+      // seq 0 is malformed under the spec (sequences start at 1); such a
+      // frame is served WITHOUT at-most-once semantics rather than
+      // swallowed by the floor check.
+      const bool at_most_once =
+          (delivery->message.header.flags & net::kFlagAtMostOnce) != 0 &&
+          delivery->message.header.client != 0 &&
+          delivery->message.header.seq != 0;
+      if (at_most_once) {
+        switch (claim_request(*delivery, reply)) {
+          case DupVerdict::drop:
+            continue;  // executing elsewhere or evicted: say nothing
+          case DupVerdict::resend:
+            executed = false;  // cached reply already copied into `reply`
+            break;
+          case DupVerdict::fresh:
+            cache_reply = true;
+            break;
+        }
+      }
+      if (executed) {
+        reply = delivery->message.header.opcode == kBatchOpcode
+                    ? handle_batch(*delivery)
+                    : handle_one(*delivery);
+        if (cache_reply) {
+          // Cached in pre-dest, pre-filter form; a re-send recomputes the
+          // destination from the duplicate and re-seals per transmission.
+          store_reply(*delivery, reply);
+        }
+      }
     }
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (executed) {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
     const Port reply_port = delivery->message.header.reply;
     if (reply_port.is_null()) {
       continue;  // one-way request

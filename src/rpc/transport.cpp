@@ -8,6 +8,17 @@ namespace amoeba::rpc {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+/// Process-wide transport nonce.  Server reply caches key on
+/// (machine, client id), so two transports must never share an id --
+/// including a transport recreated with the SAME machine and seed (the
+/// RNG alone would then reproduce the old id and the old seq stream, and
+/// a surviving server would answer the new transport's first transactions
+/// from the old one's cached replies).  The counter makes ids distinct by
+/// construction; the RNG spreads them.
+std::atomic<std::uint64_t> next_transport_nonce{1};
+}  // namespace
+
 // ------------------------------------------------------------------- Future
 
 bool Future::ready() const {
@@ -47,7 +58,17 @@ Transport::Transport(net::Machine& machine, std::uint64_t seed)
       rng_(seed ^ machine.id().value()),
       replies_(std::make_shared<net::Mailbox>()),
       pump_wakes_at_(Clock::time_point::max()),
-      pump_([this](std::stop_token st) { pump(st); }) {}
+      pump_([this](std::stop_token st) { pump(st); }) {
+  // The at-most-once client identity: nonzero (0 on the wire means "no
+  // at-most-once semantics"), unique among all transports of this process
+  // by the nonce, randomly spread by the seed.  Splitmix's odd constant
+  // keeps distinct nonces distinct after the multiply.
+  const std::uint64_t nonce =
+      next_transport_nonce.fetch_add(1, std::memory_order_relaxed);
+  do {
+    client_id_ = rng_.bits(64) ^ (nonce * 0x9E3779B97F4A7C15ull);
+  } while (client_id_ == 0);
+}
 
 Transport::~Transport() {
   pump_.request_stop();
@@ -66,6 +87,15 @@ Transport::~Transport() {
   for (auto& pending : leftovers) {
     complete(pending, ErrorCode::timeout);
   }
+}
+
+void Transport::set_retransmit(std::chrono::milliseconds initial,
+                               std::chrono::milliseconds cap) {
+  if (initial.count() < 0 || cap < initial) {
+    throw UsageError("Transport::set_retransmit: need 0 <= initial <= cap");
+  }
+  retransmit_initial_ms_.store(initial.count(), std::memory_order_relaxed);
+  retransmit_cap_ms_.store(cap.count(), std::memory_order_relaxed);
 }
 
 void Transport::set_signature(Port signature_get_port) {
@@ -142,8 +172,9 @@ Future Transport::trans_async(net::Message request,
   Future future(state);
 
   // One lock hold covers the per-transaction bookkeeping: stats, the
-  // signature/filter snapshot, the one-shot port draw, and a fast-path
-  // probe of the location cache (the hot path never takes mutex_ twice).
+  // signature/filter snapshot, the at-most-once (client, seq) stamp, the
+  // one-shot port draw, and a fast-path probe of the location cache (the
+  // hot path never takes mutex_ twice).
   std::shared_ptr<MessageFilter> filter;
   Port reply_get_port;
   std::optional<CacheEntry> fast_dst;
@@ -152,6 +183,9 @@ Future Transport::trans_async(net::Message request,
     ++stats_.transactions;
     filter = filter_;
     request.header.signature = signature_;
+    request.header.client = client_id_;
+    request.header.seq = ++next_seq_;
+    request.header.flags |= net::kFlagAtMostOnce;
     do {
       reply_get_port = Port(rng_.bits(Port::kBits));
     } while (reply_get_port.is_null());
@@ -165,7 +199,11 @@ Future Transport::trans_async(net::Message request,
   // One-shot reply registration, demultiplexed through the shared
   // mailbox.  Registered in the completion registry BEFORE the frame goes
   // out, so a reply cannot beat its own bookkeeping.
-  const auto deadline = Clock::now() + timeout;
+  const auto now = Clock::now();
+  const auto deadline = now + timeout;
+  const auto backoff = retransmit_initial();
+  const auto next_send =
+      backoff.count() > 0 ? now + backoff : Clock::time_point::max();
   Port registry_key;
   bool registered = false;
   bool wake_pump = false;
@@ -181,22 +219,29 @@ Future Transport::trans_async(net::Message request,
     if (registry_key.is_null()) {
       continue;  // F(G') == 0 would masquerade as a wake marker: redraw
     }
+    request.header.reply = reply_get_port;  // final once registered
+    Pending pending{state, std::move(receiver), deadline, {}, next_send,
+                    backoff};
+    if (backoff.count() > 0) {
+      pending.request = request;  // the copy the pump retransmits from
+    }
     const std::lock_guard lock(pending_mutex_);
     if (pending_.contains(registry_key)) {
       continue;  // 2^-48 one-shot port collision: redraw
     }
-    pending_.emplace(registry_key,
-                     Pending{state, std::move(receiver), deadline});
-    // Only a deadline earlier than the pump's next scheduled wake needs a
-    // nudge; later deadlines are picked up when it recomputes anyway.
-    wake_pump = deadline < pump_wakes_at_;
+    pending_.emplace(registry_key, std::move(pending));
+    // Only an event earlier than the pump's next scheduled wake needs a
+    // nudge; later ones are picked up when it recomputes anyway.
+    const auto wake_at = std::min(deadline, next_send);
+    wake_pump = wake_at < pump_wakes_at_;
     if (wake_pump) {
-      pump_wakes_at_ = deadline;
+      pump_wakes_at_ = wake_at;
     }
     registered = true;
   }
   if (!registered) {
-    Pending failed{state, net::Receiver(), deadline};
+    Pending failed{state, net::Receiver(), deadline, {},
+                   Clock::time_point::max(), {}};
     complete(failed, ErrorCode::internal);
     return future;
   }
@@ -206,7 +251,29 @@ Future Transport::trans_async(net::Message request,
     replies_->push(net::Delivery{MachineId(), net::Message{}});
   }
 
-  request.header.reply = reply_get_port;
+  const bool sent = send_request(request, filter, std::move(fast_dst));
+  if (!sent) {
+    // The reply can never come: withdraw the registration (unless the
+    // pump already expired it) and fail the future now.
+    std::optional<Pending> pending;
+    {
+      const std::lock_guard lock(pending_mutex_);
+      auto it = pending_.find(registry_key);
+      if (it != pending_.end()) {
+        pending.emplace(std::move(it->second));
+        pending_.erase(it);
+      }
+    }
+    if (pending.has_value()) {
+      complete(*pending, ErrorCode::no_such_port);
+    }
+  }
+  return future;
+}
+
+bool Transport::send_request(const net::Message& request,
+                             const std::shared_ptr<MessageFilter>& filter,
+                             std::optional<CacheEntry> fast_dst) {
   // Two attempts: a stale cache entry (server migrated/died) costs one
   // rejected transmit, one invalidation, and a fresh LOCATE.
   bool sent = false;
@@ -227,23 +294,7 @@ Future Transport::trans_async(net::Message request,
       invalidate(request.header.dest, dst->generation);
     }
   }
-  if (!sent) {
-    // The reply can never come: withdraw the registration (unless the
-    // pump already expired it) and fail the future now.
-    std::optional<Pending> pending;
-    {
-      const std::lock_guard lock(pending_mutex_);
-      auto it = pending_.find(registry_key);
-      if (it != pending_.end()) {
-        pending.emplace(std::move(it->second));
-        pending_.erase(it);
-      }
-    }
-    if (pending.has_value()) {
-      complete(*pending, ErrorCode::no_such_port);
-    }
-  }
-  return future;
+  return sent;
 }
 
 void Transport::complete(Pending& pending, Result<net::Delivery> outcome) {
@@ -292,37 +343,62 @@ void Transport::settle_all(std::deque<net::Delivery>&& batch) {
   // ~matched here withdraws the one-shot GET registrations.
 }
 
-void Transport::expire_overdue() {
-  // The only full registry scan in the pump; it runs when a deadline
-  // actually fires (or a wake marker moved it), never per reply.  It also
-  // recomputes the next wake time, repairing the staleness settle() leaves
-  // behind (pump_wakes_at_ only ever errs early, so the worst case is one
-  // spurious wake, not a missed timeout).
+void Transport::expire_and_retransmit() {
+  // The only full registry scan in the pump; it runs when a deadline or
+  // retransmit timer actually fires (or a wake marker moved the schedule),
+  // never per reply.  It also recomputes the next wake time, repairing the
+  // staleness settle() leaves behind (pump_wakes_at_ only ever errs early,
+  // so the worst case is one spurious wake, not a missed timeout).
   const auto now = Clock::now();
+  const auto cap = retransmit_cap();
   std::vector<Pending> overdue;
+  std::vector<net::Message> resend;
   {
     const std::lock_guard lock(pending_mutex_);
     auto earliest = Clock::time_point::max();
     for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->second.deadline <= now) {
-        overdue.push_back(std::move(it->second));
+      Pending& pending = it->second;
+      if (pending.deadline <= now) {
+        overdue.push_back(std::move(pending));
         it = pending_.erase(it);
-      } else {
-        earliest = std::min(earliest, it->second.deadline);
-        ++it;
+        continue;
       }
+      if (pending.next_send <= now) {
+        // Unacknowledged past its backoff: queue another copy (flagged as
+        // a retransmission) and double the interval, capped.
+        net::Message copy = pending.request;
+        copy.header.flags |= net::kFlagRetransmit;
+        resend.push_back(std::move(copy));
+        pending.backoff = std::min(pending.backoff * 2, cap);
+        pending.next_send = now + pending.backoff;
+      }
+      earliest =
+          std::min(earliest, std::min(pending.deadline, pending.next_send));
+      ++it;
     }
     pump_wakes_at_ = earliest;
   }
-  if (overdue.empty()) {
-    return;
+  if (!overdue.empty()) {
+    {
+      const std::lock_guard lock(mutex_);
+      stats_.timeouts += overdue.size();
+    }
+    for (auto& pending : overdue) {
+      complete(pending, ErrorCode::timeout);
+    }
   }
-  {
-    const std::lock_guard lock(mutex_);
-    stats_.timeouts += overdue.size();
-  }
-  for (auto& pending : overdue) {
-    complete(pending, ErrorCode::timeout);
+  if (!resend.empty()) {
+    std::shared_ptr<MessageFilter> filter;
+    {
+      const std::lock_guard lock(mutex_);
+      filter = filter_;
+      stats_.retransmits += resend.size();
+    }
+    for (const auto& request : resend) {
+      // Best effort: a rejected retransmit (server mid-migration) is not
+      // a failure -- the next backoff tick or the deadline settles it.
+      (void)send_request(request, filter, std::nullopt);
+    }
   }
 }
 
@@ -342,7 +418,7 @@ void Transport::pump(std::stop_token stop) {
       return;
     }
     if (batch.empty()) {
-      expire_overdue();  // deadline tick
+      expire_and_retransmit();  // deadline / backoff tick
       continue;
     }
     settle_all(std::move(batch));
@@ -354,7 +430,7 @@ void Transport::pump(std::stop_token stop) {
       deadline_passed = pump_wakes_at_ <= Clock::now();
     }
     if (deadline_passed) {
-      expire_overdue();
+      expire_and_retransmit();
     }
   }
 }
