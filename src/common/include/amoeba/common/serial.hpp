@@ -27,6 +27,8 @@ class Writer {
   void u32(std::uint32_t v);
   void u48(std::uint64_t v);  // low 48 bits
   void u64(std::uint64_t v);
+  /// Two's-complement i64 (payload codecs: balances, deltas).
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void port(Port p) { u48(p.value()); }
   void object(ObjectNumber o) { u32(o.value()); }
   void rights(Rights r) { u8(r.bits()); }
@@ -41,6 +43,9 @@ class Writer {
 
   [[nodiscard]] const Buffer& buffer() const { return out_; }
   [[nodiscard]] Buffer take() { return std::move(out_); }
+  /// Empties the buffer, KEEPING its capacity -- lets hot paths (the
+  /// journaling encoder) reuse one Writer without reallocating.
+  void clear() { out_.clear(); }
 
  private:
   Buffer out_;
@@ -55,6 +60,7 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u48();
   std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   Port port() { return Port(u48()); }
   ObjectNumber object() { return ObjectNumber(u32()); }
   Rights rights() { return Rights(u8()); }

@@ -35,11 +35,32 @@
 // epoch; rotating the secret (create into a reused slot, revoke, destroy)
 // bumps the epoch, so stale entries die without any scan -- revocation
 // stays instant and exact.
+//
+// Durability (storage/).  A store constructed with a Durability handle
+// write-ahead-journals every state change -- create, payload mutation,
+// secret rotation, destroy -- into its backend, one append-only journal
+// per shard, appended UNDER the owning shard's lock so journaling rides
+// the per-shard concurrency instead of reintroducing a global lock.
+// Records carry the object number, the secret check-field number, and the
+// server-supplied serialized payload, so every capability issued before a
+// crash still validates after recovery.  Payload mutations are explicit:
+// a handler that writes through an accessor calls Opened::mark_dirty(),
+// and the re-serialized payload is journaled when the accessor is
+// released (still under the shard lock, before any reply leaves the
+// service loop -- the write-ahead ordering).  Pair accessors (Opened2)
+// flush their two dirty payloads as ONE atomic journal group, so a crash
+// image can never hold half a bank transfer.  Shards self-compact: after
+// `compact_after` records a shard serializes its live slots into a
+// snapshot and restarts its journal.  The recovery constructor (a
+// Durability whose backend is non-empty) replays snapshot-then-journal to
+// rebuild every shard -- secrets, payloads, free lists -- tolerating a
+// torn final record.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -47,10 +68,33 @@
 
 #include "amoeba/common/error.hpp"
 #include "amoeba/common/rng.hpp"
+#include "amoeba/common/serial.hpp"
 #include "amoeba/core/capability.hpp"
 #include "amoeba/core/schemes.hpp"
+#include "amoeba/storage/backend.hpp"
+#include "amoeba/storage/record.hpp"
 
 namespace amoeba::core {
+
+/// Attaches a store to a storage volume.  `encode`/`decode` are the
+/// payload codecs (a server declares how its object type serializes);
+/// both are required when `backend` is set.  A non-empty backend triggers
+/// recovery; an empty one starts a fresh durable store.
+template <typename T>
+struct Durability {
+  std::shared_ptr<storage::Backend> backend;  // null = in-memory only
+  std::function<void(Writer&, const T&)> encode;
+  std::function<bool(Reader&, T&)> decode;
+  /// Called during RECOVERY REPLAY before a decoded payload is overwritten
+  /// or discarded (create-over-live, mutate, destroy) -- servers whose
+  /// payloads own external resources (page-tree references) release them
+  /// here.  Never called on the live operation paths, where handlers
+  /// already manage those resources explicitly.
+  std::function<void(T&)> dispose;
+  /// Journal records a shard absorbs before it folds them into a fresh
+  /// snapshot (log compaction); 0 disables auto-compaction.
+  std::size_t compact_after = 4096;
+};
 
 template <typename T>
 class ShardedObjectStore {
@@ -61,19 +105,35 @@ class ShardedObjectStore {
 
   ShardedObjectStore(std::shared_ptr<const ProtectionScheme> scheme,
                      Port server_port, std::uint64_t seed,
-                     std::size_t shards = kDefaultShards)
-      : scheme_(std::move(scheme)), server_port_(server_port) {
+                     std::size_t shards = kDefaultShards,
+                     Durability<T> durability = {})
+      : scheme_(std::move(scheme)),
+        server_port_(server_port),
+        durability_(std::move(durability)) {
     if (scheme_ == nullptr) {
       throw UsageError("ObjectStore requires a protection scheme");
     }
     if (shards == 0 || (shards & (shards - 1)) != 0) {
       throw UsageError("ObjectStore shard count must be a power of two");
     }
+    if (durability_.backend != nullptr) {
+      if (!durability_.encode || !durability_.decode) {
+        throw UsageError("ObjectStore: durable stores need payload codecs");
+      }
+      if (durability_.backend->shard_count() != shards) {
+        throw UsageError(
+            "ObjectStore: backend shard count must match the store's "
+            "(object-number layout is per-shard)");
+      }
+    }
     shards_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       // Distinct per-shard RNG streams derived from the store seed.
       shards_.push_back(std::make_unique<Shard>(seed ^ (0x9E3779B97F4A7C15ULL *
                                                         (s + 1))));
+    }
+    if (durability_.backend != nullptr && !durability_.backend->empty()) {
+      recover();
     }
   }
 
@@ -82,6 +142,11 @@ class ShardedObjectStore {
   /// Opened is dropped.  Do not call single-capability store operations on
   /// the same store while one is held (use destroy(Opened&&) / open2 for
   /// the multi-step patterns); the shard mutex is not recursive.
+  ///
+  /// Durability hook: a handler that mutates `*value` calls mark_dirty();
+  /// dropping the accessor then journals the re-serialized payload while
+  /// the shard lock is still held.  Accessors of in-memory stores ignore
+  /// the flag.
   class Opened {
    public:
     T* value = nullptr;
@@ -89,38 +154,144 @@ class ShardedObjectStore {
     ObjectNumber object;
 
     Opened() = default;
-    Opened(Opened&&) noexcept = default;
-    Opened& operator=(Opened&&) noexcept = default;
+    Opened(Opened&& other) noexcept { *this = std::move(other); }
+    Opened& operator=(Opened&& other) noexcept {
+      if (this != &other) {
+        flush_dirty();
+        value = std::exchange(other.value, nullptr);
+        rights = other.rights;
+        object = other.object;
+        store_ = std::exchange(other.store_, nullptr);
+        dirty_ = std::exchange(other.dirty_, false);
+        lock_ = std::move(other.lock_);
+      }
+      return *this;
+    }
+    ~Opened() { flush_dirty(); }
+
+    /// Declares that `*value` was (or will be) modified: the payload is
+    /// journaled when this accessor is released.
+    void mark_dirty() { dirty_ = true; }
+
+    /// Journals a marked-dirty payload NOW, while the shard lock is still
+    /// held, instead of at release.  Required before destroy()ing the
+    /// partner of a same-shard pair (the destroy drops the shared lock);
+    /// harmless otherwise.
+    void flush() { flush_dirty(); }
 
    private:
     friend class ShardedObjectStore;
-    Opened(T* v, Rights r, ObjectNumber o, std::unique_lock<std::mutex> lock)
-        : value(v), rights(r), object(o), lock_(std::move(lock)) {}
+    friend struct Opened2;
+    Opened(ShardedObjectStore* store, T* v, Rights r, ObjectNumber o,
+           std::unique_lock<std::mutex> lock)
+        : value(v), rights(r), object(o), store_(store),
+          lock_(std::move(lock)) {}
+
+    /// Journals the payload if dirty.  Runs while the owning shard's
+    /// mutex is held -- by this accessor's own lock, or (for the
+    /// lock-sharing member of a same-shard pair) by its partner's.
+    void flush_dirty() {
+      if (dirty_ && store_ != nullptr && value != nullptr) {
+        store_->journal_mutate_locked(object, *value);
+      }
+      dirty_ = false;
+    }
+
+    ShardedObjectStore* store_ = nullptr;
+    bool dirty_ = false;
     std::unique_lock<std::mutex> lock_;
   };
 
   /// Two objects opened atomically (both shard locks held, acquired in
   /// index order).  When both capabilities name the same shard, `b` shares
-  /// `a`'s lock.
+  /// `a`'s lock.  Dirty payloads of the pair are journaled as ONE atomic
+  /// group when the pair is released -- a crash/restart cannot observe a
+  /// debit without its credit.
   struct Opened2 {
     Opened a;
     Opened b;
+
+    Opened2() = default;
+    Opened2(Opened2&& other) noexcept = default;
+    Opened2& operator=(Opened2&& other) noexcept {
+      if (this != &other) {
+        flush_pair();
+        a = std::move(other.a);
+        b = std::move(other.b);
+      }
+      return *this;
+    }
+    ~Opened2() { flush_pair(); }
+
+   private:
+    /// Journals both dirty payloads in one backend append group (locks
+    /// still held), then disarms the members' own flushes.
+    void flush_pair() {
+      ShardedObjectStore* store = a.store_ != nullptr ? a.store_ : b.store_;
+      if (store != nullptr) {
+        store->journal_pair_locked(a, b);
+      }
+    }
   };
 
   /// One validated object plus an unvalidated peek at a second (may be
-  /// null when the second object is dead); both shard locks held.
-  struct OpenedWith {
+  /// null when the second object is dead); both shard locks held.  A
+  /// handler mutating the PEEKED payload calls mark_peeked_dirty(); the
+  /// peeked object's payload is then journaled on release, together with
+  /// the opened one's if that is dirty too.
+  class OpenedWith {
+   public:
     Opened opened;
     T* peeked = nullptr;
 
+    OpenedWith() = default;
+    OpenedWith(OpenedWith&& other) noexcept { *this = std::move(other); }
+    OpenedWith& operator=(OpenedWith&& other) noexcept {
+      if (this != &other) {
+        flush_peeked();
+        opened = std::move(other.opened);
+        peeked = std::exchange(other.peeked, nullptr);
+        other_ = other.other_;
+        store_ = std::exchange(other.store_, nullptr);
+        peek_dirty_ = std::exchange(other.peek_dirty_, false);
+        other_lock_ = std::move(other.other_lock_);
+      }
+      return *this;
+    }
+    ~OpenedWith() { flush_peeked(); }
+
+    void mark_peeked_dirty() { peek_dirty_ = true; }
+
    private:
     friend class ShardedObjectStore;
+    void flush_peeked() {
+      // Runs before `opened`'s own destructor (members destroy in reverse
+      // declaration order), so both shard locks are still held.
+      if (peek_dirty_ && store_ != nullptr && peeked != nullptr) {
+        store_->journal_mutate_locked(other_, *peeked);
+      }
+      peek_dirty_ = false;
+    }
+
+    ObjectNumber other_;
+    ShardedObjectStore* store_ = nullptr;
+    bool peek_dirty_ = false;
     std::unique_lock<std::mutex> other_lock_;
   };
 
   struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+  };
+
+  /// Journal/recovery counters (all zero for in-memory stores).
+  struct DurabilityStats {
+    std::uint64_t journal_records = 0;  // records appended since start
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t snapshots = 0;            // compactions performed
+    std::uint64_t recovered_objects = 0;    // live slots after recovery
+    std::uint64_t replayed_records = 0;     // journal records applied
+    bool recovered = false;                 // this store was rebuilt
   };
 
   /// Creates an object and mints its owner capability carrying `rights`.
@@ -161,6 +332,8 @@ class ShardedObjectStore {
     live_count_.fetch_add(1, std::memory_order_relaxed);
     const auto object = ObjectNumber(
         static_cast<std::uint32_t>(index * shards_.size() + chosen));
+    journal_locked(chosen, shard, storage::RecordType::create, object,
+                   slot.secret, &slot.value);
     return scheme_->mint(server_port_, object, slot.secret, rights);
   }
 
@@ -182,7 +355,8 @@ class ShardedObjectStore {
     if (!granted.value().has_all(required)) {
       return ErrorCode::permission_denied;
     }
-    return Opened(&slot->value, granted.value(), cap.object, std::move(lock));
+    return Opened(this, &slot->value, granted.value(), cap.object,
+                  std::move(lock));
   }
 
   /// Validates a capability and the required rights WITHOUT keeping the
@@ -246,9 +420,9 @@ class ShardedObjectStore {
       return ErrorCode::permission_denied;
     }
     Opened2 pair;
-    pair.a = Opened(&slot_a->value, granted_a.value(), cap_a.object,
+    pair.a = Opened(this, &slot_a->value, granted_a.value(), cap_a.object,
                     std::move(lock_a));
-    pair.b = Opened(&slot_b->value, granted_b.value(), cap_b.object,
+    pair.b = Opened(this, &slot_b->value, granted_b.value(), cap_b.object,
                     std::move(lock_b));
     return pair;
   }
@@ -281,9 +455,11 @@ class ShardedObjectStore {
     }
     Slot* slot_b = find(*shards_[sb], other);
     OpenedWith result;
-    result.opened =
-        Opened(&slot_a->value, granted.value(), cap.object, std::move(lock_a));
+    result.opened = Opened(this, &slot_a->value, granted.value(), cap.object,
+                           std::move(lock_a));
     result.peeked = slot_b == nullptr ? nullptr : &slot_b->value;
+    result.other_ = other;
+    result.store_ = this;
     result.other_lock_ = std::move(lock_b);
     return result;
   }
@@ -327,6 +503,8 @@ class ShardedObjectStore {
     }
     slot->secret = scheme_->new_secret(shard.rng);
     ++slot->epoch;  // instant, exact cache invalidation
+    journal_locked(shard_index(cap.object), shard, storage::RecordType::rotate,
+                   cap.object, slot->secret, nullptr);
     return scheme_->mint(server_port_, cap.object, slot->secret,
                          granted.value());
   }
@@ -363,6 +541,9 @@ class ShardedObjectStore {
     shard.free_list.push_back(
         static_cast<std::uint32_t>(opened.object.value() / shards_.size()));
     shard.free_count.fetch_add(1, std::memory_order_relaxed);
+    journal_locked(s, shard, storage::RecordType::destroy, opened.object, 0,
+                   nullptr);
+    opened.dirty_ = false;  // the destroy record supersedes any mutation
     opened.value = nullptr;
     opened.lock_.unlock();
     return {};
@@ -393,12 +574,47 @@ class ShardedObjectStore {
     return slot == nullptr ? nullptr : &slot->value;
   }
 
+  /// Visits every live object under its shard lock:
+  /// fn(ObjectNumber, const T&).  One shard locked at a time -- the
+  /// restart paths use this to rebuild derived server state (memory
+  /// budgets, the bank's master account) after recovery.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      const std::unique_lock lock(shard.mutex);
+      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+        if (shard.slots[i].live) {
+          fn(ObjectNumber(static_cast<std::uint32_t>(i * shards_.size() + s)),
+             static_cast<const T&>(shard.slots[i].value));
+        }
+      }
+    }
+  }
+
+  /// Folds every shard's journal into a fresh snapshot now (manual log
+  /// compaction; also what a clean shutdown would call).  No-op for
+  /// in-memory stores.
+  void compact() {
+    if (durability_.backend == nullptr) {
+      return;
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      const std::unique_lock lock(shard.mutex);
+      snapshot_shard_locked(s, shard);
+    }
+  }
+
   [[nodiscard]] std::size_t live_count() const {
     return live_count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const ProtectionScheme& scheme() const { return *scheme_; }
   [[nodiscard]] Port server_port() const { return server_port_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] bool durable() const {
+    return durability_.backend != nullptr;
+  }
 
   /// Aggregate validated-capability cache statistics across shards.
   [[nodiscard]] CacheStats cache_stats() const {
@@ -407,6 +623,18 @@ class ShardedObjectStore {
       const std::unique_lock lock(shard->mutex);
       total.hits += shard->cache_hits;
       total.misses += shard->cache_misses;
+    }
+    return total;
+  }
+
+  /// Journal/recovery counters (zeroes for an in-memory store).
+  [[nodiscard]] DurabilityStats durability_stats() const {
+    DurabilityStats total = recovery_stats_;
+    for (const auto& shard : shards_) {
+      const std::unique_lock lock(shard->mutex);
+      total.journal_records += shard->journal_records;
+      total.journal_bytes += shard->journal_bytes;
+      total.snapshots += shard->snapshots;
     }
     return total;
   }
@@ -441,6 +669,14 @@ class ShardedObjectStore {
     std::array<CacheEntry, kCacheEntries> cache{};
     std::uint64_t cache_hits = 0;    // guarded by mutex
     std::uint64_t cache_misses = 0;  // guarded by mutex
+    // Durability state, all guarded by mutex.
+    std::uint64_t lsn = 0;            // last journal LSN issued
+    std::uint64_t records_pending = 0;  // records since the last snapshot
+    std::uint64_t journal_records = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t snapshots = 0;
+    Writer scratch_payload;  // reused per append: no steady-state allocs
+    Buffer scratch_frame;
   };
 
   [[nodiscard]] std::size_t shard_index(ObjectNumber object) const {
@@ -499,11 +735,250 @@ class ShardedObjectStore {
     return granted;
   }
 
+  // ---- durability internals (caller holds the shard mutex) --------------
+
+  /// Frames one state-change record into the shard's scratch buffer
+  /// (returned by reference; reused per append, so the steady-state hot
+  /// path allocates nothing).  `payload` may be null (destroy/rotate).
+  [[nodiscard]] const Buffer& frame_record(Shard& shard,
+                                           storage::RecordType type,
+                                           ObjectNumber object,
+                                           std::uint64_t secret,
+                                           const T* payload) {
+    shard.scratch_payload.clear();
+    if (payload != nullptr) {
+      durability_.encode(shard.scratch_payload, *payload);
+    }
+    shard.scratch_frame.clear();
+    storage::encode_record_into(type, object, secret, ++shard.lsn,
+                                shard.scratch_payload.buffer(),
+                                shard.scratch_frame);
+    shard.journal_bytes += shard.scratch_frame.size();
+    ++shard.journal_records;
+    ++shard.records_pending;
+    return shard.scratch_frame;
+  }
+
+  /// Appends one record to the shard's journal and runs the compaction
+  /// check.  No-op without a backend.
+  void journal_locked(std::size_t s, Shard& shard, storage::RecordType type,
+                      ObjectNumber object, std::uint64_t secret,
+                      const T* payload) {
+    if (durability_.backend == nullptr) {
+      return;
+    }
+    durability_.backend->append_journal(
+        s, frame_record(shard, type, object, secret, payload));
+    maybe_compact_locked(s, shard);
+  }
+
+  /// Journals one payload mutation.  The caller (an accessor flush) holds
+  /// the owning shard's mutex.
+  void journal_mutate_locked(ObjectNumber object, const T& value) {
+    if (durability_.backend == nullptr) {
+      return;
+    }
+    const std::size_t s = shard_index(object);
+    journal_locked(s, *shards_[s], storage::RecordType::mutate, object, 0,
+                   &value);
+  }
+
+  /// Journals the dirty payloads of a pair accessor as one atomic append
+  /// group, then disarms the members' own flushes (their destructors run
+  /// right after).  Caller holds both shard locks.
+  void journal_pair_locked(Opened& a, Opened& b) {
+    if (durability_.backend == nullptr) {
+      a.dirty_ = false;
+      b.dirty_ = false;
+      return;
+    }
+    std::vector<storage::ShardAppend> group;
+    for (Opened* member : {&a, &b}) {
+      if (!member->dirty_ || member->value == nullptr) {
+        continue;
+      }
+      const std::size_t s = shard_index(member->object);
+      Shard& shard = *shards_[s];
+      // The group owns copies of the frames: both members may share one
+      // shard (and its scratch buffer).
+      group.push_back({s, frame_record(shard, storage::RecordType::mutate,
+                                       member->object, 0, member->value)});
+      member->dirty_ = false;
+    }
+    if (group.empty()) {
+      return;
+    }
+    durability_.backend->append_journal_batch(std::move(group));
+    for (Opened* member : {&a, &b}) {
+      if (member->value != nullptr && member->store_ != nullptr) {
+        const std::size_t s = shard_index(member->object);
+        maybe_compact_locked(s, *shards_[s]);
+      }
+    }
+  }
+
+  void maybe_compact_locked(std::size_t s, Shard& shard) {
+    if (durability_.compact_after != 0 &&
+        shard.records_pending >= durability_.compact_after) {
+      snapshot_shard_locked(s, shard);
+    }
+  }
+
+  /// Serializes the shard's live slots into a snapshot and restarts its
+  /// journal.  Caller holds the shard mutex.
+  void snapshot_shard_locked(std::size_t s, Shard& shard) {
+    std::vector<storage::SnapshotSlot> slots;
+    for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+      const Slot& slot = shard.slots[i];
+      if (!slot.live) {
+        continue;
+      }
+      storage::SnapshotSlot image;
+      image.object =
+          ObjectNumber(static_cast<std::uint32_t>(i * shards_.size() + s));
+      image.secret = slot.secret;
+      Writer w;
+      durability_.encode(w, slot.value);
+      image.payload = w.take();
+      slots.push_back(std::move(image));
+    }
+    durability_.backend->install_snapshot(
+        s, storage::encode_snapshot(slots, shard.lsn));
+    shard.records_pending = 0;
+    ++shard.snapshots;
+  }
+
+  /// Rebuilds every shard from snapshot-then-journal.  Runs from the
+  /// constructor (no concurrency yet).
+  void recover() {
+    recovery_stats_.recovered = true;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::vector<storage::SnapshotSlot> snapshot;
+      std::uint64_t applied_lsn = 0;
+      if (!storage::decode_snapshot(durability_.backend->read_snapshot(s),
+                                    snapshot, applied_lsn)) {
+        throw UsageError("ObjectStore: corrupt shard snapshot on recovery");
+      }
+      for (storage::SnapshotSlot& image : snapshot) {
+        Slot& slot = slot_for_recovery(shard, image.object);
+        Reader r(image.payload);
+        T value{};
+        if (!durability_.decode(r, value)) {
+          throw UsageError("ObjectStore: corrupt payload in shard snapshot");
+        }
+        slot.secret = image.secret;
+        slot.value = std::move(value);
+        slot.live = true;
+      }
+      shard.lsn = applied_lsn;
+      const auto records =
+          storage::decode_journal(durability_.backend->read_journal(s));
+      for (const storage::Record& record : records) {
+        if (record.lsn <= applied_lsn) {
+          continue;  // already folded into the snapshot (compaction race)
+        }
+        apply_record(shard, record, s);
+        shard.lsn = record.lsn;
+        ++recovery_stats_.replayed_records;
+      }
+      // Free lists: every slot index below the high-water mark that is not
+      // live was on the free list when the journal ended.
+      std::uint32_t live_in_shard = 0;
+      shard.free_list.clear();
+      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+        if (shard.slots[i].live) {
+          ++live_in_shard;
+        } else {
+          shard.free_list.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      shard.free_count.store(
+          static_cast<std::uint32_t>(shard.free_list.size()),
+          std::memory_order_relaxed);
+      live_count_.fetch_add(live_in_shard, std::memory_order_relaxed);
+    }
+    recovery_stats_.recovered_objects = live_count();
+  }
+
+  /// Grows the shard's slot vector as needed and returns the slot for
+  /// `object` (recovery only; intermediate slots stay dead until their own
+  /// records arrive, then land on the free list).
+  Slot& slot_for_recovery(Shard& shard, ObjectNumber object) {
+    const std::size_t index = object.value() / shards_.size();
+    if (index >= shard.slots.size()) {
+      shard.slots.resize(index + 1);
+    }
+    return shard.slots[index];
+  }
+
+  /// Applies one journal record idempotently (replaying a record the
+  /// table already reflects converges to the same state).
+  void apply_record(Shard& shard, const storage::Record& record,
+                    std::size_t s) {
+    if (shard_index(record.object) != s) {
+      return;  // record addressed to the wrong shard: ignore
+    }
+    Slot& slot = slot_for_recovery(shard, record.object);
+    // The old payload's external resources are released BEFORE the new
+    // payload decodes: decode side effects may re-acquire the very same
+    // resources (the block server re-claims its disk block on every
+    // mutate replay), so the order must be release-then-rebuild.
+    const auto dispose_old = [&] {
+      if (slot.live && durability_.dispose) {
+        durability_.dispose(slot.value);
+      }
+    };
+    switch (record.type) {
+      case storage::RecordType::create: {
+        dispose_old();
+        Reader r(record.payload);
+        T value{};
+        if (!durability_.decode(r, value)) {
+          throw UsageError("ObjectStore: corrupt create payload in journal");
+        }
+        slot.secret = record.secret;
+        slot.value = std::move(value);
+        slot.live = true;
+        ++slot.epoch;
+        break;
+      }
+      case storage::RecordType::mutate: {
+        if (!slot.live) {
+          break;  // mutation of an object destroyed later in a replayed
+                  // prefix -- or noise; either way the slot stays dead
+        }
+        dispose_old();
+        Reader r(record.payload);
+        T value{};
+        if (!durability_.decode(r, value)) {
+          throw UsageError("ObjectStore: corrupt mutate payload in journal");
+        }
+        slot.value = std::move(value);
+        break;
+      }
+      case storage::RecordType::rotate:
+        if (slot.live) {
+          slot.secret = record.secret;
+          ++slot.epoch;
+        }
+        break;
+      case storage::RecordType::destroy:
+        dispose_old();
+        slot.live = false;
+        slot.value = T{};
+        ++slot.epoch;
+        break;
+    }
+  }
+
   std::shared_ptr<const ProtectionScheme> scheme_;
   Port server_port_;
+  Durability<T> durability_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> cursor_{0};
   std::atomic<std::size_t> live_count_{0};
+  DurabilityStats recovery_stats_;  // written once during recovery
 };
 
 /// Every server's object table.  The sharded implementation keeps the

@@ -110,9 +110,13 @@ inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDeleteProcess{
 class MemoryServer final : public rpc::Service {
  public:
   /// `memory_limit` bounds the summed segment sizes (no_space beyond it).
+  /// `backend`, when set, journals segments (content included) and
+  /// processes; the restart path replays the volume and recomputes the
+  /// machine's memory budget from the recovered segments.
   MemoryServer(net::Machine& machine, Port get_port,
                std::shared_ptr<const core::ProtectionScheme> scheme,
-               std::uint64_t seed, std::uint64_t memory_limit = 64 << 20);
+               std::uint64_t seed, std::uint64_t memory_limit = 64 << 20,
+               std::shared_ptr<storage::Backend> backend = nullptr);
   ~MemoryServer() override { stop(); }  // quiesce workers before members die
 
   [[nodiscard]] std::uint64_t memory_in_use() const;
@@ -127,6 +131,9 @@ class MemoryServer final : public rpc::Service {
   };
   using Payload = std::variant<Segment, Process>;
   using Store = core::ObjectStore<Payload>;
+
+  [[nodiscard]] static core::Durability<Payload> durability(
+      std::shared_ptr<storage::Backend> backend);
 
   [[nodiscard]] Result<rpc::CapabilityReply> do_create_segment(
       const mem_ops::CreateSegmentRequest& req);

@@ -4,12 +4,74 @@
 
 namespace amoeba::kernel {
 
+core::Durability<MemoryServer::Payload> MemoryServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<Payload> d;
+  d.backend = std::move(backend);
+  d.encode = [](Writer& w, const Payload& payload) {
+    if (const auto* segment = std::get_if<Segment>(&payload)) {
+      w.u8(1);
+      w.bytes(segment->bytes);
+    } else {
+      const auto& process = std::get<Process>(payload);
+      w.u8(2);
+      w.u8(static_cast<std::uint8_t>(process.state));
+      w.u32(static_cast<std::uint32_t>(process.segments.size()));
+      for (const auto& cap : process.segments) {
+        w.raw(core::pack(cap));
+      }
+    }
+  };
+  d.decode = [](Reader& r, Payload& payload) {
+    const std::uint8_t tag = r.u8();
+    if (tag == 1) {
+      Segment segment;
+      segment.bytes = r.bytes();
+      payload = std::move(segment);
+      return r.ok();
+    }
+    if (tag == 2) {
+      Process process;
+      process.state = static_cast<ProcessState>(r.u8());
+      const std::uint32_t count = r.u32();
+      process.segments.reserve(count);
+      for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+        core::CapabilityBytes cap{};
+        r.raw(cap);
+        process.segments.push_back(core::unpack(cap));
+      }
+      payload = std::move(process);
+      return r.ok();
+    }
+    return false;
+  };
+  return d;
+}
+
 MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
                            std::shared_ptr<const core::ProtectionScheme> scheme,
-                           std::uint64_t seed, std::uint64_t memory_limit)
+                           std::uint64_t seed, std::uint64_t memory_limit,
+                           std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "memory"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)),
       memory_limit_(memory_limit) {
+  if (store_.durability_stats().recovered) {
+    // Restart path: the machine budget is derived state -- recompute it
+    // from the recovered segments.
+    std::uint64_t in_use = 0;
+    store_.for_each([&](ObjectNumber, const Payload& payload) {
+      if (const auto* segment = std::get_if<Segment>(&payload)) {
+        in_use += segment->bytes.size();
+      }
+    });
+    const std::lock_guard lock(memory_mutex_);
+    memory_in_use_ = in_use;
+  }
+  attach_durability(std::move(backend));
   // std.destroy must return a segment's bytes to the machine budget.
   rpc::register_std_ops(
       *this, store_,
@@ -123,6 +185,7 @@ Result<void> MemoryServer::do_write_segment(
   }
   std::copy(req.bytes.begin(), req.bytes.end(),
             segment->bytes.begin() + static_cast<std::ptrdiff_t>(req.offset));
+  opened.mark_dirty();
   return {};
 }
 
@@ -175,6 +238,7 @@ Result<void> MemoryServer::do_process_state(Store::Opened& opened,
     return ErrorCode::invalid_argument;
   }
   process->state = state;
+  opened.mark_dirty();
   return {};
 }
 

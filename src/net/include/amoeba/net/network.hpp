@@ -188,8 +188,12 @@ class Machine {
   bool transmit(Message msg, MachineId dst);
 
   /// PUT broadcast: delivered to every matching GET on the network, with
-  /// the same best-effort guarantee as transmit (global drop/duplicate
-  /// faults apply; reorder injection does not).  Thread-safe.
+  /// the same best-effort guarantee as transmit.  Fault injection rolls
+  /// independently per delivery leg: each receiving machine is its own
+  /// (src -> dst) link, so per-link overrides, drop/duplicate dice, and
+  /// reorder holdback apply to individual receivers exactly as on the
+  /// unicast path (a broadcast can be lost at one receiver and arrive at
+  /// another).  Thread-safe.
   void broadcast(Message msg);
 
   /// Kernel LOCATE: finds a machine with a GET outstanding for `put_port`.

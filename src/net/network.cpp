@@ -367,13 +367,7 @@ void Network::broadcast_from(Machine& src, Message msg) {
     emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
   }
 
-  const FaultPlan plan = fault_plan(src.id(), MachineId(),
-                                    /*allow_hold=*/false);
-  const int copies = plan.copies;
-  if (copies == 0) {
-    return;
-  }
-  std::vector<std::shared_ptr<Mailbox>> targets;
+  std::vector<std::pair<std::shared_ptr<Mailbox>, MachineId>> targets;
   {
     Stripe& stripe = stripe_for(msg.header.dest);
     const std::shared_lock lock(stripe.mutex);
@@ -381,7 +375,7 @@ void Network::broadcast_from(Machine& src, Message msg) {
     if (it != stripe.ports.end()) {
       targets.reserve(it->second->registrations.size());
       for (const auto& reg : it->second->registrations) {
-        targets.push_back(reg.mailbox);
+        targets.emplace_back(reg.mailbox, reg.machine);
       }
     }
   }
@@ -389,10 +383,56 @@ void Network::broadcast_from(Machine& src, Message msg) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  for (const auto& mailbox : targets) {
-    for (int i = 0; i < copies; ++i) {
-      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
-      mailbox->push(Delivery{src.id(), msg});
+  // Fault injection applies PER DELIVERY LEG: each receiving machine is a
+  // distinct (src -> dst) link, so per-link overrides target individual
+  // receivers, independent drop dice can lose a broadcast at some
+  // receivers but not others, and reorder holdback works exactly like the
+  // unicast path (one held frame per link, released by the next frame on
+  // that same link).
+  for (auto& [mailbox, dst] : targets) {
+    const FaultPlan plan = fault_plan(src.id(), dst, /*allow_hold=*/true);
+    int copies = plan.copies;
+    const std::uint64_t link = link_key(src.id(), dst);
+    bool stashed = false;
+    if (plan.hold) {
+      {
+        const std::lock_guard lock(fault_mutex_);
+        if (!held_.contains(link)) {
+          held_.emplace(link, Held{mailbox, Delivery{src.id(), msg}});
+          held_count_.fetch_add(1, std::memory_order_relaxed);
+          stashed = true;
+        }
+      }
+      if (stashed) {
+        stats_.reordered.fetch_add(1, std::memory_order_relaxed);
+        --copies;
+      }
+    }
+    if (copies > 0) {
+      stats_.delivered.fetch_add(static_cast<std::uint64_t>(copies),
+                                 std::memory_order_relaxed);
+      for (int i = 0; i < copies; ++i) {
+        mailbox->push(Delivery{src.id(), msg});
+      }
+    }
+    // A frame previously held on this link is released AFTER the one just
+    // delivered -- the reordering -- mirroring the unicast path.
+    if (!stashed && copies > 0 &&
+        held_count_.load(std::memory_order_relaxed) > 0) {
+      std::optional<Held> release;
+      {
+        const std::lock_guard lock(fault_mutex_);
+        const auto it = held_.find(link);
+        if (it != held_.end()) {
+          release.emplace(std::move(it->second));
+          held_.erase(it);
+          held_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      if (release.has_value()) {
+        stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+        release->mailbox->push(std::move(release->delivery));
+      }
     }
   }
 }

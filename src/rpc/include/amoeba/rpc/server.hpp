@@ -31,21 +31,45 @@
 // wrong machine can neither poison nor read the cache.  Batch envelopes
 // are suppressed as a unit: the whole batched reply is cached under the
 // envelope's (client, seq).
+//
+// The cache is SHARDED by client-key hash (16 stripes, each with its own
+// mutex and map), so claim/store on the request path never serializes
+// across workers -- this removed the last global lock on that path.  The
+// window / client-cap limits stay GLOBAL (atomic totals; LRU eviction
+// scans the stripes), so the observable bounds are unchanged from the
+// single-map implementation.
+//
+// Restart semantics (docs/PROTOCOL.md §8): attach_durability() persists
+// each client's suppression FLOOR -- the highest sequence number ever
+// claimed -- to the storage backend's metadata area before the claimed
+// request executes, and restores the floors on construction.  After a
+// crash+restart, a duplicate of any pre-crash transaction is therefore
+// DROPPED (at most once survives the crash: an operation may be lost to
+// the torn tail, but can never run twice); cached reply bodies are not
+// persisted, so such duplicates time out at the client instead of being
+// re-answered.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <latch>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "amoeba/common/serial.hpp"
 #include "amoeba/net/network.hpp"
 #include "amoeba/rpc/filter.hpp"
+
+namespace amoeba::storage {
+class Backend;
+}  // namespace amoeba::storage
 
 namespace amoeba::rpc {
 
@@ -147,6 +171,42 @@ class Service {
   /// use to force the cold path).  In-flight requests are unaffected
   /// beyond losing their suppression record.  Thread-safe.
   void flush_reply_cache();
+
+  // ---- durable restart support ----------------------------------------
+
+  /// Wires the at-most-once reply cache to a storage volume: restores the
+  /// per-client suppression floors the previous incarnation persisted,
+  /// and persists updated floors (to the backend's metadata area) before
+  /// every freshly claimed at-most-once request executes -- the ordering
+  /// that guarantees a post-restart duplicate of an executed transfer is
+  /// dropped, never re-run.  Null backend: no-op.  Call from the server
+  /// constructor, before start().
+  void attach_durability(std::shared_ptr<storage::Backend> backend);
+
+  /// Serialized per-client floors (src machine, client id, highest seq
+  /// claimed); what attach_durability persists.  Thread-safe.
+  [[nodiscard]] Buffer encode_reply_floors() const;
+
+  /// Primes the cache with floor-only client entries from a previous
+  /// incarnation's encode_reply_floors() image.  Malformed input is
+  /// ignored.  Thread-safe, but intended for construction time.
+  void restore_reply_floors(std::span<const std::uint8_t> floors);
+
+  // ---- per-operation metrics (ROADMAP follow-up from PR 3) -------------
+
+  /// Latency/error counters of one typed operation, keyed by
+  /// OpInfo::name.  Readable remotely through std_info with the detail
+  /// flag set (rpc/typed.hpp).
+  struct OpMetricsSnapshot {
+    std::string name;
+    std::uint64_t calls = 0;      // handler executions (cache resends excluded)
+    std::uint64_t errors = 0;     // replies with status != ok
+    std::uint64_t total_us = 0;   // summed handler latency
+    std::uint64_t max_us = 0;     // worst single handler latency
+  };
+  /// Snapshot in op-registration order.  Lock-free reads of relaxed
+  /// atomics; safe while workers run.
+  [[nodiscard]] std::vector<OpMetricsSnapshot> op_metrics() const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] net::Machine& machine() { return *machine_; }
@@ -260,20 +320,54 @@ class Service {
     resend,    // duplicate of a completed seq: cached reply copied out
   };
   /// Classifies one at-most-once request and, for `fresh`, claims its slot
-  /// (marks it executing).  Fills `cached` on `resend`.
+  /// (marks it executing).  Fills `cached` on `resend`.  Holds only the
+  /// owning stripe's lock; global-limit eviction runs after it drops.
   [[nodiscard]] DupVerdict claim_request(const net::Delivery& request,
                                          net::Message& cached);
   using ReplyCacheMap =
       std::unordered_map<ClientKey, ClientEntry, ClientKeyHash>;
-  /// Least-recently-used eviction candidate, excluding `excluded`:
-  /// tombstones (empty reply sets) when `want_tombstones`, else clients
-  /// with live replies and nothing executing.  end() when none qualifies.
-  /// Caller holds reply_cache_mutex_.
-  [[nodiscard]] ReplyCacheMap::iterator lru_reply_cache_victim(
-      const ClientKey& excluded, bool want_tombstones);
+
+  /// One stripe of the sharded reply cache; the stripe index is the
+  /// client-key hash folded to kReplyCacheStripes.  Counters are
+  /// per-stripe (summed for reply_cache_stats()).
+  struct ReplyCacheStripe {
+    mutable std::mutex mutex;
+    ReplyCacheMap map;
+    ReplyCacheStats counters;  // entries/clients fields derived on read
+  };
+  static constexpr std::size_t kReplyCacheStripes = 16;
+
+  [[nodiscard]] ReplyCacheStripe& stripe_for(const ClientKey& key) const {
+    return reply_cache_stripes_[ClientKeyHash{}(key) &
+                                (kReplyCacheStripes - 1)];
+  }
+  /// Enforces the GLOBAL client cap / tombstone bound after a claim
+  /// overflowed them: finds the least-recently-used eligible victim
+  /// across all stripes (one stripe locked at a time) and demotes or
+  /// erases it.  `excluded` protects the claiming client.
+  void evict_reply_cache_client(const ClientKey& excluded,
+                                bool want_tombstones);
   /// Publishes the reply of a claimed request and evicts beyond the
-  /// per-client window / client cap.
+  /// per-client window.
   void store_reply(const net::Delivery& request, const net::Message& reply);
+  /// Advances the claiming client's persisted floor and pushes the image
+  /// through the sink, if attached (called for every freshly claimed
+  /// at-most-once request BEFORE its handler runs -- write-ahead for the
+  /// suppression state).  Update, encode, and write happen under one
+  /// mutex: persists are totally ordered and each contains all rows of
+  /// every earlier one.
+  void persist_reply_floor(const ClientKey& key, std::uint64_t seq);
+  /// Renders the floor image; caller holds reply_floor_mutex_.
+  [[nodiscard]] Buffer encode_reply_floors_locked() const;
+
+  // ---- per-op metrics internals ---------------------------------------
+
+  struct OpMetrics {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> total_us{0};
+    std::atomic<std::uint64_t> max_us{0};
+  };
 
   net::Machine* machine_;
   Port get_port_;
@@ -285,18 +379,31 @@ class Service {
   mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;
+  // Floor persistence: the canonical floor image is maintained
+  // incrementally (O(1) per claim) and encoded+written to the sink under
+  // ONE mutex, so a later persist always contains every earlier row -- a
+  // stale image can never overwrite a newer one (the ordering §8.4's
+  // never-twice guarantee rests on).  Held only by durable services.
+  mutable std::mutex reply_floor_mutex_;
+  std::unordered_map<ClientKey, std::uint64_t, ClientKeyHash> reply_floors_;
+  std::function<void(const Buffer&)> reply_floor_sink_;
+  std::atomic<bool> reply_floor_sink_set_{false};
   std::unordered_map<std::uint16_t, Handler> handlers_;  // frozen at start()
   std::vector<OpInfo> typed_ops_;                        // frozen at start()
+  // Typed-op metrics keyed by opcode; the map is frozen at start() (the
+  // counters inside stay hot), so dispatch reads it without a lock.
+  std::unordered_map<std::uint16_t, std::unique_ptr<OpMetrics>> op_metrics_;
 
-  // Reply cache: one lock, never held across a handler (claim before,
-  // store after).  Counters live under the same lock.
-  mutable std::mutex reply_cache_mutex_;
-  ReplyCacheMap reply_cache_;
-  ReplyCacheStats reply_cache_counters_;  // entries/clients derived on read
-  std::size_t reply_cache_window_ = 128;
-  std::size_t reply_cache_max_clients_ = 4096;
-  std::size_t reply_cache_loaded_ = 0;  // entries with live cached replies
-  std::uint64_t reply_cache_tick_ = 0;  // LRU clock
+  // Sharded reply cache.  Stripe locks are never held across a handler
+  // (claim before, store after) nor across another stripe's lock; the
+  // limits and occupancy totals are process-wide atomics.
+  mutable std::array<ReplyCacheStripe, kReplyCacheStripes>
+      reply_cache_stripes_;
+  std::atomic<std::size_t> reply_cache_window_{128};
+  std::atomic<std::size_t> reply_cache_max_clients_{4096};
+  std::atomic<std::size_t> reply_cache_loaded_{0};   // clients with replies
+  std::atomic<std::size_t> reply_cache_clients_{0};  // incl. tombstones
+  std::atomic<std::uint64_t> reply_cache_tick_{0};   // LRU clock
 };
 
 }  // namespace amoeba::rpc

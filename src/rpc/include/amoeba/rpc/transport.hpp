@@ -99,6 +99,13 @@ class Transport {
     std::uint64_t transactions = 0;
     std::uint64_t timeouts = 0;
     std::uint64_t retransmits = 0;  // extra request copies put on the wire
+    // Adaptive retransmission state (Jacobson/Karels): smoothed RTT and
+    // variance from replies of never-retransmitted transactions (Karn's
+    // rule), and the resulting timer new transactions are issued with.
+    std::uint64_t rtt_samples = 0;
+    std::uint64_t srtt_us = 0;
+    std::uint64_t rttvar_us = 0;
+    std::uint64_t rto_ms = 0;  // clamp(srtt + 4*rttvar, floor, cap)
   };
 
   Transport(net::Machine& machine, std::uint64_t seed);
@@ -152,12 +159,18 @@ class Transport {
         default_timeout_ms_.load(std::memory_order_relaxed));
   }
 
-  /// Tunes the at-most-once retransmission timer: an unacknowledged
-  /// request is re-sent `initial` after issue, then on doubling intervals
-  /// capped at `cap`, until its reply arrives or its deadline passes.
-  /// initial == 0 disables retransmission (a dropped frame then simply
-  /// times out, the pre-at-most-once behavior).  Thread-safe; applies to
-  /// transactions issued after the call.
+  /// Tunes the at-most-once retransmission timer.  The first re-send of
+  /// an unacknowledged request fires after an ADAPTIVE interval seeded
+  /// from observed round-trip times -- clamp(srtt + 4*rttvar, `initial`,
+  /// `cap`), the Jacobson/Karels estimator over replies of transactions
+  /// that were never retransmitted (Karn's rule keeps ambiguous samples
+  /// out) -- so a slow service stops eating spurious duplicate frames
+  /// while a fast one is probed no sooner than `initial`.  Before any
+  /// sample exists the timer is exactly `initial`; further re-sends
+  /// double, capped at `cap`.  initial == 0 disables retransmission (a
+  /// dropped frame then simply times out, the pre-at-most-once behavior).
+  /// Thread-safe; applies to transactions issued after the call.  The
+  /// live estimator is visible through stats().
   void set_retransmit(std::chrono::milliseconds initial,
                       std::chrono::milliseconds cap);
 
@@ -198,10 +211,14 @@ class Transport {
     // Retransmission state: the unsealed request (reply port already
     // drawn) so the pump can put further copies on the wire, the next
     // send time, and the backoff interval that produced it.  next_send ==
-    // time_point::max() when retransmission is disabled.
+    // time_point::max() when retransmission is disabled.  issued_at /
+    // retransmitted feed the RTT estimator (Karn: only never-retransmitted
+    // transactions yield samples).
     net::Message request;
     std::chrono::steady_clock::time_point next_send;
     std::chrono::milliseconds backoff{0};
+    std::chrono::steady_clock::time_point issued_at;
+    bool retransmitted = false;
   };
 
   std::optional<CacheEntry> resolve(Port put_port);
@@ -226,6 +243,10 @@ class Transport {
     return std::chrono::milliseconds(
         retransmit_cap_ms_.load(std::memory_order_relaxed));
   }
+  /// The adaptive first-retransmit interval; caller holds mutex_.
+  [[nodiscard]] std::chrono::milliseconds adaptive_rto_locked() const;
+  /// Feeds one RTT sample into the estimator; caller holds mutex_.
+  void record_rtt_locked(std::chrono::microseconds sample);
 
   net::Machine& machine_;
   std::atomic<std::int64_t> default_timeout_ms_{2000};
@@ -244,7 +265,7 @@ class Transport {
   std::uint64_t next_seq_ = 0;  // at-most-once sequence; under mutex_
   Port signature_;
   std::shared_ptr<MessageFilter> filter_;
-  Stats stats_;
+  Stats stats_;  // srtt/rttvar live in here, updated under mutex_
 
   // Completion registry: every one-shot reply port is registered into this
   // shared mailbox; the pump thread demultiplexes arrivals back to their

@@ -387,6 +387,14 @@ struct StdRestrictRequest {
   using Wire = Layout<StdRestrictRequest, Param<0, &StdRestrictRequest::mask>>;
 };
 
+struct StdInfoRequest {
+  /// Nonzero: append the service's per-operation latency/error counters
+  /// (Service::op_metrics()) to the description.  Old clients leave the
+  /// param zeroed, so the wire format is backward compatible.
+  std::uint64_t detail = 0;
+  using Wire = Layout<StdInfoRequest, Param<0, &StdInfoRequest::detail>>;
+};
+
 struct StdInfoReply {
   std::string description;
   using Wire = Layout<StdInfoReply, Data<&StdInfoReply::description>>;
@@ -404,9 +412,10 @@ inline constexpr Op<StdRestrictRequest, CapabilityReply> kStdRestrict{
 inline constexpr Op<Empty, CapabilityReply> kStdRevoke{
     0xF1, "std.revoke", core::rights::kAdmin};
 
-/// Human-readable description of the object behind a capability.
-inline constexpr Op<Empty, StdInfoReply> kStdInfo{0xF2, "std.info",
-                                                  Rights::none()};
+/// Human-readable description of the object behind a capability; with the
+/// detail flag, also the service's per-op latency/error counters.
+inline constexpr Op<StdInfoRequest, StdInfoReply> kStdInfo{0xF2, "std.info",
+                                                           Rights::none()};
 
 /// Validates the capability and does nothing else -- the liveness ping a
 /// garbage collector would use to keep an object from aging out.
@@ -455,12 +464,23 @@ void register_std_ops(Service& service, Store& store,
              });
   service.on(kStdInfo, store,
              [&service, describe = std::move(hooks.describe)](
-                 const auto&, auto& opened) -> Result<StdInfoReply> {
+                 const auto& call, auto& opened) -> Result<StdInfoReply> {
                std::string text = service.name() + "/" +
                                   to_string(opened.object) + " " +
                                   to_string(opened.rights);
                if (describe) {
                  text += " " + describe(opened);
+               }
+               if (call.body.detail != 0) {
+                 // Per-op latency/error counters keyed by OpInfo::name
+                 // (the ROADMAP metrics follow-up from PR 3).
+                 for (const auto& op : service.op_metrics()) {
+                   text += "\n" + op.name + " calls=" +
+                           std::to_string(op.calls) + " errors=" +
+                           std::to_string(op.errors) + " total_us=" +
+                           std::to_string(op.total_us) + " max_us=" +
+                           std::to_string(op.max_us);
+                 }
                }
                return StdInfoReply{std::move(text)};
              });
@@ -498,8 +518,10 @@ void register_std_ops(Service& service, Store& store,
 }
 
 [[nodiscard]] inline Result<std::string> std_info(Transport& transport,
-                                                  const core::Capability& cap) {
-  auto reply = call(transport, cap.server_port, kStdInfo, cap);
+                                                  const core::Capability& cap,
+                                                  bool detail = false) {
+  auto reply = call(transport, cap.server_port, kStdInfo, cap,
+                    {detail ? std::uint64_t{1} : std::uint64_t{0}});
   if (!reply.ok()) {
     return reply.error();
   }

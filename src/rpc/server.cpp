@@ -1,12 +1,21 @@
 #include "amoeba/rpc/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string_view>
 #include <thread>
+#include <tuple>
 
 #include "amoeba/common/error.hpp"
 #include "amoeba/rpc/batch.hpp"
+#include "amoeba/storage/backend.hpp"
 
 namespace amoeba::rpc {
+
+namespace {
+/// Metadata key the reply-cache floors persist under (docs/PROTOCOL.md §8).
+constexpr std::string_view kReplyFloorsKey = "reply-floors";
+}  // namespace
 
 Service::Service(net::Machine& machine, Port get_port, std::string name)
     : machine_(&machine), get_port_(get_port), name_(std::move(name)) {}
@@ -81,129 +90,200 @@ void Service::on(std::uint16_t opcode, Handler handler) {
   }
 }
 
-void Service::note_op(OpInfo info) { typed_ops_.push_back(std::move(info)); }
+void Service::note_op(OpInfo info) {
+  op_metrics_.emplace(info.opcode, std::make_unique<OpMetrics>());
+  typed_ops_.push_back(std::move(info));
+}
+
+std::vector<Service::OpMetricsSnapshot> Service::op_metrics() const {
+  std::vector<OpMetricsSnapshot> out;
+  out.reserve(typed_ops_.size());
+  for (const OpInfo& op : typed_ops_) {
+    const auto it = op_metrics_.find(op.opcode);
+    if (it == op_metrics_.end()) {
+      continue;
+    }
+    const OpMetrics& m = *it->second;
+    out.push_back({op.name, m.calls.load(std::memory_order_relaxed),
+                   m.errors.load(std::memory_order_relaxed),
+                   m.total_us.load(std::memory_order_relaxed),
+                   m.max_us.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
 
 // ------------------------------------------------------- at-most-once cache
 
 Service::ReplyCacheStats Service::reply_cache_stats() const {
-  const std::lock_guard lock(reply_cache_mutex_);
-  ReplyCacheStats stats = reply_cache_counters_;
-  stats.clients = reply_cache_.size();
-  for (const auto& [key, entry] : reply_cache_) {
-    stats.entries += entry.replies.size();
+  ReplyCacheStats stats;
+  for (const ReplyCacheStripe& stripe : reply_cache_stripes_) {
+    const std::lock_guard lock(stripe.mutex);
+    stats.duplicates_suppressed += stripe.counters.duplicates_suppressed;
+    stats.replies_resent += stripe.counters.replies_resent;
+    stats.evicted_entries += stripe.counters.evicted_entries;
+    stats.evicted_clients += stripe.counters.evicted_clients;
+    stats.clients += stripe.map.size();
+    for (const auto& [key, entry] : stripe.map) {
+      stats.entries += entry.replies.size();
+    }
   }
   return stats;
 }
 
 void Service::set_reply_cache_limits(std::size_t window_per_client,
                                      std::size_t max_clients) {
-  const std::lock_guard lock(reply_cache_mutex_);
-  reply_cache_window_ = window_per_client;
-  reply_cache_max_clients_ = max_clients;
+  reply_cache_window_.store(window_per_client, std::memory_order_relaxed);
+  reply_cache_max_clients_.store(max_clients, std::memory_order_relaxed);
 }
 
 void Service::flush_reply_cache() {
-  const std::lock_guard lock(reply_cache_mutex_);
-  for (const auto& [key, entry] : reply_cache_) {
-    reply_cache_counters_.evicted_entries += entry.replies.size();
+  for (ReplyCacheStripe& stripe : reply_cache_stripes_) {
+    const std::lock_guard lock(stripe.mutex);
+    for (const auto& [key, entry] : stripe.map) {
+      stripe.counters.evicted_entries += entry.replies.size();
+    }
+    stripe.counters.evicted_clients += stripe.map.size();
+    reply_cache_clients_.fetch_sub(stripe.map.size(),
+                                   std::memory_order_relaxed);
+    stripe.map.clear();
   }
-  reply_cache_counters_.evicted_clients += reply_cache_.size();
-  reply_cache_.clear();
-  reply_cache_loaded_ = 0;
+  reply_cache_loaded_.store(0, std::memory_order_relaxed);
 }
 
-Service::ReplyCacheMap::iterator Service::lru_reply_cache_victim(
-    const ClientKey& excluded, bool want_tombstones) {
-  auto victim = reply_cache_.end();
-  for (auto it = reply_cache_.begin(); it != reply_cache_.end(); ++it) {
-    const ClientEntry& entry = it->second;
-    if (it->first == excluded || entry.replies.empty() != want_tombstones) {
-      continue;
-    }
-    if (!want_tombstones && entry.executing != 0) {
-      continue;
-    }
-    if (victim == reply_cache_.end() ||
-        entry.last_used < victim->second.last_used) {
-      victim = it;
+void Service::evict_reply_cache_client(const ClientKey& excluded,
+                                       bool want_tombstones) {
+  // Phase 1: global LRU scan, one stripe locked at a time (eviction is
+  // the rare overflow path; the request path never holds two stripes).
+  bool found = false;
+  ClientKey victim_key{};
+  std::uint64_t victim_used = 0;
+  std::size_t victim_stripe = 0;
+  for (std::size_t s = 0; s < kReplyCacheStripes; ++s) {
+    const ReplyCacheStripe& stripe = reply_cache_stripes_[s];
+    const std::lock_guard lock(stripe.mutex);
+    for (const auto& [key, entry] : stripe.map) {
+      if (key == excluded || entry.replies.empty() != want_tombstones) {
+        continue;
+      }
+      if (!want_tombstones && entry.executing != 0) {
+        continue;
+      }
+      if (!found || entry.last_used < victim_used) {
+        found = true;
+        victim_key = key;
+        victim_used = entry.last_used;
+        victim_stripe = s;
+      }
     }
   }
-  return victim;
+  if (!found) {
+    return;
+  }
+  // Phase 2: re-lock the victim's stripe and re-verify eligibility (it
+  // may have been touched between the scans; a stale pick is skipped and
+  // the next overflow retries).
+  ReplyCacheStripe& stripe = reply_cache_stripes_[victim_stripe];
+  const std::lock_guard lock(stripe.mutex);
+  const auto it = stripe.map.find(victim_key);
+  if (it == stripe.map.end() ||
+      it->second.replies.empty() != want_tombstones) {
+    return;
+  }
+  ClientEntry& victim = it->second;
+  if (want_tombstones) {
+    // Tombstone pool bound: header.client is a self-chosen field, so an
+    // id-churning peer must not grow the map without limit (see
+    // PROTOCOL.md §5.4 for what erasing the floor forgets).
+    ++stripe.counters.evicted_clients;
+    stripe.map.erase(it);
+    reply_cache_clients_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  if (victim.executing != 0) {
+    return;
+  }
+  // Demotion drops the cached replies -- the heavy part -- but KEEPS the
+  // entry as a floor tombstone, so duplicates of the evicted transactions
+  // still drop silently instead of re-executing (the at-most-once
+  // guarantee survives eviction; see docs/PROTOCOL.md §5.4).
+  stripe.counters.evicted_entries += victim.replies.size();
+  ++stripe.counters.evicted_clients;
+  victim.floor = std::max(victim.floor, victim.replies.rbegin()->first);
+  victim.replies.clear();
+  reply_cache_loaded_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 Service::DupVerdict Service::claim_request(const net::Delivery& request,
                                            net::Message& cached) {
   const ClientKey key{request.src.value(), request.message.header.client};
   const std::uint64_t seq = request.message.header.seq;
-  const std::lock_guard lock(reply_cache_mutex_);
-  if (reply_cache_window_ == 0) {
+  if (reply_cache_window_.load(std::memory_order_relaxed) == 0) {
     return DupVerdict::fresh;  // suppression disabled: execute everything
   }
-  const auto [self, created] = reply_cache_.try_emplace(key);
-  ClientEntry& entry = self->second;
-  entry.last_used = ++reply_cache_tick_;
-  if (created && reply_cache_max_clients_ != 0 &&
-      reply_cache_.size() > kTombstoneFactor * reply_cache_max_clients_) {
-    // Tombstone pool bound: header.client is a self-chosen field, so an
-    // id-churning peer must not grow the map without limit.  Erase the
-    // least recently used floor-only tombstone (see PROTOCOL.md §5.4 for
-    // what that forgets).
-    const auto victim = lru_reply_cache_victim(key, /*want_tombstones=*/true);
-    if (victim != reply_cache_.end()) {
-      ++reply_cache_counters_.evicted_clients;
-      reply_cache_.erase(victim);
+  const std::size_t max_clients =
+      reply_cache_max_clients_.load(std::memory_order_relaxed);
+  bool evict_tombstone = false;
+  bool evict_client = false;
+  DupVerdict verdict = DupVerdict::fresh;
+  {
+    ReplyCacheStripe& stripe = stripe_for(key);
+    const std::lock_guard lock(stripe.mutex);
+    const auto [self, created] = stripe.map.try_emplace(key);
+    ClientEntry& entry = self->second;
+    entry.last_used =
+        reply_cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (created) {
+      const std::size_t clients =
+          reply_cache_clients_.fetch_add(1, std::memory_order_relaxed) + 1;
+      evict_tombstone =
+          max_clients != 0 && clients > kTombstoneFactor * max_clients;
+    }
+    if (seq <= entry.floor) {
+      // Evicted region (or a pre-restart transaction whose floor was
+      // recovered from the volume): the original may or may not have
+      // executed, so the only at-most-once-safe answer is silence (the
+      // client times out).
+      ++stripe.counters.duplicates_suppressed;
+      verdict = DupVerdict::drop;
+    } else if (const auto it = entry.replies.find(seq);
+               it != entry.replies.end()) {
+      ++stripe.counters.duplicates_suppressed;
+      if (!it->second.done) {
+        verdict = DupVerdict::drop;  // original still executing on a worker
+      } else {
+        ++stripe.counters.replies_resent;
+        cached = it->second.reply;
+        verdict = DupVerdict::resend;
+      }
+    } else {
+      if (entry.replies.empty()) {
+        const std::size_t loaded =
+            reply_cache_loaded_.fetch_add(1, std::memory_order_relaxed) + 1;
+        evict_client = max_clients != 0 && loaded > max_clients;
+      }
+      entry.replies.emplace(seq, CachedReply{});  // claimed: executing
+      ++entry.executing;
     }
   }
-  if (seq <= entry.floor) {
-    // Evicted region: the original may or may not have executed, so the
-    // only at-most-once-safe answer is silence (the client times out).
-    ++reply_cache_counters_.duplicates_suppressed;
-    return DupVerdict::drop;
+  // Global-limit enforcement runs OUTSIDE the stripe lock (the victim may
+  // live on any stripe; two stripe locks are never held together).
+  if (evict_tombstone) {
+    evict_reply_cache_client(key, /*want_tombstones=*/true);
   }
-  const auto it = entry.replies.find(seq);
-  if (it != entry.replies.end()) {
-    ++reply_cache_counters_.duplicates_suppressed;
-    if (!it->second.done) {
-      return DupVerdict::drop;  // original still executing on a worker
-    }
-    ++reply_cache_counters_.replies_resent;
-    cached = it->second.reply;
-    return DupVerdict::resend;
+  if (evict_client) {
+    evict_reply_cache_client(key, /*want_tombstones=*/false);
   }
-  if (entry.replies.empty()) {
-    ++reply_cache_loaded_;
-  }
-  entry.replies.emplace(seq, CachedReply{});  // claimed: executing
-  ++entry.executing;
-  if (reply_cache_max_clients_ != 0 &&
-      reply_cache_loaded_ > reply_cache_max_clients_) {
-    // Client cap: demote the least recently used OTHER client with no
-    // transaction still executing (rare; linear scan is fine).  Demotion
-    // drops the cached replies -- the heavy part -- but KEEPS the entry
-    // as a floor tombstone, so duplicates of the evicted transactions
-    // still drop silently instead of re-executing (the at-most-once
-    // guarantee survives eviction; see docs/PROTOCOL.md §5.4).
-    const auto victim =
-        lru_reply_cache_victim(key, /*want_tombstones=*/false);
-    if (victim != reply_cache_.end()) {
-      ClientEntry& demoted = victim->second;
-      reply_cache_counters_.evicted_entries += demoted.replies.size();
-      ++reply_cache_counters_.evicted_clients;
-      demoted.floor = std::max(demoted.floor, demoted.replies.rbegin()->first);
-      demoted.replies.clear();
-      --reply_cache_loaded_;
-    }
-  }
-  return DupVerdict::fresh;
+  return verdict;
 }
 
 void Service::store_reply(const net::Delivery& request,
                           const net::Message& reply) {
   const ClientKey key{request.src.value(), request.message.header.client};
   const std::uint64_t seq = request.message.header.seq;
-  const std::lock_guard lock(reply_cache_mutex_);
-  const auto cit = reply_cache_.find(key);
-  if (cit == reply_cache_.end()) {
+  ReplyCacheStripe& stripe = stripe_for(key);
+  const std::lock_guard lock(stripe.mutex);
+  const auto cit = stripe.map.find(key);
+  if (cit == stripe.map.end()) {
     return;  // flushed or evicted while the handler ran
   }
   auto& entry = cit->second;
@@ -218,12 +298,100 @@ void Service::store_reply(const net::Delivery& request,
   rit->second.reply = reply;
   // Per-client window: age out the oldest COMPLETED transactions (an
   // executing one blocks the sweep; the window may briefly overshoot).
-  while (entry.replies.size() > reply_cache_window_ &&
+  const std::size_t window =
+      reply_cache_window_.load(std::memory_order_relaxed);
+  while (entry.replies.size() > window &&
          entry.replies.begin()->second.done) {
     entry.floor = std::max(entry.floor, entry.replies.begin()->first);
     entry.replies.erase(entry.replies.begin());
-    ++reply_cache_counters_.evicted_entries;
+    ++stripe.counters.evicted_entries;
   }
+}
+
+// --------------------------------------------- durable restart (floors)
+
+Buffer Service::encode_reply_floors_locked() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(reply_floors_.size()));
+  for (const auto& [key, floor] : reply_floors_) {
+    w.u32(key.src);
+    w.u64(key.client);
+    w.u64(floor);
+  }
+  return w.take();
+}
+
+Buffer Service::encode_reply_floors() const {
+  const std::lock_guard lock(reply_floor_mutex_);
+  return encode_reply_floors_locked();
+}
+
+void Service::restore_reply_floors(std::span<const std::uint8_t> floors) {
+  if (floors.empty()) {
+    return;
+  }
+  Reader r(floors);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    ClientKey key{};
+    key.src = r.u32();
+    key.client = r.u64();
+    const std::uint64_t floor = r.u64();
+    if (!r.ok() || floor == 0) {
+      continue;
+    }
+    {
+      ReplyCacheStripe& stripe = stripe_for(key);
+      const std::lock_guard lock(stripe.mutex);
+      const auto [it, created] = stripe.map.try_emplace(key);
+      it->second.floor = std::max(it->second.floor, floor);
+      it->second.last_used =
+          reply_cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (created) {
+        reply_cache_clients_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const std::lock_guard lock(reply_floor_mutex_);
+    auto& row = reply_floors_[key];
+    row = std::max(row, floor);
+  }
+}
+
+void Service::persist_reply_floor(const ClientKey& key, std::uint64_t seq) {
+  if (!reply_floor_sink_set_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::function<void(const Buffer&)> sink;
+  {
+    const std::lock_guard lock(filter_mutex_);
+    sink = reply_floor_sink_;
+  }
+  if (!sink) {
+    return;
+  }
+  // One mutex covers update + encode + write: persists are totally
+  // ordered, so a slower thread can never overwrite a newer image with a
+  // stale one (the §8.4 never-twice ordering).  The claimed seq is
+  // durable here, BEFORE the handler can journal any effect: a crash in
+  // between loses the operation, never doubles it.
+  const std::lock_guard lock(reply_floor_mutex_);
+  auto& row = reply_floors_[key];
+  row = std::max(row, seq);
+  sink(encode_reply_floors_locked());
+}
+
+void Service::attach_durability(std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return;
+  }
+  restore_reply_floors(backend->get_meta(kReplyFloorsKey));
+  {
+    const std::lock_guard lock(filter_mutex_);
+    reply_floor_sink_ = [backend = std::move(backend)](const Buffer& floors) {
+      backend->put_meta(kReplyFloorsKey, floors);
+    };
+  }
+  reply_floor_sink_set_.store(true, std::memory_order_release);
 }
 
 net::Message Service::handle(const net::Delivery& request) {
@@ -237,14 +405,42 @@ net::Message Service::handle(const net::Delivery& request) {
 }
 
 net::Message Service::handle_one(const net::Delivery& request) {
+  // Per-op metrics: the map is frozen at start(), so the lookup is
+  // lock-free; only typed ops (registered through note_op) are timed.
+  OpMetrics* metrics = nullptr;
+  if (const auto it = op_metrics_.find(request.message.header.opcode);
+      it != op_metrics_.end()) {
+    metrics = it->second.get();
+  }
+  const auto started = metrics != nullptr
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  net::Message reply;
   try {
-    return handle(request);
+    reply = handle(request);
   } catch (const std::exception&) {
     // A handler failure (bad_alloc on an oversized request, a violated
     // precondition) must not take the whole service process down; the
     // offending client gets the invariant-failure status instead.
-    return net::make_reply(request.message, ErrorCode::internal);
+    reply = net::make_reply(request.message, ErrorCode::internal);
   }
+  if (metrics != nullptr) {
+    const auto elapsed_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    metrics->calls.fetch_add(1, std::memory_order_relaxed);
+    if (reply.header.status != ErrorCode::ok) {
+      metrics->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics->total_us.fetch_add(elapsed_us, std::memory_order_relaxed);
+    std::uint64_t seen = metrics->max_us.load(std::memory_order_relaxed);
+    while (elapsed_us > seen &&
+           !metrics->max_us.compare_exchange_weak(
+               seen, elapsed_us, std::memory_order_relaxed)) {
+    }
+  }
+  return reply;
 }
 
 net::Message Service::handle_batch(const net::Delivery& request) {
@@ -358,6 +554,14 @@ void Service::run(std::stop_token stop, std::latch& ready) {
             break;
           case DupVerdict::fresh:
             cache_reply = true;
+            // Write-ahead for the suppression state: the claimed seq is
+            // durable (as a floor) BEFORE the handler can journal any
+            // effect, so a crash can lose this operation but a restarted
+            // server can never run its duplicate a second time.
+            persist_reply_floor(
+                ClientKey{delivery->src.value(),
+                          delivery->message.header.client},
+                delivery->message.header.seq);
             break;
         }
       }

@@ -1,6 +1,7 @@
 #include "amoeba/rpc/transport.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -108,9 +109,42 @@ void Transport::set_filter(std::shared_ptr<MessageFilter> filter) {
   filter_ = std::move(filter);
 }
 
+std::chrono::milliseconds Transport::adaptive_rto_locked() const {
+  const auto floor = retransmit_initial();
+  if (floor.count() == 0 || stats_.rtt_samples == 0) {
+    return floor;  // disabled, or no sample yet: the configured seed
+  }
+  const std::uint64_t rto_us = stats_.srtt_us + 4 * stats_.rttvar_us;
+  const auto rto = std::chrono::milliseconds((rto_us + 999) / 1000);
+  return std::clamp(rto, floor, retransmit_cap());
+}
+
+void Transport::record_rtt_locked(std::chrono::microseconds sample) {
+  // Jacobson/Karels in integer microseconds: srtt += err/8,
+  // rttvar += (|err| - rttvar)/4.
+  const auto us = static_cast<std::int64_t>(sample.count());
+  auto srtt = static_cast<std::int64_t>(stats_.srtt_us);
+  auto rttvar = static_cast<std::int64_t>(stats_.rttvar_us);
+  if (stats_.rtt_samples == 0) {
+    srtt = us;
+    rttvar = us / 2;
+  } else {
+    const std::int64_t err = us - srtt;
+    srtt += err / 8;
+    rttvar += (std::abs(err) - rttvar) / 4;
+  }
+  stats_.srtt_us = static_cast<std::uint64_t>(std::max<std::int64_t>(srtt, 0));
+  stats_.rttvar_us =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(rttvar, 0));
+  ++stats_.rtt_samples;
+}
+
 Transport::Stats Transport::stats() const {
   const std::lock_guard lock(mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.rto_ms =
+      static_cast<std::uint64_t>(adaptive_rto_locked().count());
+  return snapshot;
 }
 
 std::size_t Transport::in_flight() const {
@@ -178,6 +212,7 @@ Future Transport::trans_async(net::Message request,
   std::shared_ptr<MessageFilter> filter;
   Port reply_get_port;
   std::optional<CacheEntry> fast_dst;
+  std::chrono::milliseconds backoff{0};
   {
     const std::lock_guard lock(mutex_);
     ++stats_.transactions;
@@ -186,6 +221,8 @@ Future Transport::trans_async(net::Message request,
     request.header.client = client_id_;
     request.header.seq = ++next_seq_;
     request.header.flags |= net::kFlagAtMostOnce;
+    // RTT-seeded first-retransmit interval (floor = configured initial).
+    backoff = adaptive_rto_locked();
     do {
       reply_get_port = Port(rng_.bits(Port::kBits));
     } while (reply_get_port.is_null());
@@ -201,7 +238,6 @@ Future Transport::trans_async(net::Message request,
   // out, so a reply cannot beat its own bookkeeping.
   const auto now = Clock::now();
   const auto deadline = now + timeout;
-  const auto backoff = retransmit_initial();
   const auto next_send =
       backoff.count() > 0 ? now + backoff : Clock::time_point::max();
   Port registry_key;
@@ -220,8 +256,8 @@ Future Transport::trans_async(net::Message request,
       continue;  // F(G') == 0 would masquerade as a wake marker: redraw
     }
     request.header.reply = reply_get_port;  // final once registered
-    Pending pending{state, std::move(receiver), deadline, {}, next_send,
-                    backoff};
+    Pending pending{state,     std::move(receiver), deadline, {},
+                    next_send, backoff,             now,      false};
     if (backoff.count() > 0) {
       pending.request = request;  // the copy the pump retransmits from
     }
@@ -240,8 +276,8 @@ Future Transport::trans_async(net::Message request,
     registered = true;
   }
   if (!registered) {
-    Pending failed{state, net::Receiver(), deadline, {},
-                   Clock::time_point::max(), {}};
+    Pending failed{state, net::Receiver(),          deadline, {},
+                   Clock::time_point::max(), {},    now,      false};
     complete(failed, ErrorCode::internal);
     return future;
   }
@@ -329,8 +365,18 @@ void Transport::settle_all(std::deque<net::Delivery>&& batch) {
   }
   std::shared_ptr<MessageFilter> filter;
   {
+    const auto now = Clock::now();
     const std::lock_guard lock(mutex_);
     filter = filter_;
+    for (const auto& [pending, delivery] : matched) {
+      // Karn's rule: only transactions answered without any retransmit
+      // contribute RTT samples (a retransmitted one's reply is ambiguous).
+      if (!pending.retransmitted &&
+          pending.issued_at != Clock::time_point{}) {
+        record_rtt_locked(std::chrono::duration_cast<std::chrono::microseconds>(
+            now - pending.issued_at));
+      }
+    }
   }
   for (auto& [pending, delivery] : matched) {
     if (filter != nullptr &&
@@ -369,6 +415,7 @@ void Transport::expire_and_retransmit() {
         net::Message copy = pending.request;
         copy.header.flags |= net::kFlagRetransmit;
         resend.push_back(std::move(copy));
+        pending.retransmitted = true;  // Karn: its reply yields no sample
         pending.backoff = std::min(pending.backoff * 2, cap);
         pending.next_send = now + pending.backoff;
       }

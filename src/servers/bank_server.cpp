@@ -1,5 +1,7 @@
 #include "amoeba/servers/bank_server.hpp"
 
+#include <optional>
+
 namespace amoeba::servers {
 namespace {
 
@@ -17,14 +19,60 @@ namespace {
 
 }  // namespace
 
+core::Durability<BankServer::Account> BankServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<Account> d;
+  d.backend = std::move(backend);
+  d.encode = [](Writer& w, const Account& account) {
+    w.u32(static_cast<std::uint32_t>(account.balances.size()));
+    for (const auto& [currency, balance] : account.balances) {
+      w.u32(currency);
+      w.i64(balance);
+    }
+    w.u8(account.is_master ? 1 : 0);
+  };
+  d.decode = [](Reader& r, Account& account) {
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint32_t currency = r.u32();
+      account.balances[currency] = r.i64();
+    }
+    account.is_master = r.u8() != 0;
+    return r.ok();
+  };
+  return d;
+}
+
 BankServer::BankServer(net::Machine& machine, Port get_port,
                        std::shared_ptr<const core::ProtectionScheme> scheme,
-                       std::uint64_t seed)
+                       std::uint64_t seed,
+                       std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "bank"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {
-  Account master;
-  master.is_master = true;
-  master_ = store_.create(std::move(master));
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)) {
+  if (store_.durability_stats().recovered) {
+    // Restart path: the master account is already in the recovered table;
+    // re-mint its capability instead of creating (and journaling) a new
+    // economy.
+    std::optional<ObjectNumber> master_object;
+    store_.for_each([&](ObjectNumber object, const Account& account) {
+      if (account.is_master) {
+        master_object = object;
+      }
+    });
+    if (!master_object.has_value()) {
+      throw UsageError("BankServer: recovered volume has no master account");
+    }
+    master_ = store_.mint_for(*master_object, Rights::all()).value();
+  } else {
+    Account master;
+    master.is_master = true;
+    master_ = store_.create(std::move(master));
+  }
+  attach_durability(std::move(backend));
 
   rpc::register_std_ops(*this, store_);
   on(bank_ops::kCreateAccount,
@@ -91,6 +139,10 @@ Result<void> BankServer::do_transfer(const core::Capability& from_cap,
   }
   from_balance -= req.amount;
   to_balance = new_to;
+  // Both sides journal as ONE append group when the pair is released: a
+  // crash image never holds the debit without the credit.
+  from.mark_dirty();
+  to.mark_dirty();
   return {};
 }
 
@@ -124,6 +176,7 @@ Result<bank_ops::ConvertReply> BankServer::do_convert(
   }
   balances[req.from_currency] -= req.amount;
   balances[req.to_currency] = new_balance;
+  account.mark_dirty();
   return bank_ops::ConvertReply{converted};
 }
 
@@ -148,6 +201,7 @@ Result<void> BankServer::do_mint(const core::Capability& master_cap,
     return ErrorCode::invalid_argument;
   }
   to.value->balances[req.currency] = new_balance;
+  to.mark_dirty();
   return {};
 }
 

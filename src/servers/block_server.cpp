@@ -6,14 +6,51 @@
 
 namespace amoeba::servers {
 
+core::Durability<std::uint32_t> BlockServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<std::uint32_t> d;
+  d.backend = std::move(backend);
+  d.encode = [this](Writer& w, const std::uint32_t& index) {
+    w.u32(index);
+    const std::lock_guard lock(mutex_);
+    w.u8(disk_.written(index) ? 1 : 0);
+    auto content = disk_.read(index);
+    w.bytes(content.ok() ? content.value() : Buffer{});
+  };
+  d.decode = [this](Reader& r, std::uint32_t& index) {
+    index = r.u32();
+    const bool was_written = r.u8() != 0;
+    const Buffer content = r.bytes();
+    if (!r.ok()) {
+      return false;
+    }
+    const std::lock_guard lock(mutex_);
+    return disk_.restore(index, content, was_written).ok();
+  };
+  d.dispose = [this](std::uint32_t& index) {
+    // Replay overwrote or destroyed a recovered block object: return its
+    // disk block, or destroy-replay would leak it forever (the matching
+    // decode re-claims the block when the object survives).
+    const std::lock_guard lock(mutex_);
+    (void)disk_.free_block(index);
+  };
+  return d;
+}
+
 BlockServer::BlockServer(net::Machine& machine, Port get_port,
                          std::shared_ptr<const core::ProtectionScheme> scheme,
-                         std::uint64_t seed, Geometry geometry)
+                         std::uint64_t seed, Geometry geometry,
+                         std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "block"),
       geometry_(geometry),
       disk_(geometry.block_count, geometry.block_size, geometry.write_once),
       store_(std::move(scheme),
-             machine.fbox().listen_port(get_port), seed) {
+             machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)) {
+  attach_durability(std::move(backend));
   // std.destroy must free the disk block too, not just the slot.
   rpc::register_std_ops(
       *this, store_,
@@ -62,8 +99,16 @@ Result<rpc::BytesReply> BlockServer::do_read(Store::Opened& block) {
 
 Result<void> BlockServer::do_write(const rpc::BytesRequest& req,
                                    Store::Opened& block) {
-  const std::lock_guard lock(mutex_);
-  return disk_.write(*block.value, req.bytes);
+  const auto written = [&] {
+    const std::lock_guard lock(mutex_);
+    return disk_.write(*block.value, req.bytes);
+  }();
+  if (written.ok()) {
+    // The journal carries the block content (the codec re-reads the disk
+    // when the accessor flushes), so the write survives a crash.
+    block.mark_dirty();
+  }
+  return written;
 }
 
 Result<void> BlockServer::do_free(Store::Opened&& block) {

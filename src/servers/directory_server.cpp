@@ -36,11 +36,41 @@ namespace {
 
 }  // namespace
 
+core::Durability<DirectoryServer::Directory> DirectoryServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<Directory> d;
+  d.backend = std::move(backend);
+  d.encode = [](Writer& w, const Directory& dir) {
+    w.u32(static_cast<std::uint32_t>(dir.size()));
+    for (const auto& [name, capability] : dir) {
+      w.str(name);
+      w.raw(capability);
+    }
+  };
+  d.decode = [](Reader& r, Directory& dir) {
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      std::string name = r.str();
+      core::CapabilityBytes capability{};
+      r.raw(capability);
+      dir.emplace(std::move(name), capability);
+    }
+    return r.ok();
+  };
+  return d;
+}
+
 DirectoryServer::DirectoryServer(
     net::Machine& machine, Port get_port,
-    std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed)
+    std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed,
+    std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "directory"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed) {
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)) {
+  attach_durability(std::move(backend));
   // std.destroy keeps the delete semantics: only empty directories die.
   rpc::register_std_ops(
       *this, store_,
@@ -84,13 +114,17 @@ Result<void> DirectoryServer::do_enter(const dir_ops::EnterRequest& req,
     return ErrorCode::exists;
   }
   dir.value->emplace(req.name, core::pack(req.target));
+  dir.mark_dirty();
   return {};
 }
 
 Result<void> DirectoryServer::do_remove(const dir_ops::NameRequest& req,
                                         Store::Opened& dir) {
-  return dir.value->erase(req.name) > 0 ? Result<void>{}
-                                        : Result<void>{ErrorCode::not_found};
+  if (dir.value->erase(req.name) == 0) {
+    return ErrorCode::not_found;
+  }
+  dir.mark_dirty();
+  return {};
 }
 
 Result<dir_ops::ListReply> DirectoryServer::do_list(Store::Opened& dir) {

@@ -54,6 +54,26 @@ Result<void> SimDisk::free_block(std::uint32_t block) {
   return {};
 }
 
+Result<void> SimDisk::restore(std::uint32_t block,
+                              std::span<const std::uint8_t> data,
+                              bool was_written) {
+  if (block >= block_count_ || data.size() > block_size_) {
+    return ErrorCode::invalid_argument;
+  }
+  if (!allocated_[block]) {
+    std::erase(free_list_, block);
+    allocated_[block] = true;
+    --free_count_;
+  }
+  written_[block] = was_written;
+  const auto begin = storage_.begin() +
+                     static_cast<std::ptrdiff_t>(block) * block_size_;
+  std::copy(data.begin(), data.end(), begin);
+  std::fill(begin + static_cast<std::ptrdiff_t>(data.size()),
+            begin + block_size_, 0);
+  return {};
+}
+
 Result<Buffer> SimDisk::read(std::uint32_t block) const {
   if (!valid_and_allocated(block)) {
     return ErrorCode::no_such_object;

@@ -7,14 +7,51 @@
 
 namespace amoeba::servers {
 
+core::Durability<FlatFileServer::Inode> FlatFileServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<Inode> d;
+  d.backend = std::move(backend);
+  d.encode = [](Writer& w, const Inode& inode) {
+    w.u64(inode.size);
+    w.u32(static_cast<std::uint32_t>(inode.blocks.size()));
+    for (const auto& block : inode.blocks) {
+      w.raw(core::pack(block));
+    }
+    w.raw(core::pack(inode.payer));
+    w.u8(inode.paid ? 1 : 0);
+  };
+  d.decode = [](Reader& r, Inode& inode) {
+    inode.size = r.u64();
+    const std::uint32_t count = r.u32();
+    inode.blocks.reserve(count);
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      core::CapabilityBytes bytes{};
+      r.raw(bytes);
+      inode.blocks.push_back(core::unpack(bytes));
+    }
+    core::CapabilityBytes payer{};
+    r.raw(payer);
+    inode.payer = core::unpack(payer);
+    inode.paid = r.u8() != 0;
+    return r.ok();
+  };
+  return d;
+}
+
 FlatFileServer::FlatFileServer(
     net::Machine& machine, Port get_port,
     std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed,
-    Port block_server_port)
+    Port block_server_port,
+    std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "flatfile"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)),
       transport_(machine, seed ^ 0xF17EULL),
       blocks_(transport_, block_server_port) {
+  attach_durability(std::move(backend));
   // std.destroy must free the file's blocks and refund the payer too.
   rpc::register_std_ops(
       *this, store_,
@@ -212,6 +249,9 @@ Result<void> FlatFileServer::do_write(const file_ops::WriteRequest& req,
     consumed += take;
   }
   inode.size = std::max(inode.size, end);
+  // Size and block-capability list changed (and the data now lives behind
+  // those block capabilities): journal the inode image.
+  file.mark_dirty();
   return {};
 }
 

@@ -110,9 +110,16 @@ inline constexpr std::uint32_t kYen = 2;     // phototypesetter pages
 
 class BankServer final : public rpc::Service {
  public:
+  /// `backend`, when set, makes the account table durable: every create,
+  /// balance change, revocation, and destroy is write-ahead-journaled, and
+  /// a constructor handed a non-empty volume RECOVERS -- accounts,
+  /// balances, the master account, and every outstanding capability
+  /// survive the restart, as do the at-most-once reply-cache floors
+  /// (duplicates of pre-crash transfers still drop, never re-execute).
   BankServer(net::Machine& machine, Port get_port,
              std::shared_ptr<const core::ProtectionScheme> scheme,
-             std::uint64_t seed);
+             std::uint64_t seed,
+             std::shared_ptr<storage::Backend> backend = nullptr);
   ~BankServer() override { stop(); }  // quiesce workers before members die
 
   /// The bank's own capability: the only source of new money (kMint).
@@ -131,6 +138,11 @@ class BankServer final : public rpc::Service {
     bool is_master = false;
   };
   using Store = core::ObjectStore<Account>;
+
+  /// Payload codec + backend wiring for the durable store (empty handle
+  /// when `backend` is null).
+  [[nodiscard]] static core::Durability<Account> durability(
+      std::shared_ptr<storage::Backend> backend);
 
   [[nodiscard]] Result<bank_ops::BalanceReply> do_balance(
       const bank_ops::BalanceRequest& req, Store::Opened& account);

@@ -55,9 +55,14 @@ class BlockServer final : public rpc::Service {
     bool write_once = false;
   };
 
+  /// `backend`, when set, journals block allocations and writes (the
+  /// journal carries the block index AND its content, so the simulated
+  /// disk is rebuilt on recovery); capabilities and the write-once state
+  /// survive a crash, as do the at-most-once reply-cache floors.
   BlockServer(net::Machine& machine, Port get_port,
               std::shared_ptr<const core::ProtectionScheme> scheme,
-              std::uint64_t seed, Geometry geometry);
+              std::uint64_t seed, Geometry geometry,
+              std::shared_ptr<storage::Backend> backend = nullptr);
   ~BlockServer() override { stop(); }  // quiesce workers before members die
 
   [[nodiscard]] std::uint32_t block_size() const {
@@ -69,6 +74,13 @@ class BlockServer final : public rpc::Service {
 
  private:
   using Store = core::ObjectStore<std::uint32_t>;  // payload: disk block index
+
+  /// The block payload codec captures `this`: encoding reads the block's
+  /// current content out of the disk (under mutex_, taken AFTER the shard
+  /// lock like every handler), decoding restores it.  disk_ is declared
+  /// before store_ so recovery may touch it.
+  [[nodiscard]] core::Durability<std::uint32_t> durability(
+      std::shared_ptr<storage::Backend> backend);
 
   [[nodiscard]] Result<rpc::CapabilityReply> do_allocate();
   [[nodiscard]] Result<rpc::BytesReply> do_read(Store::Opened& block);

@@ -82,14 +82,22 @@ inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDeleteDir{
 
 class DirectoryServer final : public rpc::Service {
  public:
+  /// `backend`, when set, write-ahead-journals every directory mutation;
+  /// a non-empty volume recovers the whole name space (entries AND the
+  /// check-field secrets, so directory capabilities issued before a crash
+  /// keep resolving) plus the at-most-once reply-cache floors.
   DirectoryServer(net::Machine& machine, Port get_port,
                   std::shared_ptr<const core::ProtectionScheme> scheme,
-                  std::uint64_t seed);
+                  std::uint64_t seed,
+                  std::shared_ptr<storage::Backend> backend = nullptr);
   ~DirectoryServer() override { stop(); }  // quiesce workers before members die
 
  private:
   using Directory = std::map<std::string, core::CapabilityBytes>;
   using Store = core::ObjectStore<Directory>;
+
+  [[nodiscard]] static core::Durability<Directory> durability(
+      std::shared_ptr<storage::Backend> backend);
 
   [[nodiscard]] Result<rpc::CapabilityReply> do_lookup(
       const dir_ops::NameRequest& req, Store::Opened& dir);

@@ -41,6 +41,20 @@ class SimDisk {
   [[nodiscard]] Result<void> write(std::uint32_t block,
                                    std::span<const std::uint8_t> data);
 
+  /// True when the block has been written since its allocation (the
+  /// write-once state the durability journal must carry across a crash).
+  [[nodiscard]] bool written(std::uint32_t block) const {
+    return block < block_count_ && written_[block];
+  }
+
+  /// Crash-recovery path: claims a SPECIFIC block (pulling it off the
+  /// free list), restores its content, and re-arms the write-once state.
+  /// Idempotent -- re-restoring an already-claimed block just overwrites
+  /// its bytes, which is what replaying a journal prefix twice needs.
+  [[nodiscard]] Result<void> restore(std::uint32_t block,
+                                     std::span<const std::uint8_t> data,
+                                     bool was_written);
+
   [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
   [[nodiscard]] std::uint32_t block_count() const { return block_count_; }
   [[nodiscard]] std::uint32_t free_count() const { return free_count_; }

@@ -84,9 +84,15 @@ class FlatFileServer final : public rpc::Service {
     std::int64_t price_per_block = 1;
   };
 
+  /// `backend`, when set, journals every inode mutation (size, block
+  /// capabilities, payer).  A recovered file server resumes serving its
+  /// old capabilities; the block capabilities inside recovered inodes stay
+  /// valid as long as the block server itself restarted from its own
+  /// volume (the cross-server recovery story the crash tests exercise).
   FlatFileServer(net::Machine& machine, Port get_port,
                  std::shared_ptr<const core::ProtectionScheme> scheme,
-                 std::uint64_t seed, Port block_server_port);
+                 std::uint64_t seed, Port block_server_port,
+                 std::shared_ptr<storage::Backend> backend = nullptr);
   ~FlatFileServer() override { stop(); }  // quiesce workers before members die
 
   /// Enables storage charging.  Must be called before start().
@@ -100,6 +106,9 @@ class FlatFileServer final : public rpc::Service {
     bool paid = false;                     // pricing active for this file
   };
   using Store = core::ObjectStore<Inode>;
+
+  [[nodiscard]] static core::Durability<Inode> durability(
+      std::shared_ptr<storage::Backend> backend);
 
   /// Charges `blocks` worth of space to the inode's payer; no-op when
   /// pricing is off or the file was created before pricing.

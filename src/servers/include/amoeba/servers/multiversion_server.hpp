@@ -84,9 +84,15 @@ inline constexpr rpc::Op<rpc::Empty, rpc::Empty> kDestroyFile{
 
 class MultiVersionServer final : public rpc::Service {
  public:
+  /// `backend`, when set, journals files and drafts with their page
+  /// CONTENT (the codec materializes each version's pages), so a
+  /// recovered server serves every committed version and in-flight draft
+  /// under the pre-crash capabilities.  Copy-on-write sharing between
+  /// versions is not reconstructed on recovery -- correct, just unshared.
   MultiVersionServer(net::Machine& machine, Port get_port,
                      std::shared_ptr<const core::ProtectionScheme> scheme,
-                     std::uint64_t seed, std::uint32_t page_size = 1024);
+                     std::uint64_t seed, std::uint32_t page_size = 1024,
+                     std::shared_ptr<storage::Backend> backend = nullptr);
   ~MultiVersionServer() override { stop(); }  // quiesce workers first
 
   [[nodiscard]] std::uint32_t page_size() const { return pages_.page_size(); }
@@ -108,6 +114,12 @@ class MultiVersionServer final : public rpc::Service {
   using Payload = std::variant<FileObj, DraftObj>;
   using Store = core::ObjectStore<Payload>;
 
+  /// Captures `this`: encode/decode walk and rebuild page trees under
+  /// pages_mutex_ (taken AFTER a shard lock, matching every handler);
+  /// pages_ is declared before store_ so recovery may fill it.
+  [[nodiscard]] core::Durability<Payload> durability(
+      std::shared_ptr<storage::Backend> backend);
+
   [[nodiscard]] Result<rpc::CapabilityReply> do_new_version(
       const core::Capability& file_cap, Store::Opened& opened);
   [[nodiscard]] Result<rpc::BytesReply> do_read_page(
@@ -126,10 +138,11 @@ class MultiVersionServer final : public rpc::Service {
   // commit holds the draft and its file together via open_with_peek.  The
   // page store (shared refcounted trees) keeps its own lock, always
   // acquired after a shard lock and never around store_ calls, so the
-  // shard -> pages ordering is acyclic.
-  Store store_;
+  // shard -> pages ordering is acyclic.  pages_ precedes store_: the
+  // durable store's recovery constructor rebuilds trees into it.
   mutable std::mutex pages_mutex_;
   PageStore pages_;
+  Store store_;
 };
 
 /// Client stub for the multiversion file service.

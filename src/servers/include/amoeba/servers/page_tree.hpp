@@ -15,6 +15,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "amoeba/common/error.hpp"
@@ -59,6 +61,18 @@ class PageStore {
 
   /// Drops a reference; frees unshared subtrees when it was the last.
   void release(std::uint32_t root);
+
+  /// Every materialized (non-hole) page under `root`, ascending by page
+  /// number -- the durability codec serializes snapshots through this.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, Buffer>> pages_of(
+      std::uint32_t root) const;
+
+  /// Builds a fresh snapshot holding exactly `pages` (the recovery
+  /// inverse of pages_of); the caller owns one reference to the returned
+  /// root.  Content sharing between snapshots is not reconstructed --
+  /// recovered versions are correct but unshared.
+  [[nodiscard]] std::uint32_t rebuild(
+      std::span<const std::pair<std::uint32_t, Buffer>> pages);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -2,13 +2,111 @@
 
 namespace amoeba::servers {
 
+core::Durability<MultiVersionServer::Payload> MultiVersionServer::durability(
+    std::shared_ptr<storage::Backend> backend) {
+  if (backend == nullptr) {
+    return {};
+  }
+  core::Durability<Payload> d;
+  d.backend = std::move(backend);
+  const auto encode_tree = [this](Writer& w, std::uint32_t root) {
+    // Caller (an accessor flush or snapshot) holds the shard lock;
+    // pages_mutex_ nests inside it exactly as in the handlers.
+    const auto pages = [&] {
+      const std::lock_guard pages_lock(pages_mutex_);
+      return pages_.pages_of(root);
+    }();
+    w.u32(static_cast<std::uint32_t>(pages.size()));
+    for (const auto& [page_no, data] : pages) {
+      w.u32(page_no);
+      w.bytes(data);
+    }
+  };
+  const auto decode_tree = [this](Reader& r, std::uint32_t& root) {
+    const std::uint32_t count = r.u32();
+    std::vector<std::pair<std::uint32_t, Buffer>> pages;
+    pages.reserve(count);
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint32_t page_no = r.u32();
+      pages.emplace_back(page_no, r.bytes());
+    }
+    if (!r.ok()) {
+      return false;
+    }
+    const std::lock_guard pages_lock(pages_mutex_);
+    root = pages_.rebuild(pages);
+    return true;
+  };
+  d.encode = [encode_tree](Writer& w, const Payload& payload) {
+    if (const auto* file = std::get_if<FileObj>(&payload)) {
+      w.u8(1);
+      w.u32(static_cast<std::uint32_t>(file->version_roots.size()));
+      for (const std::uint32_t root : file->version_roots) {
+        encode_tree(w, root);
+      }
+    } else {
+      const auto& draft = std::get<DraftObj>(payload);
+      w.u8(2);
+      w.raw(core::pack(draft.file_cap));
+      w.u64(draft.base_versions);
+      encode_tree(w, draft.root);
+    }
+  };
+  d.decode = [decode_tree](Reader& r, Payload& payload) {
+    const std::uint8_t tag = r.u8();
+    if (tag == 1) {
+      FileObj file;
+      const std::uint32_t versions = r.u32();
+      file.version_roots.reserve(versions);
+      for (std::uint32_t v = 0; v < versions && r.ok(); ++v) {
+        std::uint32_t root = PageStore::kEmptyRoot;
+        if (!decode_tree(r, root)) {
+          return false;
+        }
+        file.version_roots.push_back(root);
+      }
+      payload = std::move(file);
+      return r.ok();
+    }
+    if (tag == 2) {
+      DraftObj draft;
+      core::CapabilityBytes cap{};
+      r.raw(cap);
+      draft.file_cap = core::unpack(cap);
+      draft.base_versions = r.u64();
+      if (!decode_tree(r, draft.root)) {
+        return false;
+      }
+      payload = std::move(draft);
+      return r.ok();
+    }
+    return false;
+  };
+  d.dispose = [this](Payload& payload) {
+    // Recovery replay overwrote a decoded payload: release the trees it
+    // built so replayed prefixes don't leak page references.
+    const std::lock_guard pages_lock(pages_mutex_);
+    if (const auto* file = std::get_if<FileObj>(&payload)) {
+      for (const std::uint32_t root : file->version_roots) {
+        pages_.release(root);
+      }
+    } else if (const auto* draft = std::get_if<DraftObj>(&payload)) {
+      pages_.release(draft->root);
+    }
+  };
+  return d;
+}
+
 MultiVersionServer::MultiVersionServer(
     net::Machine& machine, Port get_port,
     std::shared_ptr<const core::ProtectionScheme> scheme, std::uint64_t seed,
-    std::uint32_t page_size)
+    std::uint32_t page_size,
+    std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "multiversion"),
-      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed),
-      pages_(page_size) {
+      pages_(page_size),
+      store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
+             Store::kDefaultShards, durability(backend)) {
+  attach_durability(std::move(backend));
   // std.destroy must release the page-tree references a plain slot
   // destroy would leak.
   rpc::register_std_ops(
@@ -110,13 +208,18 @@ Result<void> MultiVersionServer::do_write_page(
     // immutable; only drafts accept writes.
     return ErrorCode::immutable;
   }
-  const std::lock_guard pages_lock(pages_mutex_);
-  auto new_root = pages_.write(draft->root, req.page, req.bytes);
-  if (!new_root.ok()) {
-    return new_root.error();
+  {
+    const std::lock_guard pages_lock(pages_mutex_);
+    auto new_root = pages_.write(draft->root, req.page, req.bytes);
+    if (!new_root.ok()) {
+      return new_root.error();
+    }
+    pages_.release(draft->root);
+    draft->root = new_root.value();
   }
-  pages_.release(draft->root);
-  draft->root = new_root.value();
+  // The draft's working tree moved: journal the draft image (content
+  // included) so an in-flight draft survives a crash.
+  opened.mark_dirty();
   return {};
 }
 
@@ -190,6 +293,11 @@ Result<mv_ops::CommitReply> MultiVersionServer::do_commit(
   // Atomic: the draft's snapshot reference transfers to the file history.
   file->version_roots.push_back(draft_root);
   const std::uint64_t new_index = file->version_roots.size() - 1;
+  // Journal the file's new version BEFORE destroying the draft: the
+  // destroy drops the (possibly shared) shard lock, so the flush must not
+  // wait for the pair's release.
+  pinned.value().b.mark_dirty();
+  pinned.value().b.flush();
   (void)store_.destroy(std::move(pinned.value().a));
   return mv_ops::CommitReply{new_index};
 }

@@ -1,6 +1,7 @@
 #include "amoeba/servers/page_tree.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace amoeba::servers {
 namespace {
@@ -130,6 +131,46 @@ Result<std::uint32_t> PageStore::write(std::uint32_t root,
     return ErrorCode::invalid_argument;
   }
   return cow(root, 0, page_no, data);
+}
+
+std::vector<std::pair<std::uint32_t, Buffer>> PageStore::pages_of(
+    std::uint32_t root) const {
+  std::vector<std::pair<std::uint32_t, Buffer>> out;
+  if (root == 0) {
+    return out;
+  }
+  // Depth-first in slot order yields ascending page numbers.
+  const std::function<void(std::uint32_t, int, std::uint32_t)> walk =
+      [&](std::uint32_t id, int level, std::uint32_t prefix) {
+        if (id == 0) {
+          return;
+        }
+        if (level == kDepth) {
+          out.emplace_back(prefix, pages_[id / 2 - 1].data);
+          return;
+        }
+        const Node& node = nodes_[id / 2];
+        for (std::uint32_t slot = 0; slot < kFanout; ++slot) {
+          walk(node.children[slot], level + 1, prefix * kFanout + slot);
+        }
+      };
+  walk(root, 0, 0);
+  return out;
+}
+
+std::uint32_t PageStore::rebuild(
+    std::span<const std::pair<std::uint32_t, Buffer>> pages) {
+  std::uint32_t root = kEmptyRoot;
+  for (const auto& [page_no, data] : pages) {
+    const auto next = write(root, page_no, data);
+    if (!next.ok()) {
+      release(root);
+      throw UsageError("PageStore::rebuild: page outside tree bounds");
+    }
+    release(root);  // intermediate roots are stepping stones, not snapshots
+    root = next.value();
+  }
+  return root;
 }
 
 void PageStore::retain(std::uint32_t root) {

@@ -1,0 +1,316 @@
+#include "amoeba/storage/backend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+
+#include "amoeba/common/error.hpp"
+
+namespace amoeba::storage {
+namespace {
+
+void check_shards(std::size_t shards) {
+  if (shards == 0) {
+    throw UsageError("storage::Backend: need at least one shard");
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- MemoryBackend
+
+MemoryBackend::MemoryBackend(std::size_t shards) {
+  check_shards(shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void MemoryBackend::append_journal(std::size_t shard,
+                                   std::span<const std::uint8_t> bytes) {
+  Shard& s = *shards_.at(shard);
+  {
+    const std::lock_guard lock(s.mutex);
+    s.journal.insert(s.journal.end(), bytes.begin(), bytes.end());
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  hook_after_append();
+}
+
+void MemoryBackend::append_journal_batch(std::vector<ShardAppend>&& appends) {
+  if (appends.empty()) {
+    return;
+  }
+  // All involved shard locks held together (ascending order, matching
+  // capture()), so a crash image contains the whole group or none of it.
+  std::vector<std::size_t> order;
+  order.reserve(appends.size());
+  for (const ShardAppend& a : appends) {
+    order.push_back(a.shard);
+  }
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(order.size());
+  for (const std::size_t s : order) {
+    locks.emplace_back(shards_.at(s)->mutex);
+  }
+  for (const ShardAppend& a : appends) {
+    Buffer& journal = shards_[a.shard]->journal;
+    journal.insert(journal.end(), a.bytes.begin(), a.bytes.end());
+  }
+  locks.clear();
+  appends_.fetch_add(appends.size(), std::memory_order_relaxed);
+  hook_after_append();
+}
+
+Buffer MemoryBackend::read_journal(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  return s.journal;
+}
+
+void MemoryBackend::install_snapshot(std::size_t shard,
+                                     std::span<const std::uint8_t> bytes) {
+  Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  s.snapshot.assign(bytes.begin(), bytes.end());
+  s.journal.clear();  // compaction: the snapshot subsumes the log
+}
+
+Buffer MemoryBackend::read_snapshot(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  return s.snapshot;
+}
+
+void MemoryBackend::put_meta(std::string_view key,
+                             std::span<const std::uint8_t> value) {
+  const std::lock_guard lock(meta_mutex_);
+  meta_[std::string(key)] = Buffer(value.begin(), value.end());
+}
+
+Buffer MemoryBackend::get_meta(std::string_view key) const {
+  const std::lock_guard lock(meta_mutex_);
+  const auto it = meta_.find(key);
+  return it == meta_.end() ? Buffer{} : it->second;
+}
+
+bool MemoryBackend::empty() const {
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    if (!shard->journal.empty() || !shard->snapshot.empty()) {
+      return false;
+    }
+  }
+  const std::lock_guard lock(meta_mutex_);
+  return meta_.empty();
+}
+
+void MemoryBackend::set_append_hook(std::function<void(std::uint64_t)> hook) {
+  const std::lock_guard lock(hook_mutex_);
+  hook_ = std::move(hook);
+  hook_set_.store(hook_ != nullptr, std::memory_order_release);
+}
+
+void MemoryBackend::hook_after_append() {
+  if (!hook_set_.load(std::memory_order_acquire)) {
+    return;  // fast path: no barrier armed, no lock taken
+  }
+  std::function<void(std::uint64_t)> hook;
+  {
+    const std::lock_guard lock(hook_mutex_);
+    hook = hook_;
+  }
+  if (hook) {
+    // Outside every shard lock: the hook may capture() the volume.
+    hook(appends_.load(std::memory_order_relaxed));
+  }
+}
+
+std::shared_ptr<MemoryBackend> MemoryBackend::capture() const {
+  auto image = std::make_shared<MemoryBackend>(shards_.size());
+  // Every shard lock ascending, then meta: multi-shard append groups are
+  // either fully on the image or fully absent.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    image->shards_[s]->journal = shards_[s]->journal;
+    image->shards_[s]->snapshot = shards_[s]->snapshot;
+  }
+  {
+    const std::lock_guard meta_lock(meta_mutex_);
+    image->meta_ = meta_;
+  }
+  image->appends_.store(appends_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return image;
+}
+
+// ------------------------------------------------------------- FileBackend
+
+FileBackend::FileBackend(std::filesystem::path directory, std::size_t shards)
+    : directory_(std::move(directory)) {
+  check_shards(shards);
+  std::filesystem::create_directories(directory_);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->journal.open(journal_path(s),
+                        std::ios::binary | std::ios::app);
+    if (!shard->journal) {
+      throw UsageError("FileBackend: cannot open journal in " +
+                       directory_.string());
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::filesystem::path FileBackend::journal_path(std::size_t shard) const {
+  return directory_ / ("shard-" + std::to_string(shard) + ".journal");
+}
+
+std::filesystem::path FileBackend::snapshot_path(std::size_t shard) const {
+  return directory_ / ("shard-" + std::to_string(shard) + ".snap");
+}
+
+std::filesystem::path FileBackend::meta_path(std::string_view key) const {
+  std::string safe;
+  for (const char c : key) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return directory_ / ("meta-" + safe + ".bin");
+}
+
+void FileBackend::append_journal(std::size_t shard,
+                                 std::span<const std::uint8_t> bytes) {
+  Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  s.journal.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+  s.journal.flush();
+  if (!s.journal) {
+    // A write-ahead append that did not reach the disk must not be
+    // reported as durable -- the store's caller would otherwise reply to
+    // a client with an effect the volume cannot recover.
+    throw UsageError("FileBackend: journal append failed (disk full?) in " +
+                     directory_.string());
+  }
+}
+
+void FileBackend::append_journal_batch(std::vector<ShardAppend>&& appends) {
+  // A real disk offers no cross-file atomicity; per-shard appends with
+  // torn-tail-tolerant framing are the honest contract here.
+  for (const ShardAppend& a : appends) {
+    append_journal(a.shard, a.bytes);
+  }
+}
+
+namespace {
+
+[[nodiscard]] Buffer read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  return Buffer(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+Buffer FileBackend::read_journal(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  return read_file(journal_path(shard));
+}
+
+void FileBackend::install_snapshot(std::size_t shard,
+                                   std::span<const std::uint8_t> bytes) {
+  Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  const auto tmp = snapshot_path(shard).string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      // The snapshot never made it to disk intact: abort BEFORE the
+      // rename/truncate, keeping the old snapshot + journal -- the
+      // shard's only recoverable copy -- untouched.
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw UsageError("FileBackend: snapshot write failed (disk full?) in " +
+                       directory_.string());
+    }
+  }
+  std::filesystem::rename(tmp, snapshot_path(shard));
+  // Truncate-and-reopen the journal: records are replay-idempotent, so a
+  // crash between the rename and this truncate only replays onto state
+  // the snapshot already holds.
+  s.journal.close();
+  s.journal.open(journal_path(shard), std::ios::binary | std::ios::trunc);
+  s.journal.close();
+  s.journal.open(journal_path(shard), std::ios::binary | std::ios::app);
+}
+
+Buffer FileBackend::read_snapshot(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  const std::lock_guard lock(s.mutex);
+  return read_file(snapshot_path(shard));
+}
+
+void FileBackend::put_meta(std::string_view key,
+                           std::span<const std::uint8_t> value) {
+  const std::lock_guard lock(meta_mutex_);
+  const auto path = meta_path(key);
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size()));
+    out.close();
+    if (!out) {
+      // An unwritten floor image must not replace the durable one (the
+      // write-ahead ordering of §8.4 depends on it).
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw UsageError("FileBackend: metadata write failed (disk full?) in " +
+                       directory_.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+Buffer FileBackend::get_meta(std::string_view key) const {
+  const std::lock_guard lock(meta_mutex_);
+  return read_file(meta_path(key));
+}
+
+bool FileBackend::empty() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::error_code ec;
+    if (std::filesystem::file_size(journal_path(s), ec) > 0 && !ec) {
+      return false;
+    }
+    if (std::filesystem::exists(snapshot_path(s), ec)) {
+      return false;
+    }
+  }
+  const std::lock_guard lock(meta_mutex_);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_)) {
+    const auto name = entry.path().filename().string();
+    if (name.starts_with("meta-")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace amoeba::storage

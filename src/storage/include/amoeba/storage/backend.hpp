@@ -1,0 +1,179 @@
+// Pluggable storage volumes behind the durable object store.
+//
+// A Backend is one "disk" holding, per shard, an append-only journal and
+// the most recent snapshot, plus a small named-metadata area (the reply-
+// cache floors of rpc::Service live there).  Two implementations:
+//
+//   * MemoryBackend -- byte-for-byte the same layout in process memory.
+//     The crash/restart test harness runs on it: an append hook fires at
+//     every journal barrier (after the Nth append), and capture() deep-
+//     copies the whole volume under its locks -- exactly the disk image a
+//     machine losing power at that instant would leave behind.  Recovery
+//     from a captured image IS the simulated crash+restart.
+//   * FileBackend -- one directory on the real filesystem
+//     (shard-N.journal / shard-N.snap / meta-KEY), appends flushed per
+//     record, snapshots installed via write-temp + rename.  This is the
+//     durable deployment shape and what bench_e14 measures.
+//
+// Concurrency: every method is thread-safe.  Journals of different shards
+// never contend (per-shard locks), which is what lets journaling ride the
+// object store's per-shard mutexes without reintroducing a global lock on
+// the PR-1 hot path.  append_journal_batch() appends to several shards
+// ATOMICALLY with respect to capture(): a two-shard mutation (a bank
+// transfer's debit+credit) is either entirely on the captured image or not
+// at all, so a crash cannot tear money in half.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amoeba/common/serial.hpp"
+
+namespace amoeba::storage {
+
+/// One shard-addressed journal append, for the multi-shard atomic form.
+struct ShardAppend {
+  std::size_t shard = 0;
+  Buffer bytes;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Fixed at volume creation; the object store adopting this backend must
+  /// be sharded identically (object number -> shard mapping is layout).
+  [[nodiscard]] virtual std::size_t shard_count() const = 0;
+
+  /// Appends one framed record to a shard's journal (durable on return).
+  virtual void append_journal(std::size_t shard,
+                              std::span<const std::uint8_t> bytes) = 0;
+
+  /// Appends to several shards' journals as one atomic group with respect
+  /// to capture()/recovery images (all appended or none on the image).
+  virtual void append_journal_batch(std::vector<ShardAppend>&& appends) = 0;
+
+  /// Whole-journal read (recovery).
+  [[nodiscard]] virtual Buffer read_journal(std::size_t shard) const = 0;
+
+  /// Atomically replaces the shard's snapshot AND truncates its journal
+  /// (log compaction).  Replay-idempotent records make the file-backend
+  /// window between rename and truncate harmless.
+  virtual void install_snapshot(std::size_t shard,
+                                std::span<const std::uint8_t> bytes) = 0;
+
+  /// Whole-snapshot read (recovery); empty when none was installed.
+  [[nodiscard]] virtual Buffer read_snapshot(std::size_t shard) const = 0;
+
+  /// Small named metadata blobs, replaced atomically per put.
+  virtual void put_meta(std::string_view key,
+                        std::span<const std::uint8_t> value) = 0;
+  [[nodiscard]] virtual Buffer get_meta(std::string_view key) const = 0;
+
+  /// True when the volume holds no journal bytes, snapshots, or metadata
+  /// (a fresh disk: the store initializes instead of recovering).
+  [[nodiscard]] virtual bool empty() const = 0;
+};
+
+/// In-memory volume with crash-capture hooks (the test harness backend).
+class MemoryBackend final : public Backend {
+ public:
+  explicit MemoryBackend(std::size_t shards = 16);
+
+  [[nodiscard]] std::size_t shard_count() const override { return shards_.size(); }
+  void append_journal(std::size_t shard,
+                      std::span<const std::uint8_t> bytes) override;
+  void append_journal_batch(std::vector<ShardAppend>&& appends) override;
+  [[nodiscard]] Buffer read_journal(std::size_t shard) const override;
+  void install_snapshot(std::size_t shard,
+                        std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] Buffer read_snapshot(std::size_t shard) const override;
+  void put_meta(std::string_view key,
+                std::span<const std::uint8_t> value) override;
+  [[nodiscard]] Buffer get_meta(std::string_view key) const override;
+  [[nodiscard]] bool empty() const override;
+
+  /// Installs the journal-barrier hook: invoked after every journal append
+  /// group with the running append count, OUTSIDE the shard locks (so the
+  /// hook may capture()).  The crash harness registers a hook that
+  /// snapshots the volume at chosen barriers.
+  void set_append_hook(std::function<void(std::uint64_t)> hook);
+
+  /// Total journal appends so far (batch = one per entry).
+  [[nodiscard]] std::uint64_t append_count() const {
+    return appends_.load(std::memory_order_relaxed);
+  }
+
+  /// Deep copy of the volume as of now -- the disk image a crash at this
+  /// instant would leave.  Takes every shard lock (ascending) plus the
+  /// meta lock, so multi-shard append groups are never torn across it.
+  [[nodiscard]] std::shared_ptr<MemoryBackend> capture() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    Buffer journal;
+    Buffer snapshot;
+  };
+
+  void hook_after_append();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex meta_mutex_;
+  std::map<std::string, Buffer, std::less<>> meta_;
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<bool> hook_set_{false};  // fast-path gate for hook_after_append
+  mutable std::mutex hook_mutex_;
+  std::function<void(std::uint64_t)> hook_;
+};
+
+/// Directory-on-disk volume: the durable deployment backend.
+class FileBackend final : public Backend {
+ public:
+  /// Creates the directory if needed; an existing volume must have been
+  /// written with the same shard count.
+  FileBackend(std::filesystem::path directory, std::size_t shards = 16);
+
+  [[nodiscard]] std::size_t shard_count() const override { return shards_.size(); }
+  void append_journal(std::size_t shard,
+                      std::span<const std::uint8_t> bytes) override;
+  void append_journal_batch(std::vector<ShardAppend>&& appends) override;
+  [[nodiscard]] Buffer read_journal(std::size_t shard) const override;
+  void install_snapshot(std::size_t shard,
+                        std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] Buffer read_snapshot(std::size_t shard) const override;
+  void put_meta(std::string_view key,
+                std::span<const std::uint8_t> value) override;
+  [[nodiscard]] Buffer get_meta(std::string_view key) const override;
+  [[nodiscard]] bool empty() const override;
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return directory_;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::ofstream journal;  // append mode, flushed per record
+  };
+
+  [[nodiscard]] std::filesystem::path journal_path(std::size_t shard) const;
+  [[nodiscard]] std::filesystem::path snapshot_path(std::size_t shard) const;
+  [[nodiscard]] std::filesystem::path meta_path(std::string_view key) const;
+
+  std::filesystem::path directory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex meta_mutex_;
+};
+
+}  // namespace amoeba::storage

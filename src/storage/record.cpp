@@ -1,0 +1,159 @@
+#include "amoeba/storage/record.hpp"
+
+namespace amoeba::storage {
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x414D534Eu;  // "AMSN"
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+[[nodiscard]] std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+inline void put_u32(Buffer& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(Buffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void patch_u32(Buffer& out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
+void encode_record_into(RecordType type, ObjectNumber object,
+                        std::uint64_t secret, std::uint64_t lsn,
+                        std::span<const std::uint8_t> payload, Buffer& out) {
+  // Framed in place (this is the journaling hot path: one reserve, no
+  // temporary buffers): length u32 | checksum u32 | body, both patched
+  // once the body is written.
+  out.reserve(out.size() + 8 + 25 + payload.size());
+  const std::size_t frame_at = out.size();
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, 0);  // checksum placeholder
+  const std::size_t body_at = out.size();
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, object.value());
+  put_u64(out, secret);
+  put_u64(out, lsn);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const auto body = std::span<const std::uint8_t>(out.data() + body_at,
+                                                  out.size() - body_at);
+  patch_u32(out, frame_at, static_cast<std::uint32_t>(body.size()));
+  patch_u32(out, frame_at + 4, fnv1a(body));
+}
+
+void encode_record(const Record& record, Buffer& out) {
+  encode_record_into(record.type, record.object, record.secret, record.lsn,
+                     record.payload, out);
+}
+
+std::vector<Record> decode_journal(std::span<const std::uint8_t> journal,
+                                   bool* torn_tail) {
+  std::vector<Record> records;
+  if (torn_tail != nullptr) {
+    *torn_tail = false;
+  }
+  std::size_t pos = 0;
+  while (pos < journal.size()) {
+    Reader frame(journal.subspan(pos));
+    const std::uint32_t length = frame.u32();
+    const std::uint32_t checksum = frame.u32();
+    if (!frame.ok() || frame.remaining() < length) {
+      if (torn_tail != nullptr) {
+        *torn_tail = true;  // torn final append: recovery stops here
+      }
+      break;
+    }
+    const auto body = journal.subspan(pos + 8, length);
+    if (fnv1a(body) != checksum) {
+      if (torn_tail != nullptr) {
+        *torn_tail = true;
+      }
+      break;
+    }
+    Reader r(body);
+    Record record;
+    record.type = static_cast<RecordType>(r.u8());
+    record.object = r.object();
+    record.secret = r.u64();
+    record.lsn = r.u64();
+    record.payload = r.bytes();
+    if (!r.ok() || record.type < RecordType::create ||
+        record.type > RecordType::rotate) {
+      if (torn_tail != nullptr) {
+        *torn_tail = true;
+      }
+      break;
+    }
+    records.push_back(std::move(record));
+    pos += 8 + length;
+  }
+  return records;
+}
+
+Buffer encode_snapshot(const std::vector<SnapshotSlot>& slots,
+                       std::uint64_t applied_lsn) {
+  Writer w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u64(applied_lsn);
+  w.u32(static_cast<std::uint32_t>(slots.size()));
+  for (const SnapshotSlot& slot : slots) {
+    w.object(slot.object);
+    w.u64(slot.secret);
+    w.bytes(slot.payload);
+  }
+  return w.take();
+}
+
+bool decode_snapshot(std::span<const std::uint8_t> bytes,
+                     std::vector<SnapshotSlot>& out,
+                     std::uint64_t& applied_lsn) {
+  out.clear();
+  applied_lsn = 0;
+  if (bytes.empty()) {
+    return true;  // fresh shard: no snapshot installed yet
+  }
+  Reader r(bytes);
+  if (r.u32() != kSnapshotMagic || r.u16() != kSnapshotVersion) {
+    return false;
+  }
+  applied_lsn = r.u64();
+  const std::uint32_t count = r.u32();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SnapshotSlot slot;
+    slot.object = r.object();
+    slot.secret = r.u64();
+    slot.payload = r.bytes();
+    if (!r.ok()) {
+      out.clear();
+      return false;
+    }
+    out.push_back(std::move(slot));
+  }
+  return r.exhausted();
+}
+
+}  // namespace amoeba::storage

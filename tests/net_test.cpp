@@ -177,6 +177,75 @@ TEST(NetworkTest, BroadcastReachesAllListeners) {
   EXPECT_TRUE(rb.receive({}, 500ms).has_value());
 }
 
+TEST(NetworkTest, BroadcastDropFaultsRollPerReceiverLeg) {
+  // Each broadcast leg is its own (src -> dst) link: a per-link drop on
+  // sender->a loses the frame at a while b still receives it.
+  Network net;
+  Machine& a = net.add_machine("a");
+  Machine& b = net.add_machine("b");
+  Machine& sender = net.add_machine("sender");
+  const Port g(0x7A01);
+  Receiver ra = a.listen(g);
+  Receiver rb = b.listen(g);
+  net.set_link_faults(sender.id(), a.id(), {.drop = 1.0});
+  sender.broadcast(make_data(ra.put_port(), 3));
+  EXPECT_TRUE(rb.receive({}, 500ms).has_value());
+  EXPECT_FALSE(ra.receive({}, 50ms).has_value());
+  EXPECT_GE(net.stats().dropped.load(), 1u);
+  net.clear_link_faults();
+  // The link recovers: the next broadcast reaches both.
+  sender.broadcast(make_data(ra.put_port(), 4));
+  EXPECT_TRUE(ra.receive({}, 500ms).has_value());
+  EXPECT_TRUE(rb.receive({}, 500ms).has_value());
+}
+
+TEST(NetworkTest, BroadcastReorderHoldsAndReleasesPerLink) {
+  // Reorder on the sender->a leg only: a's first frame is held back and
+  // released after the second, so a observes them swapped while b sees
+  // transmission order.
+  Network net;
+  Machine& a = net.add_machine("a");
+  Machine& b = net.add_machine("b");
+  Machine& sender = net.add_machine("sender");
+  const Port g(0x7A02);
+  Receiver ra = a.listen(g);
+  Receiver rb = b.listen(g);
+  net.set_link_faults(sender.id(), a.id(), {.reorder = 1.0});
+  sender.broadcast(make_data(ra.put_port(), 1));
+  sender.broadcast(make_data(ra.put_port(), 2));
+  net.clear_link_faults();  // releases anything still held
+  const auto a1 = ra.receive({}, 500ms);
+  const auto a2 = ra.receive({}, 500ms);
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a1->message.header.opcode, 2);
+  EXPECT_EQ(a2->message.header.opcode, 1);
+  const auto b1 = rb.receive({}, 500ms);
+  const auto b2 = rb.receive({}, 500ms);
+  ASSERT_TRUE(b1.has_value());
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b1->message.header.opcode, 1);
+  EXPECT_EQ(b2->message.header.opcode, 2);
+  EXPECT_GE(net.stats().reordered.load(), 1u);
+}
+
+TEST(NetworkTest, BroadcastDuplicateFaultDeliversTwicePerLeg) {
+  Network net(Network::Config{.seed = 9, .duplicate_probability = 1.0});
+  Machine& a = net.add_machine("a");
+  Machine& b = net.add_machine("b");
+  Machine& sender = net.add_machine("sender");
+  const Port g(0x7A03);
+  Receiver ra = a.listen(g);
+  Receiver rb = b.listen(g);
+  sender.broadcast(make_data(ra.put_port(), 5));
+  // Every leg rolled its own duplication: two copies at each receiver.
+  EXPECT_TRUE(ra.receive({}, 500ms).has_value());
+  EXPECT_TRUE(ra.receive({}, 500ms).has_value());
+  EXPECT_TRUE(rb.receive({}, 500ms).has_value());
+  EXPECT_TRUE(rb.receive({}, 500ms).has_value());
+  EXPECT_GE(net.stats().duplicated.load(), 2u);
+}
+
 TEST(NetworkTest, LocateFindsListenerAndMissesAbsent) {
   Network net;
   Machine& server = net.add_machine("server");
