@@ -39,30 +39,44 @@
 // Durability (storage/).  A store constructed with a Durability handle
 // write-ahead-journals every state change -- create, payload mutation,
 // secret rotation, destroy -- into its backend, one append-only journal
-// per shard, appended UNDER the owning shard's lock so journaling rides
+// per shard, ENCODED under the owning shard's lock so journaling rides
 // the per-shard concurrency instead of reintroducing a global lock.
 // Records carry the object number, the secret check-field number, and the
 // server-supplied serialized payload, so every capability issued before a
 // crash still validates after recovery.  Payload mutations are explicit:
-// a handler that writes through an accessor calls Opened::mark_dirty(),
-// and the re-serialized payload is journaled when the accessor is
-// released (still under the shard lock, before any reply leaves the
-// service loop -- the write-ahead ordering).  Pair accessors (Opened2)
-// flush their two dirty payloads as ONE atomic journal group, so a crash
-// image can never hold half a bank transfer.  Shards self-compact: after
-// `compact_after` records a shard serializes its live slots into a
-// snapshot and restarts its journal.  The recovery constructor (a
-// Durability whose backend is non-empty) replays snapshot-then-journal to
-// rebuild every shard -- secrets, payloads, free lists -- tolerating a
-// torn final record.
+// a handler that writes through an accessor calls Opened::mark_dirty()
+// (or mark_dirty_delta() with a byte-range patch, journaled as a compact
+// delta record instead of the full image), and the record is framed when
+// the accessor is released, still under the shard lock.  Pair accessors
+// (Opened2) flush their two dirty payloads as ONE atomic journal group,
+// so a crash image can never hold half a bank transfer.
+//
+// Group commit.  With Durability::committer set, the framed record is
+// ENQUEUED (under the shard lock) to the volume's group-commit flusher
+// with an assigned commit ticket; the mutating operation then releases
+// the shard lock and blocks until the flusher reports the ticket durable,
+// so "durable on return" still holds while one backend write + one fsync
+// per flush cycle covers every record that piled up meanwhile.  Handlers
+// that can pipeline use Opened::release_async() to carry the ticket as a
+// future and wait through ShardedObjectStore::wait_durable() later.
+// Without a committer every append is synchronous on the mutator thread
+// (the PR-5 shape, still supported).
+//
+// Shards self-compact: after `compact_after` records a shard serializes
+// its live slots into a snapshot and restarts its journal.  The recovery
+// constructor (a Durability whose backend is non-empty) replays
+// snapshot-then-journal to rebuild every shard -- secrets, payloads, free
+// lists -- tolerating a torn final record.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -72,6 +86,7 @@
 #include "amoeba/core/capability.hpp"
 #include "amoeba/core/schemes.hpp"
 #include "amoeba/storage/backend.hpp"
+#include "amoeba/storage/group_commit.hpp"
 #include "amoeba/storage/record.hpp"
 
 namespace amoeba::core {
@@ -83,8 +98,18 @@ namespace amoeba::core {
 template <typename T>
 struct Durability {
   std::shared_ptr<storage::Backend> backend;  // null = in-memory only
+  /// Group-commit queue for `backend` (must wrap the same volume).  When
+  /// set, journal appends are enqueued and batched by the volume's flusher
+  /// and mutators block -- after releasing the shard lock -- on their
+  /// commit ticket; when null, every append is synchronous.
+  std::shared_ptr<storage::GroupCommitter> committer;
   std::function<void(Writer&, const T&)> encode;
   std::function<bool(Reader&, T&)> decode;
+  /// Applies one RecordType::delta patch (journaled by a handler through
+  /// Opened::mark_dirty_delta) to a live payload during recovery replay.
+  /// Must be idempotent (replayed prefixes apply patches twice).  Required
+  /// iff any handler journals deltas.
+  std::function<bool(Reader&, T&)> apply_delta;
   /// Called during RECOVERY REPLAY before a decoded payload is overwritten
   /// or discarded (create-over-live, mutate, destroy) -- servers whose
   /// payloads own external resources (page-tree references) release them
@@ -126,6 +151,12 @@ class ShardedObjectStore {
             "(object-number layout is per-shard)");
       }
     }
+    if (durability_.committer != nullptr &&
+        durability_.committer->backend() != durability_.backend) {
+      throw UsageError(
+          "ObjectStore: the committer must wrap the store's own backend "
+          "(tickets are per-volume)");
+    }
     shards_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       // Distinct per-shard RNG streams derived from the store seed.
@@ -157,48 +188,118 @@ class ShardedObjectStore {
     Opened(Opened&& other) noexcept { *this = std::move(other); }
     Opened& operator=(Opened&& other) noexcept {
       if (this != &other) {
-        flush_dirty();
+        finish();
         value = std::exchange(other.value, nullptr);
         rights = other.rights;
         object = other.object;
         store_ = std::exchange(other.store_, nullptr);
         dirty_ = std::exchange(other.dirty_, false);
+        deltas_ = std::move(other.deltas_);
+        other.deltas_.clear();
+        pending_ = std::exchange(other.pending_, 0);
         lock_ = std::move(other.lock_);
       }
       return *this;
     }
-    ~Opened() { flush_dirty(); }
+    ~Opened() { finish(); }
 
     /// Declares that `*value` was (or will be) modified: the payload is
     /// journaled when this accessor is released.
     void mark_dirty() { dirty_ = true; }
 
+    /// Declares that `*value` was patched in place: `patch` -- a
+    /// server-defined byte-range patch the store's apply_delta codec can
+    /// replay -- is journaled as a compact delta record when this accessor
+    /// is released, instead of the payload's full image.  A full
+    /// mark_dirty() on the same accessor supersedes every pending patch
+    /// (the re-encoded payload already contains their effects).  Accessors
+    /// of in-memory stores ignore it.  Throws UsageError on a durable
+    /// store without an apply_delta codec -- validated HERE, at mark time,
+    /// because the journaling itself runs inside release paths (accessor
+    /// destructors) that must not throw.
+    void mark_dirty_delta(Buffer patch) {
+      if (store_ != nullptr && store_->durable() &&
+          !store_->durability_.apply_delta) {
+        throw UsageError(
+            "ObjectStore: mark_dirty_delta needs an apply_delta codec "
+            "(Durability::apply_delta is unset)");
+      }
+      deltas_.push_back(std::move(patch));
+    }
+
     /// Journals a marked-dirty payload NOW, while the shard lock is still
-    /// held, instead of at release.  Required before destroy()ing the
-    /// partner of a same-shard pair (the destroy drops the shared lock);
-    /// harmless otherwise.
+    /// held, instead of at release (the durability wait still happens at
+    /// release).  Required before destroy()ing the partner of a same-shard
+    /// pair (the destroy drops the shared lock); harmless otherwise.
     void flush() { flush_dirty(); }
+
+    /// Journals any dirty payload and releases the object WITHOUT blocking
+    /// on group-commit durability: returns the commit ticket to hand to
+    /// ShardedObjectStore::wait_durable() later (0 -- already durable --
+    /// for in-memory and synchronously journaled stores).  The pipelined
+    /// form: keep a bounded window of outstanding tickets and overlap many
+    /// mutations against one flush cycle.
+    [[nodiscard]] std::uint64_t release_async() {
+      flush_dirty();
+      const std::uint64_t ticket = pending_;
+      pending_ = 0;
+      value = nullptr;
+      store_ = nullptr;
+      if (lock_.owns_lock()) {
+        lock_.unlock();
+      }
+      return ticket;
+    }
 
    private:
     friend class ShardedObjectStore;
     friend struct Opened2;
+    friend class OpenedWith;
     Opened(ShardedObjectStore* store, T* v, Rights r, ObjectNumber o,
            std::unique_lock<std::mutex> lock)
         : value(v), rights(r), object(o), store_(store),
           lock_(std::move(lock)) {}
 
-    /// Journals the payload if dirty.  Runs while the owning shard's
-    /// mutex is held -- by this accessor's own lock, or (for the
-    /// lock-sharing member of a same-shard pair) by its partner's.
+    /// Journals the payload if dirty (full image, or the pending delta
+    /// patches when only mark_dirty_delta was called).  Runs while the
+    /// owning shard's mutex is held -- by this accessor's own lock, or
+    /// (for the lock-sharing member of a same-shard pair) by its
+    /// partner's.  Group-committed stores only ENQUEUE here; the blocking
+    /// wait belongs to finish(), after the lock drops.
     void flush_dirty() {
-      if (dirty_ && store_ != nullptr && value != nullptr) {
-        store_->journal_mutate_locked(object, *value);
+      if (store_ != nullptr && value != nullptr) {
+        if (dirty_) {
+          pending_ = store_->journal_mutate_locked(object, *value);
+        } else {
+          for (const Buffer& patch : deltas_) {
+            pending_ = store_->journal_delta_locked(object, patch);
+          }
+        }
       }
       dirty_ = false;
+      deltas_.clear();
+    }
+
+    /// Full release: journal under the lock, drop the lock, THEN block on
+    /// the commit ticket -- waiting while holding the shard mutex would
+    /// serialize every other object of the shard behind one fsync.
+    void finish() {
+      flush_dirty();
+      const std::uint64_t ticket = std::exchange(pending_, 0);
+      ShardedObjectStore* store = std::exchange(store_, nullptr);
+      value = nullptr;
+      if (lock_.owns_lock()) {
+        lock_.unlock();
+      }
+      if (ticket != 0 && store != nullptr) {
+        store->wait_durable(ticket);
+      }
     }
 
     ShardedObjectStore* store_ = nullptr;
     bool dirty_ = false;
+    std::vector<Buffer> deltas_;    // pending mark_dirty_delta patches
+    std::uint64_t pending_ = 0;     // commit ticket of the journaled flush
     std::unique_lock<std::mutex> lock_;
   };
 
@@ -206,7 +307,8 @@ class ShardedObjectStore {
   /// index order).  When both capabilities name the same shard, `b` shares
   /// `a`'s lock.  Dirty payloads of the pair are journaled as ONE atomic
   /// group when the pair is released -- a crash/restart cannot observe a
-  /// debit without its credit.
+  /// debit without its credit.  Group-committed stores block ONCE on the
+  /// group's ticket, after both shard locks have dropped.
   struct Opened2 {
     Opened a;
     Opened b;
@@ -215,21 +317,32 @@ class ShardedObjectStore {
     Opened2(Opened2&& other) noexcept = default;
     Opened2& operator=(Opened2&& other) noexcept {
       if (this != &other) {
-        flush_pair();
+        finish_pair();
         a = std::move(other.a);
         b = std::move(other.b);
       }
       return *this;
     }
-    ~Opened2() { flush_pair(); }
+    ~Opened2() { finish_pair(); }
 
    private:
     /// Journals both dirty payloads in one backend append group (locks
-    /// still held), then disarms the members' own flushes.
-    void flush_pair() {
+    /// still held), disarms the members' own flushes, releases both
+    /// locks, THEN waits once on the group's commit ticket.
+    void finish_pair() {
       ShardedObjectStore* store = a.store_ != nullptr ? a.store_ : b.store_;
-      if (store != nullptr) {
-        store->journal_pair_locked(a, b);
+      if (store == nullptr) {
+        return;
+      }
+      std::uint64_t ticket = store->journal_pair_locked(a, b);
+      // Tickets are one monotone volume-wide sequence: waiting for the
+      // largest covers every earlier flush() of either member.
+      ticket = std::max({ticket, std::exchange(a.pending_, std::uint64_t{0}),
+                         std::exchange(b.pending_, std::uint64_t{0})});
+      a = Opened();
+      b = Opened();
+      if (ticket != 0) {
+        store->wait_durable(ticket);
       }
     }
   };
@@ -248,7 +361,7 @@ class ShardedObjectStore {
     OpenedWith(OpenedWith&& other) noexcept { *this = std::move(other); }
     OpenedWith& operator=(OpenedWith&& other) noexcept {
       if (this != &other) {
-        flush_peeked();
+        finish_with();
         opened = std::move(other.opened);
         peeked = std::exchange(other.peeked, nullptr);
         other_ = other.other_;
@@ -258,19 +371,35 @@ class ShardedObjectStore {
       }
       return *this;
     }
-    ~OpenedWith() { flush_peeked(); }
+    ~OpenedWith() { finish_with(); }
 
     void mark_peeked_dirty() { peek_dirty_ = true; }
 
    private:
     friend class ShardedObjectStore;
-    void flush_peeked() {
-      // Runs before `opened`'s own destructor (members destroy in reverse
-      // declaration order), so both shard locks are still held.
+    /// Journals the peeked payload (if dirty) and the opened one's own
+    /// flush while both shard locks are still held, releases both locks,
+    /// THEN waits once on the largest commit ticket.
+    void finish_with() {
+      ShardedObjectStore* store =
+          store_ != nullptr ? store_ : opened.store_;
+      std::uint64_t ticket = 0;
       if (peek_dirty_ && store_ != nullptr && peeked != nullptr) {
-        store_->journal_mutate_locked(other_, *peeked);
+        ticket = store_->journal_mutate_locked(other_, *peeked);
       }
       peek_dirty_ = false;
+      peeked = nullptr;
+      store_ = nullptr;
+      opened.flush_dirty();
+      ticket =
+          std::max(ticket, std::exchange(opened.pending_, std::uint64_t{0}));
+      if (other_lock_.owns_lock()) {
+        other_lock_.unlock();
+      }
+      opened = Opened();  // drops the opened shard's lock; nothing to wait
+      if (ticket != 0 && store != nullptr) {
+        store->wait_durable(ticket);
+      }
     }
 
     ObjectNumber other_;
@@ -310,7 +439,7 @@ class ShardedObjectStore {
       }
     }
     Shard& shard = *shards_[chosen];
-    const std::unique_lock lock(shard.mutex);
+    std::unique_lock lock(shard.mutex);
     std::uint32_t index;
     if (!shard.free_list.empty()) {
       index = shard.free_list.back();
@@ -332,9 +461,22 @@ class ShardedObjectStore {
     live_count_.fetch_add(1, std::memory_order_relaxed);
     const auto object = ObjectNumber(
         static_cast<std::uint32_t>(index * shards_.size() + chosen));
-    journal_locked(chosen, shard, storage::RecordType::create, object,
-                   slot.secret, &slot.value);
-    return scheme_->mint(server_port_, object, slot.secret, rights);
+    const std::uint64_t secret = slot.secret;
+    const std::uint64_t ticket = journal_locked(
+        chosen, shard, storage::RecordType::create, object, secret,
+        &slot.value);
+    lock.unlock();
+    wait_durable(ticket);  // minting needs no lock: the secret is copied
+    return scheme_->mint(server_port_, object, secret, rights);
+  }
+
+  /// Blocks until the given group-commit ticket is durable (no-op for
+  /// ticket 0 or a store without a committer).  Pairs with
+  /// Opened::release_async() for pipelined mutation windows.
+  void wait_durable(std::uint64_t ticket) {
+    if (ticket != 0 && durability_.committer != nullptr) {
+      durability_.committer->wait_durable(ticket);
+    }
   }
 
   /// The server workhorse: look the object up by the (unencrypted) object
@@ -489,7 +631,7 @@ class ShardedObjectStore {
   /// must be protected with a bit in the RIGHTS field").
   [[nodiscard]] Result<Capability> revoke(const Capability& cap) {
     Shard& shard = shard_of(cap.object);
-    const std::unique_lock lock(shard.mutex);
+    std::unique_lock lock(shard.mutex);
     Slot* slot = find(shard, cap.object);
     if (slot == nullptr) {
       return ErrorCode::no_such_object;
@@ -503,10 +645,14 @@ class ShardedObjectStore {
     }
     slot->secret = scheme_->new_secret(shard.rng);
     ++slot->epoch;  // instant, exact cache invalidation
-    journal_locked(shard_index(cap.object), shard, storage::RecordType::rotate,
-                   cap.object, slot->secret, nullptr);
-    return scheme_->mint(server_port_, cap.object, slot->secret,
-                         granted.value());
+    const std::uint64_t secret = slot->secret;
+    const std::uint64_t ticket =
+        journal_locked(shard_index(cap.object), shard,
+                       storage::RecordType::rotate, cap.object, secret,
+                       nullptr);
+    lock.unlock();
+    wait_durable(ticket);
+    return scheme_->mint(server_port_, cap.object, secret, granted.value());
   }
 
   /// Destroys the object; its number returns to the owning shard's free
@@ -541,11 +687,18 @@ class ShardedObjectStore {
     shard.free_list.push_back(
         static_cast<std::uint32_t>(opened.object.value() / shards_.size()));
     shard.free_count.fetch_add(1, std::memory_order_relaxed);
-    journal_locked(s, shard, storage::RecordType::destroy, opened.object, 0,
-                   nullptr);
-    opened.dirty_ = false;  // the destroy record supersedes any mutation
+    std::uint64_t ticket = journal_locked(s, shard,
+                                          storage::RecordType::destroy,
+                                          opened.object, 0, nullptr);
+    // An earlier explicit flush() may have left a pending ticket; the
+    // destroy record supersedes any still-unflushed mutation marks.
+    ticket = std::max(ticket, std::exchange(opened.pending_, std::uint64_t{0}));
+    opened.dirty_ = false;
+    opened.deltas_.clear();
     opened.value = nullptr;
+    opened.store_ = nullptr;
     opened.lock_.unlock();
+    wait_durable(ticket);
     return {};
   }
 
@@ -628,6 +781,14 @@ class ShardedObjectStore {
   }
 
   /// Journal/recovery counters (zeroes for an in-memory store).
+  /// The store's group committer -- null for in-memory and synchronously
+  /// journaled stores.  Exposed for flusher statistics (benchmarks print
+  /// group sizes) and for sharing one committer across stores of a volume.
+  [[nodiscard]] const std::shared_ptr<storage::GroupCommitter>& committer()
+      const {
+    return durability_.committer;
+  }
+
   [[nodiscard]] DurabilityStats durability_stats() const {
     DurabilityStats total = recovery_stats_;
     for (const auto& shard : shards_) {
@@ -737,9 +898,27 @@ class ShardedObjectStore {
 
   // ---- durability internals (caller holds the shard mutex) --------------
 
-  /// Frames one state-change record into the shard's scratch buffer
-  /// (returned by reference; reused per append, so the steady-state hot
-  /// path allocates nothing).  `payload` may be null (destroy/rotate).
+  /// Frames one record with a pre-serialized payload view into the shard's
+  /// scratch buffer (returned by reference; reused per append, so the
+  /// steady-state hot path allocates nothing).  Framing -- under the shard
+  /// lock -- is where the record's LSN is assigned, so a snapshot taken
+  /// later under the same lock always covers every framed record, flushed
+  /// or still queued.
+  [[nodiscard]] const Buffer& frame_raw(Shard& shard, storage::RecordType type,
+                                        ObjectNumber object,
+                                        std::uint64_t secret,
+                                        std::span<const std::uint8_t> payload) {
+    shard.scratch_frame.clear();
+    storage::encode_record_into(type, object, secret, ++shard.lsn, payload,
+                                shard.scratch_frame);
+    shard.journal_bytes += shard.scratch_frame.size();
+    ++shard.journal_records;
+    ++shard.records_pending;
+    return shard.scratch_frame;
+  }
+
+  /// frame_raw with the payload serialized through the store's codec.
+  /// `payload` may be null (destroy/rotate).
   [[nodiscard]] const Buffer& frame_record(Shard& shard,
                                            storage::RecordType type,
                                            ObjectNumber object,
@@ -749,72 +928,127 @@ class ShardedObjectStore {
     if (payload != nullptr) {
       durability_.encode(shard.scratch_payload, *payload);
     }
-    shard.scratch_frame.clear();
-    storage::encode_record_into(type, object, secret, ++shard.lsn,
-                                shard.scratch_payload.buffer(),
-                                shard.scratch_frame);
-    shard.journal_bytes += shard.scratch_frame.size();
-    ++shard.journal_records;
-    ++shard.records_pending;
-    return shard.scratch_frame;
+    return frame_raw(shard, type, object, secret,
+                     shard.scratch_payload.buffer());
+  }
+
+  /// Hands one framed record to the volume: enqueued on the group-commit
+  /// flusher (returning the commit ticket the caller must wait on AFTER
+  /// dropping the shard lock) or appended synchronously (returning 0,
+  /// already durable).  Caller holds the shard mutex.
+  [[nodiscard]] std::uint64_t submit_frame_locked(std::size_t s, Shard& shard,
+                                                  const Buffer& frame) {
+    std::uint64_t ticket = 0;
+    if (durability_.committer != nullptr) {
+      ticket = durability_.committer->enqueue(s, frame);
+    } else {
+      durability_.backend->append_journal(s, frame);
+    }
+    maybe_compact_locked(s, shard);
+    return ticket;
   }
 
   /// Appends one record to the shard's journal and runs the compaction
-  /// check.  No-op without a backend.
-  void journal_locked(std::size_t s, Shard& shard, storage::RecordType type,
-                      ObjectNumber object, std::uint64_t secret,
-                      const T* payload) {
+  /// check.  No-op without a backend (returns 0).
+  [[nodiscard]] std::uint64_t journal_locked(std::size_t s, Shard& shard,
+                                             storage::RecordType type,
+                                             ObjectNumber object,
+                                             std::uint64_t secret,
+                                             const T* payload) {
     if (durability_.backend == nullptr) {
-      return;
+      return 0;
     }
-    durability_.backend->append_journal(
-        s, frame_record(shard, type, object, secret, payload));
-    maybe_compact_locked(s, shard);
+    return submit_frame_locked(
+        s, shard, frame_record(shard, type, object, secret, payload));
   }
 
   /// Journals one payload mutation.  The caller (an accessor flush) holds
   /// the owning shard's mutex.
-  void journal_mutate_locked(ObjectNumber object, const T& value) {
+  [[nodiscard]] std::uint64_t journal_mutate_locked(ObjectNumber object,
+                                                    const T& value) {
     if (durability_.backend == nullptr) {
-      return;
+      return 0;
     }
     const std::size_t s = shard_index(object);
-    journal_locked(s, *shards_[s], storage::RecordType::mutate, object, 0,
-                   &value);
+    return journal_locked(s, *shards_[s], storage::RecordType::mutate, object,
+                          0, &value);
   }
 
-  /// Journals the dirty payloads of a pair accessor as one atomic append
-  /// group, then disarms the members' own flushes (their destructors run
-  /// right after).  Caller holds both shard locks.
-  void journal_pair_locked(Opened& a, Opened& b) {
+  /// Journals one delta patch (Opened::mark_dirty_delta).  The caller
+  /// holds the owning shard's mutex.
+  [[nodiscard]] std::uint64_t journal_delta_locked(ObjectNumber object,
+                                                   const Buffer& patch) {
+    if (durability_.backend == nullptr) {
+      return 0;
+    }
+    if (!durability_.apply_delta) {
+      throw UsageError(
+          "ObjectStore: mark_dirty_delta needs an apply_delta codec "
+          "(recovery could not replay the patch)");
+    }
+    const std::size_t s = shard_index(object);
+    Shard& shard = *shards_[s];
+    return submit_frame_locked(
+        s, shard,
+        frame_raw(shard, storage::RecordType::delta, object, 0, patch));
+  }
+
+  /// Journals the dirty payloads (and pending delta patches) of a pair
+  /// accessor as one atomic append group, then disarms the members' own
+  /// flushes (their destructors run right after).  Caller holds both
+  /// shard locks; the returned ticket is waited on after they drop.
+  [[nodiscard]] std::uint64_t journal_pair_locked(Opened& a, Opened& b) {
     if (durability_.backend == nullptr) {
       a.dirty_ = false;
       b.dirty_ = false;
-      return;
+      a.deltas_.clear();
+      b.deltas_.clear();
+      return 0;
     }
     std::vector<storage::ShardAppend> group;
     for (Opened* member : {&a, &b}) {
-      if (!member->dirty_ || member->value == nullptr) {
+      if (member->value == nullptr) {
         continue;
       }
       const std::size_t s = shard_index(member->object);
       Shard& shard = *shards_[s];
       // The group owns copies of the frames: both members may share one
       // shard (and its scratch buffer).
-      group.push_back({s, frame_record(shard, storage::RecordType::mutate,
-                                       member->object, 0, member->value)});
+      if (member->dirty_) {
+        group.push_back({s, frame_record(shard, storage::RecordType::mutate,
+                                         member->object, 0, member->value)});
+      } else {
+        if (!member->deltas_.empty() && !durability_.apply_delta) {
+          throw UsageError(
+              "ObjectStore: mark_dirty_delta needs an apply_delta codec "
+              "(recovery could not replay the patch)");
+        }
+        for (const Buffer& patch : member->deltas_) {
+          group.push_back(
+              {s, frame_raw(shard, storage::RecordType::delta, member->object,
+                            0, patch)});
+        }
+      }
       member->dirty_ = false;
+      member->deltas_.clear();
     }
     if (group.empty()) {
-      return;
+      return 0;
     }
-    durability_.backend->append_journal_batch(std::move(group));
+    std::uint64_t ticket = 0;
+    if (durability_.committer != nullptr) {
+      // One enqueue_group: no flush-cycle boundary can split the pair.
+      ticket = durability_.committer->enqueue_group(std::move(group));
+    } else {
+      durability_.backend->append_journal_batch(std::move(group));
+    }
     for (Opened* member : {&a, &b}) {
       if (member->value != nullptr && member->store_ != nullptr) {
         const std::size_t s = shard_index(member->object);
         maybe_compact_locked(s, *shards_[s]);
       }
     }
+    return ticket;
   }
 
   void maybe_compact_locked(std::size_t s, Shard& shard) {
@@ -826,6 +1060,13 @@ class ShardedObjectStore {
 
   /// Serializes the shard's live slots into a snapshot and restarts its
   /// journal.  Caller holds the shard mutex.
+  ///
+  /// Safe against the group-commit queue: records are LSN-stamped at frame
+  /// time under this same lock, so `shard.lsn` here covers every record
+  /// ever framed for the shard -- including ones still sitting in the
+  /// committer's queue.  If the flusher writes such a record AFTER the
+  /// install truncates the journal, replay skips it (lsn <= applied_lsn)
+  /// and the snapshot, which already reflects its effect, wins.
   void snapshot_shard_locked(std::size_t s, Shard& shard) {
     std::vector<storage::SnapshotSlot> slots;
     for (std::size_t i = 0; i < shard.slots.size(); ++i) {
@@ -955,6 +1196,23 @@ class ShardedObjectStore {
           throw UsageError("ObjectStore: corrupt mutate payload in journal");
         }
         slot.value = std::move(value);
+        break;
+      }
+      case storage::RecordType::delta: {
+        if (!slot.live) {
+          break;  // patch for an object destroyed later in the prefix
+        }
+        // No dispose_old: the patch edits the live payload in place, and
+        // the codec manages any external resources the edit touches.
+        if (!durability_.apply_delta) {
+          throw UsageError(
+              "ObjectStore: delta record in journal but no apply_delta "
+              "codec configured");
+        }
+        Reader r(record.payload);
+        if (!durability_.apply_delta(r, slot.value)) {
+          throw UsageError("ObjectStore: corrupt delta payload in journal");
+        }
         break;
       }
       case storage::RecordType::rotate:

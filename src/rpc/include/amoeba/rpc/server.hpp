@@ -45,9 +45,14 @@
 // request executes, and restores the floors on construction.  After a
 // crash+restart, a duplicate of any pre-crash transaction is therefore
 // DROPPED (at most once survives the crash: an operation may be lost to
-// the torn tail, but can never run twice); cached reply bodies are not
-// persisted, so such duplicates time out at the client instead of being
-// re-answered.
+// the torn tail, but can never run twice).  A bounded window of recent
+// reply BODIES per client rides the same metadata image (persisted best
+// effort after each reply completes), so a post-restart duplicate of a
+// recently COMPLETED transaction is re-answered from the restored cache
+// instead of timing out at the client.  With a GroupCommitter attached,
+// floor persists are enqueued on the volume's flush cycles (the claim
+// blocks -- outside the table locks -- until its floor's cycle is
+// durable) rather than each paying a private fsync.
 #pragma once
 
 #include <array>
@@ -69,6 +74,7 @@
 
 namespace amoeba::storage {
 class Backend;
+class GroupCommitter;
 }  // namespace amoeba::storage
 
 namespace amoeba::rpc {
@@ -175,21 +181,34 @@ class Service {
   // ---- durable restart support ----------------------------------------
 
   /// Wires the at-most-once reply cache to a storage volume: restores the
-  /// per-client suppression floors the previous incarnation persisted,
-  /// and persists updated floors (to the backend's metadata area) before
-  /// every freshly claimed at-most-once request executes -- the ordering
-  /// that guarantees a post-restart duplicate of an executed transfer is
-  /// dropped, never re-run.  Null backend: no-op.  Call from the server
-  /// constructor, before start().
+  /// per-client suppression floors (and any persisted reply bodies) the
+  /// previous incarnation left in the backend's metadata area, and
+  /// persists updated floors before every freshly claimed at-most-once
+  /// request executes -- the ordering that guarantees a post-restart
+  /// duplicate of an executed transfer is dropped, never re-run.  Null
+  /// backend: no-op.  Call from the server constructor, before start().
+  ///
+  /// The two-argument form routes persists through the volume's
+  /// group-commit flusher: each floor write is enqueued as metadata on the
+  /// current flush cycle and the claim blocks until that cycle is durable
+  /// (coalesced with every journal append and every other claim of the
+  /// cycle), instead of paying a private put_meta fsync per claim.
+  /// `committer` may be null (synchronous persists, the PR-5 shape).
   void attach_durability(std::shared_ptr<storage::Backend> backend);
+  void attach_durability(std::shared_ptr<storage::Backend> backend,
+                         std::shared_ptr<storage::GroupCommitter> committer);
 
-  /// Serialized per-client floors (src machine, client id, highest seq
-  /// claimed); what attach_durability persists.  Thread-safe.
+  /// Serialized per-client suppression state (src machine, client id,
+  /// highest seq claimed, plus a bounded window of completed reply
+  /// bodies); what attach_durability persists.  Thread-safe.
   [[nodiscard]] Buffer encode_reply_floors() const;
 
-  /// Primes the cache with floor-only client entries from a previous
-  /// incarnation's encode_reply_floors() image.  Malformed input is
-  /// ignored.  Thread-safe, but intended for construction time.
+  /// Primes the cache with client entries from a previous incarnation's
+  /// encode_reply_floors() image: floors always; completed replies where
+  /// the image carries their bodies (those duplicates are re-answered
+  /// instead of dropped).  Understands both the current body-carrying
+  /// format and the floors-only image of earlier versions.  Malformed
+  /// input is ignored.  Thread-safe, but intended for construction time.
   void restore_reply_floors(std::span<const std::uint8_t> floors);
 
   // ---- per-operation metrics (ROADMAP follow-up from PR 3) -------------
@@ -355,9 +374,18 @@ class Service {
   /// at-most-once request BEFORE its handler runs -- write-ahead for the
   /// suppression state).  Update, encode, and write happen under one
   /// mutex: persists are totally ordered and each contains all rows of
-  /// every earlier one.
+  /// every earlier one.  With a committer the write is an enqueue and the
+  /// durability wait happens AFTER the mutex drops, so concurrent claims
+  /// pile their floors into the same flush cycle.
   void persist_reply_floor(const ClientKey& key, std::uint64_t seq);
-  /// Renders the floor image; caller holds reply_floor_mutex_.
+  /// Adds one completed reply body to the client's persisted window and
+  /// re-persists the image, best effort and WITHOUT waiting: the floor --
+  /// already durable since the claim -- carries the never-twice
+  /// guarantee; the body only upgrades a post-restart duplicate from
+  /// "dropped" to "re-answered", so losing it to a crash is safe.
+  void persist_reply_body(const ClientKey& key, std::uint64_t seq,
+                          const net::Message& reply);
+  /// Renders the suppression-state image; caller holds reply_floor_mutex_.
   [[nodiscard]] Buffer encode_reply_floors_locked() const;
 
   // ---- per-op metrics internals ---------------------------------------
@@ -379,14 +407,31 @@ class Service {
   mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;
-  // Floor persistence: the canonical floor image is maintained
-  // incrementally (O(1) per claim) and encoded+written to the sink under
-  // ONE mutex, so a later persist always contains every earlier row -- a
-  // stale image can never overwrite a newer one (the ordering §8.4's
-  // never-twice guarantee rests on).  Held only by durable services.
+  // Floor persistence: the canonical suppression-state image is
+  // maintained incrementally (O(1) per claim) and encoded+written to the
+  // sink under ONE mutex, so a later persist always contains every
+  // earlier row -- a stale image can never overwrite a newer one (the
+  // ordering §8.4's never-twice guarantee rests on).  Held only by
+  // durable services.  The sink returns the group-commit ticket to wait
+  // on (0: already durable, the synchronous-backend shape).
+  /// One client's persisted slice: its floor plus a bounded window of
+  /// encoded completed reply bodies (seq -> wire-independent body image).
+  struct PersistedClient {
+    std::uint64_t floor = 0;
+    std::map<std::uint64_t, Buffer> replies;
+  };
+  /// Persisted reply bodies per client; older ones age out of the image
+  /// (their duplicates still drop via the floor).
+  static constexpr std::size_t kPersistedRepliesPerClient = 8;
+  /// Replies with bulk payloads beyond this are not persisted (their
+  /// post-restart duplicates drop via the floor): the metadata image is
+  /// rewritten whole per persist, so it must stay small.
+  static constexpr std::size_t kPersistedReplyMaxBytes = 4096;
   mutable std::mutex reply_floor_mutex_;
-  std::unordered_map<ClientKey, std::uint64_t, ClientKeyHash> reply_floors_;
-  std::function<void(const Buffer&)> reply_floor_sink_;
+  std::unordered_map<ClientKey, PersistedClient, ClientKeyHash>
+      reply_floors_;
+  std::function<std::uint64_t(Buffer)> reply_floor_sink_;
+  std::shared_ptr<storage::GroupCommitter> reply_committer_;
   std::atomic<bool> reply_floor_sink_set_{false};
   std::unordered_map<std::uint16_t, Handler> handlers_;  // frozen at start()
   std::vector<OpInfo> typed_ops_;                        // frozen at start()

@@ -5,16 +5,53 @@
 #include <string_view>
 #include <thread>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "amoeba/common/error.hpp"
 #include "amoeba/rpc/batch.hpp"
 #include "amoeba/storage/backend.hpp"
+#include "amoeba/storage/group_commit.hpp"
 
 namespace amoeba::rpc {
 
 namespace {
-/// Metadata key the reply-cache floors persist under (docs/PROTOCOL.md §8).
+/// Metadata key the reply-cache suppression state persists under
+/// (docs/PROTOCOL.md §8).
 constexpr std::string_view kReplyFloorsKey = "reply-floors";
+/// Leading magic of the body-carrying image ("RCV2").  The floors-only
+/// image of earlier versions starts with its row count instead; the
+/// magic's value is far above any plausible count, so the two parse
+/// unambiguously.
+constexpr std::uint32_t kReplyMetaMagic = 0x52435632u;
+
+/// Serializes one completed reply in wire-independent form: everything a
+/// re-send needs except the fields recomputed per transmission (dest,
+/// opcode) or known from the persisted key (client, seq).
+void encode_reply_body(const net::Message& reply, Writer& w) {
+  w.u16(reply.header.flags);
+  w.u16(static_cast<std::uint16_t>(reply.header.status));
+  w.raw(reply.header.capability);
+  for (const std::uint64_t p : reply.header.params) {
+    w.u64(p);
+  }
+  w.bytes(reply.data);
+}
+
+[[nodiscard]] net::Message decode_reply_body(Reader& r, std::uint64_t client,
+                                             std::uint64_t seq) {
+  net::Message reply;
+  reply.header.flags = r.u16();
+  reply.header.status = static_cast<ErrorCode>(r.u16());
+  r.raw(reply.header.capability);
+  for (std::uint64_t& p : reply.header.params) {
+    p = r.u64();
+  }
+  reply.data = r.bytes();
+  reply.header.client = client;
+  reply.header.seq = seq;
+  return reply;
+}
 }  // namespace
 
 Service::Service(net::Machine& machine, Port get_port, std::string name)
@@ -238,15 +275,10 @@ Service::DupVerdict Service::claim_request(const net::Delivery& request,
       evict_tombstone =
           max_clients != 0 && clients > kTombstoneFactor * max_clients;
     }
-    if (seq <= entry.floor) {
-      // Evicted region (or a pre-restart transaction whose floor was
-      // recovered from the volume): the original may or may not have
-      // executed, so the only at-most-once-safe answer is silence (the
-      // client times out).
-      ++stripe.counters.duplicates_suppressed;
-      verdict = DupVerdict::drop;
-    } else if (const auto it = entry.replies.find(seq);
-               it != entry.replies.end()) {
+    // Replies are consulted BEFORE the floor: a reply body restored from
+    // the volume after a restart sits at or below the recovered floor,
+    // and must be re-sent, not dropped.
+    if (const auto it = entry.replies.find(seq); it != entry.replies.end()) {
       ++stripe.counters.duplicates_suppressed;
       if (!it->second.done) {
         verdict = DupVerdict::drop;  // original still executing on a worker
@@ -255,6 +287,13 @@ Service::DupVerdict Service::claim_request(const net::Delivery& request,
         cached = it->second.reply;
         verdict = DupVerdict::resend;
       }
+    } else if (seq <= entry.floor) {
+      // Evicted region (or a pre-restart transaction whose floor was
+      // recovered from the volume and whose body was not): the original
+      // may or may not have executed, so the only at-most-once-safe
+      // answer is silence (the client times out).
+      ++stripe.counters.duplicates_suppressed;
+      verdict = DupVerdict::drop;
     } else {
       if (entry.replies.empty()) {
         const std::size_t loaded =
@@ -280,31 +319,40 @@ void Service::store_reply(const net::Delivery& request,
                           const net::Message& reply) {
   const ClientKey key{request.src.value(), request.message.header.client};
   const std::uint64_t seq = request.message.header.seq;
-  ReplyCacheStripe& stripe = stripe_for(key);
-  const std::lock_guard lock(stripe.mutex);
-  const auto cit = stripe.map.find(key);
-  if (cit == stripe.map.end()) {
-    return;  // flushed or evicted while the handler ran
+  bool published = false;
+  {
+    ReplyCacheStripe& stripe = stripe_for(key);
+    const std::lock_guard lock(stripe.mutex);
+    const auto cit = stripe.map.find(key);
+    if (cit == stripe.map.end()) {
+      return;  // flushed or evicted while the handler ran
+    }
+    auto& entry = cit->second;
+    const auto rit = entry.replies.find(seq);
+    if (rit == entry.replies.end()) {
+      return;
+    }
+    if (!rit->second.done && entry.executing > 0) {
+      --entry.executing;
+    }
+    rit->second.done = true;
+    rit->second.reply = reply;
+    published = true;
+    // Per-client window: age out the oldest COMPLETED transactions (an
+    // executing one blocks the sweep; the window may briefly overshoot).
+    const std::size_t window =
+        reply_cache_window_.load(std::memory_order_relaxed);
+    while (entry.replies.size() > window &&
+           entry.replies.begin()->second.done) {
+      entry.floor = std::max(entry.floor, entry.replies.begin()->first);
+      entry.replies.erase(entry.replies.begin());
+      ++stripe.counters.evicted_entries;
+    }
   }
-  auto& entry = cit->second;
-  const auto rit = entry.replies.find(seq);
-  if (rit == entry.replies.end()) {
-    return;
-  }
-  if (!rit->second.done && entry.executing > 0) {
-    --entry.executing;
-  }
-  rit->second.done = true;
-  rit->second.reply = reply;
-  // Per-client window: age out the oldest COMPLETED transactions (an
-  // executing one blocks the sweep; the window may briefly overshoot).
-  const std::size_t window =
-      reply_cache_window_.load(std::memory_order_relaxed);
-  while (entry.replies.size() > window &&
-         entry.replies.begin()->second.done) {
-    entry.floor = std::max(entry.floor, entry.replies.begin()->first);
-    entry.replies.erase(entry.replies.begin());
-    ++stripe.counters.evicted_entries;
+  if (published) {
+    // Outside the stripe lock: the persisted image has its own mutex and
+    // the two are never held together.
+    persist_reply_body(key, seq, reply);
   }
 }
 
@@ -312,11 +360,17 @@ void Service::store_reply(const net::Delivery& request,
 
 Buffer Service::encode_reply_floors_locked() const {
   Writer w;
+  w.u32(kReplyMetaMagic);
   w.u32(static_cast<std::uint32_t>(reply_floors_.size()));
-  for (const auto& [key, floor] : reply_floors_) {
+  for (const auto& [key, row] : reply_floors_) {
     w.u32(key.src);
     w.u64(key.client);
-    w.u64(floor);
+    w.u64(row.floor);
+    w.u32(static_cast<std::uint32_t>(row.replies.size()));
+    for (const auto& [seq, body] : row.replies) {
+      w.u64(seq);
+      w.bytes(body);
+    }
   }
   return w.take();
 }
@@ -331,29 +385,64 @@ void Service::restore_reply_floors(std::span<const std::uint8_t> floors) {
     return;
   }
   Reader r(floors);
-  const std::uint32_t count = r.u32();
+  std::uint32_t count = r.u32();
+  const bool with_bodies = count == kReplyMetaMagic;
+  if (with_bodies) {
+    count = r.u32();  // the magic-led image puts its row count second
+  }
   for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
     ClientKey key{};
     key.src = r.u32();
     key.client = r.u64();
     const std::uint64_t floor = r.u64();
-    if (!r.ok() || floor == 0) {
+    std::vector<std::pair<std::uint64_t, Buffer>> bodies;
+    if (with_bodies) {
+      const std::uint32_t nbodies = r.u32();
+      for (std::uint32_t b = 0; b < nbodies && r.ok(); ++b) {
+        const std::uint64_t seq = r.u64();
+        Buffer body = r.bytes();
+        if (r.ok()) {
+          bodies.emplace_back(seq, std::move(body));
+        }
+      }
+    }
+    if (!r.ok() || (floor == 0 && bodies.empty())) {
       continue;
     }
     {
       ReplyCacheStripe& stripe = stripe_for(key);
       const std::lock_guard lock(stripe.mutex);
       const auto [it, created] = stripe.map.try_emplace(key);
-      it->second.floor = std::max(it->second.floor, floor);
-      it->second.last_used =
+      ClientEntry& entry = it->second;
+      entry.floor = std::max(entry.floor, floor);
+      entry.last_used =
           reply_cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (created) {
         reply_cache_clients_.fetch_add(1, std::memory_order_relaxed);
       }
+      const bool was_empty = entry.replies.empty();
+      for (const auto& [seq, body] : bodies) {
+        Reader body_reader(body);
+        net::Message reply = decode_reply_body(body_reader, key.client, seq);
+        if (!body_reader.ok()) {
+          continue;  // malformed body: its duplicate drops via the floor
+        }
+        entry.replies.insert_or_assign(
+            seq, CachedReply{/*done=*/true, std::move(reply)});
+      }
+      if (was_empty && !entry.replies.empty()) {
+        reply_cache_loaded_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     const std::lock_guard lock(reply_floor_mutex_);
-    auto& row = reply_floors_[key];
-    row = std::max(row, floor);
+    PersistedClient& row = reply_floors_[key];
+    row.floor = std::max(row.floor, floor);
+    for (auto& [seq, body] : bodies) {
+      row.replies.insert_or_assign(seq, std::move(body));
+    }
+    while (row.replies.size() > kPersistedRepliesPerClient) {
+      row.replies.erase(row.replies.begin());
+    }
   }
 }
 
@@ -361,7 +450,45 @@ void Service::persist_reply_floor(const ClientKey& key, std::uint64_t seq) {
   if (!reply_floor_sink_set_.load(std::memory_order_acquire)) {
     return;
   }
-  std::function<void(const Buffer&)> sink;
+  std::function<std::uint64_t(Buffer)> sink;
+  std::shared_ptr<storage::GroupCommitter> committer;
+  {
+    const std::lock_guard lock(filter_mutex_);
+    sink = reply_floor_sink_;
+    committer = reply_committer_;
+  }
+  if (!sink) {
+    return;
+  }
+  std::uint64_t ticket = 0;
+  {
+    // One mutex covers update + encode + write: persists are totally
+    // ordered, so a slower thread can never overwrite a newer image with
+    // a stale one (the §8.4 never-twice ordering).
+    const std::lock_guard lock(reply_floor_mutex_);
+    PersistedClient& row = reply_floors_[key];
+    row.floor = std::max(row.floor, seq);
+    ticket = sink(encode_reply_floors_locked());
+  }
+  // The claimed seq must be durable BEFORE the handler can journal any
+  // effect: a crash in between loses the operation, never doubles it.
+  // The wait runs outside the mutex, so concurrent claims keep piling
+  // their floors into the same flush cycle (the committer coalesces the
+  // per-key images; the newest -- containing every row here -- wins).
+  if (ticket != 0 && committer != nullptr) {
+    committer->wait_durable(ticket);
+  }
+}
+
+void Service::persist_reply_body(const ClientKey& key, std::uint64_t seq,
+                                 const net::Message& reply) {
+  if (!reply_floor_sink_set_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (reply.data.size() > kPersistedReplyMaxBytes) {
+    return;  // too big for the rewritten-whole metadata image
+  }
+  std::function<std::uint64_t(Buffer)> sink;
   {
     const std::lock_guard lock(filter_mutex_);
     sink = reply_floor_sink_;
@@ -369,27 +496,44 @@ void Service::persist_reply_floor(const ClientKey& key, std::uint64_t seq) {
   if (!sink) {
     return;
   }
-  // One mutex covers update + encode + write: persists are totally
-  // ordered, so a slower thread can never overwrite a newer image with a
-  // stale one (the §8.4 never-twice ordering).  The claimed seq is
-  // durable here, BEFORE the handler can journal any effect: a crash in
-  // between loses the operation, never doubles it.
+  Writer body;
+  encode_reply_body(reply, body);
   const std::lock_guard lock(reply_floor_mutex_);
-  auto& row = reply_floors_[key];
-  row = std::max(row, seq);
-  sink(encode_reply_floors_locked());
+  PersistedClient& row = reply_floors_[key];
+  row.replies.insert_or_assign(seq, body.take());
+  while (row.replies.size() > kPersistedRepliesPerClient) {
+    row.replies.erase(row.replies.begin());
+  }
+  // Best effort: no durability wait (see the header comment) -- the
+  // enqueue rides whatever flush cycle comes next.
+  (void)sink(encode_reply_floors_locked());
 }
 
 void Service::attach_durability(std::shared_ptr<storage::Backend> backend) {
+  attach_durability(std::move(backend), nullptr);
+}
+
+void Service::attach_durability(
+    std::shared_ptr<storage::Backend> backend,
+    std::shared_ptr<storage::GroupCommitter> committer) {
   if (backend == nullptr) {
     return;
   }
   restore_reply_floors(backend->get_meta(kReplyFloorsKey));
   {
     const std::lock_guard lock(filter_mutex_);
-    reply_floor_sink_ = [backend = std::move(backend)](const Buffer& floors) {
-      backend->put_meta(kReplyFloorsKey, floors);
-    };
+    reply_committer_ = committer;
+    if (committer != nullptr) {
+      reply_floor_sink_ = [committer](Buffer image) {
+        return committer->enqueue_meta(kReplyFloorsKey, std::move(image));
+      };
+    } else {
+      reply_floor_sink_ = [backend =
+                               std::move(backend)](const Buffer& image) {
+        backend->put_meta(kReplyFloorsKey, image);
+        return std::uint64_t{0};  // synchronous: already durable
+      };
+    }
   }
   reply_floor_sink_set_.store(true, std::memory_order_release);
 }

@@ -7,12 +7,14 @@
 namespace amoeba::servers {
 
 core::Durability<std::uint32_t> BlockServer::durability(
-    std::shared_ptr<storage::Backend> backend) {
+    std::shared_ptr<storage::Backend> backend,
+    std::shared_ptr<storage::GroupCommitter> committer) {
   if (backend == nullptr) {
     return {};
   }
   core::Durability<std::uint32_t> d;
   d.backend = std::move(backend);
+  d.committer = std::move(committer);
   d.encode = [this](Writer& w, const std::uint32_t& index) {
     w.u32(index);
     const std::lock_guard lock(mutex_);
@@ -29,6 +31,17 @@ core::Durability<std::uint32_t> BlockServer::durability(
     }
     const std::lock_guard lock(mutex_);
     return disk_.restore(index, content, was_written).ok();
+  };
+  d.apply_delta = [this](Reader& r, std::uint32_t& index) {
+    // One do_write patch: the block content.  The target disk block is
+    // the live payload itself; restore is idempotent, so replayed
+    // prefixes converge.
+    const Buffer content = r.bytes();
+    if (!r.ok()) {
+      return false;
+    }
+    const std::lock_guard lock(mutex_);
+    return disk_.restore(index, content, /*written=*/true).ok();
   };
   d.dispose = [this](std::uint32_t& index) {
     // Replay overwrote or destroyed a recovered block object: return its
@@ -47,10 +60,11 @@ BlockServer::BlockServer(net::Machine& machine, Port get_port,
     : rpc::Service(machine, get_port, "block"),
       geometry_(geometry),
       disk_(geometry.block_count, geometry.block_size, geometry.write_once),
+      committer_(storage::GroupCommitter::create(backend)),
       store_(std::move(scheme),
              machine.fbox().listen_port(get_port), seed,
-             Store::kDefaultShards, durability(backend)) {
-  attach_durability(std::move(backend));
+             Store::kDefaultShards, durability(backend, committer_)) {
+  attach_durability(std::move(backend), committer_);
   // std.destroy must free the disk block too, not just the slot.
   rpc::register_std_ops(
       *this, store_,
@@ -104,9 +118,12 @@ Result<void> BlockServer::do_write(const rpc::BytesRequest& req,
     return disk_.write(*block.value, req.bytes);
   }();
   if (written.ok()) {
-    // The journal carries the block content (the codec re-reads the disk
-    // when the accessor flushes), so the write survives a crash.
-    block.mark_dirty();
+    // Journal just the new content as a delta patch (apply_delta restores
+    // it into the block named by the payload) -- the full image would
+    // re-read and re-journal the whole block for every write.
+    Writer patch;
+    patch.bytes(req.bytes);
+    block.mark_dirty_delta(patch.take());
   }
   return written;
 }

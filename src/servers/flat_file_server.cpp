@@ -8,12 +8,14 @@
 namespace amoeba::servers {
 
 core::Durability<FlatFileServer::Inode> FlatFileServer::durability(
-    std::shared_ptr<storage::Backend> backend) {
+    std::shared_ptr<storage::Backend> backend,
+    std::shared_ptr<storage::GroupCommitter> committer) {
   if (backend == nullptr) {
     return {};
   }
   core::Durability<Inode> d;
   d.backend = std::move(backend);
+  d.committer = std::move(committer);
   d.encode = [](Writer& w, const Inode& inode) {
     w.u64(inode.size);
     w.u32(static_cast<std::uint32_t>(inode.blocks.size()));
@@ -47,11 +49,12 @@ FlatFileServer::FlatFileServer(
     Port block_server_port,
     std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "flatfile"),
+      committer_(storage::GroupCommitter::create(backend)),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
-             Store::kDefaultShards, durability(backend)),
+             Store::kDefaultShards, durability(backend, committer_)),
       transport_(machine, seed ^ 0xF17EULL),
       blocks_(transport_, block_server_port) {
-  attach_durability(std::move(backend));
+  attach_durability(std::move(backend), committer_);
   // std.destroy must free the file's blocks and refund the payer too.
   rpc::register_std_ops(
       *this, store_,

@@ -3,12 +3,14 @@
 namespace amoeba::servers {
 
 core::Durability<MultiVersionServer::Payload> MultiVersionServer::durability(
-    std::shared_ptr<storage::Backend> backend) {
+    std::shared_ptr<storage::Backend> backend,
+    std::shared_ptr<storage::GroupCommitter> committer) {
   if (backend == nullptr) {
     return {};
   }
   core::Durability<Payload> d;
   d.backend = std::move(backend);
+  d.committer = std::move(committer);
   const auto encode_tree = [this](Writer& w, std::uint32_t root) {
     // Caller (an accessor flush or snapshot) holds the shard lock;
     // pages_mutex_ nests inside it exactly as in the handlers.
@@ -82,6 +84,26 @@ core::Durability<MultiVersionServer::Payload> MultiVersionServer::durability(
     }
     return false;
   };
+  d.apply_delta = [this](Reader& r, Payload& payload) {
+    // One do_write_page patch: (page, content).  Only drafts journal
+    // deltas (committed versions are immutable), so a delta aimed at a
+    // file payload is corrupt.  Replay is idempotent: rewriting a page
+    // with the same content converges to the same tree.
+    auto* draft = std::get_if<DraftObj>(&payload);
+    const std::uint32_t page = r.u32();
+    const Buffer bytes = r.bytes();
+    if (!r.ok() || draft == nullptr) {
+      return false;
+    }
+    const std::lock_guard pages_lock(pages_mutex_);
+    auto new_root = pages_.write(draft->root, page, bytes);
+    if (!new_root.ok()) {
+      return false;
+    }
+    pages_.release(draft->root);
+    draft->root = new_root.value();
+    return true;
+  };
   d.dispose = [this](Payload& payload) {
     // Recovery replay overwrote a decoded payload: release the trees it
     // built so replayed prefixes don't leak page references.
@@ -104,9 +126,10 @@ MultiVersionServer::MultiVersionServer(
     std::shared_ptr<storage::Backend> backend)
     : rpc::Service(machine, get_port, "multiversion"),
       pages_(page_size),
+      committer_(storage::GroupCommitter::create(backend)),
       store_(std::move(scheme), machine.fbox().listen_port(get_port), seed,
-             Store::kDefaultShards, durability(backend)) {
-  attach_durability(std::move(backend));
+             Store::kDefaultShards, durability(backend, committer_)) {
+  attach_durability(std::move(backend), committer_);
   // std.destroy must release the page-tree references a plain slot
   // destroy would leak.
   rpc::register_std_ops(
@@ -217,9 +240,14 @@ Result<void> MultiVersionServer::do_write_page(
     pages_.release(draft->root);
     draft->root = new_root.value();
   }
-  // The draft's working tree moved: journal the draft image (content
-  // included) so an in-flight draft survives a crash.
-  opened.mark_dirty();
+  // The draft's working tree moved: journal just the one-page patch (the
+  // apply_delta codec replays it) instead of the whole draft image --
+  // before delta records, every page write re-journaled the entire file
+  // content.
+  Writer patch;
+  patch.u32(req.page);
+  patch.bytes(req.bytes);
+  opened.mark_dirty_delta(patch.take());
   return {};
 }
 

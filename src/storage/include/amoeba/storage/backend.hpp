@@ -11,9 +11,16 @@
 //     machine losing power at that instant would leave behind.  Recovery
 //     from a captured image IS the simulated crash+restart.
 //   * FileBackend -- one directory on the real filesystem
-//     (shard-N.journal / shard-N.snap / meta-KEY), appends flushed per
-//     record, snapshots installed via write-temp + rename.  This is the
-//     durable deployment shape and what bench_e14 measures.
+//     (shard-N.journal / shard-N.snap / meta-KEY / commit.log), journals
+//     appended through raw fds and fsync'd per append group
+//     (std::ofstream::flush() only reaches the page cache, not the
+//     platter), snapshots and metadata installed via write-temp + fsync +
+//     rename + directory fsync.  Group-committed appends
+//     (submit_append_group) land in commit.log as ONE checksummed frame
+//     per group -- one write(2), one fsync(2), regardless of how many
+//     shards the group touches -- and recovery merges commit-log records
+//     into each shard's journal by LSN.  This is the durable deployment
+//     shape and what bench_e14 measures.
 //
 // Concurrency: every method is thread-safe.  Journals of different shards
 // never contend (per-shard locks), which is what lets journaling ride the
@@ -27,7 +34,6 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -62,6 +68,17 @@ class Backend {
   /// Appends to several shards' journals as one atomic group with respect
   /// to capture()/recovery images (all appended or none on the image).
   virtual void append_journal_batch(std::vector<ShardAppend>&& appends) = 0;
+
+  /// Submit/complete-shaped async append: appends the whole group with the
+  /// same capture() atomicity as append_journal_batch() and invokes
+  /// `complete` exactly once when every byte is durable.  The base
+  /// implementation is the synchronous adapter (append, then complete
+  /// inline on the calling thread); an io_uring-style backend overrides it
+  /// to submit to its ring and complete from the reaping side, and the
+  /// group-commit flusher (storage/group_commit.hpp) is its only caller --
+  /// so such a backend drops in without touching the object store.
+  virtual void submit_append_group(std::vector<ShardAppend>&& appends,
+                                   std::function<void()> complete);
 
   /// Whole-journal read (recovery).
   [[nodiscard]] virtual Buffer read_journal(std::size_t shard) const = 0;
@@ -143,11 +160,21 @@ class FileBackend final : public Backend {
   /// Creates the directory if needed; an existing volume must have been
   /// written with the same shard count.
   FileBackend(std::filesystem::path directory, std::size_t shards = 16);
+  ~FileBackend() override;
 
   [[nodiscard]] std::size_t shard_count() const override { return shards_.size(); }
   void append_journal(std::size_t shard,
                       std::span<const std::uint8_t> bytes) override;
   void append_journal_batch(std::vector<ShardAppend>&& appends) override;
+  /// Group commit: the whole group goes down as ONE checksummed frame in
+  /// the volume-wide commit.log -- one write, one fsync, however many
+  /// shards it spans.  Beyond amortizing the fsync (this is where the
+  /// flusher's batching actually reaches the platter), the single frame
+  /// gives a multi-shard group REAL on-disk atomicity: per-shard journal
+  /// files can always tear a pair between two files' fsyncs, a torn
+  /// commit-log frame drops the whole group at recovery.
+  void submit_append_group(std::vector<ShardAppend>&& appends,
+                           std::function<void()> complete) override;
   [[nodiscard]] Buffer read_journal(std::size_t shard) const override;
   void install_snapshot(std::size_t shard,
                         std::span<const std::uint8_t> bytes) override;
@@ -164,16 +191,40 @@ class FileBackend final : public Backend {
  private:
   struct Shard {
     mutable std::mutex mutex;
-    std::ofstream journal;  // append mode, flushed per record
+    int journal_fd = -1;  // O_APPEND; fsync'd per append group
   };
 
   [[nodiscard]] std::filesystem::path journal_path(std::size_t shard) const;
   [[nodiscard]] std::filesystem::path snapshot_path(std::size_t shard) const;
   [[nodiscard]] std::filesystem::path meta_path(std::string_view key) const;
+  [[nodiscard]] std::filesystem::path commit_log_path() const;
+  /// write-temp + fsync + rename + directory fsync (the full atomic
+  /// replacement recipe -- a rename alone is not durable until the
+  /// directory entry itself reaches the disk).
+  void replace_file_durably(const std::filesystem::path& path,
+                            std::span<const std::uint8_t> bytes,
+                            const char* what);
+  /// Concatenated framed records for `shard` extracted from commit.log,
+  /// in append order (= ascending LSN per shard).  Caller holds
+  /// commit_mutex_.
+  [[nodiscard]] Buffer commit_log_records_locked(std::size_t shard) const;
+  /// Rewrites commit.log dropping every record a shard snapshot already
+  /// subsumes (lsn <= that shard's floor).  Caller holds commit_mutex_.
+  void gc_commit_log_locked();
 
   std::filesystem::path directory_;
+  int dir_fd_ = -1;  // fsync'd after every rename into the directory
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex meta_mutex_;
+  // Commit-log state, all guarded by commit_mutex_.  Lock order: a shard
+  // mutex (when held at all) is taken BEFORE commit_mutex_; the flusher
+  // takes only commit_mutex_ and never touches the per-shard fds.
+  mutable std::mutex commit_mutex_;
+  int commit_fd_ = -1;  // O_APPEND; one fsync per group frame
+  std::uint64_t commit_log_bytes_ = 0;
+  std::uint64_t commit_gc_low_ = 0;  // log size after the last GC rewrite
+  std::vector<std::uint64_t> commit_floor_;  // per-shard snapshot applied LSN
+  Buffer commit_frame_;  // reused staging buffer for group frames
 };
 
 }  // namespace amoeba::storage

@@ -1,0 +1,145 @@
+// Group commit: one asynchronous flusher amortizing many journal appends
+// into one backend write per cycle.
+//
+// PR 5 made every state change durable by appending (and, on FileBackend,
+// flushing) one record at a time on the mutator thread -- correct, but the
+// pure-mutate path paid a full backend round trip per record.  The classic
+// fix is group commit: mutators ENCODE their record under the shard lock,
+// ENQUEUE it here (receiving a monotonically increasing commit ticket),
+// RELEASE the lock, and block -- or carry the ticket as a future and keep
+// going -- until the flusher reports the ticket durable.  One flusher per
+// volume drains every shard's pending bytes and issues a single multi-shard
+// submit_append_group() per cycle: one gather write and one fsync cover
+// every record that piled up while the previous fsync was in flight, which
+// is the self-tuning property (load grows groups, idle volumes flush
+// immediately).
+//
+// Ordering guarantees:
+//   * Tickets are the volume-wide commit LSN: wait_durable(t) returns only
+//     after EVERY enqueue with ticket <= t is on the backend.  The flusher
+//     never reports a ticket whose bytes a crash image could lack.
+//   * enqueue_group() places all entries under one queue-mutex hold, so a
+//     flush cycle carries a multi-shard group entirely or not at all; the
+//     backend's append_journal_batch atomicity w.r.t. capture() then keeps
+//     a bank transfer's debit+credit untearable, exactly as in the
+//     synchronous path.
+//   * Metadata (the rpc reply-cache image) rides the same cycles through
+//     enqueue_meta(), coalesced latest-image-wins per key, and is written
+//     BEFORE the cycle's journal appends -- a crash image may hold a
+//     reply-cache floor without its effect (operation lost, safe) but
+//     never an effect without its floor (operation doubled, fatal).
+//
+// A backend write failure (disk full) latches the committer into a failed
+// state: wait_durable() then throws instead of ever reporting durability
+// that does not exist.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "amoeba/storage/backend.hpp"
+
+namespace amoeba::storage {
+
+/// Tuning of one GroupCommitter.
+struct GroupCommitOptions {
+  /// Extra time the flusher lingers after waking before it drains, to
+  /// let concurrent mutators grow the group.  0 (the default) flushes
+  /// whatever has accumulated immediately: batching then comes from the
+  /// records that pile up while the previous cycle's fsync is in
+  /// flight, which adapts to load without adding idle latency.
+  std::chrono::microseconds flush_interval{0};
+};
+
+class GroupCommitter {
+ public:
+  /// Volume-wide commit sequence number; 0 means "nothing to wait for"
+  /// (what in-memory paths hand around so callers need no null checks).
+  using Ticket = std::uint64_t;
+
+  using Options = GroupCommitOptions;
+
+  struct Stats {
+    std::uint64_t groups = 0;        // flush cycles that reached the backend
+    std::uint64_t records = 0;       // journal appends those cycles carried
+    std::uint64_t meta_writes = 0;   // coalesced metadata writes issued
+    std::uint64_t max_group = 0;     // largest single cycle, in records
+  };
+
+  explicit GroupCommitter(std::shared_ptr<Backend> backend,
+                          Options options = {});
+  /// Drains every pending enqueue to the backend, then joins the flusher.
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Null-safe factory: a committer for `backend`, or null when `backend`
+  /// is null (the in-memory server constructors pass the null through).
+  [[nodiscard]] static std::shared_ptr<GroupCommitter> create(
+      const std::shared_ptr<Backend>& backend, Options options = {});
+
+  /// Queues one framed record for `shard`'s journal; the bytes are copied
+  /// (the caller typically hands a per-shard scratch buffer it will reuse).
+  [[nodiscard]] Ticket enqueue(std::size_t shard,
+                               std::span<const std::uint8_t> bytes);
+
+  /// Queues a multi-shard record group under ONE mutex hold, so no flush
+  /// cycle boundary can fall inside it (the pair-mutation atomicity).
+  [[nodiscard]] Ticket enqueue_group(std::vector<ShardAppend>&& appends);
+
+  /// Queues a metadata write.  Coalesced per key (the newest image wins),
+  /// which is sound for the reply-cache image because every later image is
+  /// a superset of every earlier one.  Written before the same cycle's
+  /// journal appends (floor-before-effect).
+  [[nodiscard]] Ticket enqueue_meta(std::string_view key, Buffer value);
+
+  /// Blocks until every enqueue with a ticket at or below `ticket` is on
+  /// the backend.  Throws UsageError if the flusher failed (disk full)
+  /// before covering it -- durability is never reported optimistically.
+  void wait_durable(Ticket ticket);
+
+  /// Non-blocking durability probe.
+  [[nodiscard]] bool is_durable(Ticket ticket) const;
+
+  /// Blocks until everything enqueued so far is durable.
+  void drain();
+
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::shared_ptr<Backend>& backend() const {
+    return backend_;
+  }
+
+ private:
+  void flusher(const std::stop_token& stop);
+
+  std::shared_ptr<Backend> backend_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;            // wakes the flusher
+  mutable std::condition_variable durable_cv_;  // wakes ticket waiters
+  std::vector<Buffer> pending_;                // per-shard gathered bytes
+  std::vector<std::size_t> dirty_shards_;      // shards with pending bytes
+  std::uint64_t pending_records_ = 0;
+  std::map<std::string, Buffer, std::less<>> pending_meta_;
+  Ticket issued_ = 0;   // highest ticket handed out
+  Ticket taken_ = 0;    // highest ticket a flush cycle has claimed
+  Ticket durable_ = 0;  // highest ticket reported durable
+  std::string failure_;  // non-empty once a backend write failed
+  Stats stats_;
+
+  std::jthread flusher_;  // last member: starts after the state above
+};
+
+}  // namespace amoeba::storage

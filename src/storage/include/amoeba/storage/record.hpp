@@ -34,6 +34,9 @@ enum class RecordType : std::uint8_t {
   mutate = 2,   // payload overwritten (secret unchanged)
   destroy = 3,  // slot freed; its number returns to the free list
   rotate = 4,   // secret replaced (revocation); payload unchanged
+  delta = 5,    // payload patched in place: server-defined byte-range
+                // patch applied by the Durability::apply_delta codec (a
+                // one-page write no longer journals the whole file image)
 };
 
 /// Decoded journal record.  `payload` is the server-defined serialized
@@ -50,6 +53,10 @@ struct Record {
   std::uint64_t lsn = 0;
   Buffer payload;
 };
+
+/// FNV-1a over `bytes`: the checksum every frame in the storage layer uses
+/// (journal records here, and the file backend's commit-log group frames).
+[[nodiscard]] std::uint32_t frame_checksum(std::span<const std::uint8_t> bytes);
 
 /// Appends one framed record to `out` (length + checksum + body).
 void encode_record(const Record& record, Buffer& out);
@@ -87,5 +94,11 @@ struct SnapshotSlot {
 [[nodiscard]] bool decode_snapshot(std::span<const std::uint8_t> bytes,
                                    std::vector<SnapshotSlot>& out,
                                    std::uint64_t& applied_lsn);
+
+/// Header-only read of a snapshot image's applied LSN (0 for an empty or
+/// malformed image).  The file backend uses this as its commit-log GC
+/// floor without paying for a full slot decode.
+[[nodiscard]] std::uint64_t peek_snapshot_lsn(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace amoeba::storage

@@ -6,16 +6,16 @@ namespace {
 constexpr std::uint32_t kSnapshotMagic = 0x414D534Eu;  // "AMSN"
 constexpr std::uint16_t kSnapshotVersion = 1;
 
-[[nodiscard]] std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
-  std::uint32_t h = 0x811C9DC5u;
+}  // namespace
+
+std::uint32_t frame_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 0x811C9DC5u;  // FNV-1a
   for (const std::uint8_t b : bytes) {
     h ^= b;
     h *= 0x01000193u;
   }
   return h;
 }
-
-}  // namespace
 
 namespace {
 
@@ -45,8 +45,14 @@ void encode_record_into(RecordType type, ObjectNumber object,
                         std::span<const std::uint8_t> payload, Buffer& out) {
   // Framed in place (this is the journaling hot path: one reserve, no
   // temporary buffers): length u32 | checksum u32 | body, both patched
-  // once the body is written.
-  out.reserve(out.size() + 8 + 25 + payload.size());
+  // once the body is written.  Growth stays geometric when records
+  // accumulate into one buffer (recovery merges, commit-log GC): a bare
+  // reserve(size + frame) would reallocate -- and copy the whole journal
+  // -- once per record.
+  const std::size_t need = out.size() + 8 + 25 + payload.size();
+  if (out.capacity() < need) {
+    out.reserve(std::max(need, out.capacity() * 2));
+  }
   const std::size_t frame_at = out.size();
   put_u32(out, 0);  // length placeholder
   put_u32(out, 0);  // checksum placeholder
@@ -60,7 +66,7 @@ void encode_record_into(RecordType type, ObjectNumber object,
   const auto body = std::span<const std::uint8_t>(out.data() + body_at,
                                                   out.size() - body_at);
   patch_u32(out, frame_at, static_cast<std::uint32_t>(body.size()));
-  patch_u32(out, frame_at + 4, fnv1a(body));
+  patch_u32(out, frame_at + 4, frame_checksum(body));
 }
 
 void encode_record(const Record& record, Buffer& out) {
@@ -86,7 +92,7 @@ std::vector<Record> decode_journal(std::span<const std::uint8_t> journal,
       break;
     }
     const auto body = journal.subspan(pos + 8, length);
-    if (fnv1a(body) != checksum) {
+    if (frame_checksum(body) != checksum) {
       if (torn_tail != nullptr) {
         *torn_tail = true;
       }
@@ -100,7 +106,7 @@ std::vector<Record> decode_journal(std::span<const std::uint8_t> journal,
     record.lsn = r.u64();
     record.payload = r.bytes();
     if (!r.ok() || record.type < RecordType::create ||
-        record.type > RecordType::rotate) {
+        record.type > RecordType::delta) {
       if (torn_tail != nullptr) {
         *torn_tail = true;
       }
@@ -154,6 +160,17 @@ bool decode_snapshot(std::span<const std::uint8_t> bytes,
     out.push_back(std::move(slot));
   }
   return r.exhausted();
+}
+
+std::uint64_t peek_snapshot_lsn(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint64_t applied_lsn = r.u64();
+  if (!r.ok() || magic != kSnapshotMagic || version != kSnapshotVersion) {
+    return 0;
+  }
+  return applied_lsn;
 }
 
 }  // namespace amoeba::storage

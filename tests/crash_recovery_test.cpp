@@ -154,12 +154,16 @@ TEST_F(BankCrashSuite, KilledAtEveryJournalBarrierRecoversConsistently) {
 
   // Arm the journal barriers AFTER setup: every captured image holds the
   // accounts and the mint; the workload's transfers land mid-flight.
+  // The hook fires once per backend append -- with group commit that is
+  // once per FLUSH GROUP, so every captured image sits exactly on a
+  // group boundary (whole groups or nothing; a waiter is never told
+  // "durable" for a record these images lack).
   std::mutex images_mutex;
   std::vector<std::shared_ptr<storage::MemoryBackend>> images;
-  const std::uint64_t armed_at = backend_->append_count();
-  backend_->set_append_hook([&](std::uint64_t count) {
-    if ((count - armed_at) % 13 == 1) {  // barrier every 13 appends
-      const std::lock_guard lock(images_mutex);
+  std::uint64_t groups_seen = 0;  // guarded by images_mutex
+  backend_->set_append_hook([&](std::uint64_t) {
+    const std::lock_guard lock(images_mutex);
+    if (++groups_seen % 7 == 2) {  // barrier every 7 flush groups
       images.push_back(backend_->capture());
     }
   });
@@ -247,6 +251,13 @@ TEST_F(BankCrashSuite, StdDestroyNeverReexecutesAcrossRestart) {
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->message.header.status, ErrorCode::ok);
 
+  // The destroy's reply body is persisted best effort (enqueued, not
+  // awaited).  A subsequent at-most-once claim persists ITS floor with a
+  // durability wait, and the metadata image is coalesced latest-wins, so
+  // after this balance call the body-carrying image is durably on the
+  // volume -- the capture below is deterministic.
+  ASSERT_TRUE(client_->balance(alice_, currency::kDollar).ok());
+
   // Crash now; restart from the image.
   const auto image = backend_->capture();
   shutdown();
@@ -254,11 +265,16 @@ TEST_F(BankCrashSuite, StdDestroyNeverReexecutesAcrossRestart) {
 
   // The object stayed destroyed across the crash...
   EXPECT_FALSE(client_->balance(doomed, currency::kDollar).ok());
-  // ...and the replayed duplicate is dropped silently (suppressed by the
-  // recovered floor), not answered with no_such_object by a re-execution.
+  // ...and the replayed duplicate is RE-ANSWERED from the restored reply
+  // cache (the completed reply's body rides the persisted metadata image)
+  // without re-executing the handler: requests_served must not move.
   const auto served_before = bank_->requests_served();
   ASSERT_TRUE(client_machine_.transmit(destroy_frame, bank_machine_.id()));
-  EXPECT_FALSE(replies.receive({}, 150ms).has_value());
+  const auto dup_reply = replies.receive({}, 2'000ms);
+  ASSERT_TRUE(dup_reply.has_value())
+      << "post-restart duplicate of a completed destroy should be "
+         "re-answered from the restored cache, not time out";
+  EXPECT_EQ(dup_reply->message.header.status, ErrorCode::ok);
   EXPECT_EQ(bank_->requests_served(), served_before);
   // A genuinely fresh destroy is an error, not a second hook run.
   EXPECT_FALSE(rpc::std_destroy(*transport_, doomed).ok());
