@@ -10,15 +10,30 @@
 // plus a hot-capability variant (pure cache hit) and a create/destroy
 // churn mix.  On a multi-core host (a) scales with threads while (b)
 // flatlines; items_per_second is the figure of merit.
+//
+// The lock-free follow-up adds the next rung on the same ladder: check()
+// on a repeat capability runs entirely on atomic loads (seqlock probe of
+// the slot + validated-capability cache), vs check_locked(), the same
+// semantics behind the shard mutex.  The contrast report at the end runs
+// both at 1..8 threads, appends one JSON line to BENCH_validate.json, and
+// ENFORCES the acceptance bar -- lock-free throughput must be at least
+// the mutex path's at every thread count (5% tolerance at 1 thread, where
+// there is no contention to win back) -- exiting nonzero on regression so
+// CI's bench-smoke catches it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "smoke.hpp"
 
+#include "amoeba/common/epoch.hpp"
 #include "amoeba/common/rng.hpp"
 #include "amoeba/core/object_store.hpp"
 #include "amoeba/core/schemes.hpp"
@@ -151,10 +166,150 @@ void BM_ShardedChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedChurn)->ThreadRange(1, 8)->UseRealTime();
 
+/// Lock-free repeat validation: each thread hammers check() on one hot,
+/// already-cached capability -- zero mutex acquisitions per iteration.
+void BM_LockFreeCheck(benchmark::State& state) {
+  Rig& rig = acquire_rig(core::SchemeKind::encrypted);
+  const auto& cap =
+      rig.caps[static_cast<std::size_t>(state.thread_index()) % kObjects];
+  benchmark::DoNotOptimize(rig.store->check(cap, core::rights::kRead));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.store->check(cap, core::rights::kRead));
+  }
+  state.SetItemsProcessed(state.iterations());
+  release_rig();
+}
+BENCHMARK(BM_LockFreeCheck)->ThreadRange(1, 8)->UseRealTime();
+
+/// Contrast: identical validation through the shard mutex (check()'s slow
+/// path, called directly).
+void BM_LockedCheck(benchmark::State& state) {
+  Rig& rig = acquire_rig(core::SchemeKind::encrypted);
+  const auto& cap =
+      rig.caps[static_cast<std::size_t>(state.thread_index()) % kObjects];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.store->check_locked(cap, core::rights::kRead));
+  }
+  state.SetItemsProcessed(state.iterations());
+  release_rig();
+}
+BENCHMARK(BM_LockedCheck)->ThreadRange(1, 8)->UseRealTime();
+
+/// One timed repeat-check run: `threads` workers, each spinning on its own
+/// hot capability.  Returns wall-clock ms; `lock_acquisitions` accumulates
+/// every CountedMutex acquisition the workers made (must stay 0 on the
+/// lock-free path once the caps are warm).
+[[nodiscard]] double timed_checks(Rig& rig, int threads, int ops_per_thread,
+                                  bool lock_free,
+                                  std::uint64_t& lock_acquisitions) {
+  std::atomic<std::uint64_t> acquired{0};
+  const double ms = amoeba::bench::timed_ms([&] {
+    std::vector<std::jthread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const auto& cap = rig.caps[static_cast<std::size_t>(t) % kObjects];
+        benchmark::DoNotOptimize(
+            rig.store->check(cap, core::rights::kRead));  // warm the cache
+        const std::uint64_t before =
+            amoeba::common::this_thread_lock_counters().mutex_acquisitions;
+        for (int i = 0; i < ops_per_thread; ++i) {
+          benchmark::DoNotOptimize(
+              lock_free ? rig.store->check(cap, core::rights::kRead)
+                        : rig.store->check_locked(cap, core::rights::kRead));
+        }
+        acquired.fetch_add(
+            amoeba::common::this_thread_lock_counters().mutex_acquisitions -
+                before,
+            std::memory_order_relaxed);
+      });
+    }
+  });
+  lock_acquisitions += acquired.load(std::memory_order_relaxed);
+  return ms;
+}
+
+/// Contrast report + acceptance gate.  Returns the process exit code.
+[[nodiscard]] int report(bool smoke) {
+  const int ops = smoke ? 400'000 : 2'000'000;
+  constexpr int kThreadCounts[] = {1, 2, 4, 8};
+  Rig rig(core::SchemeKind::encrypted);
+
+  std::printf(
+      "\nE11 validate contrast (hot repeat check, %d ops/thread)\n"
+      "  threads   lock-free ms   mutex ms   speedup   lock-free locks\n",
+      ops);
+  bool pass = true;
+  double results[4][3];  // [idx] = {lockfree_ms, mutex_ms, speedup}
+  std::uint64_t total_lockfree_acquisitions = 0;
+  for (std::size_t idx = 0; idx < 4; ++idx) {
+    const int threads = kThreadCounts[idx];
+    // Best of three per mode: the gate must not flake on scheduler noise.
+    double lf_ms = 0;
+    double mx_ms = 0;
+    std::uint64_t lf_locks = 0;
+    std::uint64_t mx_locks = 0;
+    for (int run = 0; run < 3; ++run) {
+      const double lf = timed_checks(rig, threads, ops, true, lf_locks);
+      const double mx = timed_checks(rig, threads, ops, false, mx_locks);
+      lf_ms = run == 0 ? lf : std::min(lf_ms, lf);
+      mx_ms = run == 0 ? mx : std::min(mx_ms, mx);
+    }
+    const double speedup = mx_ms / lf_ms;
+    // The bar: lock-free throughput >= the mutex path's at every thread
+    // count.  At 1 thread there is no contention to win back, so a 5%
+    // tolerance absorbs the seqlock's extra fence; with threads the
+    // lock-free path must win outright.
+    const double bar = threads == 1 ? 0.95 : 1.0;
+    const bool ok = speedup >= bar && lf_locks == 0;
+    pass = pass && ok;
+    total_lockfree_acquisitions += lf_locks;
+    results[idx][0] = lf_ms;
+    results[idx][1] = mx_ms;
+    results[idx][2] = speedup;
+    std::printf("  %7d   %12.1f   %8.1f   %6.2fx   %15llu%s\n", threads,
+                lf_ms, mx_ms, speedup,
+                static_cast<unsigned long long>(lf_locks),
+                ok ? "" : "  FAIL");
+  }
+
+  if (std::FILE* json = std::fopen("BENCH_validate.json", "a")) {
+    std::fprintf(json,
+                 "{\"bench\": \"e11\", \"mode\": \"%s\", "
+                 "\"ops_per_thread\": %d, \"lockfree_locks\": %llu, "
+                 "\"contrast\": [",
+                 smoke ? "smoke" : "full", ops,
+                 static_cast<unsigned long long>(
+                     total_lockfree_acquisitions));
+    for (std::size_t idx = 0; idx < 4; ++idx) {
+      std::fprintf(json,
+                   "%s{\"threads\": %d, \"lockfree_ms\": %.3f, "
+                   "\"mutex_ms\": %.3f, \"speedup\": %.3f}",
+                   idx == 0 ? "" : ", ", kThreadCounts[idx], results[idx][0],
+                   results[idx][1], results[idx][2]);
+    }
+    std::fprintf(json, "], \"pass\": %s}\n", pass ? "true" : "false");
+    std::fclose(json);
+  }
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "E11 FAIL: lock-free check() regressed against the mutex "
+                 "path (or acquired a lock) -- see contrast table above\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke |= std::string_view(argv[i]) == "--smoke";
+  }
   amoeba::bench::initialize(argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return report(smoke);
 }

@@ -1,0 +1,197 @@
+#include "amoeba/common/epoch.hpp"
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace amoeba::common {
+
+LockCounters& this_thread_lock_counters() {
+  thread_local LockCounters counters;
+  return counters;
+}
+
+// ---------------------------------------------------------------------
+// EpochDomain.
+
+/// One reader thread's pin state.  Allocated on a thread's first pin,
+/// pushed onto the domain's grow-only record stack, and recycled (not
+/// freed) when the thread exits, so the advance scan never races a
+/// disappearing record.  Reference-counted between the domain and the
+/// owning thread's thread_local holder: whichever lets go last frees it.
+struct alignas(64) EpochDomain::ReaderRecord {
+  std::atomic<std::uint64_t> epoch{0};  // 0 = not pinned
+  std::atomic<bool> owned{true};        // claimed by a live thread
+  std::atomic<int> refs{2};             // domain + owning thread
+  int depth = 0;                        // nested pins; owner thread only
+  ReaderRecord* next = nullptr;         // immutable once published
+
+  void drop_ref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+};
+
+struct EpochDomain::LimboList {
+  std::vector<Retired> items;
+};
+
+EpochDomain::EpochDomain() : limbo_(new LimboList[3]) {}
+
+EpochDomain::~EpochDomain() {
+  // By contract no reader is pinned; drain every limbo generation.
+  for (int i = 0; i < 3; ++i) {
+    for (const Retired& item : limbo_[i].items) {
+      item.deleter(item.ptr);
+    }
+  }
+  delete[] limbo_;
+  ReaderRecord* record = records_.load(std::memory_order_acquire);
+  while (record != nullptr) {
+    ReaderRecord* next = record->next;
+    record->drop_ref();  // records of still-live threads survive
+    record = next;
+  }
+}
+
+EpochDomain::ReaderRecord* EpochDomain::record_for_this_thread() {
+  struct Holder {
+    EpochDomain* domain = nullptr;
+    ReaderRecord* record = nullptr;
+    void release() {
+      if (record != nullptr) {
+        record->owned.store(false, std::memory_order_release);
+        record->drop_ref();
+        record = nullptr;
+        domain = nullptr;
+      }
+    }
+    ~Holder() { release(); }
+  };
+  thread_local Holder holder;
+  if (holder.domain == this) {
+    return holder.record;
+  }
+  holder.release();  // this thread switched domains (test-local domains)
+  // Recycle a record some exited thread left behind, if any.
+  ReaderRecord* record = nullptr;
+  for (ReaderRecord* r = records_.load(std::memory_order_acquire);
+       r != nullptr; r = r->next) {
+    bool expected = false;
+    if (r->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      r->refs.fetch_add(1, std::memory_order_relaxed);
+      record = r;
+      break;
+    }
+  }
+  if (record == nullptr) {
+    record = new ReaderRecord();
+    ReaderRecord* head = records_.load(std::memory_order_relaxed);
+    do {
+      record->next = head;
+    } while (!records_.compare_exchange_weak(head, record,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+  holder.domain = this;
+  holder.record = record;
+  return record;
+}
+
+EpochDomain::Guard EpochDomain::pin() {
+  ReaderRecord* record = record_for_this_thread();
+  if (record->depth++ == 0) {
+    // Publish the epoch we are entering, then re-check it did not move:
+    // an advance that raced past our store would otherwise let the
+    // reclaimer believe we pinned the NEWER epoch while we read through
+    // the older one.  seq_cst on both sides makes the scan and this
+    // store/load pair totally ordered.
+    for (;;) {
+      const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      record->epoch.store(e, std::memory_order_seq_cst);
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) {
+        break;
+      }
+    }
+  }
+  return Guard(record);
+}
+
+void EpochDomain::Guard::release() noexcept {
+  if (record_ != nullptr) {
+    if (--record_->depth == 0) {
+      record_->epoch.store(0, std::memory_order_release);
+    }
+    record_ = nullptr;
+  }
+}
+
+void EpochDomain::retire_raw(void* ptr, void (*deleter)(void*)) {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  limbo_[e % 3].items.push_back({ptr, deleter});
+  (void)try_advance_locked();
+}
+
+bool EpochDomain::try_advance_locked() {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (ReaderRecord* r = records_.load(std::memory_order_acquire);
+       r != nullptr; r = r->next) {
+    const std::uint64_t seen = r->epoch.load(std::memory_order_seq_cst);
+    if (seen != 0 && seen != e) {
+      return false;  // a reader is still inside an older epoch
+    }
+  }
+  // Every active reader is in epoch e, and a reader can lag the global
+  // epoch by at most one, so pointers retired in epoch e-2 (sitting in
+  // the list about to be recycled for e+1) are unreachable: delete them.
+  LimboList& graveyard = limbo_[(e + 1) % 3];
+  for (const Retired& item : graveyard.items) {
+    item.deleter(item.ptr);
+  }
+  graveyard.items.clear();
+  global_epoch_.store(e + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+void EpochDomain::synchronize() {
+  // Three successful advances cycle through every limbo generation.  An
+  // advance fails only while some reader is pinned in an older epoch;
+  // read-side sections are short, so yield and retry.  (Calling this
+  // while holding a Guard on the same thread would spin forever.)
+  int advances = 0;
+  while (advances < 3) {
+    bool advanced = false;
+    {
+      const std::lock_guard lock(mutex_);
+      advanced = try_advance_locked();
+    }
+    if (advanced) {
+      ++advances;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::size_t EpochDomain::limbo_size() const {
+  const std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    total += limbo_[i].items.size();
+  }
+  return total;
+}
+
+EpochDomain& EpochDomain::global() {
+  // Intentionally leaked: reader threads park their records here at exit,
+  // and a static destructor racing thread shutdown would free the records
+  // under them.  The process-exit "leak" is still reachable, so LSan is
+  // quiet about it.
+  static EpochDomain* domain = new EpochDomain();
+  return *domain;
+}
+
+}  // namespace amoeba::common

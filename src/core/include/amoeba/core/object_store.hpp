@@ -15,7 +15,7 @@
 //
 // Concurrency model.  The table is sharded: object numbers are assigned so
 // that `object % shard_count` names the owning shard, and each shard has
-// its own mutex, slot vector, free list and RNG.  All operations are
+// its own mutex, slot chunks, free list and RNG.  All operations are
 // thread-safe; independent objects in different shards proceed in
 // parallel, which is what lets a multi-worker service drop its
 // service-wide lock (the paper's premise that validation is a cheap table
@@ -35,6 +35,26 @@
 // epoch; rotating the secret (create into a reused slot, revoke, destroy)
 // bumps the epoch, so stale entries die without any scan -- revocation
 // stays instant and exact.
+//
+// Lock-free repeat validation.  check() -- and the validation prefix of
+// open() -- first runs validate_fast(): a pure-load probe that takes NO
+// lock at all.  The probe reads the slot's lock-free header (live flag +
+// secret epoch) and the shard's cache entry, each under a per-record
+// common::SeqCount seqlock generation; writers (create, revoke, destroy,
+// cache refill -- all already serialized by the shard mutex) wrap their
+// stores in a SeqCount::WriteGuard, so a reader that overlaps any
+// transition fails its generation recheck and falls back to the locked
+// slow path.  A fast hit requires the cache entry's epoch to equal the
+// epoch read from the slot IN THE SAME stable generation, which is
+// exactly the revocation guarantee: the epoch bump is inside the slot's
+// write guard, so no capability ever fast-validates against a rotated
+// secret.  Anything short of a bit-exact hit -- cache miss, dead slot,
+// unpublished index, busy seqlock -- is answered by the mutex path with
+// identical semantics, never by the probe itself.  Slot storage is
+// chunked and address-stable (chunks are published once via atomic
+// pointer and never move or shrink) so probes hold no lock while shards
+// grow; shard mutexes are common::CountedMutex, so the lock-counter test
+// can PROVE the zero-acquisition claim rather than argue it.
 //
 // Durability (storage/).  A store constructed with a Durability handle
 // write-ahead-journals every state change -- create, payload mutation,
@@ -76,10 +96,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "amoeba/common/epoch.hpp"
 #include "amoeba/common/error.hpp"
 #include "amoeba/common/rng.hpp"
 #include "amoeba/common/serial.hpp"
@@ -158,10 +180,14 @@ class ShardedObjectStore {
           "(tickets are per-volume)");
     }
     shards_.reserve(shards);
+    // Highest slot index a shard can ever hold in the 24-bit object space
+    // -- fixes the size of its chunk-pointer directory up front, so the
+    // directory itself never reallocates under lock-free readers.
+    const std::size_t max_slots = ObjectNumber::kMask / shards + 1;
     for (std::size_t s = 0; s < shards; ++s) {
       // Distinct per-shard RNG streams derived from the store seed.
-      shards_.push_back(std::make_unique<Shard>(seed ^ (0x9E3779B97F4A7C15ULL *
-                                                        (s + 1))));
+      shards_.push_back(std::make_unique<Shard>(
+          seed ^ (0x9E3779B97F4A7C15ULL * (s + 1)), max_slots));
     }
     if (durability_.backend != nullptr && !durability_.backend->empty()) {
       recover();
@@ -256,7 +282,7 @@ class ShardedObjectStore {
     friend struct Opened2;
     friend class OpenedWith;
     Opened(ShardedObjectStore* store, T* v, Rights r, ObjectNumber o,
-           std::unique_lock<std::mutex> lock)
+           std::unique_lock<common::CountedMutex> lock)
         : value(v), rights(r), object(o), store_(store),
           lock_(std::move(lock)) {}
 
@@ -300,7 +326,7 @@ class ShardedObjectStore {
     bool dirty_ = false;
     std::vector<Buffer> deltas_;    // pending mark_dirty_delta patches
     std::uint64_t pending_ = 0;     // commit ticket of the journaled flush
-    std::unique_lock<std::mutex> lock_;
+    std::unique_lock<common::CountedMutex> lock_;
   };
 
   /// Two objects opened atomically (both shard locks held, acquired in
@@ -405,7 +431,7 @@ class ShardedObjectStore {
     ObjectNumber other_;
     ShardedObjectStore* store_ = nullptr;
     bool peek_dirty_ = false;
-    std::unique_lock<std::mutex> other_lock_;
+    std::unique_lock<common::CountedMutex> other_lock_;
   };
 
   struct CacheStats {
@@ -446,18 +472,21 @@ class ShardedObjectStore {
       shard.free_list.pop_back();
       shard.free_count.fetch_sub(1, std::memory_order_relaxed);
     } else {
-      if (shard.slots.size() >
-          (ObjectNumber::kMask - chosen) / shards_.size()) {
+      index = shard.slot_limit.load(std::memory_order_relaxed);
+      if (index > (ObjectNumber::kMask - chosen) / shards_.size()) {
         throw UsageError("ObjectStore: 24-bit object space exhausted");
       }
-      index = static_cast<std::uint32_t>(shard.slots.size());
-      shard.slots.emplace_back();
     }
-    Slot& slot = shard.slots[index];
-    slot.secret = scheme_->new_secret(shard.rng);
-    ++slot.epoch;  // stale cache entries for a reused number die here
-    slot.value = std::move(value);
-    slot.live = true;
+    Slot& slot = slot_grow(shard, index);
+    {
+      // Seqlock transition: concurrent lock-free probes of this slot see
+      // either the pre-create or post-create generation, never a torn mix.
+      const common::SeqCount::WriteGuard guard(slot.seq);
+      slot.secret = scheme_->new_secret(shard.rng);
+      bump_epoch(slot);  // stale cache entries for a reused number die here
+      slot.live.store(true, std::memory_order_relaxed);
+    }
+    slot.value = std::move(value);  // payload is mutex-guarded, not probed
     live_count_.fetch_add(1, std::memory_order_relaxed);
     const auto object = ObjectNumber(
         static_cast<std::uint32_t>(index * shards_.size() + chosen));
@@ -483,31 +512,68 @@ class ShardedObjectStore {
   /// field, validate the check field against the stored secret (through
   /// the per-shard validated-capability cache), and verify the granted
   /// rights cover `required`.
+  ///
+  /// The validation PREFIX is lock-free on a repeat capability: a
+  /// validate_fast() hit proves the capability valid for the slot's
+  /// current secret generation, and if the generation is unchanged once
+  /// the shard lock is held (it must be held anyway -- the accessor owns
+  /// the payload exclusively), the cached grant is reused and the
+  /// crypto/cache machinery is skipped entirely.
   [[nodiscard]] Result<Opened> open(const Capability& cap, Rights required) {
     Shard& shard = shard_of(cap.object);
+    const std::optional<FastHit> hit = validate_fast(shard, cap);
+    if (hit.has_value() && !hit->granted.has_all(required)) {
+      return ErrorCode::permission_denied;  // valid cap, insufficient rights
+    }
     std::unique_lock lock(shard.mutex);
     Slot* slot = find(shard, cap.object);
     if (slot == nullptr) {
       return ErrorCode::no_such_object;
     }
-    const Result<Rights> granted = validate_cached(shard, *slot, cap);
-    if (!granted.ok()) {
-      return granted.error();
+    Rights granted;
+    if (hit.has_value() &&
+        slot->epoch.load(std::memory_order_relaxed) == hit->epoch) {
+      granted = hit->granted;  // same secret generation: the hit stands
+    } else {
+      const Result<Rights> validated = validate_cached(shard, *slot, cap);
+      if (!validated.ok()) {
+        return validated.error();
+      }
+      granted = validated.value();
     }
-    if (!granted.value().has_all(required)) {
+    if (!granted.has_all(required)) {
       return ErrorCode::permission_denied;
     }
-    return Opened(this, &slot->value, granted.value(), cap.object,
-                  std::move(lock));
+    return Opened(this, &slot->value, granted, cap.object, std::move(lock));
   }
 
   /// Validates a capability and the required rights WITHOUT keeping the
-  /// object open: the shard lock is taken only for the lookup/validation
-  /// and released before returning.  This is the typed dispatcher's
-  /// pre-handler check for multi-object operations, where the handler must
-  /// take its own open2() locks afterwards (holding an accessor here would
-  /// deadlock); the handler's re-validation hits the per-shard cache.
+  /// object open.  This is the typed dispatcher's pre-handler check for
+  /// multi-object operations, where the handler must take its own open2()
+  /// locks afterwards (holding an accessor here would deadlock).
+  ///
+  /// Lock-free on a repeat capability: a validate_fast() hit answers with
+  /// ZERO mutex acquisitions (the property tests/lockfree_validate_test
+  /// proves through the CountedMutex counters).  Everything else --
+  /// first-seen capability, rotated secret, dead object, seqlock
+  /// collision -- falls back to check_locked() with identical semantics.
   [[nodiscard]] Result<Rights> check(const Capability& cap, Rights required) {
+    if (const std::optional<FastHit> hit = validate_fast(shard_of(cap.object),
+                                                         cap)) {
+      if (!hit->granted.has_all(required)) {
+        return ErrorCode::permission_denied;
+      }
+      return hit->granted;
+    }
+    return check_locked(cap, required);
+  }
+
+  /// The mutex slow path of check(): shard lock, slot lookup, validation
+  /// through the per-shard cache.  Public so the bench contrast
+  /// (bench_e11) can drive the locked and lock-free paths side by side;
+  /// servers call check().
+  [[nodiscard]] Result<Rights> check_locked(const Capability& cap,
+                                            Rights required) {
     Shard& shard = shard_of(cap.object);
     const std::unique_lock lock(shard.mutex);
     Slot* slot = find(shard, cap.object);
@@ -533,8 +599,8 @@ class ShardedObjectStore {
                                       Rights required_b) {
     const std::size_t sa = shard_index(cap_a.object);
     const std::size_t sb = shard_index(cap_b.object);
-    std::unique_lock<std::mutex> lock_a;
-    std::unique_lock<std::mutex> lock_b;
+    std::unique_lock<common::CountedMutex> lock_a;
+    std::unique_lock<common::CountedMutex> lock_b;
     lock_pair(sa, sb, lock_a, lock_b);
 
     Shard& shard_a = *shards_[sa];
@@ -579,8 +645,8 @@ class ShardedObjectStore {
                                                   ObjectNumber other) {
     const std::size_t sa = shard_index(cap.object);
     const std::size_t sb = shard_index(other);
-    std::unique_lock<std::mutex> lock_a;
-    std::unique_lock<std::mutex> lock_b;
+    std::unique_lock<common::CountedMutex> lock_a;
+    std::unique_lock<common::CountedMutex> lock_b;
     lock_pair(sa, sb, lock_a, lock_b);
 
     Shard& shard_a = *shards_[sa];
@@ -643,8 +709,13 @@ class ShardedObjectStore {
     if (!granted.value().has_all(rights::kAdmin)) {
       return ErrorCode::permission_denied;
     }
-    slot->secret = scheme_->new_secret(shard.rng);
-    ++slot->epoch;  // instant, exact cache invalidation
+    {
+      // Seqlock transition: the epoch bump is what kills every cached
+      // fast-path hit for the rotated secret -- instant, exact revocation.
+      const common::SeqCount::WriteGuard guard(slot->seq);
+      slot->secret = scheme_->new_secret(shard.rng);
+      bump_epoch(*slot);
+    }
     const std::uint64_t secret = slot->secret;
     const std::uint64_t ticket =
         journal_locked(shard_index(cap.object), shard,
@@ -678,11 +749,15 @@ class ShardedObjectStore {
     }
     const std::size_t s = shard_index(opened.object);
     Shard& shard = *shards_[s];
-    Slot& slot =
-        shard.slots[opened.object.value() / shards_.size()];
-    slot.live = false;
+    Slot& slot = slot_at(shard, opened.object.value() / shards_.size());
+    {
+      // Seqlock transition: a concurrent fast probe either sees the old
+      // live generation (linearized before this destroy) or fails/misses.
+      const common::SeqCount::WriteGuard guard(slot.seq);
+      slot.live.store(false, std::memory_order_relaxed);
+      bump_epoch(slot);
+    }
     slot.value = T{};
-    ++slot.epoch;
     live_count_.fetch_sub(1, std::memory_order_relaxed);
     shard.free_list.push_back(
         static_cast<std::uint32_t>(opened.object.value() / shards_.size()));
@@ -736,10 +811,13 @@ class ShardedObjectStore {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       Shard& shard = *shards_[s];
       const std::unique_lock lock(shard.mutex);
-      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-        if (shard.slots[i].live) {
+      const std::uint32_t limit =
+          shard.slot_limit.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < limit; ++i) {
+        Slot& slot = slot_at(shard, i);
+        if (slot.live.load(std::memory_order_relaxed)) {
           fn(ObjectNumber(static_cast<std::uint32_t>(i * shards_.size() + s)),
-             static_cast<const T&>(shard.slots[i].value));
+             static_cast<const T&>(slot.value));
         }
       }
     }
@@ -770,12 +848,15 @@ class ShardedObjectStore {
   }
 
   /// Aggregate validated-capability cache statistics across shards.
+  /// Lock-free: the counters are relaxed atomics bumped by both the
+  /// fast probe and the locked path, so a stats scrape (metrics
+  /// exporters poll these) never contends with the validate hot path.
+  /// The aggregate is a moment-in-time approximation, not a snapshot.
   [[nodiscard]] CacheStats cache_stats() const {
     CacheStats total;
     for (const auto& shard : shards_) {
-      const std::unique_lock lock(shard->mutex);
-      total.hits += shard->cache_hits;
-      total.misses += shard->cache_misses;
+      total.hits += shard->cache_hits.load(std::memory_order_relaxed);
+      total.misses += shard->cache_misses.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -802,34 +883,76 @@ class ShardedObjectStore {
 
  private:
   struct Slot {
+    /// Guards the lock-free-readable header below: every writer
+    /// transition (create, revoke, destroy, recovery replay) holds the
+    /// shard mutex AND wraps its header stores in a WriteGuard, so the
+    /// no-lock probe can detect overlap and bail.
+    common::SeqCount seq;
+    std::atomic<std::uint32_t> epoch{0};  // bumped on every secret rotation
+    std::atomic<bool> live{false};
+    // Mutex-guarded only; NEVER read by the lock-free probe (the probe
+    // trusts the epoch-stamped cache entry instead of the secret).
     std::uint64_t secret = 0;
     T value{};
-    bool live = false;
-    std::uint32_t epoch = 0;  // bumped on every secret rotation
+  };
+
+  /// Slots live in fixed-size chunks that never move once published:
+  /// lock-free probes dereference Slot addresses without any lock, so
+  /// the storage must be address-stable across shard growth (the old
+  /// std::vector<Slot> would reallocate under the reader).
+  static constexpr std::size_t kChunkSlots = 512;  // power of two
+  struct SlotChunk {
+    std::array<Slot, kChunkSlots> slots{};
   };
 
   /// Direct-mapped validated-capability cache entry.  `epoch` ties the
-  /// entry to one secret generation of the slot.
+  /// entry to one secret generation of the slot.  Fields are relaxed
+  /// atomics under the entry's own SeqCount: the single writer (the
+  /// locked path's refill, serialized by the shard mutex) flips the
+  /// generation odd around its stores, so the lock-free probe reads a
+  /// consistent tuple or rejects.
   struct CacheEntry {
-    std::uint32_t object = 0;
-    std::uint32_t epoch = 0;
-    std::uint64_t check = 0;
-    std::uint8_t rights = 0;
-    bool used = false;
-    Rights granted;
+    common::SeqCount seq;
+    std::atomic<std::uint32_t> object{0};
+    std::atomic<std::uint32_t> epoch{0};
+    std::atomic<std::uint64_t> check{0};
+    std::atomic<std::uint8_t> rights{0};
+    std::atomic<std::uint8_t> granted{0};
+    std::atomic<bool> used{false};
   };
   static constexpr std::size_t kCacheEntries = 256;  // per shard, bounded
 
   struct Shard {
-    explicit Shard(std::uint64_t seed) : rng(seed) {}
-    mutable std::mutex mutex;
-    std::vector<Slot> slots;
+    Shard(std::uint64_t seed, std::size_t max_slots)
+        : chunk_count((max_slots + kChunkSlots - 1) / kChunkSlots),
+          chunks(std::make_unique<std::atomic<SlotChunk*>[]>(chunk_count)),
+          rng(seed) {}
+    ~Shard() {
+      for (std::size_t c = 0; c < chunk_count; ++c) {
+        delete chunks[c].load(std::memory_order_relaxed);
+      }
+    }
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    mutable common::CountedMutex mutex;
+    // ---- lock-free-readable state -------------------------------------
+    // Chunk directory, sized at construction for the whole 24-bit object
+    // space (so the directory itself never grows).  A chunk pointer is
+    // null until the shard first reaches it, then immutable.
+    const std::size_t chunk_count;
+    std::unique_ptr<std::atomic<SlotChunk*>[]> chunks;
+    // High-water mark of constructed slots; release-published after the
+    // owning chunk pointer, acquire-read by probes before either.
+    std::atomic<std::uint32_t> slot_limit{0};
+    std::array<CacheEntry, kCacheEntries> cache{};
+    // mutable: bumped from the const lock-free probe (validate_fast).
+    mutable std::atomic<std::uint64_t> cache_hits{0};    // approximate
+    mutable std::atomic<std::uint64_t> cache_misses{0};  // approximate
+    // ---- mutex-guarded state ------------------------------------------
     std::vector<std::uint32_t> free_list;
     std::atomic<std::uint32_t> free_count{0};
     Rng rng;
-    std::array<CacheEntry, kCacheEntries> cache{};
-    std::uint64_t cache_hits = 0;    // guarded by mutex
-    std::uint64_t cache_misses = 0;  // guarded by mutex
     // Durability state, all guarded by mutex.
     std::uint64_t lsn = 0;            // last journal LSN issued
     std::uint64_t records_pending = 0;  // records since the last snapshot
@@ -847,20 +970,146 @@ class ShardedObjectStore {
     return *shards_[shard_index(object)];
   }
 
+  /// Bumps the slot's secret epoch.  Caller holds the shard mutex and a
+  /// WriteGuard on the slot (or runs single-threaded recovery).
+  static void bump_epoch(Slot& slot) {
+    slot.epoch.store(slot.epoch.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+
+  /// Slot by index for writers (caller holds the shard mutex and knows
+  /// index < slot_limit).
+  [[nodiscard]] static Slot& slot_at(Shard& shard, std::size_t index) {
+    return shard.chunks[index / kChunkSlots]
+        .load(std::memory_order_relaxed)
+        ->slots[index % kChunkSlots];
+  }
+
+  /// Slot by index for the LOCK-FREE probe: null when the index is past
+  /// the published high-water mark.  The acquire loads pair with
+  /// slot_grow's release stores, so a non-null result is a fully
+  /// constructed slot.
+  [[nodiscard]] static const Slot* slot_peek_atomic(const Shard& shard,
+                                                    std::size_t index) {
+    if (index >= shard.slot_limit.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    const SlotChunk* chunk =
+        shard.chunks[index / kChunkSlots].load(std::memory_order_acquire);
+    return chunk == nullptr ? nullptr : &chunk->slots[index % kChunkSlots];
+  }
+
+  /// Grows the shard to cover `index`: materializes the owning chunk if
+  /// needed and publishes the new high-water mark (chunk pointer FIRST,
+  /// both release -- the probe's acquire loads see them in order).
+  /// Caller holds the shard mutex and has bounds-checked `index`.
+  Slot& slot_grow(Shard& shard, std::size_t index) {
+    if (index / kChunkSlots >= shard.chunk_count) {
+      throw UsageError("ObjectStore: slot index out of range");
+    }
+    // Materialize every chunk up to the owning one (recovery can land on
+    // a high index first): slot_at may then address ANY index below
+    // slot_limit without a null check.  Chunks below the current limit
+    // already exist, so the scan starts at the limit's own chunk.
+    const std::size_t first_gap =
+        shard.slot_limit.load(std::memory_order_relaxed) / kChunkSlots;
+    SlotChunk* chunk = nullptr;
+    for (std::size_t c = std::min(first_gap, index / kChunkSlots);
+         c <= index / kChunkSlots; ++c) {
+      chunk = shard.chunks[c].load(std::memory_order_relaxed);
+      if (chunk == nullptr) {
+        chunk = new SlotChunk();
+        shard.chunks[c].store(chunk, std::memory_order_release);
+      }
+    }
+    if (index >= shard.slot_limit.load(std::memory_order_relaxed)) {
+      shard.slot_limit.store(static_cast<std::uint32_t>(index) + 1,
+                             std::memory_order_release);
+    }
+    return chunk->slots[index % kChunkSlots];
+  }
+
   /// Caller holds the shard mutex.
   Slot* find(Shard& shard, ObjectNumber object) {
     const std::size_t index = object.value() / shards_.size();
-    if (index >= shard.slots.size() || !shard.slots[index].live) {
+    if (index >= shard.slot_limit.load(std::memory_order_relaxed)) {
       return nullptr;
     }
-    return &shard.slots[index];
+    Slot& slot = slot_at(shard, index);
+    return slot.live.load(std::memory_order_relaxed) ? &slot : nullptr;
+  }
+
+  /// A successful lock-free validation: the granted rights plus the
+  /// secret epoch they were proven against (open() re-checks the epoch
+  /// under the shard lock to decide whether the proof still stands).
+  struct FastHit {
+    Rights granted;
+    std::uint32_t epoch = 0;
+  };
+
+  /// The no-lock validate probe.  Returns a hit ONLY when, within one
+  /// stable seqlock generation of both records, the slot is live and the
+  /// shard's cache entry matches the capability bit for bit at the
+  /// slot's current secret epoch -- i.e. this exact capability already
+  /// validated against this exact secret and nothing rotated since.
+  /// Every other outcome (miss, dead slot, unpublished index, torn read)
+  /// is nullopt: the caller falls back to the mutex path, which is the
+  /// sole authority for failures.  Performs zero lock acquisitions.
+  [[nodiscard]] std::optional<FastHit> validate_fast(
+      const Shard& shard, const Capability& cap) const {
+    const Slot* slot =
+        slot_peek_atomic(shard, cap.object.value() / shards_.size());
+    if (slot == nullptr) {
+      return std::nullopt;
+    }
+    const std::uint32_t slot_gen = slot->seq.read_begin();
+    if (common::SeqCount::busy(slot_gen)) {
+      ++common::this_thread_lock_counters().seqlock_fallbacks;
+      return std::nullopt;
+    }
+    const std::uint32_t epoch = slot->epoch.load(std::memory_order_relaxed);
+    const bool live = slot->live.load(std::memory_order_relaxed);
+    if (!slot->seq.read_ok(slot_gen)) {
+      ++common::this_thread_lock_counters().seqlock_fallbacks;
+      return std::nullopt;
+    }
+    if (!live) {
+      return std::nullopt;
+    }
+    const CacheEntry& entry = shard.cache[cache_slot(cap)];
+    const std::uint32_t entry_gen = entry.seq.read_begin();
+    if (common::SeqCount::busy(entry_gen)) {
+      ++common::this_thread_lock_counters().seqlock_fallbacks;
+      return std::nullopt;
+    }
+    const bool used = entry.used.load(std::memory_order_relaxed);
+    const std::uint32_t entry_object =
+        entry.object.load(std::memory_order_relaxed);
+    const std::uint32_t entry_epoch =
+        entry.epoch.load(std::memory_order_relaxed);
+    const std::uint64_t entry_check =
+        entry.check.load(std::memory_order_relaxed);
+    const std::uint8_t entry_rights =
+        entry.rights.load(std::memory_order_relaxed);
+    const Rights granted(entry.granted.load(std::memory_order_relaxed));
+    if (!entry.seq.read_ok(entry_gen)) {
+      ++common::this_thread_lock_counters().seqlock_fallbacks;
+      return std::nullopt;
+    }
+    if (!used || entry_object != cap.object.value() ||
+        entry_epoch != epoch || entry_check != cap.check.value() ||
+        entry_rights != cap.rights.bits()) {
+      return std::nullopt;  // not proven for THIS epoch: slow path decides
+    }
+    shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return FastHit{granted, epoch};
   }
 
   /// Locks the two shards' mutexes in ascending index order (one lock when
   /// they coincide).  lock_a/lock_b come back owning sa/sb respectively.
   void lock_pair(std::size_t sa, std::size_t sb,
-                 std::unique_lock<std::mutex>& lock_a,
-                 std::unique_lock<std::mutex>& lock_b) {
+                 std::unique_lock<common::CountedMutex>& lock_a,
+                 std::unique_lock<common::CountedMutex>& lock_b) {
     if (sa == sb) {
       lock_a = std::unique_lock(shards_[sa]->mutex);
       return;
@@ -873,25 +1122,44 @@ class ShardedObjectStore {
     lock_b = sb == hi ? std::move(second) : std::move(first);
   }
 
-  /// Validation through the shard's cache; caller holds the shard mutex.
-  Result<Rights> validate_cached(Shard& shard, Slot& slot,
-                                 const Capability& cap) {
+  /// Direct-mapped cache index of a capability (hash over the full
+  /// key tuple so near-identical capabilities spread).
+  [[nodiscard]] static std::size_t cache_slot(const Capability& cap) {
     const std::uint64_t mix =
         (static_cast<std::uint64_t>(cap.object.value()) << 8 |
          cap.rights.bits()) * 0x9E3779B97F4A7C15ULL ^
         cap.check.value() * 0xC2B2AE3D27D4EB4FULL;
-    CacheEntry& entry = shard.cache[(mix >> 32) & (kCacheEntries - 1)];
-    if (entry.used && entry.object == cap.object.value() &&
-        entry.epoch == slot.epoch && entry.check == cap.check.value() &&
-        entry.rights == cap.rights.bits()) {
-      ++shard.cache_hits;
-      return entry.granted;
+    return (mix >> 32) & (kCacheEntries - 1);
+  }
+
+  /// Validation through the shard's cache; caller holds the shard mutex.
+  /// The refill wraps its stores in the entry's WriteGuard so the
+  /// lock-free probe never observes a half-written entry; the reads here
+  /// can stay relaxed because the mutex already excludes every writer.
+  Result<Rights> validate_cached(Shard& shard, Slot& slot,
+                                 const Capability& cap) {
+    CacheEntry& entry = shard.cache[cache_slot(cap)];
+    const std::uint32_t slot_epoch =
+        slot.epoch.load(std::memory_order_relaxed);
+    if (entry.used.load(std::memory_order_relaxed) &&
+        entry.object.load(std::memory_order_relaxed) == cap.object.value() &&
+        entry.epoch.load(std::memory_order_relaxed) == slot_epoch &&
+        entry.check.load(std::memory_order_relaxed) == cap.check.value() &&
+        entry.rights.load(std::memory_order_relaxed) == cap.rights.bits()) {
+      shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return Rights(entry.granted.load(std::memory_order_relaxed));
     }
-    ++shard.cache_misses;
+    shard.cache_misses.fetch_add(1, std::memory_order_relaxed);
     const Result<Rights> granted = scheme_->validate(cap, slot.secret);
     if (granted.ok()) {
-      entry = CacheEntry{cap.object.value(), slot.epoch, cap.check.value(),
-                         cap.rights.bits(), true, granted.value()};
+      const common::SeqCount::WriteGuard guard(entry.seq);
+      entry.object.store(cap.object.value(), std::memory_order_relaxed);
+      entry.epoch.store(slot_epoch, std::memory_order_relaxed);
+      entry.check.store(cap.check.value(), std::memory_order_relaxed);
+      entry.rights.store(cap.rights.bits(), std::memory_order_relaxed);
+      entry.granted.store(granted.value().bits(),
+                          std::memory_order_relaxed);
+      entry.used.store(true, std::memory_order_relaxed);
     }
     return granted;
   }
@@ -932,17 +1200,38 @@ class ShardedObjectStore {
                      shard.scratch_payload.buffer());
   }
 
-  /// Hands one framed record to the volume: enqueued on the group-commit
-  /// flusher (returning the commit ticket the caller must wait on AFTER
-  /// dropping the shard lock) or appended synchronously (returning 0,
-  /// already durable).  Caller holds the shard mutex.
-  [[nodiscard]] std::uint64_t submit_frame_locked(std::size_t s, Shard& shard,
-                                                  const Buffer& frame) {
+  /// Appends one single-shard record to the volume: LSN assignment and
+  /// shard counters here (under the shard lock), then either
+  /// * group commit -- the record is ENCODED DIRECTLY into the
+  ///   committer's staging buffer via enqueue_with(), skipping the
+  ///   frame-to-scratch copy the pre-encoded enqueue() path pays, or
+  /// * synchronous mode -- framed into the shard scratch and appended on
+  ///   this thread (returns 0, already durable).
+  /// Caller holds the shard mutex; group-committed callers wait on the
+  /// returned ticket AFTER dropping it.
+  [[nodiscard]] std::uint64_t submit_raw_locked(
+      std::size_t s, Shard& shard, storage::RecordType type,
+      ObjectNumber object, std::uint64_t secret,
+      std::span<const std::uint8_t> payload) {
+    const std::uint64_t lsn = ++shard.lsn;
+    ++shard.journal_records;
+    ++shard.records_pending;
     std::uint64_t ticket = 0;
     if (durability_.committer != nullptr) {
-      ticket = durability_.committer->enqueue(s, frame);
+      std::size_t framed = 0;
+      ticket = durability_.committer->enqueue_with(s, [&](Buffer& staging) {
+        const std::size_t before = staging.size();
+        storage::encode_record_into(type, object, secret, lsn, payload,
+                                    staging);
+        framed = staging.size() - before;
+      });
+      shard.journal_bytes += framed;
     } else {
-      durability_.backend->append_journal(s, frame);
+      shard.scratch_frame.clear();
+      storage::encode_record_into(type, object, secret, lsn, payload,
+                                  shard.scratch_frame);
+      shard.journal_bytes += shard.scratch_frame.size();
+      durability_.backend->append_journal(s, shard.scratch_frame);
     }
     maybe_compact_locked(s, shard);
     return ticket;
@@ -958,8 +1247,12 @@ class ShardedObjectStore {
     if (durability_.backend == nullptr) {
       return 0;
     }
-    return submit_frame_locked(
-        s, shard, frame_record(shard, type, object, secret, payload));
+    shard.scratch_payload.clear();
+    if (payload != nullptr) {
+      durability_.encode(shard.scratch_payload, *payload);
+    }
+    return submit_raw_locked(s, shard, type, object, secret,
+                             shard.scratch_payload.buffer());
   }
 
   /// Journals one payload mutation.  The caller (an accessor flush) holds
@@ -987,10 +1280,8 @@ class ShardedObjectStore {
           "(recovery could not replay the patch)");
     }
     const std::size_t s = shard_index(object);
-    Shard& shard = *shards_[s];
-    return submit_frame_locked(
-        s, shard,
-        frame_raw(shard, storage::RecordType::delta, object, 0, patch));
+    return submit_raw_locked(s, *shards_[s], storage::RecordType::delta,
+                             object, 0, patch);
   }
 
   /// Journals the dirty payloads (and pending delta patches) of a pair
@@ -1069,9 +1360,11 @@ class ShardedObjectStore {
   /// and the snapshot, which already reflects its effect, wins.
   void snapshot_shard_locked(std::size_t s, Shard& shard) {
     std::vector<storage::SnapshotSlot> slots;
-    for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-      const Slot& slot = shard.slots[i];
-      if (!slot.live) {
+    const std::uint32_t limit =
+        shard.slot_limit.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < limit; ++i) {
+      const Slot& slot = slot_at(shard, i);
+      if (!slot.live.load(std::memory_order_relaxed)) {
         continue;
       }
       storage::SnapshotSlot image;
@@ -1110,7 +1403,7 @@ class ShardedObjectStore {
         }
         slot.secret = image.secret;
         slot.value = std::move(value);
-        slot.live = true;
+        slot.live.store(true, std::memory_order_relaxed);
       }
       shard.lsn = applied_lsn;
       const auto records =
@@ -1127,11 +1420,13 @@ class ShardedObjectStore {
       // live was on the free list when the journal ended.
       std::uint32_t live_in_shard = 0;
       shard.free_list.clear();
-      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
-        if (shard.slots[i].live) {
+      const std::uint32_t limit =
+          shard.slot_limit.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < limit; ++i) {
+        if (slot_at(shard, i).live.load(std::memory_order_relaxed)) {
           ++live_in_shard;
         } else {
-          shard.free_list.push_back(static_cast<std::uint32_t>(i));
+          shard.free_list.push_back(i);
         }
       }
       shard.free_count.store(
@@ -1142,15 +1437,16 @@ class ShardedObjectStore {
     recovery_stats_.recovered_objects = live_count();
   }
 
-  /// Grows the shard's slot vector as needed and returns the slot for
+  /// Grows the shard's slot storage as needed and returns the slot for
   /// `object` (recovery only; intermediate slots stay dead until their own
-  /// records arrive, then land on the free list).
+  /// records arrive, then land on the free list).  Recovery runs from the
+  /// constructor, before any reader exists, so plain stores suffice.
   Slot& slot_for_recovery(Shard& shard, ObjectNumber object) {
     const std::size_t index = object.value() / shards_.size();
-    if (index >= shard.slots.size()) {
-      shard.slots.resize(index + 1);
+    if (index / kChunkSlots >= shard.chunk_count) {
+      throw UsageError("ObjectStore: journal names an out-of-range object");
     }
-    return shard.slots[index];
+    return slot_grow(shard, index);
   }
 
   /// Applies one journal record idempotently (replaying a record the
@@ -1166,7 +1462,7 @@ class ShardedObjectStore {
     // resources (the block server re-claims its disk block on every
     // mutate replay), so the order must be release-then-rebuild.
     const auto dispose_old = [&] {
-      if (slot.live && durability_.dispose) {
+      if (slot.live.load(std::memory_order_relaxed) && durability_.dispose) {
         durability_.dispose(slot.value);
       }
     };
@@ -1180,12 +1476,12 @@ class ShardedObjectStore {
         }
         slot.secret = record.secret;
         slot.value = std::move(value);
-        slot.live = true;
-        ++slot.epoch;
+        slot.live.store(true, std::memory_order_relaxed);
+        bump_epoch(slot);
         break;
       }
       case storage::RecordType::mutate: {
-        if (!slot.live) {
+        if (!slot.live.load(std::memory_order_relaxed)) {
           break;  // mutation of an object destroyed later in a replayed
                   // prefix -- or noise; either way the slot stays dead
         }
@@ -1199,7 +1495,7 @@ class ShardedObjectStore {
         break;
       }
       case storage::RecordType::delta: {
-        if (!slot.live) {
+        if (!slot.live.load(std::memory_order_relaxed)) {
           break;  // patch for an object destroyed later in the prefix
         }
         // No dispose_old: the patch edits the live payload in place, and
@@ -1216,16 +1512,16 @@ class ShardedObjectStore {
         break;
       }
       case storage::RecordType::rotate:
-        if (slot.live) {
+        if (slot.live.load(std::memory_order_relaxed)) {
           slot.secret = record.secret;
-          ++slot.epoch;
+          bump_epoch(slot);
         }
         break;
       case storage::RecordType::destroy:
         dispose_old();
-        slot.live = false;
+        slot.live.store(false, std::memory_order_relaxed);
         slot.value = T{};
-        ++slot.epoch;
+        bump_epoch(slot);
         break;
     }
   }

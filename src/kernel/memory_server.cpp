@@ -83,6 +83,8 @@ MemoryServer::MemoryServer(net::Machine& machine, Port get_port,
        }});
   on(mem_ops::kCreateSegment,
      [this](const auto& call) { return do_create_segment(call.body); });
+  // kReadSegment/kSegmentInfo repeat the same segment capability per
+  // page-in; open()'s seqlock'd cache proves it without the shard mutex.
   on(mem_ops::kReadSegment, store_, [this](const auto& call, auto& opened) {
     return do_read_segment(call.body, opened);
   });

@@ -36,11 +36,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "amoeba/common/epoch.hpp"
 #include "amoeba/common/rng.hpp"
 #include "amoeba/common/types.hpp"
 #include "amoeba/crypto/one_way.hpp"
@@ -296,22 +296,36 @@ class Network {
   };
 
   /// All GET registrations for one put-port, plus the delivery cursor that
-  /// spreads frames round-robin across them.  The cursor lives and dies
-  /// with the entry, so an idle port leaves nothing behind once its last
-  /// Receiver unregisters (the old per-network round_robin_ map grew
-  /// unboundedly under service churn).
+  /// spreads frames round-robin across them.  The registration vector is
+  /// IMMUTABLE once the entry is published into a stripe snapshot -- a
+  /// registration change builds a replacement entry (carrying the cursor
+  /// value forward) inside a replacement map.  Only the cursor mutates in
+  /// place, which is why it is atomic and mutable: readers bump it through
+  /// a const snapshot, and a racy bump lost to a concurrent rebuild only
+  /// skews round-robin fairness, never correctness.
   struct PortEntry {
     std::vector<Registration> registrations;
-    std::atomic<std::size_t> cursor{0};
+    mutable std::atomic<std::size_t> cursor{0};
   };
 
-  /// One stripe of the listener registry.  transmit/broadcast/locate take
-  /// the stripe's lock shared; only (un)registration takes it exclusive,
-  /// so concurrent traffic to different ports -- and even to one port --
-  /// never serializes on a network-wide mutex.
+  /// One stripe's registration table: an immutable snapshot, swapped
+  /// atomically.  Entries are shared_ptr so a successor map shallow-copies
+  /// untouched ports and rebuilds only the one being edited.
+  using PortMap = std::unordered_map<Port, std::shared_ptr<const PortEntry>>;
+
+  /// One stripe of the listener registry, RCU-style.  The read side
+  /// (transmit/broadcast/locate) takes NO lock: it pins the global
+  /// EpochDomain, acquire-loads the current snapshot, and copies out the
+  /// mailbox shared_ptrs it needs before unpinning.  Writers serialize on
+  /// the stripe's CountedMutex (counted so tests can prove the traffic
+  /// path never touches it), publish a successor map with a release store,
+  /// and retire the predecessor to the domain -- so a registration storm
+  /// never blocks a single frame, it only makes readers see slightly stale
+  /// snapshots (indistinguishable from the frame having raced the GET).
   struct Stripe {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<Port, std::unique_ptr<PortEntry>> ports;
+    mutable common::CountedMutex mutex;        // writers only
+    std::atomic<const PortMap*> map{nullptr};  // EBR-protected snapshot
+    ~Stripe() { delete map.load(std::memory_order_relaxed); }
   };
   static constexpr std::size_t kStripes = 64;
 

@@ -228,29 +228,56 @@ Receiver Network::register_listener(Machine& m, Port get_port,
       owns_mailbox ? std::make_shared<Mailbox>() : std::move(shared_mailbox);
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Stripe& stripe = stripe_for(put_port);
-  const std::unique_lock lock(stripe.mutex);
-  auto& entry = stripe.ports[put_port];
-  if (entry == nullptr) {
-    entry = std::make_unique<PortEntry>();
+  const std::lock_guard lock(stripe.mutex);
+  const PortMap* current = stripe.map.load(std::memory_order_relaxed);
+  auto next = std::make_unique<PortMap>(current != nullptr ? *current
+                                                           : PortMap{});
+  // Rebuild only the edited port's entry; every other port's entry is
+  // shared (shared_ptr shallow copy) between the old and new snapshots.
+  auto entry = std::make_shared<PortEntry>();
+  if (const auto it = next->find(put_port); it != next->end()) {
+    entry->registrations = it->second->registrations;
+    entry->cursor.store(it->second->cursor.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
   }
   entry->registrations.push_back(Registration{id, m.id(), mailbox});
+  (*next)[put_port] = std::move(entry);
+  // Publish, THEN retire: readers pinned on the old snapshot keep it alive
+  // through the epoch domain; new readers acquire the successor.
+  stripe.map.store(next.release(), std::memory_order_release);
+  if (current != nullptr) {
+    common::EpochDomain::global().retire(current);
+  }
   return Receiver(this, put_port, id, std::move(mailbox), owns_mailbox);
 }
 
 void Network::unregister(std::uint64_t id, Port put_port) {
   Stripe& stripe = stripe_for(put_port);
-  const std::unique_lock lock(stripe.mutex);
-  auto it = stripe.ports.find(put_port);
-  if (it == stripe.ports.end()) {
+  const std::lock_guard lock(stripe.mutex);
+  const PortMap* current = stripe.map.load(std::memory_order_relaxed);
+  if (current == nullptr) {
     return;
   }
-  std::erase_if(it->second->registrations,
+  const auto found = current->find(put_port);
+  if (found == current->end()) {
+    return;
+  }
+  auto next = std::make_unique<PortMap>(*current);
+  auto entry = std::make_shared<PortEntry>();
+  entry->registrations = found->second->registrations;
+  entry->cursor.store(found->second->cursor.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  std::erase_if(entry->registrations,
                 [id](const Registration& r) { return r.id == id; });
-  if (it->second->registrations.empty()) {
+  if (entry->registrations.empty()) {
     // The whole entry -- including its round-robin cursor -- goes away
     // with the last GET, so port churn cannot grow the registry.
-    stripe.ports.erase(it);
+    next->erase(put_port);
+  } else {
+    (*next)[put_port] = std::move(entry);
   }
+  stripe.map.store(next.release(), std::memory_order_release);
+  common::EpochDomain::global().retire(current);
 }
 
 bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
@@ -272,10 +299,16 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   // matches the frame's destination field.
   std::shared_ptr<Mailbox> mailbox;
   {
+    // Lock-free registry probe: pin the epoch, read the stripe's current
+    // immutable snapshot, copy the chosen mailbox shared_ptr out.  The
+    // mailbox stays valid past the pin because the copy owns it.
     Stripe& stripe = stripe_for(msg.header.dest);
-    const std::shared_lock lock(stripe.mutex);
-    auto it = stripe.ports.find(msg.header.dest);
-    if (it != stripe.ports.end()) {
+    const common::EpochDomain::Guard guard =
+        common::EpochDomain::global().pin();
+    const PortMap* map = stripe.map.load(std::memory_order_acquire);
+    const auto it = map != nullptr ? map->find(msg.header.dest)
+                                   : PortMap::const_iterator{};
+    if (map != nullptr && it != map->end()) {
       // Round-robin across this port's registrations on that machine
       // (two passes over the tiny registration list -- no allocation on
       // the delivery fast path).
@@ -370,9 +403,12 @@ void Network::broadcast_from(Machine& src, Message msg) {
   std::vector<std::pair<std::shared_ptr<Mailbox>, MachineId>> targets;
   {
     Stripe& stripe = stripe_for(msg.header.dest);
-    const std::shared_lock lock(stripe.mutex);
-    auto it = stripe.ports.find(msg.header.dest);
-    if (it != stripe.ports.end()) {
+    const common::EpochDomain::Guard guard =
+        common::EpochDomain::global().pin();
+    const PortMap* map = stripe.map.load(std::memory_order_acquire);
+    const auto it = map != nullptr ? map->find(msg.header.dest)
+                                   : PortMap::const_iterator{};
+    if (map != nullptr && it != map->end()) {
       targets.reserve(it->second->registrations.size());
       for (const auto& reg : it->second->registrations) {
         targets.emplace_back(reg.mailbox, reg.machine);
@@ -446,9 +482,13 @@ std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
   std::optional<MachineId> found;
   {
     Stripe& stripe = stripe_for(put_port);
-    const std::shared_lock lock(stripe.mutex);
-    auto it = stripe.ports.find(put_port);
-    if (it != stripe.ports.end() && !it->second->registrations.empty()) {
+    const common::EpochDomain::Guard guard =
+        common::EpochDomain::global().pin();
+    const PortMap* map = stripe.map.load(std::memory_order_acquire);
+    const auto it = map != nullptr ? map->find(put_port)
+                                   : PortMap::const_iterator{};
+    if (map != nullptr && it != map->end() &&
+        !it->second->registrations.empty()) {
       found = it->second->registrations.front().machine;
     }
   }

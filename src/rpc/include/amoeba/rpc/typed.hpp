@@ -179,6 +179,9 @@ void Service::on(const OpT& op, Store& store, F handler) {
        if constexpr (kTakesAccessor) {
          // The §2.3 validate hot path, centralized: one open() with the
          // op's declared rights, before the request body is even parsed.
+         // open()'s read-only prefix probes the slot seqlock + validated-
+         // capability cache first, so a repeat capability reaches the
+         // shard mutex already proven and skips the crypto re-validation.
          auto opened = store.open(call.capability, op.required);
          if (!opened.ok()) {
            return net::make_reply(request.message, opened.error());
@@ -191,9 +194,13 @@ void Service::on(const OpT& op, Store& store, F handler) {
          return detail::encode_reply<OpT>(request,
                                           handler(call, opened.value()));
        } else {
-         // Multi-object op: rights are still checked up front; the handler
-         // then takes the shard locks it needs (open2) itself -- its
-         // re-validation hits the per-shard validated-capability cache.
+         // (Call&)-form op: rights are still checked up front, and on a
+         // repeat capability check() completes with atomic loads only --
+         // zero mutex acquisitions -- via the seqlock'd validated-
+         // capability cache.  A handler that touches payload state (open2,
+         // journaling) then takes the shard locks it needs itself; a
+         // handler that touches nothing (kStdTouch) stays lock-free end
+         // to end.
          auto checked = store.check(call.capability, op.required);
          if (!checked.ok()) {
            return net::make_reply(request.message, checked.error());
@@ -484,8 +491,12 @@ void register_std_ops(Service& service, Store& store,
                }
                return StdInfoReply{std::move(text)};
              });
+  // (Call&) form, not the accessor form: touch needs no payload access,
+  // so a repeat touch rides check()'s lock-free validate -- atomic loads
+  // only, no shard mutex -- which is exactly what the liveness-probe
+  // traffic pattern (many touches per mutation) wants.
   service.on(kStdTouch, store,
-             [](const auto&, auto&) -> Result<void> { return {}; });
+             [](const auto&) -> Result<void> { return {}; });
   service.on(kStdDestroy, store,
              [&store, destroy = std::move(hooks.destroy)](
                  const auto&, auto& opened) -> Result<void> {

@@ -82,6 +82,8 @@ BankServer::BankServer(net::Machine& machine, Port get_port,
      [this](const auto&) -> Result<rpc::CapabilityReply> {
        return rpc::CapabilityReply{store_.create(Account{})};
      });
+  // kBalance is the bank's read path: its open() proves a repeat
+  // capability through the seqlock'd validate cache before locking.
   on(bank_ops::kBalance, store_, [this](const auto& call, auto& account) {
     return do_balance(call.body, account);
   });

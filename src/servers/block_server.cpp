@@ -73,6 +73,9 @@ BlockServer::BlockServer(net::Machine& machine, Port get_port,
        }});
   on(block_ops::kAllocate,
      [this](const auto&) { return do_allocate(); });
+  // kRead dominates block traffic; its validate runs through open()'s
+  // lock-free prefix, so repeat capabilities reach the shard mutex
+  // pre-proven (no crypto, no cache write).
   on(block_ops::kRead, store_,
      [this](const auto&, auto& block) { return do_read(block); });
   on(block_ops::kWrite, store_, [this](const auto& call, auto& block) {

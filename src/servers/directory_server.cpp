@@ -83,6 +83,8 @@ DirectoryServer::DirectoryServer(
   on(dir_ops::kCreateDir, [this](const auto&) -> Result<rpc::CapabilityReply> {
     return rpc::CapabilityReply{store_.create(Directory{})};
   });
+  // kLookup/kList are the directory read paths; their open() validates a
+  // repeat directory capability lock-free before taking the shard mutex.
   on(dir_ops::kLookup, store_, [this](const auto& call, auto& dir) {
     return do_lookup(call.body, dir);
   });

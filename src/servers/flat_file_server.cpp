@@ -66,6 +66,8 @@ FlatFileServer::FlatFileServer(
   on(file_ops::kDestroy, store_, [this](const auto&, auto& file) {
     return do_destroy(std::move(file));
   });
+  // kRead/kSize ride open()'s lock-free validate prefix on repeat
+  // capabilities (the common case for a file being streamed).
   on(file_ops::kRead, store_, [this](const auto& call, auto& file) {
     return do_read(call.body, file);
   });

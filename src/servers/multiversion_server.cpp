@@ -145,6 +145,8 @@ MultiVersionServer::MultiVersionServer(
   on(mv_ops::kNewVersion, store_, [this](const auto& call, auto& opened) {
     return do_new_version(call.capability, opened);
   });
+  // kReadPage is the multiversion hot path (a reader walks every page of
+  // a version with one capability): its repeat validates are lock-free.
   on(mv_ops::kReadPage, store_, [this](const auto& call, auto& opened) {
     return do_read_page(call.body, opened);
   });

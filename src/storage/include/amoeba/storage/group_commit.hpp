@@ -93,6 +93,34 @@ class GroupCommitter {
   [[nodiscard]] Ticket enqueue(std::size_t shard,
                                std::span<const std::uint8_t> bytes);
 
+  /// Like enqueue(), but the caller ENCODES the record directly into the
+  /// committer's staging buffer instead of handing over pre-framed bytes:
+  /// `encode(Buffer&)` must APPEND exactly one framed record to the buffer
+  /// it is given and touch nothing else.  This skips the frame-to-scratch
+  /// copy of the enqueue() path (the remaining single-core group-commit
+  /// lever ROADMAP flags).  The callback runs with the committer's queue
+  /// mutex held -- it must not block, enqueue, or wait on this committer.
+  template <typename EncodeFn>
+  [[nodiscard]] Ticket enqueue_with(std::size_t shard, EncodeFn&& encode) {
+    bool wake;
+    Ticket ticket;
+    {
+      const std::lock_guard lock(mutex_);
+      Buffer& pending = pending_.at(shard);
+      if (pending.empty()) {
+        dirty_shards_.push_back(shard);
+      }
+      encode(pending);
+      ++pending_records_;
+      wake = issued_ == taken_;  // flusher may be asleep
+      ticket = ++issued_;
+    }
+    if (wake) {
+      work_cv_.notify_one();
+    }
+    return ticket;
+  }
+
   /// Queues a multi-shard record group under ONE mutex hold, so no flush
   /// cycle boundary can fall inside it (the pair-mutation atomicity).
   [[nodiscard]] Ticket enqueue_group(std::vector<ShardAppend>&& appends);

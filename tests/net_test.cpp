@@ -3,10 +3,12 @@
 // broadcast, locate, and fault injection.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
 
+#include "amoeba/common/epoch.hpp"
 #include "amoeba/common/rng.hpp"
 #include "amoeba/crypto/one_way.hpp"
 #include "amoeba/net/network.hpp"
@@ -304,6 +306,52 @@ TEST(NetworkTest, StatsCountTraffic) {
   EXPECT_EQ(net.stats().unicasts.load(), 2u);
   EXPECT_EQ(net.stats().delivered.load(), 1u);
   EXPECT_EQ(net.stats().rejected.load(), 1u);
+}
+
+TEST(NetworkTest, TrafficPathTakesNoStripeLocks) {
+  // The RCU conversion's checkable claim: fault-free transmit and locate
+  // never acquire a stripe mutex (all stripe mutexes are CountedMutex, so
+  // the thread-local acquisition counter would move if they did).
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Receiver r = server.listen(Port(0x1CEE));
+  const auto& counters = common::this_thread_lock_counters();
+  const std::uint64_t before = counters.mutex_acquisitions;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.transmit(make_data(r.put_port(), 1), server.id()));
+    ASSERT_TRUE(client.locate(r.put_port()).has_value());
+  }
+  EXPECT_EQ(counters.mutex_acquisitions, before);
+}
+
+TEST(NetworkTest, RegistrationChurnNeverBlocksTraffic) {
+  // A registration storm on neighboring ports must not perturb delivery
+  // to a stable port: readers see immutable snapshots, so every transmit
+  // during the churn is admitted and delivered (fault-free network).
+  Network net;
+  Machine& server = net.add_machine("server");
+  Machine& client = net.add_machine("client");
+  Machine& churner = net.add_machine("churner");
+  Receiver stable = server.listen(Port(0x57AB));
+  std::atomic<bool> stop{false};
+  std::jthread churn([&] {
+    std::uint64_t port = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Register and immediately withdraw GETs across many stripes,
+      // including the stable port's own stripe (same port, different
+      // receiver) -- the worst case for a reader-writer race.
+      Receiver a = churner.listen(Port(0x57AB));
+      Receiver b = churner.listen(Port(port++ & 0xFFFF));
+    }
+  });
+  int delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(client.transmit(make_data(stable.put_port(), 1), server.id()));
+    delivered += stable.receive({}, 500ms).has_value() ? 1 : 0;
+  }
+  stop.store(true, std::memory_order_release);
+  EXPECT_EQ(delivered, 500);
 }
 
 TEST(NetworkTest, TapSeesLocateTraffic) {
