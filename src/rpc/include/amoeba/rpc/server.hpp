@@ -227,6 +227,15 @@ class Service {
   /// atomics; safe while workers run.
   [[nodiscard]] std::vector<OpMetricsSnapshot> op_metrics() const;
 
+  /// Installs the provider for the service's deployment line in detailed
+  /// std_info replies (replication role, peers, lag).  Unset, info_detail()
+  /// reports "role=standalone".  Call before start(); attach_durability
+  /// installs one automatically when its backend is replicated.
+  void set_info_detail(std::function<std::string()> provider);
+  /// The current deployment line.  Safe while workers run: the provider
+  /// reads its own thread-safe sources.
+  [[nodiscard]] std::string info_detail() const;
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] net::Machine& machine() { return *machine_; }
   /// Requests this service executed (handlers run + signature/filter
@@ -407,6 +416,8 @@ class Service {
   mutable std::mutex filter_mutex_;  // guards filter_ and signatures_
   std::shared_ptr<MessageFilter> filter_;
   std::vector<Port> allowed_signatures_;
+  mutable std::mutex info_detail_mutex_;       // guards info_detail_
+  std::function<std::string()> info_detail_;   // deployment-line provider
   // Floor persistence: the canonical suppression-state image is
   // maintained incrementally (O(1) per claim) and encoded+written to the
   // sink under ONE mutex, so a later persist always contains every

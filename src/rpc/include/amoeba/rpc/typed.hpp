@@ -479,6 +479,9 @@ void register_std_ops(Service& service, Store& store,
                  text += " " + describe(opened);
                }
                if (call.body.detail != 0) {
+                 // Deployment line: replication role, peers and shipping
+                 // lag (docs/PROTOCOL.md §9.5), or "role=standalone".
+                 text += "\n" + service.info_detail();
                  // Per-op latency/error counters keyed by OpInfo::name
                  // (the ROADMAP metrics follow-up from PR 3).
                  for (const auto& op : service.op_metrics()) {

@@ -12,6 +12,7 @@
 #include "amoeba/rpc/batch.hpp"
 #include "amoeba/storage/backend.hpp"
 #include "amoeba/storage/group_commit.hpp"
+#include "amoeba/storage/replication/replicated_backend.hpp"
 
 namespace amoeba::rpc {
 
@@ -509,6 +510,20 @@ void Service::persist_reply_body(const ClientKey& key, std::uint64_t seq,
   (void)sink(encode_reply_floors_locked());
 }
 
+void Service::set_info_detail(std::function<std::string()> provider) {
+  const std::lock_guard lock(info_detail_mutex_);
+  info_detail_ = std::move(provider);
+}
+
+std::string Service::info_detail() const {
+  std::function<std::string()> provider;
+  {
+    const std::lock_guard lock(info_detail_mutex_);
+    provider = info_detail_;
+  }
+  return provider != nullptr ? provider() : std::string("role=standalone");
+}
+
 void Service::attach_durability(std::shared_ptr<storage::Backend> backend) {
   attach_durability(std::move(backend), nullptr);
 }
@@ -518,6 +533,26 @@ void Service::attach_durability(
     std::shared_ptr<storage::GroupCommitter> committer) {
   if (backend == nullptr) {
     return;
+  }
+  // A replicated volume makes this service a replication primary: publish
+  // the role, peer count and shipping lag through std_info's detail line
+  // (docs/PROTOCOL.md §9.5).  The backend shared_ptr keeps the decorator
+  // alive as long as the provider.
+  if (auto replicated =
+          std::dynamic_pointer_cast<storage::ReplicatedBackend>(backend)) {
+    set_info_detail([replicated] {
+      replicated->heartbeat();  // refresh acked floors before reporting
+      const storage::ReplicatedBackend::Stats stats = replicated->stats();
+      std::string line = "role=primary mode=";
+      line += to_string(stats.mode);
+      line += " peers=" + std::to_string(stats.peers.size());
+      line += " shipped=" + std::to_string(stats.shipped_lsn);
+      for (const auto& peer : stats.peers) {
+        line += " " + peer.name +
+                ".lag=" + std::to_string(stats.shipped_lsn - peer.acked_lsn);
+      }
+      return line;
+    });
   }
   restore_reply_floors(backend->get_meta(kReplyFloorsKey));
   {
@@ -702,10 +737,20 @@ void Service::run(std::stop_token stop, std::latch& ready) {
             // durable (as a floor) BEFORE the handler can journal any
             // effect, so a crash can lose this operation but a restarted
             // server can never run its duplicate a second time.
-            persist_reply_floor(
-                ClientKey{delivery->src.value(),
-                          delivery->message.header.client},
-                delivery->message.header.seq);
+            try {
+              persist_reply_floor(
+                  ClientKey{delivery->src.value(),
+                            delivery->message.header.client},
+                  delivery->message.header.seq);
+            } catch (const std::exception&) {
+              // The volume refused durability -- a failed flush, or a
+              // fenced deposed primary (§9.4).  Without a durable floor
+              // the operation must not execute; the client hears the
+              // truth instead of the worker thread dying.
+              reply = net::make_reply(delivery->message, ErrorCode::internal);
+              executed = false;
+              cache_reply = false;
+            }
             break;
         }
       }

@@ -118,6 +118,16 @@ Buffer MemoryBackend::get_meta(std::string_view key) const {
   return it == meta_.end() ? Buffer{} : it->second;
 }
 
+std::vector<std::string> MemoryBackend::meta_keys() const {
+  const std::lock_guard lock(meta_mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(meta_.size());
+  for (const auto& [key, value] : meta_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
 bool MemoryBackend::empty() const {
   for (const auto& shard : shards_) {
     const std::lock_guard lock(shard->mutex);
@@ -350,12 +360,60 @@ std::filesystem::path FileBackend::commit_log_path() const {
   return directory_ / "commit.log";
 }
 
-std::filesystem::path FileBackend::meta_path(std::string_view key) const {
+namespace {
+
+/// Filename-safe, LOSSLESS key encoding: alphanumerics and '-' pass
+/// through, every other byte becomes %XX.  Reversible so meta_keys() can
+/// reconstruct the original keys from a directory listing (the replication
+/// resync path replays them on the backup under their true names).
+[[nodiscard]] std::string escape_meta_key(std::string_view key) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
   std::string safe;
+  safe.reserve(key.size());
   for (const char c : key) {
-    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+    const auto byte = static_cast<unsigned char>(c);
+    if (std::isalnum(byte) != 0 || c == '-') {
+      safe.push_back(c);
+    } else {
+      safe.push_back('%');
+      safe.push_back(kHex[byte >> 4]);
+      safe.push_back(kHex[byte & 0xF]);
+    }
   }
-  return directory_ / ("meta-" + safe + ".bin");
+  return safe;
+}
+
+[[nodiscard]] std::string unescape_meta_key(std::string_view safe) {
+  std::string key;
+  key.reserve(safe.size());
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    if (safe[i] == '%' && i + 2 < safe.size()) {
+      const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') {
+          return c - '0';
+        }
+        if (c >= 'A' && c <= 'F') {
+          return c - 'A' + 10;
+        }
+        return -1;
+      };
+      const int hi = nibble(safe[i + 1]);
+      const int lo = nibble(safe[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        key.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    key.push_back(safe[i]);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::filesystem::path FileBackend::meta_path(std::string_view key) const {
+  return directory_ / ("meta-" + escape_meta_key(key) + ".bin");
 }
 
 void FileBackend::append_journal(std::size_t shard,
@@ -655,6 +713,19 @@ void FileBackend::put_meta(std::string_view key,
 Buffer FileBackend::get_meta(std::string_view key) const {
   const std::lock_guard lock(meta_mutex_);
   return read_file(meta_path(key));
+}
+
+std::vector<std::string> FileBackend::meta_keys() const {
+  const std::lock_guard lock(meta_mutex_);
+  std::vector<std::string> keys;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const auto name = entry.path().filename().string();
+    if (name.starts_with("meta-") && name.ends_with(".bin")) {
+      keys.push_back(unescape_meta_key(
+          std::string_view(name).substr(5, name.size() - 9)));
+    }
+  }
+  return keys;
 }
 
 bool FileBackend::empty() const {

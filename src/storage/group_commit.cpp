@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "amoeba/common/error.hpp"
+#include "amoeba/storage/replication/replicated_backend.hpp"
 
 namespace amoeba::storage {
 
@@ -15,6 +16,15 @@ GroupCommitter::GroupCommitter(std::shared_ptr<Backend> backend,
     throw UsageError("GroupCommitter: null backend");
   }
   pending_.resize(backend_->shard_count());
+  // A replicated volume binds itself to its committer: every flush cycle
+  // then ships through the post-flush hook (the exact bytes that hit the
+  // local disk, ack-mode wait included), and the decorator's own append
+  // paths stand down for committer traffic.  Wiring this here means a
+  // server gains replication by being handed a ReplicatedBackend --
+  // no server code changes.
+  if (auto* replicated = dynamic_cast<ReplicatedBackend*>(backend_.get())) {
+    replicated->bind_committer(*this);
+  }
   flusher_ = std::jthread(
       [this](const std::stop_token& stop) { flusher(stop); });
 }
@@ -132,6 +142,14 @@ GroupCommitter::Stats GroupCommitter::stats() const {
   return stats_;
 }
 
+void GroupCommitter::set_post_flush_hook(PostFlushHook hook) {
+  const std::lock_guard lock(mutex_);
+  if (post_flush_hook_ != nullptr && hook != nullptr) {
+    throw UsageError("GroupCommitter: post-flush hook already installed");
+  }
+  post_flush_hook_ = std::move(hook);
+}
+
 void GroupCommitter::flusher(const std::stop_token& stop) {
   std::unique_lock lock(mutex_);
   for (;;) {
@@ -159,8 +177,13 @@ void GroupCommitter::flusher(const std::stop_token& stop) {
     dirty_shards_.clear();
     const std::uint64_t records = std::exchange(pending_records_, 0);
     auto metas = std::exchange(pending_meta_, {});
+    const PostFlushHook hook = post_flush_hook_;
     lock.unlock();
 
+    std::uint64_t cycle_bytes = 0;
+    for (const ShardAppend& a : group) {
+      cycle_bytes += a.bytes.size();
+    }
     try {
       // Metadata first: within a cycle the reply-cache floor image must
       // hit the volume before the journal effects it gates (§8.4's
@@ -171,7 +194,12 @@ void GroupCommitter::flusher(const std::stop_token& stop) {
       }
       if (!group.empty()) {
         bool completed = false;
-        backend_->submit_append_group(std::move(group),
+        // With a hook installed the group must survive the write (the
+        // hook ships these exact bytes), so the backend gets its own
+        // copy; without one, ownership moves as before.
+        std::vector<ShardAppend> to_disk =
+            hook != nullptr ? group : std::move(group);
+        backend_->submit_append_group(std::move(to_disk),
                                       [&completed] { completed = true; });
         if (!completed) {
           // The base Backend completes inline; an async (io_uring-style)
@@ -181,6 +209,13 @@ void GroupCommitter::flusher(const std::stop_token& stop) {
           throw UsageError(
               "GroupCommitter: backend deferred completion unsupported");
         }
+      }
+      if (hook != nullptr) {
+        // After the local writes, before the waiters release: the hook
+        // (replication shipping) sees exactly what hit the disk, and a
+        // released waiter knows the cycle was already offered to -- and,
+        // per the ack mode, acknowledged by -- the backups.
+        hook(FlushCycle{covered, cycle_bytes, &metas, &group});
       }
     } catch (const std::exception& e) {
       lock.lock();
@@ -195,6 +230,7 @@ void GroupCommitter::flusher(const std::stop_token& stop) {
     stats_.records += records;
     stats_.meta_writes += metas.size();
     stats_.max_group = std::max(stats_.max_group, records);
+    stats_.flush_cycle_bytes += cycle_bytes;
     durable_cv_.notify_all();
   }
 }

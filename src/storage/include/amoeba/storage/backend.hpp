@@ -96,6 +96,10 @@ class Backend {
   virtual void put_meta(std::string_view key,
                         std::span<const std::uint8_t> value) = 0;
   [[nodiscard]] virtual Buffer get_meta(std::string_view key) const = 0;
+  /// Every metadata key currently on the volume (unspecified order).  The
+  /// replication resync path walks this to ship a new backup the whole
+  /// metadata area.
+  [[nodiscard]] virtual std::vector<std::string> meta_keys() const = 0;
 
   /// True when the volume holds no journal bytes, snapshots, or metadata
   /// (a fresh disk: the store initializes instead of recovering).
@@ -118,6 +122,7 @@ class MemoryBackend final : public Backend {
   void put_meta(std::string_view key,
                 std::span<const std::uint8_t> value) override;
   [[nodiscard]] Buffer get_meta(std::string_view key) const override;
+  [[nodiscard]] std::vector<std::string> meta_keys() const override;
   [[nodiscard]] bool empty() const override;
 
   /// Installs the journal-barrier hook: invoked after every journal append
@@ -182,6 +187,7 @@ class FileBackend final : public Backend {
   void put_meta(std::string_view key,
                 std::span<const std::uint8_t> value) override;
   [[nodiscard]] Buffer get_meta(std::string_view key) const override;
+  [[nodiscard]] std::vector<std::string> meta_keys() const override;
   [[nodiscard]] bool empty() const override;
 
   [[nodiscard]] const std::filesystem::path& directory() const {

@@ -73,7 +73,23 @@ class GroupCommitter {
     std::uint64_t records = 0;       // journal appends those cycles carried
     std::uint64_t meta_writes = 0;   // coalesced metadata writes issued
     std::uint64_t max_group = 0;     // largest single cycle, in records
+    std::uint64_t flush_cycle_bytes = 0;  // journal bytes those cycles wrote
   };
+
+  /// One completed flush cycle as the post-flush hook sees it: the exact
+  /// bytes that just became durable on the local backend, BEFORE any
+  /// wait_durable(ticket <= this cycle's ticket) is released.  Replication
+  /// ships from here -- no second encode pass, and a waiter released by
+  /// this cycle knows its records were already offered to the backups.
+  struct FlushCycle {
+    Ticket ticket = 0;        // highest ticket the cycle covers
+    std::uint64_t bytes = 0;  // journal bytes the cycle carried
+    /// The cycle's coalesced metadata writes (key -> image), as written.
+    const std::map<std::string, Buffer, std::less<>>* metas = nullptr;
+    /// The cycle's per-shard journal appends, as written.
+    const std::vector<ShardAppend>* appends = nullptr;
+  };
+  using PostFlushHook = std::function<void(const FlushCycle&)>;
 
   explicit GroupCommitter(std::shared_ptr<Backend> backend,
                           Options options = {});
@@ -144,6 +160,15 @@ class GroupCommitter {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Installs the post-flush hook (one subscriber; throws on a second).
+  /// Runs on the flusher thread after the cycle's backend writes complete
+  /// and before its waiters release; a hook that throws latches the
+  /// committer into the failed state exactly like a backend write failure
+  /// (durability -- which now includes the hook's ack contract -- is never
+  /// reported optimistically).  Constructing a GroupCommitter over a
+  /// ReplicatedBackend installs the shipping hook automatically.
+  void set_post_flush_hook(PostFlushHook hook);
+
   [[nodiscard]] const std::shared_ptr<Backend>& backend() const {
     return backend_;
   }
@@ -166,6 +191,7 @@ class GroupCommitter {
   Ticket durable_ = 0;  // highest ticket reported durable
   std::string failure_;  // non-empty once a backend write failed
   Stats stats_;
+  PostFlushHook post_flush_hook_;
 
   std::jthread flusher_;  // last member: starts after the state above
 };

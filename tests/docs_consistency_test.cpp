@@ -18,6 +18,7 @@
 #include "amoeba/core/schemes.hpp"
 #include "amoeba/kernel/memory_server.hpp"
 #include "amoeba/net/network.hpp"
+#include "amoeba/rpc/replication.hpp"
 #include "amoeba/servers/bank_server.hpp"
 #include "amoeba/servers/block_server.hpp"
 #include "amoeba/servers/directory_server.hpp"
@@ -115,8 +116,11 @@ std::map<std::uint16_t, Row> live_registry() {
   kernel::MemoryServer memory(m, Port(0x0106), scheme, 6);
   softprot::BootService boot(m, Port(0x0107),
                              std::make_shared<softprot::KeyStore>(), 7);
-  const rpc::Service* services[] = {
-      &bank, &block, &directory, &flatfile, &multiversion, &memory, &boot};
+  rpc::ReplicaServer replica(m, Port(0x0108), scheme, 8,
+                             std::make_shared<storage::MemoryBackend>(16));
+  const rpc::Service* services[] = {&bank,         &block,  &directory,
+                                    &flatfile,     &multiversion, &memory,
+                                    &boot,         &replica};
 
   std::map<std::uint16_t, Row> registry;
   for (const rpc::Service* service : services) {

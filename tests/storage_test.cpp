@@ -466,6 +466,9 @@ class ExplodingBackend final : public Backend {
   [[nodiscard]] Buffer get_meta(std::string_view key) const override {
     return inner_.get_meta(key);
   }
+  [[nodiscard]] std::vector<std::string> meta_keys() const override {
+    return inner_.meta_keys();
+  }
   [[nodiscard]] bool empty() const override { return inner_.empty(); }
 
  private:
