@@ -1,0 +1,101 @@
+// Conventions shared by cluster_node and cluster_harness.
+//
+// A cluster is N independent processes, each hosting one SocketNetwork
+// node and one service role.  Nothing is shared between them except:
+//
+//   * the deterministic one-way function (crypto::default_one_way), so
+//     every process computes the same PUT = F(GET);
+//   * one protection scheme, derived from a fixed RNG seed -- for a
+//     deterministic scheme the seed IS the cluster-wide secret;
+//   * the fixed GET-ports below, so a restarted process re-registers the
+//     same service identity and pre-crash capabilities keep validating.
+//
+// Processes rendezvous through small key=value "boot files" in a shared
+// run directory: a node writes <name>.boot (atomically, temp + rename)
+// once its services are listening, and the harness polls for it.  The
+// boot file carries the ephemeral listen port, the node's machine id,
+// the current incarnation, and any capabilities the harness needs
+// (bank master, replica volume, directory root) hex-encoded via
+// core::pack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "amoeba/core/capability.hpp"
+
+namespace amoeba::cluster {
+
+// Service GET-ports.  Fixed across the cluster (and across restarts):
+// the GET-port plus the shared scheme is the whole service identity.
+inline constexpr std::uint64_t kBankGetPort = 0x10AD;
+inline constexpr std::uint64_t kDirectoryGetPort = 0xD1C7;
+inline constexpr std::uint64_t kReplicaGetPort = 0x7B01;
+
+// The cluster-wide protection-scheme seed (make_scheme is deterministic
+// in its RNG, so every process derives the identical scheme from it).
+inline constexpr std::uint64_t kSchemeSeed = 31;
+
+[[nodiscard]] inline std::string to_hex(const core::CapabilityBytes& bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::optional<core::CapabilityBytes> from_hex(
+    const std::string& hex) {
+  if (hex.size() != 32) return std::nullopt;
+  core::CapabilityBytes bytes{};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return bytes;
+}
+
+/// Writes `content` to `path` atomically: readers polling the path never
+/// observe a half-written file.
+inline void write_file_atomic(const std::filesystem::path& path,
+                              const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+/// Parses a key=value-per-line file (empty map when absent/unreadable).
+[[nodiscard]] inline std::map<std::string, std::string> read_kv(
+    const std::filesystem::path& path) {
+  std::map<std::string, std::string> kv;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace amoeba::cluster

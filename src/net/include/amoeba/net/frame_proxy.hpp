@@ -1,0 +1,111 @@
+// A frame-aware TCP proxy for injecting deployment-shaped link faults.
+//
+// The simulated Network injects faults per frame; a real TCP stream cannot
+// lose bytes in the middle without desynchronizing the length-prefixed
+// framing.  FrameProxy sits between two SocketNetwork nodes, re-parses the
+// stream into frames, and rolls fault dice PER FRAME each direction:
+//
+//   * drop: the frame silently never reaches the other side,
+//   * delay: the pump sleeps before forwarding (adds latency and, because
+//     connections are independent, reordering across connections),
+//   * partition: no frames pass in either direction until lifted
+//     (connections stay up -- the nastier half-alive failure mode),
+//   * sever: every live connection is torn down at once, forcing both
+//     sides through their reconnect paths.
+//
+// One proxy fronts one target endpoint: clients dial the proxy's
+// listen_port() instead of the target's, and each accepted connection gets
+// its own connection to the target (so a target crash tears the client
+// connection too, propagating the failure like a real middlebox).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amoeba/common/rng.hpp"
+
+namespace amoeba::net {
+
+class FrameProxy {
+ public:
+  struct Config {
+    std::string target_host = "127.0.0.1";
+    std::uint16_t target_port = 0;
+    std::uint16_t listen_port = 0;  // 0 = ephemeral
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t severed = 0;
+  };
+
+  explicit FrameProxy(Config config);
+  ~FrameProxy();
+
+  FrameProxy(const FrameProxy&) = delete;
+  FrameProxy& operator=(const FrameProxy&) = delete;
+
+  /// The port clients should dial (resolves an ephemeral listen_port).
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+
+  /// Per-frame fault knobs, adjustable at runtime from the harness.
+  void set_faults(double drop_probability,
+                  std::chrono::milliseconds delay = {});
+  void set_partitioned(bool partitioned);
+  /// Tears down every live proxied connection (both sides), forcing the
+  /// endpoints through reconnect.
+  void sever();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Session {
+    int client_fd = -1;
+    int target_fd = -1;
+    std::atomic<bool> up{true};
+    std::thread to_target;
+    std::thread to_client;
+  };
+
+  void accept_loop();
+  void pump(const std::shared_ptr<Session>& session, int from, int to);
+  static void tear_down(Session& session);
+
+  Config config_;
+  std::uint16_t listen_port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<double> drop_probability_{0.0};
+  std::atomic<std::int64_t> delay_ms_{0};
+  std::atomic<bool> partitioned_{false};
+
+  mutable std::mutex rng_mutex_;
+  Rng rng_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> delayed{0};
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> severed{0};
+  };
+  AtomicStats stats_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::thread acceptor_;  // last: joined first in the destructor
+};
+
+}  // namespace amoeba::net

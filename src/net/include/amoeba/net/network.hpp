@@ -229,6 +229,11 @@ class Network {
     double drop_probability = 0.0;       // applied per delivery attempt
     double duplicate_probability = 0.0;  // applied per delivered frame
     double reorder_probability = 0.0;    // applied per delivered frame
+    // Machine ids are assigned base+1, base+2, ...  One in-process network
+    // always uses 0; nodes of a multi-process cluster (SocketNetwork) each
+    // take a disjoint base so the stamped source ids -- which key reply
+    // caches and the software-protection matrix -- stay unique clusterwide.
+    std::uint32_t machine_id_base = 0;
   };
 
   struct Stats {
@@ -248,7 +253,7 @@ class Network {
   explicit Network(Config config,
                    std::shared_ptr<const crypto::OneWayFn> f =
                        crypto::default_one_way());
-  ~Network();
+  virtual ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -283,6 +288,36 @@ class Network {
   /// Removes every per-link override (global knobs apply again) and
   /// releases held frames.
   void clear_link_faults();
+
+ protected:
+  // The three frame entry points are virtual so a transport subclass
+  // (SocketNetwork) can route frames for non-local machines onto another
+  // medium while reusing the local building blocks below.  All return
+  // without holding any lock while invoking taps/mailboxes.
+  virtual bool transmit_from(Machine& src, Message msg, MachineId dst);
+  virtual void broadcast_from(Machine& src, Message msg);
+  virtual std::optional<MachineId> locate_from(Machine& src, Port put_port);
+
+  /// Frame accounting (unicast/broadcast + batch counters) for one send.
+  void count_outgoing(const Message& msg, bool broadcast);
+  /// The simulated wire for one local delivery leg: rolls the fault dice,
+  /// probes the stripe registry for a GET on (dst, msg.dest), round-robins
+  /// across matching registrations, and services the reorder holdback slot
+  /// for the link.  `msg` must already be in wire form (F-box applied).
+  /// Returns whether the destination F-box admitted the frame.
+  bool deliver_one(MachineId src, Message msg, MachineId dst);
+  /// Broadcast legs to every local registration on msg.dest, with per-leg
+  /// fault dice exactly like the unicast path (counts one rejected frame
+  /// when nobody listens).  `msg` must already be in wire form.
+  void broadcast_deliver(MachineId src, const Message& msg);
+  /// First local machine with a GET outstanding on put_port, if any.
+  [[nodiscard]] std::optional<MachineId> lookup_listener(Port put_port);
+  /// True when `id` names a machine of THIS network instance (falls inside
+  /// the (machine_id_base, machine_id_base + count] window).
+  [[nodiscard]] bool is_local_machine(MachineId id) const;
+  void emit(const TapRecord& record);
+  [[nodiscard]] bool taps_active() const;
+  [[nodiscard]] Stats& live_stats() { return stats_; }
 
  private:
   friend class Machine;
@@ -335,17 +370,11 @@ class Network {
 
   using TapList = std::vector<std::pair<std::uint64_t, TapFn>>;
 
-  // All return without holding any lock while invoking taps/mailboxes.
-  bool transmit_from(Machine& src, Message msg, MachineId dst);
-  void broadcast_from(Machine& src, Message msg);
-  std::optional<MachineId> locate_from(Machine& src, Port put_port);
   Receiver register_listener(Machine& m, Port get_port,
                              std::shared_ptr<Mailbox> shared_mailbox = nullptr);
   void unregister(std::uint64_t id, Port put_port);
   void detach_tap(std::uint64_t id);
   void mutate_taps(const std::function<void(TapList&)>& edit);
-  void emit(const TapRecord& record);
-  [[nodiscard]] bool taps_active() const;
 
   /// Outcome of one fault-dice roll for one frame.
   struct FaultPlan {

@@ -99,10 +99,17 @@ Network::~Network() = default;
 
 Machine& Network::add_machine(std::string name) {
   const std::lock_guard lock(machines_mutex_);
-  const MachineId id(static_cast<std::uint32_t>(machines_.size() + 1));
+  const MachineId id(config_.machine_id_base +
+                     static_cast<std::uint32_t>(machines_.size() + 1));
   machines_.push_back(std::unique_ptr<Machine>(
       new Machine(this, id, std::move(name), f_, config_.fbox_enabled)));
   return *machines_.back();
+}
+
+bool Network::is_local_machine(MachineId id) const {
+  const std::lock_guard lock(machines_mutex_);
+  return id.value() > config_.machine_id_base &&
+         id.value() <= config_.machine_id_base + machines_.size();
 }
 
 void Network::mutate_taps(const std::function<void(TapList&)>& edit) {
@@ -280,11 +287,16 @@ void Network::unregister(std::uint64_t id, Port put_port) {
   common::EpochDomain::global().retire(current);
 }
 
-bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
-  stats_.unicasts.fetch_add(1, std::memory_order_relaxed);
+void Network::count_outgoing(const Message& msg, bool broadcast) {
+  (broadcast ? stats_.broadcasts : stats_.unicasts)
+      .fetch_add(1, std::memory_order_relaxed);
   if ((msg.header.flags & kFlagBatch) != 0) {
     stats_.batch_frames.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
+  count_outgoing(msg, /*broadcast=*/false);
   // The F-box transformation happens on the way out; after this point the
   // message is in wire form and the secret get-port/signature values are
   // gone.
@@ -293,8 +305,11 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   if (taps_active()) {
     emit(TapRecord{FrameKind::data, src.id(), dst, msg, Port()});
   }
+  return deliver_one(src.id(), std::move(msg), dst);
+}
 
-  const FaultPlan plan = fault_plan(src.id(), dst, /*allow_hold=*/true);
+bool Network::deliver_one(MachineId src, Message msg, MachineId dst) {
+  const FaultPlan plan = fault_plan(src, dst, /*allow_hold=*/true);
   // Pick the destination mailbox: a registration on `dst` whose port
   // matches the frame's destination field.
   std::shared_ptr<Mailbox> mailbox;
@@ -334,7 +349,7 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     return false;  // receiving F-box had no GET outstanding
   }
-  const std::uint64_t link = link_key(src.id(), dst);
+  const std::uint64_t link = link_key(src, dst);
   int copies = plan.copies;
   bool stashed = false;
   if (plan.hold) {
@@ -347,7 +362,7 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
     {
       const std::lock_guard lock(fault_mutex_);
       if (!held_.contains(link)) {
-        held_.emplace(link, Held{mailbox, Delivery{src.id(), msg}});
+        held_.emplace(link, Held{mailbox, Delivery{src, msg}});
         held_count_.fetch_add(1, std::memory_order_relaxed);
         stashed = true;
       }
@@ -362,10 +377,10 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
   stats_.delivered.fetch_add(static_cast<std::uint64_t>(copies),
                              std::memory_order_relaxed);
   for (int i = 0; i + 1 < copies; ++i) {
-    mailbox->push(Delivery{src.id(), msg});
+    mailbox->push(Delivery{src, msg});
   }
   if (copies > 0) {
-    mailbox->push(Delivery{src.id(), std::move(msg)});  // last copy moves
+    mailbox->push(Delivery{src, std::move(msg)});  // last copy moves
   }
   // A frame held on this link is released AFTER the one just handled --
   // the actual reordering (never the frame stashed this very call).
@@ -390,16 +405,16 @@ bool Network::transmit_from(Machine& src, Message msg, MachineId dst) {
 }
 
 void Network::broadcast_from(Machine& src, Message msg) {
-  stats_.broadcasts.fetch_add(1, std::memory_order_relaxed);
-  if ((msg.header.flags & kFlagBatch) != 0) {
-    stats_.batch_frames.fetch_add(1, std::memory_order_relaxed);
-  }
+  count_outgoing(msg, /*broadcast=*/true);
   src.fbox().transform_outgoing(msg.header);
 
   if (taps_active()) {
     emit(TapRecord{FrameKind::data, src.id(), MachineId(), msg, Port()});
   }
+  broadcast_deliver(src.id(), msg);
+}
 
+void Network::broadcast_deliver(MachineId src, const Message& msg) {
   std::vector<std::pair<std::shared_ptr<Mailbox>, MachineId>> targets;
   {
     Stripe& stripe = stripe_for(msg.header.dest);
@@ -426,15 +441,15 @@ void Network::broadcast_from(Machine& src, Message msg) {
   // unicast path (one held frame per link, released by the next frame on
   // that same link).
   for (auto& [mailbox, dst] : targets) {
-    const FaultPlan plan = fault_plan(src.id(), dst, /*allow_hold=*/true);
+    const FaultPlan plan = fault_plan(src, dst, /*allow_hold=*/true);
     int copies = plan.copies;
-    const std::uint64_t link = link_key(src.id(), dst);
+    const std::uint64_t link = link_key(src, dst);
     bool stashed = false;
     if (plan.hold) {
       {
         const std::lock_guard lock(fault_mutex_);
         if (!held_.contains(link)) {
-          held_.emplace(link, Held{mailbox, Delivery{src.id(), msg}});
+          held_.emplace(link, Held{mailbox, Delivery{src, msg}});
           held_count_.fetch_add(1, std::memory_order_relaxed);
           stashed = true;
         }
@@ -448,7 +463,7 @@ void Network::broadcast_from(Machine& src, Message msg) {
       stats_.delivered.fetch_add(static_cast<std::uint64_t>(copies),
                                  std::memory_order_relaxed);
       for (int i = 0; i < copies; ++i) {
-        mailbox->push(Delivery{src.id(), msg});
+        mailbox->push(Delivery{src, msg});
       }
     }
     // A frame previously held on this link is released AFTER the one just
@@ -473,25 +488,26 @@ void Network::broadcast_from(Machine& src, Message msg) {
   }
 }
 
+std::optional<MachineId> Network::lookup_listener(Port put_port) {
+  Stripe& stripe = stripe_for(put_port);
+  const common::EpochDomain::Guard guard = common::EpochDomain::global().pin();
+  const PortMap* map = stripe.map.load(std::memory_order_acquire);
+  const auto it =
+      map != nullptr ? map->find(put_port) : PortMap::const_iterator{};
+  if (map != nullptr && it != map->end() &&
+      !it->second->registrations.empty()) {
+    return it->second->registrations.front().machine;
+  }
+  return std::nullopt;
+}
+
 std::optional<MachineId> Network::locate_from(Machine& src, Port put_port) {
   stats_.locates.fetch_add(1, std::memory_order_relaxed);
   if (taps_active()) {
     emit(TapRecord{FrameKind::locate_request, src.id(), MachineId(),
                    Message{}, put_port});
   }
-  std::optional<MachineId> found;
-  {
-    Stripe& stripe = stripe_for(put_port);
-    const common::EpochDomain::Guard guard =
-        common::EpochDomain::global().pin();
-    const PortMap* map = stripe.map.load(std::memory_order_acquire);
-    const auto it = map != nullptr ? map->find(put_port)
-                                   : PortMap::const_iterator{};
-    if (map != nullptr && it != map->end() &&
-        !it->second->registrations.empty()) {
-      found = it->second->registrations.front().machine;
-    }
-  }
+  const std::optional<MachineId> found = lookup_listener(put_port);
   if (found.has_value() && taps_active()) {
     emit(TapRecord{FrameKind::locate_reply, *found, src.id(), Message{},
                    put_port});

@@ -1,0 +1,99 @@
+// Internal POSIX socket helpers shared by SocketNetwork and FrameProxy.
+// Not installed; everything here assumes blocking stream sockets whose
+// reads are unblocked by shutdown() from another thread.
+#pragma once
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace amoeba::net::detail {
+
+inline bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, out, n, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    out += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+inline bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a torn connection must surface as EPIPE, not SIGPIPE.
+    const ssize_t put = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+inline void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking TCP connect; returns the fd or -1.
+inline int connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) set_nodelay(fd);
+  return fd;
+}
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral); stores the
+/// actually bound port in *bound.  Returns the fd or -1.
+inline int listen_on(std::uint16_t port, std::uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    *bound = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace amoeba::net::detail

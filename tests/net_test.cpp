@@ -12,11 +12,15 @@
 #include "amoeba/common/rng.hpp"
 #include "amoeba/crypto/one_way.hpp"
 #include "amoeba/net/network.hpp"
+#include "test_seed.hpp"
 
 namespace amoeba::net {
 namespace {
 
 using namespace std::chrono_literals;
+
+// Fault-dice seed for this suite; override with AMOEBA_TEST_SEED.
+std::uint64_t fault_seed() { return amoeba::test::seed_base(9); }
 
 Message make_data(Port dest, std::uint16_t opcode) {
   Message m;
@@ -232,7 +236,8 @@ TEST(NetworkTest, BroadcastReorderHoldsAndReleasesPerLink) {
 }
 
 TEST(NetworkTest, BroadcastDuplicateFaultDeliversTwicePerLeg) {
-  Network net(Network::Config{.seed = 9, .duplicate_probability = 1.0});
+  Network net(
+      Network::Config{.seed = fault_seed(), .duplicate_probability = 1.0});
   Machine& a = net.add_machine("a");
   Machine& b = net.add_machine("b");
   Machine& sender = net.add_machine("sender");
@@ -276,7 +281,7 @@ TEST(NetworkTest, LocateTracksMigration) {
 }
 
 TEST(NetworkTest, DropFaultLosesFrames) {
-  Network net(Network::Config{.seed = 9, .drop_probability = 1.0});
+  Network net(Network::Config{.seed = fault_seed(), .drop_probability = 1.0});
   Machine& server = net.add_machine("server");
   Machine& client = net.add_machine("client");
   Receiver r = server.listen(Port(0xAA11));
@@ -287,7 +292,8 @@ TEST(NetworkTest, DropFaultLosesFrames) {
 }
 
 TEST(NetworkTest, DuplicateFaultDeliversTwice) {
-  Network net(Network::Config{.seed = 9, .duplicate_probability = 1.0});
+  Network net(
+      Network::Config{.seed = fault_seed(), .duplicate_probability = 1.0});
   Machine& server = net.add_machine("server");
   Machine& client = net.add_machine("client");
   Receiver r = server.listen(Port(0xAA22));

@@ -25,6 +25,7 @@
 #include "amoeba/storage/replication/replica.hpp"
 #include "amoeba/storage/replication/replicated_backend.hpp"
 #include "amoeba/storage/replication/wire.hpp"
+#include "test_seed.hpp"
 
 namespace amoeba::storage {
 namespace {
@@ -310,7 +311,9 @@ class ReplicationSuite : public ::testing::Test {
     }
   }
 
-  net::Network net_;
+  // AMOEBA_TEST_SEED reseeds the in-process network's fault dice and the
+  // client transports in one go (logged at startup for replay).
+  net::Network net_{net::Network::Config{.seed = test::seed_base(43)}};
   net::Machine& bank_machine_;
   net::Machine& backup_machine_;
   net::Machine& client_machine_;
@@ -323,7 +326,7 @@ class ReplicationSuite : public ::testing::Test {
   std::unique_ptr<BankClient> client_;
   core::Capability alice_;
   core::Capability bob_;
-  std::uint64_t seed_ = 55;
+  std::uint64_t seed_ = test::seed_base(43) + 55;
 };
 
 TEST_F(ReplicationSuite, AckOneShipsEveryFlushCycleToTheBackup) {
@@ -450,6 +453,66 @@ TEST_F(ReplicationSuite, DirectPathShipsMiniCyclesWithoutACommitter) {
   EXPECT_EQ(backup_backend_->read_snapshot(2), image);
   EXPECT_TRUE(backup_backend_->read_journal(2).empty())
       << "snapshot install must truncate the shipped journal too";
+}
+
+TEST_F(ReplicationSuite, AttachPeerRacesPromotionUnderFlushStorm) {
+  // The failover drill's natural shape, compressed into one process so
+  // TSan can watch every interleaving: a committer-driven flush storm on
+  // the primary, a backup attaching mid-stream (full resync broadcast),
+  // and a concurrent promotion of that same backup.  Each mutation must
+  // end in exactly one of two legal states -- durably acked, or refused
+  // by the committer's failed latch once the shipper is fenced -- and
+  // the storm threads must always terminate (a promoted backup answers
+  // `immutable`, which fences the primary and fails every pending and
+  // future durability wait instead of retrying forever).
+  auto primary = std::make_shared<storage::ReplicatedBackend>(
+      local_, storage::AckMode::ack_one);
+  storage::GroupCommitter committer(primary);
+
+  std::atomic<int> durable{0};
+  std::atomic<int> fenced_waits{0};
+  auto storm = [&](std::size_t shard) {
+    const Buffer record = {0x11, 0x22, 0x33, 0x44};
+    while (true) {
+      try {
+        committer.wait_durable(committer.enqueue(shard, record));
+        durable.fetch_add(1);
+      } catch (const std::exception&) {
+        fenced_waits.fetch_add(1);
+        return;  // fence latched: every later wait throws too
+      }
+    }
+  };
+  std::jthread storm_a(storm, 0);
+  std::jthread storm_b(storm, 3);
+
+  // Let the storm establish a stream of flush cycles first (with no peer
+  // attached, ack_one waits release on local durability alone).
+  while (durable.load() < 8) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  rpc::Transport promote_transport(client_machine_, seed_++);
+  const std::uint64_t link_seed = seed_++;
+  {
+    std::jthread attacher([&] {
+      primary->attach_peer(std::make_shared<rpc::TransportReplicationLink>(
+          bank_machine_, link_seed, "backup", replica_->volume_capability()));
+    });
+    std::jthread promoter([&] {
+      const auto floor = rpc::rep_promote(promote_transport,
+                                          replica_->volume_capability());
+      EXPECT_TRUE(floor.ok());
+    });
+  }  // both joined
+
+  // Whatever the interleaving, the promoted backup eventually refuses a
+  // shipment, the shipper fences, and both storm threads exit loudly.
+  storm_a.join();
+  storm_b.join();
+  EXPECT_TRUE(replica_->applier().promoted());
+  EXPECT_EQ(fenced_waits.load(), 2);
+  EXPECT_GE(durable.load(), 8);
 }
 
 TEST_F(ReplicationSuite, LateAttachResyncsAWholeVolume) {

@@ -18,6 +18,7 @@
 #include "amoeba/rpc/typed.hpp"
 #include "amoeba/servers/bank_server.hpp"
 #include "amoeba/servers/common.hpp"
+#include "test_seed.hpp"
 
 namespace amoeba::servers {
 namespace {
@@ -27,14 +28,16 @@ using namespace std::chrono_literals;
 class LossySuite : public ::testing::Test {
  protected:
   LossySuite()
-      : bank_machine_(net_.add_machine("bank")),
+      : net_(net::Network::Config{.seed = test::seed_base(17)}),
+        bank_machine_(net_.add_machine("bank")),
         client_machine_(net_.add_machine("client")),
-        rng_(17) {
+        rng_(test::seed_base(17) + 1) {
     bank_ = std::make_unique<BankServer>(
         bank_machine_, Port(0x10AD),
         core::make_scheme(core::SchemeKind::commutative, rng_), 1);
     bank_->start(2);
-    transport_ = std::make_unique<rpc::Transport>(client_machine_, 2);
+    transport_ = std::make_unique<rpc::Transport>(client_machine_,
+                                                  test::seed_base(17) + 2);
     // Fast backoff so lossy runs converge quickly; generous deadline so
     // 20% drop cannot realistically exhaust it.
     transport_->set_retransmit(5ms, 80ms);
@@ -269,7 +272,8 @@ TEST_F(LossySuite, RecreatedTransportGetsAFreshClientId) {
   // the old one's (client id, seq) stream: a surviving server would
   // answer its first transactions from the old transport's reply cache.
   const std::uint64_t first_id = transport_->client_id();
-  rpc::Transport reborn(client_machine_, 2);  // same machine, same seed
+  rpc::Transport reborn(client_machine_,
+                        test::seed_base(17) + 2);  // same machine, same seed
   EXPECT_NE(reborn.client_id(), first_id);
   EXPECT_NE(reborn.client_id(), 0u);
   // And it really does execute fresh transactions against the same bank.

@@ -1,0 +1,249 @@
+// SocketNetwork: the simulated LAN's delivery semantics over real TCP.
+//
+// Two (or more) SocketNetwork instances run in one test process and talk
+// over 127.0.0.1, which is exactly the multi-process deployment shape --
+// nothing is shared between the instances except the deterministic
+// one-way function.  The suite adapts net_test's delivery semantics to
+// the places where a real wire differs from the simulated one:
+//
+//   * transmit to a machine no frame or locate reply ever named fails
+//     fast (the "no GET outstanding" signal), but a frame sent into a
+//     torn link is silently lost and the sender still sees true --
+//     best-effort, recovered by the at-most-once layer;
+//   * fault injection comes from net::FrameProxy between the nodes, not
+//     from the local fault knobs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "amoeba/net/frame_proxy.hpp"
+#include "amoeba/net/socket_network.hpp"
+#include "test_seed.hpp"
+
+namespace amoeba::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message make_data(Port dest, std::uint16_t opcode) {
+  Message m;
+  m.header.dest = dest;
+  m.header.opcode = opcode;
+  return m;
+}
+
+SocketNetwork::SocketConfig server_config(std::uint32_t machine_base) {
+  SocketNetwork::SocketConfig config;
+  config.net.seed = test::seed_base(9) + machine_base;
+  config.net.machine_id_base = machine_base;
+  config.locate_timeout = 250ms;
+  return config;
+}
+
+SocketNetwork::SocketConfig client_config(std::uint32_t machine_base,
+                                          std::uint16_t server_port) {
+  SocketNetwork::SocketConfig config = server_config(machine_base);
+  config.listen = false;
+  config.peers = {{"127.0.0.1", server_port}};
+  return config;
+}
+
+TEST(SocketNetworkTest, CrossNodeRoundTripWithSourceStamping) {
+  SocketNetwork server_net(server_config(0));
+  Machine& server = server_net.add_machine("server");
+  const Port g(0xAAAA);
+  Receiver service = server.listen(g);
+
+  SocketNetwork client_net(client_config(100, server_net.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+
+  // Broadcast LOCATE across the wire finds the remote listener.
+  const auto located = client.locate(service.put_port());
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(*located, server.id());
+  EXPECT_EQ(located->value(), 1u);  // base 0, first machine
+
+  const Port reply_get(0x1111);
+  Receiver reply_rx = client.listen(reply_get);
+  Message request = make_data(service.put_port(), 7);
+  request.header.reply = reply_get;
+  ASSERT_TRUE(client.transmit(request, *located));
+
+  const auto delivery = service.receive({}, 2000ms);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->message.header.opcode, 7);
+  // The frame carries the true source id; disjoint machine_id_base makes
+  // it unique clusterwide (client is machine 101, not 1).
+  EXPECT_EQ(delivery->src, client.id());
+  EXPECT_EQ(delivery->src.value(), 101u);
+  // The reply port crossed the wire transformed: F(reply_get), never the
+  // secret get-port itself.
+  EXPECT_EQ(delivery->message.header.reply, reply_rx.put_port());
+  EXPECT_NE(delivery->message.header.reply, reply_get);
+
+  // Reply along the stamped source: the server needs no peer config, the
+  // route was learned from the request frame.
+  Message reply = make_reply(delivery->message, ErrorCode::ok);
+  ASSERT_TRUE(server.transmit(reply, delivery->src));
+  const auto response = reply_rx.receive({}, 2000ms);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->message.header.status, ErrorCode::ok);
+}
+
+TEST(SocketNetworkTest, LocateMissesSecretGetPortAndWithdrawnGets) {
+  SocketNetwork server_net(server_config(0));
+  Machine& server = server_net.add_machine("server");
+  const Port g(0xBBBB);
+
+  SocketNetwork client_net(client_config(200, server_net.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+
+  Port put;
+  {
+    Receiver service = server.listen(g);
+    put = service.put_port();
+    ASSERT_NE(put, g);
+    // The registration is on F(G): locating G itself times out silently
+    // (the secret never crossed the wire, nobody answers for it).
+    EXPECT_FALSE(client.locate(g).has_value());
+    EXPECT_TRUE(client.locate(put).has_value());
+  }
+  // GET withdrawn: the next locate gets no reply and reports a miss --
+  // the migration signal transports use to re-resolve.
+  EXPECT_FALSE(client.locate(put).has_value());
+}
+
+TEST(SocketNetworkTest, TransmitToUnknownMachineFailsFast) {
+  SocketNetwork server_net(server_config(0));
+  server_net.add_machine("server");
+
+  SocketNetwork client_net(client_config(300, server_net.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+
+  // No frame or locate reply ever named machine 42: the send is rejected
+  // exactly like the simulated wire's "no GET outstanding", so transports
+  // invalidate their location cache instead of retransmitting forever.
+  EXPECT_FALSE(client.transmit(make_data(Port(0xDEAD), 1), MachineId(42)));
+  EXPECT_GE(client_net.socket_stats().unrouted, 1u);
+}
+
+TEST(SocketNetworkTest, RoundRobinAcrossRemoteGets) {
+  SocketNetwork server_net(server_config(0));
+  Machine& server = server_net.add_machine("server");
+  const Port g(0x6666);
+  Receiver r1 = server.listen(g);
+  Receiver r2 = server.listen(g);
+
+  SocketNetwork client_net(client_config(400, server_net.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+  const auto located = client.locate(r1.put_port());
+  ASSERT_TRUE(located.has_value());
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.transmit(make_data(r1.put_port(), 1), *located));
+  }
+  int count1 = 0;
+  int count2 = 0;
+  while (r1.receive({}, 300ms).has_value()) ++count1;
+  while (r2.receive({}, 300ms).has_value()) ++count2;
+  EXPECT_EQ(count1, 2);
+  EXPECT_EQ(count2, 2);
+}
+
+TEST(SocketNetworkTest, BroadcastReachesLocalAndRemoteListeners) {
+  SocketNetwork server_net(server_config(0));
+  Machine& remote = server_net.add_machine("remote");
+  const Port g(0x7777);
+  Receiver remote_rx = remote.listen(g);
+
+  SocketNetwork client_net(client_config(500, server_net.listen_port()));
+  Machine& local = client_net.add_machine("local");
+  Machine& sender = client_net.add_machine("sender");
+  Receiver local_rx = local.listen(g);
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+
+  sender.broadcast(make_data(remote_rx.put_port(), 3));
+  EXPECT_TRUE(local_rx.receive({}, 2000ms).has_value());
+  const auto delivery = remote_rx.receive({}, 2000ms);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->src, sender.id());
+}
+
+TEST(SocketNetworkTest, ReconnectPreservesIdentityAcrossSever) {
+  SocketNetwork server_net(server_config(0));
+  Machine& server = server_net.add_machine("server");
+  const Port g(0xCCCC);
+  Receiver service = server.listen(g);
+
+  FrameProxy proxy({.target_host = "127.0.0.1",
+                    .target_port = server_net.listen_port(),
+                    .seed = test::seed_base(9)});
+  SocketNetwork client_net(client_config(600, proxy.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+  ASSERT_TRUE(client.locate(service.put_port()).has_value());
+
+  Message request = make_data(service.put_port(), 1);
+  request.header.client = 0xC0FFEE;
+  request.header.seq = 1;
+  ASSERT_TRUE(client.transmit(request, server.id()));
+  auto first = service.receive({}, 2000ms);
+  ASSERT_TRUE(first.has_value());
+
+  proxy.sever();  // tears client->proxy and proxy->server at once
+
+  // The dialer re-dials with backoff; a frame sent into the gap may be
+  // lost (best-effort), so retry until one arrives -- exactly what the
+  // at-most-once transport's retransmission loop does.
+  request.header.seq = 2;
+  request.header.flags = kFlagRetransmit;
+  std::optional<Delivery> second;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!second.has_value() && std::chrono::steady_clock::now() < deadline) {
+    client.transmit(request, server.id());
+    second = service.receive({}, 100ms);
+  }
+  ASSERT_TRUE(second.has_value());
+  // At-most-once identity lives in the frame, not the connection: after a
+  // full reconnect the server still sees the same (machine, client) key,
+  // so its reply cache keeps suppressing duplicates.
+  EXPECT_EQ(second->src, first->src);
+  EXPECT_EQ(second->message.header.client, first->message.header.client);
+  EXPECT_GE(client_net.socket_stats().connects, 2u);
+}
+
+TEST(FrameProxyTest, PartitionBlocksFramesUntilLifted) {
+  SocketNetwork server_net(server_config(0));
+  Machine& server = server_net.add_machine("server");
+  const Port g(0xDDDD);
+  Receiver service = server.listen(g);
+
+  FrameProxy proxy({.target_host = "127.0.0.1",
+                    .target_port = server_net.listen_port(),
+                    .seed = test::seed_base(9)});
+  SocketNetwork client_net(client_config(700, proxy.listen_port()));
+  Machine& client = client_net.add_machine("client");
+  ASSERT_TRUE(client_net.wait_connected(0, 2000ms));
+  ASSERT_TRUE(client.locate(service.put_port()).has_value());
+
+  proxy.set_partitioned(true);
+  // The connection stays up, so the sender still believes the frame was
+  // admitted -- the half-alive failure mode retransmission must absorb.
+  EXPECT_TRUE(client.transmit(make_data(service.put_port(), 1), server.id()));
+  EXPECT_FALSE(service.receive({}, 100ms).has_value());
+  EXPECT_GE(proxy.stats().dropped, 1u);
+
+  proxy.set_partitioned(false);
+  EXPECT_TRUE(client.transmit(make_data(service.put_port(), 2), server.id()));
+  const auto delivery = service.receive({}, 2000ms);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->message.header.opcode, 2);
+}
+
+}  // namespace
+}  // namespace amoeba::net

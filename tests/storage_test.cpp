@@ -8,6 +8,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -298,6 +300,79 @@ TEST(FileBackendCommitLog, TornGroupFrameDropsTheWholeGroup) {
     const auto shard1 = decode_journal(backend.read_journal(1), &torn);
     ASSERT_EQ(shard1.size(), 1u);
     EXPECT_EQ(shard1[0].object.value(), 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendCommitLog, EveryTruncationAndBitFlipDropsExactlyTheTornGroup) {
+  // Exhaustive crash-image sweep over the second group's region of
+  // commit.log: truncation at EVERY length and a bit flip at EVERY byte
+  // offset must each leave recovery holding exactly the first group --
+  // never half of the second, never less than all of the first.
+  const auto dir = fresh_dir("commit-fuzz");
+  const auto log = dir / "commit.log";
+  std::uintmax_t first_end = 0;
+  {
+    FileBackend backend(dir, 2);
+    std::vector<ShardAppend> first;
+    first.push_back({0, frame(1, 1)});
+    first.push_back({1, frame(2, 1)});
+    backend.submit_append_group(std::move(first), nullptr);
+    first_end = std::filesystem::file_size(log);
+    std::vector<ShardAppend> second;
+    second.push_back({0, frame(3, 2)});
+    second.push_back({1, frame(4, 2)});
+    backend.submit_append_group(std::move(second), nullptr);
+  }
+  Buffer pristine;
+  {
+    std::ifstream in(log, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), first_end);
+
+  const auto write_log = [&](const Buffer& bytes) {
+    std::ofstream out(log, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+  const auto expect_exactly_first_group = [&] {
+    FileBackend backend(dir, 2);
+    bool torn = true;
+    const auto shard0 = decode_journal(backend.read_journal(0), &torn);
+    EXPECT_FALSE(torn);
+    ASSERT_EQ(shard0.size(), 1u);
+    EXPECT_EQ(shard0[0].object.value(), 1u);
+    EXPECT_EQ(shard0[0].lsn, 1u);
+    const auto shard1 = decode_journal(backend.read_journal(1), &torn);
+    ASSERT_EQ(shard1.size(), 1u);
+    EXPECT_EQ(shard1[0].object.value(), 2u);
+  };
+
+  // Torn write: the crash image ends anywhere inside the second frame.
+  for (std::size_t len = first_end; len < pristine.size(); ++len) {
+    SCOPED_TRACE("truncate to " + std::to_string(len));
+    write_log(Buffer(pristine.begin(),
+                     pristine.begin() + static_cast<std::ptrdiff_t>(len)));
+    expect_exactly_first_group();
+  }
+  // Rot: any single flipped bit in the second frame (length word,
+  // checksum word, or body) trips the frame checksum.
+  for (std::size_t at = first_end; at < pristine.size(); ++at) {
+    SCOPED_TRACE("flip byte " + std::to_string(at));
+    Buffer bent = pristine;
+    bent[at] ^= 0x01;
+    write_log(bent);
+    expect_exactly_first_group();
+  }
+  // The unharmed image still recovers both groups (the sweep above did
+  // not pass vacuously).
+  write_log(pristine);
+  {
+    FileBackend backend(dir, 2);
+    EXPECT_EQ(decode_journal(backend.read_journal(0)).size(), 2u);
+    EXPECT_EQ(decode_journal(backend.read_journal(1)).size(), 2u);
   }
   std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,34 @@
+// Deterministic-seed plumbing for fault-injection suites.
+//
+// Every suite that rolls fault dice derives its RNG seeds from one base
+// value.  The base is printed when first used, and AMOEBA_TEST_SEED
+// overrides it -- so a CI failure log names the exact seed and
+// `AMOEBA_TEST_SEED=<n> ./the_test` replays the identical fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amoeba::test {
+
+/// The suite's seed base: AMOEBA_TEST_SEED when set, `fallback` otherwise.
+/// Latched (and logged) on first call; later calls ignore their argument,
+/// so one test binary has one reproducible base.
+inline std::uint64_t seed_base(std::uint64_t fallback) {
+  static const std::uint64_t chosen = [fallback] {
+    const char* env = std::getenv("AMOEBA_TEST_SEED");
+    const std::uint64_t value =
+        env != nullptr && *env != '\0' ? std::strtoull(env, nullptr, 0)
+                                       : fallback;
+    std::fprintf(stderr,
+                 "[amoeba] fault-injection seed base = %llu "
+                 "(reproduce with AMOEBA_TEST_SEED=%llu)\n",
+                 static_cast<unsigned long long>(value),
+                 static_cast<unsigned long long>(value));
+    return value;
+  }();
+  return chosen;
+}
+
+}  // namespace amoeba::test
