@@ -536,20 +536,37 @@ void Service::attach_durability(
   }
   // A replicated volume makes this service a replication primary: publish
   // the role, peer count and shipping lag through std_info's detail line
-  // (docs/PROTOCOL.md §9.5).  The backend shared_ptr keeps the decorator
-  // alive as long as the provider.
-  if (auto replicated =
-          std::dynamic_pointer_cast<storage::ReplicatedBackend>(backend)) {
-    set_info_detail([replicated] {
-      replicated->heartbeat();  // refresh acked floors before reporting
-      const storage::ReplicatedBackend::Stats stats = replicated->stats();
-      std::string line = "role=primary mode=";
-      line += to_string(stats.mode);
-      line += " peers=" + std::to_string(stats.peers.size());
-      line += " shipped=" + std::to_string(stats.shipped_lsn);
-      for (const auto& peer : stats.peers) {
-        line += " " + peer.name +
-                ".lag=" + std::to_string(stats.shipped_lsn - peer.acked_lsn);
+  // (docs/PROTOCOL.md §9.5).  A group committer likewise publishes its
+  // flush-pipeline counters (docs/PROTOCOL.md §8.5) -- under an async
+  // backend these are the observable proof that submissions are riding the
+  // ring (gc.sqe grows) rather than blocking the flusher.  The shared_ptrs
+  // keep the decorator/committer alive as long as the provider.
+  const auto replicated =
+      std::dynamic_pointer_cast<storage::ReplicatedBackend>(backend);
+  if (replicated != nullptr || committer != nullptr) {
+    set_info_detail([replicated, committer] {
+      std::string line;
+      if (replicated != nullptr) {
+        replicated->heartbeat();  // refresh acked floors before reporting
+        const storage::ReplicatedBackend::Stats stats = replicated->stats();
+        line = "role=primary mode=";
+        line += to_string(stats.mode);
+        line += " peers=" + std::to_string(stats.peers.size());
+        line += " shipped=" + std::to_string(stats.shipped_lsn);
+        for (const auto& peer : stats.peers) {
+          line += " " + peer.name +
+                  ".lag=" + std::to_string(stats.shipped_lsn - peer.acked_lsn);
+        }
+      } else {
+        line = "role=standalone";
+      }
+      if (committer != nullptr) {
+        const storage::GroupCommitter::Stats gc = committer->stats();
+        line += " gc.groups=" + std::to_string(gc.groups);
+        line += " gc.inflight=" + std::to_string(gc.inflight_cycles);
+        line += " gc.sqe=" + std::to_string(gc.sqe_submitted);
+        line += " gc.cqe=" + std::to_string(gc.cqe_completed);
+        line += " gc.linger_us=" + std::to_string(gc.linger_us_current);
       }
       return line;
     });

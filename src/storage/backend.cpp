@@ -8,6 +8,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iterator>
 
@@ -25,16 +26,31 @@ void check_shards(std::size_t shards) {
 
 }  // namespace
 
+IoCounters& this_thread_io_counters() {
+  // One instance per thread: the mutator asserts ITS counters stayed flat
+  // while the uring reaper was doing the writing, so the counters must not
+  // be shared across threads.
+  thread_local IoCounters counters;
+  return counters;
+}
+
 // ----------------------------------------------------------------- Backend
 
 void Backend::submit_append_group(std::vector<ShardAppend>&& appends,
-                                  std::function<void()> complete) {
+                                  AppendCompletion complete) {
   // Synchronous adapter: append_journal_batch is durable on return, so the
   // completion fires inline.  An async backend overrides this to complete
   // from its reaping side instead.
-  append_journal_batch(std::move(appends));
+  std::exception_ptr error;
+  try {
+    append_journal_batch(std::move(appends));
+  } catch (...) {
+    error = std::current_exception();
+  }
   if (complete) {
-    complete();
+    complete(error);
+  } else if (error) {
+    std::rethrow_exception(error);
   }
 }
 
@@ -189,6 +205,7 @@ namespace {
 /// Loops write(2) until every byte is on the fd (short writes, EINTR).
 void write_all(int fd, std::span<const std::uint8_t> bytes,
                const std::filesystem::path& dir, const char* what) {
+  ++this_thread_io_counters().writes;
   std::size_t done = 0;
   while (done < bytes.size()) {
     const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
@@ -205,6 +222,7 @@ void write_all(int fd, std::span<const std::uint8_t> bytes,
 
 void fsync_or_throw(int fd, const std::filesystem::path& dir,
                     const char* what) {
+  ++this_thread_io_counters().fsyncs;
   if (::fsync(fd) != 0) {
     throw UsageError(std::string("FileBackend: ") + what + " fsync failed (" +
                      std::strerror(errno) + ") in " + dir.string());
@@ -456,6 +474,7 @@ void FileBackend::append_journal_batch(std::vector<ShardAppend>&& appends) {
     std::size_t at = 0;
     while (at < iov.size()) {
       const std::size_t batch = std::min<std::size_t>(iov.size() - at, 512);
+      ++this_thread_io_counters().writes;
       ssize_t n = ::writev(s.journal_fd, iov.data() + at,
                            static_cast<int>(batch));
       if (n < 0) {
@@ -518,6 +537,9 @@ Buffer FileBackend::read_journal(std::size_t shard) const {
 }
 
 Buffer FileBackend::commit_log_records_locked(std::size_t shard) const {
+  // An async subclass may still have acknowledged-to-nobody frames in
+  // flight; recovery must read a log with every completed frame on it.
+  quiesce_commit_locked();
   const Buffer log = read_file(commit_log_path());
   Buffer out;
   for_each_commit_entry(log, [&](std::size_t sh, const Buffer& bytes) {
@@ -528,41 +550,52 @@ Buffer FileBackend::commit_log_records_locked(std::size_t shard) const {
   return out;
 }
 
+void FileBackend::encode_group_frame(const std::vector<ShardAppend>& appends,
+                                     Buffer& frame) {
+  frame.clear();
+  std::size_t total = 12;
+  for (const ShardAppend& a : appends) {
+    total += 8 + a.bytes.size();
+  }
+  frame.reserve(total);
+  put_u32(frame, 0);  // length placeholder
+  put_u32(frame, 0);  // checksum placeholder
+  const std::size_t body_at = frame.size();
+  put_u32(frame, static_cast<std::uint32_t>(appends.size()));
+  for (const ShardAppend& a : appends) {
+    put_u32(frame, static_cast<std::uint32_t>(a.shard));
+    put_u32(frame, static_cast<std::uint32_t>(a.bytes.size()));
+    frame.insert(frame.end(), a.bytes.begin(), a.bytes.end());
+  }
+  const auto body = std::span<const std::uint8_t>(frame.data() + body_at,
+                                                  frame.size() - body_at);
+  patch_u32(frame, 0, static_cast<std::uint32_t>(body.size()));
+  patch_u32(frame, 4, frame_checksum(body));
+}
+
 void FileBackend::submit_append_group(std::vector<ShardAppend>&& appends,
-                                      std::function<void()> complete) {
+                                      AppendCompletion complete) {
   std::erase_if(appends,
                 [](const ShardAppend& a) { return a.bytes.empty(); });
-  if (!appends.empty()) {
-    const std::lock_guard lock(commit_mutex_);
-    Buffer& frame = commit_frame_;
-    frame.clear();
-    std::size_t total = 12;
-    for (const ShardAppend& a : appends) {
-      total += 8 + a.bytes.size();
+  std::exception_ptr error;
+  try {
+    if (!appends.empty()) {
+      const std::lock_guard lock(commit_mutex_);
+      encode_group_frame(appends, commit_frame_);
+      // The whole point of the commit log: one contiguous write and ONE
+      // fsync make the entire group durable, where the per-shard journal
+      // files would pay one fsync per touched shard.
+      write_all(commit_fd_, commit_frame_, directory_, "commit log");
+      fsync_or_throw(commit_fd_, directory_, "commit log");
+      commit_log_bytes_ += commit_frame_.size();
     }
-    frame.reserve(total);
-    put_u32(frame, 0);  // length placeholder
-    put_u32(frame, 0);  // checksum placeholder
-    const std::size_t body_at = frame.size();
-    put_u32(frame, static_cast<std::uint32_t>(appends.size()));
-    for (const ShardAppend& a : appends) {
-      put_u32(frame, static_cast<std::uint32_t>(a.shard));
-      put_u32(frame, static_cast<std::uint32_t>(a.bytes.size()));
-      frame.insert(frame.end(), a.bytes.begin(), a.bytes.end());
-    }
-    const auto body = std::span<const std::uint8_t>(frame.data() + body_at,
-                                                    frame.size() - body_at);
-    patch_u32(frame, 0, static_cast<std::uint32_t>(body.size()));
-    patch_u32(frame, 4, frame_checksum(body));
-    // The whole point of the commit log: one contiguous write and ONE
-    // fsync make the entire group durable, where the per-shard journal
-    // files would pay one fsync per touched shard.
-    write_all(commit_fd_, frame, directory_, "commit log");
-    fsync_or_throw(commit_fd_, directory_, "commit log");
-    commit_log_bytes_ += frame.size();
+  } catch (...) {
+    error = std::current_exception();
   }
   if (complete) {
-    complete();
+    complete(error);
+  } else if (error) {
+    std::rethrow_exception(error);
   }
 }
 
@@ -629,6 +662,9 @@ void FileBackend::install_snapshot(std::size_t shard,
 }
 
 void FileBackend::gc_commit_log_locked() {
+  // The rewrite swaps commit_fd_ to a fresh inode; in-flight ring writes
+  // against the old one would be silently dropped.  Drain them first.
+  quiesce_commit_locked();
   // This runs on a mutator's snapshot-install path, so it stays a linear
   // byte scan: group checksums were just re-verified by the frame walk,
   // and a record's LSN sits at a fixed offset, so surviving frames are
@@ -740,6 +776,7 @@ bool FileBackend::empty() const {
   }
   {
     const std::lock_guard lock(commit_mutex_);
+    quiesce_commit_locked();
     if (commit_log_bytes_ > 0) {
       return false;
     }

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -53,6 +54,32 @@ struct ShardAppend {
   Buffer bytes;
 };
 
+/// Completion of an async append group: invoked exactly once, with a null
+/// exception_ptr on success or the failure that kept the group off the
+/// disk.  May run on the submitting thread (sync adapter) or on a backend
+/// reaper thread (io_uring) -- callers must not assume which.
+using AppendCompletion = std::function<void(std::exception_ptr)>;
+
+/// Counters an async backend exposes so callers can see the submission
+/// pipeline (and tests can prove the flusher never blocks in write(2)).
+struct AsyncIoStats {
+  std::uint64_t sqe_submitted = 0;  // SQEs pushed to the ring (2 per group)
+  std::uint64_t cqe_completed = 0;  // CQEs reaped off the ring
+  std::uint64_t inflight = 0;       // groups submitted but not yet complete
+  bool async = false;               // true only for a live io_uring backend
+};
+
+/// Per-thread blocking-syscall counters, bumped by every write(2)/writev(2)
+/// and fsync(2)/fdatasync(2) the storage layer issues on the calling
+/// thread.  Same spirit as PR 7's CountedMutex: the io_uring proof is a
+/// runtime assertion that the mutator's and flusher's counters stay flat
+/// across the steady-state mutate path, not a comment.
+struct IoCounters {
+  std::uint64_t writes = 0;  // blocking write/writev calls
+  std::uint64_t fsyncs = 0;  // blocking fsync/fdatasync calls
+};
+[[nodiscard]] IoCounters& this_thread_io_counters();
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -71,14 +98,20 @@ class Backend {
 
   /// Submit/complete-shaped async append: appends the whole group with the
   /// same capture() atomicity as append_journal_batch() and invokes
-  /// `complete` exactly once when every byte is durable.  The base
-  /// implementation is the synchronous adapter (append, then complete
-  /// inline on the calling thread); an io_uring-style backend overrides it
-  /// to submit to its ring and complete from the reaping side, and the
-  /// group-commit flusher (storage/group_commit.hpp) is its only caller --
-  /// so such a backend drops in without touching the object store.
+  /// `complete` exactly once -- with a null exception_ptr when every byte
+  /// is durable, with the failure otherwise.  The base implementation is
+  /// the synchronous adapter (append, then complete inline on the calling
+  /// thread); UringFileBackend overrides it to submit to its ring and
+  /// complete from the reaping side, and the group-commit flusher
+  /// (storage/group_commit.hpp) is its only caller -- so such a backend
+  /// drops in without touching the object store.  Completions of
+  /// successive calls fire in submission order (the commit log is a
+  /// sequential structure; recovery depends on it having no gaps).
   virtual void submit_append_group(std::vector<ShardAppend>&& appends,
-                                   std::function<void()> complete);
+                                   AppendCompletion complete);
+
+  /// Submission-pipeline counters; all-zero/sync for blocking backends.
+  [[nodiscard]] virtual AsyncIoStats async_io_stats() const { return {}; }
 
   /// Whole-journal read (recovery).
   [[nodiscard]] virtual Buffer read_journal(std::size_t shard) const = 0;
@@ -159,8 +192,11 @@ class MemoryBackend final : public Backend {
   std::function<void(std::uint64_t)> hook_;
 };
 
-/// Directory-on-disk volume: the durable deployment backend.
-class FileBackend final : public Backend {
+/// Directory-on-disk volume: the durable deployment backend.  Not final:
+/// UringFileBackend (storage/uring_backend.hpp) subclasses it, replacing
+/// only the commit-log append with ring submission -- every recovery,
+/// snapshot, and metadata path is shared.
+class FileBackend : public Backend {
  public:
   /// Creates the directory if needed; an existing volume must have been
   /// written with the same shard count.
@@ -179,7 +215,7 @@ class FileBackend final : public Backend {
   /// files can always tear a pair between two files' fsyncs, a torn
   /// commit-log frame drops the whole group at recovery.
   void submit_append_group(std::vector<ShardAppend>&& appends,
-                           std::function<void()> complete) override;
+                           AppendCompletion complete) override;
   [[nodiscard]] Buffer read_journal(std::size_t shard) const override;
   void install_snapshot(std::size_t shard,
                         std::span<const std::uint8_t> bytes) override;
@@ -194,6 +230,34 @@ class FileBackend final : public Backend {
     return directory_;
   }
 
+ protected:
+  /// Encodes `appends` as one complete commit-log group frame
+  /// (`length u32 | checksum u32 | body`) into `frame` (cleared first).
+  /// Shared by the sync append below and the ring submission path.
+  static void encode_group_frame(const std::vector<ShardAppend>& appends,
+                                 Buffer& frame);
+
+  /// Called with commit_mutex_ held before any read of commit.log that
+  /// must observe every acknowledged frame (recovery merge, GC, empty())
+  /// and before gc_commit_log_locked() swaps commit_fd_ to a new inode.
+  /// The base backend writes synchronously, so there is never in-flight
+  /// I/O to wait out; UringFileBackend overrides this to drain its ring.
+  /// Must NOT be called from a completion/reaper context (commit_mutex_
+  /// ordering: reaper threads never take it).
+  virtual void quiesce_commit_locked() const {}
+
+  /// Commit-log state, all guarded by commit_mutex_.  Lock order: a shard
+  /// mutex (when held at all) is taken BEFORE commit_mutex_; the flusher
+  /// takes only commit_mutex_ and never touches the per-shard fds.
+  /// Protected rather than private so UringFileBackend's submission path
+  /// can append to the same log under the same lock.
+  mutable std::mutex commit_mutex_;
+  int commit_fd_ = -1;  // O_APPEND; one fsync per group frame
+  std::uint64_t commit_log_bytes_ = 0;
+  Buffer commit_frame_;  // reused staging buffer for group frames
+
+  [[nodiscard]] std::filesystem::path commit_log_path() const;
+
  private:
   struct Shard {
     mutable std::mutex mutex;
@@ -203,7 +267,6 @@ class FileBackend final : public Backend {
   [[nodiscard]] std::filesystem::path journal_path(std::size_t shard) const;
   [[nodiscard]] std::filesystem::path snapshot_path(std::size_t shard) const;
   [[nodiscard]] std::filesystem::path meta_path(std::string_view key) const;
-  [[nodiscard]] std::filesystem::path commit_log_path() const;
   /// write-temp + fsync + rename + directory fsync (the full atomic
   /// replacement recipe -- a rename alone is not durable until the
   /// directory entry itself reaches the disk).
@@ -222,15 +285,8 @@ class FileBackend final : public Backend {
   int dir_fd_ = -1;  // fsync'd after every rename into the directory
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex meta_mutex_;
-  // Commit-log state, all guarded by commit_mutex_.  Lock order: a shard
-  // mutex (when held at all) is taken BEFORE commit_mutex_; the flusher
-  // takes only commit_mutex_ and never touches the per-shard fds.
-  mutable std::mutex commit_mutex_;
-  int commit_fd_ = -1;  // O_APPEND; one fsync per group frame
-  std::uint64_t commit_log_bytes_ = 0;
   std::uint64_t commit_gc_low_ = 0;  // log size after the last GC rewrite
   std::vector<std::uint64_t> commit_floor_;  // per-shard snapshot applied LSN
-  Buffer commit_frame_;  // reused staging buffer for group frames
 };
 
 }  // namespace amoeba::storage

@@ -37,6 +37,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,12 +54,27 @@ namespace amoeba::storage {
 
 /// Tuning of one GroupCommitter.
 struct GroupCommitOptions {
-  /// Extra time the flusher lingers after waking before it drains, to
-  /// let concurrent mutators grow the group.  0 (the default) flushes
-  /// whatever has accumulated immediately: batching then comes from the
-  /// records that pile up while the previous cycle's fsync is in
-  /// flight, which adapts to load without adding idle latency.
+  /// CEILING of the flusher's linger: the longest it may hold a claim to
+  /// let concurrent mutators grow the group.  0 (the default) leaves the
+  /// adaptive policy its built-in ceiling (kDefaultLingerCeiling); with
+  /// adaptive_linger off, 0 means flush immediately and a nonzero value
+  /// is an unconditional fixed linger (the old --flush-interval knob).
   std::chrono::microseconds flush_interval{0};
+  /// Waiter-gated pacing: the flusher lingers (growing the cycle, up to
+  /// the ceiling) only while NO thread is blocked in wait_durable -- the
+  /// moment a waiter arrives the linger collapses and the cycle flushes.
+  /// Pipelined mutators (release_async) therefore get wide cycles and few
+  /// condvar round trips -- the fix for the grouped-memory > sync-memory
+  /// inversion bench_e14 exposed on one core -- while synchronous waiters
+  /// keep their immediate-flush latency.
+  bool adaptive_linger = true;
+  /// Backpressure for async backends: how many submitted-but-uncompleted
+  /// flush cycles may be outstanding before the flusher stops claiming.
+  /// Irrelevant for sync backends (completion is inline, so the count
+  /// never exceeds one).
+  std::size_t max_inflight_cycles = 4;
+
+  static constexpr std::chrono::microseconds kDefaultLingerCeiling{200};
 };
 
 class GroupCommitter {
@@ -74,6 +91,14 @@ class GroupCommitter {
     std::uint64_t meta_writes = 0;   // coalesced metadata writes issued
     std::uint64_t max_group = 0;     // largest single cycle, in records
     std::uint64_t flush_cycle_bytes = 0;  // journal bytes those cycles wrote
+    // --- async submission pipeline (PR 10) ---
+    std::uint64_t inflight_cycles = 0;  // submitted, completion pending (now)
+    std::uint64_t sqe_submitted = 0;    // backend ring SQEs (0 when sync)
+    std::uint64_t cqe_completed = 0;    // backend ring CQEs (0 when sync)
+    std::uint64_t linger_us_current = 0;  // last adaptive linger applied
+    std::uint64_t flusher_io_syscalls = 0;  // blocking write/fsync calls the
+                                            // flusher thread has made (the
+                                            // zero-syscall proof under uring)
   };
 
   /// One completed flush cycle as the post-flush hook sees it: the exact
@@ -128,7 +153,12 @@ class GroupCommitter {
       }
       encode(pending);
       ++pending_records_;
-      wake = issued_ == taken_;  // flusher may be asleep
+      // Batched-wakeup lever: notify only when the flusher is actually
+      // parked on work_cv_.  While it claims, writes, or lingers, the
+      // notify (a futex syscall plus, on one core, often a context
+      // switch) would be pure overhead -- the flusher re-checks the
+      // queue under the mutex before it ever sleeps again.
+      wake = flusher_waiting_;
       ticket = ++issued_;
     }
     if (wake) {
@@ -174,7 +204,32 @@ class GroupCommitter {
   }
 
  private:
+  /// One claimed flush cycle, alive from claim until its completion has
+  /// been processed.  Owns the bytes the backend writes and the hook
+  /// ships; shared with the backend's completion callback, which may
+  /// outlive the flusher's local scope on an async backend.
+  struct Cycle {
+    Ticket covered = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t records = 0;
+    std::map<std::string, Buffer, std::less<>> metas;
+    std::vector<ShardAppend> appends;
+    std::exception_ptr error;  // set by the completion; null on success
+    bool done = false;         // completion arrived (guarded by mutex_)
+  };
+
   void flusher(const std::stop_token& stop);
+  /// Backend completion entry point: marks the cycle settled and runs the
+  /// ordered drain.  Called from the flusher (sync backends, meta-only
+  /// cycles) or from a backend reaper thread (io_uring).
+  void on_cycle_complete(const std::shared_ptr<Cycle>& cycle,
+                         std::exception_ptr error);
+  /// Processes settled cycles STRICTLY from the front of inflight_: hook,
+  /// then durable_ advance, then waiter wakeup -- submission order, which
+  /// on an async backend is CQE order (docs/PROTOCOL.md §8.5).  `lock`
+  /// holds mutex_; dropped across each hook invocation (the draining_
+  /// flag keeps a second completer from processing cycles concurrently).
+  void drain_completions_locked(std::unique_lock<std::mutex>& lock);
 
   std::shared_ptr<Backend> backend_;
   Options options_;
@@ -182,6 +237,7 @@ class GroupCommitter {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;            // wakes the flusher
   mutable std::condition_variable durable_cv_;  // wakes ticket waiters
+  std::condition_variable inflight_cv_;  // wakes backpressure/drain waits
   std::vector<Buffer> pending_;                // per-shard gathered bytes
   std::vector<std::size_t> dirty_shards_;      // shards with pending bytes
   std::uint64_t pending_records_ = 0;
@@ -189,6 +245,10 @@ class GroupCommitter {
   Ticket issued_ = 0;   // highest ticket handed out
   Ticket taken_ = 0;    // highest ticket a flush cycle has claimed
   Ticket durable_ = 0;  // highest ticket reported durable
+  std::deque<std::shared_ptr<Cycle>> inflight_;  // claimed, not yet drained
+  bool draining_ = false;        // a thread is inside the ordered drain
+  bool flusher_waiting_ = false;  // flusher parked on work_cv_ (see enqueue)
+  std::size_t waiters_ = 0;      // threads blocked in wait_durable
   std::string failure_;  // non-empty once a backend write failed
   Stats stats_;
   PostFlushHook post_flush_hook_;

@@ -104,7 +104,13 @@ class ReplicatedBackend final : public Backend {
                       std::span<const std::uint8_t> bytes) override;
   void append_journal_batch(std::vector<ShardAppend>&& appends) override;
   void submit_append_group(std::vector<ShardAppend>&& appends,
-                           std::function<void()> complete) override;
+                           AppendCompletion complete) override;
+  /// Forwards the local volume's ring counters (zero/sync for blocking
+  /// locals), so a committer over a replicated uring volume still reports
+  /// its submission pipeline.
+  [[nodiscard]] AsyncIoStats async_io_stats() const override {
+    return local_->async_io_stats();
+  }
   [[nodiscard]] Buffer read_journal(std::size_t shard) const override;
   void install_snapshot(std::size_t shard,
                         std::span<const std::uint8_t> bytes) override;

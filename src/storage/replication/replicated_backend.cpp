@@ -80,6 +80,10 @@ bool ReplicatedBackend::empty() const { return local_->empty(); }
 void ReplicatedBackend::append_journal(std::size_t shard,
                                        std::span<const std::uint8_t> bytes) {
   local_->append_journal(shard, bytes);
+  // Relaxed everywhere committer_bound_ is read: it flips false->true once,
+  // before the committer's flusher starts, so every thread that can reach
+  // these paths already observes the final value through the committer's
+  // own synchronization -- the load needs no ordering of its own.
   if (committer_bound_.load(std::memory_order_relaxed)) {
     return;  // this write reaches backups inside its flush cycle's frame
   }
@@ -92,6 +96,7 @@ void ReplicatedBackend::append_journal(std::size_t shard,
 
 void ReplicatedBackend::append_journal_batch(
     std::vector<ShardAppend>&& appends) {
+  // Relaxed: see append_journal.
   if (committer_bound_.load(std::memory_order_relaxed)) {
     local_->append_journal_batch(std::move(appends));
     return;
@@ -102,8 +107,13 @@ void ReplicatedBackend::append_journal_batch(
 }
 
 void ReplicatedBackend::submit_append_group(std::vector<ShardAppend>&& appends,
-                                            std::function<void()> complete) {
+                                            AppendCompletion complete) {
+  // Relaxed: see append_journal.
   if (committer_bound_.load(std::memory_order_relaxed)) {
+    // Committer traffic: the forwarded completion fires on the local
+    // volume's reaping side (CQE of the linked fdatasync under io_uring);
+    // the committer's ordered drain then runs the ship hook strictly
+    // after it, in LSN order -- §8.5's acknowledgement rule.
     local_->submit_append_group(std::move(appends), std::move(complete));
     return;
   }
@@ -129,6 +139,7 @@ void ReplicatedBackend::install_snapshot(std::size_t shard,
 void ReplicatedBackend::put_meta(std::string_view key,
                                  std::span<const std::uint8_t> value) {
   local_->put_meta(key, value);
+  // Relaxed: see append_journal.
   if (committer_bound_.load(std::memory_order_relaxed)) {
     return;  // coalesced metadata ships inside the flush-cycle frame
   }
@@ -141,6 +152,9 @@ void ReplicatedBackend::put_meta(std::string_view key,
 
 void ReplicatedBackend::bind_committer(GroupCommitter& committer) {
   {
+    // Relaxed store/load under mutex_: the mutex orders the bind itself;
+    // the flag's cross-thread visibility rides the committer's flusher
+    // start (see the relaxed-read comment at append_journal).
     const std::lock_guard lock(mutex_);
     if (committer_bound_.load(std::memory_order_relaxed)) {
       throw UsageError("ReplicatedBackend: already bound to a committer");
